@@ -1,0 +1,208 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (plus the ablations DESIGN.md calls out) from the simulated
+   testbed, and runs Bechamel micro-benchmarks of the hot in-process paths.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig3 table2 micro   # a subset
+     dune exec bench/main.exe -- --quick             # reduced sizes *)
+
+module T = Proto.Types
+
+(* --- Bechamel micro-benchmarks ----------------------------------------- *)
+
+let sample_update =
+  {
+    T.seqno = 42;
+    group = "whiteboard";
+    kind = T.Append_update;
+    obj = "canvas";
+    data = String.make 1000 'x';
+    sender = "alice";
+    timestamp = 123.456;
+  }
+
+let sample_message =
+  Proto.Message.Request
+    (Proto.Message.Bcast
+       {
+         group = "whiteboard";
+         sender = "alice";
+         kind = T.Append_update;
+         obj = "canvas";
+         data = String.make 1000 'x';
+         mode = T.Sender_inclusive;
+       })
+
+let encoded_sample =
+  let w = Proto.Codec.Writer.create () in
+  Proto.Message.encode w sample_message;
+  Proto.Codec.Writer.contents w
+
+let bench_encode () =
+  let w = Proto.Codec.Writer.create () in
+  Proto.Message.encode w sample_message;
+  Proto.Codec.Writer.size w
+
+let bench_decode () =
+  Proto.Message.decode (Proto.Codec.Reader.of_string encoded_sample)
+
+let bench_state_apply () =
+  let state = Corona.Shared_state.create () in
+  for _ = 1 to 100 do
+    Corona.Shared_state.apply state sample_update
+  done;
+  Corona.Shared_state.total_bytes state
+
+let make_bench_log =
+  (* One simulated world reused across iterations; the log is ephemeral. *)
+  let engine = Sim.Engine.create () in
+  let fabric = Net.Fabric.create engine in
+  let host = Net.Fabric.add_host fabric ~name:"bench-host" () in
+  let checkpoints = Storage.Snapshot.create (Storage.Disk.create host ()) ~name:"cks" in
+  fun () ->
+    Corona.State_log.create ~group:"g" ~persistent:false
+      ~wal:(Storage.Wal.create_ephemeral ~name:"bench")
+      ~checkpoints ~policy:Corona.State_log.No_reduction ~initial:[] ()
+
+let bench_log_append () =
+  let log = make_bench_log () in
+  for _ = 1 to 100 do
+    ignore
+      (Corona.State_log.append log ~kind:T.Append_update ~obj:"o" ~data:"0123456789"
+         ~sender:"s" ~timestamp:0.0 ~on_durable:(fun _ -> ()))
+  done;
+  Corona.State_log.next_seqno log
+
+let bench_holdback () =
+  let hb = Ordering.Holdback.create () in
+  for i = 99 downto 0 do
+    ignore (Ordering.Holdback.offer hb ~seqno:i i)
+  done;
+  Ordering.Holdback.next_expected hb
+
+let bench_vclock () =
+  let sites = Array.init 16 (Printf.sprintf "site-%d") in
+  let v =
+    Array.fold_left (fun acc s -> Ordering.Vclock.tick acc s) Ordering.Vclock.empty sites
+  in
+  let w = Ordering.Vclock.tick v "site-3" in
+  Ordering.Vclock.compare_causal v w
+
+let run_micro () =
+  Workload.Report.section "Micro-benchmarks (Bechamel) — in-process hot paths";
+  let open Bechamel in
+  let test name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [
+      test "codec encode 1kB bcast" (fun () -> ignore (bench_encode ()));
+      test "codec decode 1kB bcast" (fun () -> ignore (bench_decode ()));
+      test "shared-state apply x100" (fun () -> ignore (bench_state_apply ()));
+      test "state-log append x100" (fun () -> ignore (bench_log_append ()));
+      test "holdback reorder x100" (fun () -> ignore (bench_holdback ()));
+      test "vclock tick+compare (16 sites)" (fun () -> ignore (bench_vclock ()));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.concat_map
+      (fun t ->
+        List.map
+          (fun tst ->
+            let m = Benchmark.run cfg [ instance ] tst in
+            let est = Analyze.one ols instance m in
+            let ns =
+              match Analyze.OLS.estimates est with
+              | Some [ v ] -> Printf.sprintf "%.0f" v
+              | Some _ | None -> "n/a"
+            in
+            [ Test.Elt.name tst; ns ])
+          (Test.elements t))
+      tests
+  in
+  Workload.Report.table ~header:[ "benchmark"; "ns/run" ] rows
+
+(* --- experiment registry ------------------------------------------------ *)
+
+let quick = ref false
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ( "fig3",
+      "Figure 3: RTT vs #clients, stateful vs stateless",
+      fun () ->
+        if !quick then Workload.Exp_fig3.run ~count:40 ~client_counts:[ 10; 30; 60 ] ()
+        else Workload.Exp_fig3.run () );
+    ( "fig3-size",
+      "Figure 3 (text): message-size sweep",
+      fun () ->
+        if !quick then Workload.Exp_fig3.run_size_sweep ~count:40 ()
+        else Workload.Exp_fig3.run_size_sweep () );
+    ( "fig3-mcast",
+      "Extension: hybrid IP-multicast delivery",
+      fun () ->
+        if !quick then
+          Workload.Exp_fig3.run_multicast ~count:40 ~client_counts:[ 10; 30; 60 ] ()
+        else Workload.Exp_fig3.run_multicast () );
+    ( "table1",
+      "Table 1: server throughput, two machines, two sizes",
+      fun () ->
+        if !quick then Workload.Exp_table1.run ~duration:5.0 ()
+        else Workload.Exp_table1.run () );
+    ( "table2",
+      "Table 2: 100/200/300 clients, single vs replicated",
+      fun () ->
+        if !quick then Workload.Exp_table2.run ~count:20 ~client_counts:[ 100; 200 ] ()
+        else Workload.Exp_table2.run () );
+    ("join", "Join latency: Corona vs ISIS-style baseline", Workload.Exp_join.run);
+    ("transfer", "State-transfer policies", Workload.Exp_transfer.run);
+    ("logreduction", "State-log reduction", Workload.Exp_logreduction.run);
+    ( "disk",
+      "Disk-logging ablation",
+      fun () ->
+        if !quick then Workload.Exp_disk.run ~duration:5.0 ()
+        else Workload.Exp_disk.run () );
+    ("failover", "Coordinator failover + election algorithms", Workload.Exp_failover.run);
+    ("partition", "Partition divergence and reconciliation", Workload.Exp_partition.run);
+    ("qos", "QoS-adaptive transfer pacing", Workload.Exp_qos.run);
+    ( "churn",
+      "Client churn: joins/leaves/crashes must be unobtrusive",
+      fun () ->
+        if !quick then Workload.Exp_churn.run ~duration:6.0 ()
+        else Workload.Exp_churn.run () );
+    ("micro", "Bechamel micro-benchmarks", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" || a = "-q" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> List.map (fun (name, _, _) -> name) experiments
+    | names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, _, run) -> run ()
+      | None ->
+          Format.printf "unknown experiment %S; available:@." name;
+          List.iter
+            (fun (n, descr, _) -> Format.printf "  %-14s %s@." n descr)
+            experiments;
+          exit 1)
+    selected;
+  Format.printf "@.done: %d experiment group(s).@." (List.length selected)

@@ -1,0 +1,168 @@
+(* The corona command-line tool: run any experiment of the evaluation with
+   custom parameters, or take ad-hoc measurements on the simulated testbed.
+
+     dune exec bin/corona_cli.exe -- rtt --clients 40 --size 1000
+     dune exec bin/corona_cli.exe -- fig3 --clients 10,20,30 --count 200
+     dune exec bin/corona_cli.exe -- table2 --clients 100,300
+     dune exec bin/corona_cli.exe -- all --quick *)
+
+open Cmdliner
+
+let int_list =
+  let parse s =
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "expected a comma-separated list of integers")
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int l))
+  in
+  Arg.conv (parse, print)
+
+let clients_arg ~default =
+  Arg.(value & opt int_list default
+       & info [ "clients" ] ~docv:"N,N,..." ~doc:"Client counts to sweep.")
+
+let count_arg =
+  Arg.(value & opt int 120
+       & info [ "count" ] ~docv:"N" ~doc:"Messages per data point.")
+
+let size_arg =
+  Arg.(value & opt int 1000 & info [ "size" ] ~docv:"BYTES" ~doc:"Message size.")
+
+let seed_arg =
+  Arg.(value & opt int64 11L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let duration_arg =
+  Arg.(value & opt float 20.0
+       & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measured (simulated) duration.")
+
+(* --- ad-hoc RTT measurement ------------------------------------------- *)
+
+let rtt clients size count seed multicast stateless =
+  List.iter
+    (fun n ->
+      let p =
+        Workload.Exp_fig3.measure ~seed ~multicast ~stateful:(not stateless)
+          ~clients:n ~size ~count ()
+      in
+      Format.printf "clients=%-4d size=%-6d %s%s  rtt: %a@." n size
+        (if multicast then "ip-multicast " else "tcp ")
+        (if stateless then "stateless" else "stateful")
+        Sim.Stats.pp_summary
+        { p.Workload.Exp_fig3.rtt with Sim.Stats.mean = p.rtt.Sim.Stats.mean *. 1000.;
+          stddev = p.rtt.Sim.Stats.stddev *. 1000.;
+          min = p.rtt.Sim.Stats.min *. 1000.; max = p.rtt.Sim.Stats.max *. 1000.;
+          p50 = p.rtt.Sim.Stats.p50 *. 1000.; p95 = p.rtt.Sim.Stats.p95 *. 1000.;
+          p99 = p.rtt.Sim.Stats.p99 *. 1000. })
+    clients
+
+let rtt_cmd =
+  let multicast =
+    Arg.(value & flag & info [ "multicast" ] ~doc:"Use hybrid IP-multicast delivery.")
+  in
+  let stateless =
+    Arg.(value & flag & info [ "stateless" ] ~doc:"Sequencer-only server (no state).")
+  in
+  Cmd.v
+    (Cmd.info "rtt" ~doc:"Measure multicast round-trip delay (ms) for given client counts.")
+    Term.(const rtt $ clients_arg ~default:[ 30 ] $ size_arg $ count_arg $ seed_arg
+          $ multicast $ stateless)
+
+(* --- the paper's tables and figures ------------------------------------ *)
+
+let fig3_cmd =
+  let run clients count sizes =
+    Workload.Exp_fig3.run ~count ~sizes ~client_counts:clients ()
+  in
+  let sizes =
+    Arg.(value & opt int_list [ 1000 ]
+         & info [ "sizes" ] ~docv:"B,B" ~doc:"Message sizes to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Figure 3: RTT vs #clients, stateful vs stateless.")
+    Term.(const run $ clients_arg ~default:Workload.Exp_fig3.default_counts
+          $ count_arg $ sizes)
+
+let fig3_mcast_cmd =
+  let run clients count = Workload.Exp_fig3.run_multicast ~count ~client_counts:clients () in
+  Cmd.v
+    (Cmd.info "fig3-mcast" ~doc:"Extension: hybrid IP-multicast vs TCP fan-out.")
+    Term.(const run $ clients_arg ~default:Workload.Exp_fig3.default_counts $ count_arg)
+
+let table1_cmd =
+  let run duration = Workload.Exp_table1.run ~duration () in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Table 1: server throughput, 6 saturating clients.")
+    Term.(const run $ duration_arg)
+
+let table2_cmd =
+  let run clients count = Workload.Exp_table2.run ~count ~client_counts:clients () in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Table 2: single vs replicated service.")
+    Term.(const run $ clients_arg ~default:[ 100; 200; 300 ]
+          $ Arg.(value & opt int 60 & info [ "count" ] ~docv:"N" ~doc:"Messages per point."))
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let all_cmd =
+  let run quick =
+    let count = if quick then 40 else 120 in
+    let clients = if quick then [ 10; 30; 60 ] else Workload.Exp_fig3.default_counts in
+    Workload.Exp_fig3.run ~count ~client_counts:clients ();
+    Workload.Exp_fig3.run_multicast ~count ~client_counts:clients ();
+    Workload.Exp_fig3.run_size_sweep ~count ();
+    Workload.Exp_table1.run ~duration:(if quick then 5.0 else 20.0) ();
+    Workload.Exp_table2.run
+      ~count:(if quick then 20 else 60)
+      ~client_counts:(if quick then [ 100; 200 ] else [ 100; 200; 300 ])
+      ();
+    Workload.Exp_join.run ();
+    Workload.Exp_transfer.run ();
+    Workload.Exp_logreduction.run ();
+    Workload.Exp_disk.run ~duration:(if quick then 5.0 else 15.0) ();
+    Workload.Exp_failover.run ();
+    Workload.Exp_partition.run ();
+    Workload.Exp_qos.run ();
+    Workload.Exp_churn.run ~duration:(if quick then 6.0 else 15.0) ()
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps.") in
+  Cmd.v (Cmd.info "all" ~doc:"Run the whole evaluation.") Term.(const run $ quick)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "corona"
+      ~doc:"Corona stateful group communication — experiment driver"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Reproduction of 'Stateful Group Communication Services' (Litiu & \
+             Prakash, ICDCS 1999) on a deterministic discrete-event simulation. \
+             Each subcommand regenerates part of the paper's evaluation; see \
+             EXPERIMENTS.md for the full map.";
+        ]
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            rtt_cmd;
+            fig3_cmd;
+            fig3_mcast_cmd;
+            table1_cmd;
+            table2_cmd;
+            simple "join" "Join latency: Corona vs ISIS-style baseline."
+              Workload.Exp_join.run;
+            simple "transfer" "State-transfer policies." Workload.Exp_transfer.run;
+            simple "logreduction" "State-log reduction." Workload.Exp_logreduction.run;
+            simple "disk" "Disk-logging ablation." (fun () -> Workload.Exp_disk.run ());
+            simple "failover" "Coordinator failover and election algorithms."
+              Workload.Exp_failover.run;
+            simple "partition" "Partition divergence and reconciliation."
+              Workload.Exp_partition.run;
+            simple "qos" "QoS-adaptive transfer pacing ([11])." Workload.Exp_qos.run;
+            simple "churn" "Client churn unobtrusiveness (§1)."
+              (fun () -> Workload.Exp_churn.run ());
+            all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/chat.ml: Corona Format List Net Option Printf Proto Sim String

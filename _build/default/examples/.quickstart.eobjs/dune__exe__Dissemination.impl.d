@@ -1,0 +1,1 @@
+examples/dissemination.ml: Corona Format List Net Option Printf Proto Sim String

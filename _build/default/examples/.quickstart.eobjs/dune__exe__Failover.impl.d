@@ -1,0 +1,1 @@
+examples/failover.ml: Corona Format List Net Printf Proto Replication Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corona Format List Net Option Proto Sim String

@@ -1,0 +1,1 @@
+examples/whiteboard.ml: Corona Format List Net Option Printf Sim String

@@ -1,0 +1,114 @@
+(* Draw tool (§5.1): "similar both to a shared notebook and a whiteboard...
+   a canvas for drawing, taking notes, and importing images."
+
+   Each stroke appends a drawing op to the shared "canvas" object; the pen
+   is a Corona lock, so two users cannot scribble over each other; after a
+   drawing session the log-reduction service folds hundreds of strokes into
+   one checkpointed state, and a reviewer joining afterwards still gets the
+   complete picture.
+
+   Run with:  dune exec examples/whiteboard.exe *)
+
+module C = Corona.Client
+
+let () =
+  let engine = Sim.Engine.create ~seed:3L () in
+  let fabric = Net.Fabric.create engine in
+  let server_host = Net.Fabric.add_host fabric ~name:"server" () in
+  let storage = Corona.Server_storage.create server_host () in
+  let _server = Corona.Server.create fabric server_host ~storage () in
+  let say fmt =
+    Format.kasprintf
+      (fun s -> Format.printf "[%6.3fs] %s@." (Sim.Engine.now engine) s)
+      fmt
+  in
+  let stroke who i = Printf.sprintf "line(%s,%d);" who i in
+
+  let connect_user host_name member k =
+    let host = Net.Fabric.add_host fabric ~name:host_name ~cpu:Net.Host.sparc20 () in
+    C.connect fabric ~host ~server:server_host ~member
+      ~on_connected:k
+      ~on_failed:(fun () -> say "%s could not connect" member)
+      ()
+  in
+
+  (* Draw [n] strokes while holding the pen, then release it. *)
+  let draw_session user n k =
+    C.acquire_lock user ~group:"board" ~lock:"pen" ~k:(function
+      | C.R_lock `Granted ->
+          say "%s grabbed the pen" (C.member user);
+          for i = 1 to n do
+            C.bcast_update user ~group:"board" ~obj:"canvas"
+              ~data:(stroke (C.member user) i) ()
+          done;
+          C.release_lock user ~group:"board" ~lock:"pen" ~k:(fun _ ->
+              say "%s released the pen after %d strokes" (C.member user) n;
+              k ())
+      | C.R_lock (`Busy holder) ->
+          say "%s must wait: %s holds the pen" (C.member user) holder
+      | _ -> say "%s: pen acquisition failed" (C.member user))
+  in
+
+  connect_user "tablet-ann" "ann" (fun ann ->
+      C.create_group ann ~group:"board" ~persistent:true
+        ~initial:[ ("canvas", "") ]
+        ~k:(fun _ -> ()) ();
+      C.join ann ~group:"board"
+        ~k:(fun _ ->
+          connect_user "tablet-ben" "ben" (fun ben ->
+              C.join ben ~group:"board"
+                ~k:(fun _ ->
+                  (* Ben asks for the pen while Ann holds it: he is queued
+                     and drawing stays serialized. *)
+                  draw_session ann 120 (fun () -> ());
+                  ignore
+                    (Sim.Engine.schedule engine ~delay:0.05 (fun () ->
+                         C.acquire_lock ben ~group:"board" ~lock:"pen"
+                           ~k:(function
+                             | C.R_lock (`Busy holder) ->
+                                 say "ben queued for the pen (held by %s)" holder
+                             | C.R_lock `Granted ->
+                                 say "ben got the pen immediately"
+                             | _ -> ())));
+                  C.set_on_event ben (fun ben' -> function
+                    | C.Lock_granted_later { lock = "pen"; _ } ->
+                        say "ben's queued request granted";
+                        for i = 1 to 80 do
+                          C.bcast_update ben' ~group:"board" ~obj:"canvas"
+                            ~data:(stroke "ben" i) ()
+                        done;
+                        C.release_lock ben' ~group:"board" ~lock:"pen"
+                          ~k:(fun _ ->
+                            say "ben released the pen after 80 strokes";
+                            (* Fold 200 strokes into a checkpoint. *)
+                            C.reduce_log ben' ~group:"board" ~k:(function
+                              | C.R_reduced upto ->
+                                  say
+                                    "log reduced: %d strokes folded into the checkpoint"
+                                    upto;
+                                  (* A reviewer joins afterwards and still
+                                     sees the whole picture. *)
+                                  connect_user "pc-rev" "reviewer" (fun rev ->
+                                      C.join rev ~group:"board"
+                                        ~k:(fun _ ->
+                                          let st =
+                                            Option.get (C.replica rev "board")
+                                          in
+                                          let canvas =
+                                            Option.get
+                                              (Corona.Shared_state.get st "canvas")
+                                          in
+                                          say
+                                            "reviewer joined after reduction: canvas holds %d strokes (%d bytes)"
+                                            (List.length
+                                               (String.split_on_char ';' canvas)
+                                            - 1)
+                                            (String.length canvas))
+                                        ())
+                              | _ -> say "reduction failed"))
+                    | _ -> ()))
+                ()))
+        ());
+  Sim.Engine.run engine;
+  Format.printf "@.whiteboard example finished (simulated %.3fs)@."
+    (Sim.Engine.now engine)

@@ -1,0 +1,1 @@
+lib/baseline/isis.ml: Corona Hashtbl List Net Option Ordering Proto Sim String

@@ -1,0 +1,1 @@
+lib/baseline/isis.mli: Corona Net Proto

@@ -1,0 +1,348 @@
+module T = Proto.Types
+
+type config = { port : int; view_ack_delay : float; donor_timeout : float }
+
+let default_config = { port = 7500; view_ack_delay = 0.0; donor_timeout = 3.0 }
+
+type wire =
+  | Join_req of { joiner : string }
+  | View_propose of { view : int; members : string list; joiner : string }
+  | View_ack of { view : int; from : string }
+  | View_install of { view : int; members : string list }
+  | State_donate of {
+      view : int;
+      members : string list;
+      objects : (T.object_id * string) list;
+    }
+  | Data of { from : string; vclock : (string * int) list; update : T.update }
+
+type Net.Payload.t += Isis of wire
+
+let wire_size = function
+  | Join_req { joiner } -> 16 + String.length joiner
+  | View_propose { members; joiner; _ } ->
+      24 + String.length joiner
+      + List.fold_left (fun a m -> a + 4 + String.length m) 0 members
+  | View_ack { from; _ } -> 16 + String.length from
+  | View_install { members; _ } ->
+      16 + List.fold_left (fun a m -> a + 4 + String.length m) 0 members
+  | State_donate { members; objects; _ } ->
+      24
+      + List.fold_left (fun a m -> a + 4 + String.length m) 0 members
+      + List.fold_left
+          (fun a (k, v) -> a + 8 + String.length k + String.length v)
+          0 objects
+  | Data { from; vclock; update } ->
+      16 + String.length from
+      + (16 * List.length vclock)
+      + String.length update.T.obj + String.length update.T.data
+      + String.length update.T.sender + 24
+
+let send_wire conn w = Net.Tcp.send conn ~size:(wire_size w) (Isis w)
+
+type pending_sponsor = {
+  ps_joiner : string;
+  ps_conn : Net.Tcp.conn;
+  ps_view : int;
+  mutable ps_waiting : string list; (* members whose ack is outstanding *)
+}
+
+type t = {
+  fabric : Net.Fabric.t;
+  host : Net.Host.t;
+  cfg : config;
+  group : T.group_id;
+  mutable view : int;
+  mutable view_members : string list; (* join order *)
+  causal : T.update Ordering.Causal.t;
+  state : Corona.Shared_state.t;
+  conns : (string, Net.Tcp.conn) Hashtbl.t;
+  mutable on_deliver : T.update -> unit;
+  mutable ack_delay : float;
+  mutable sponsor_queue : pending_sponsor list; (* head is active *)
+  outbox : (string, wire list) Hashtbl.t; (* queued for members not yet meshed *)
+  mutable delivered : int;
+}
+
+let member_id t = Net.Host.name t.host
+
+let members t = List.sort compare t.view_members
+
+let view_number t = t.view
+
+let state t = t.state
+
+let set_on_deliver t f = t.on_deliver <- f
+
+let set_view_ack_delay t d = t.ack_delay <- d
+
+let deliveries t = t.delivered
+
+let engine t = Net.Fabric.engine t.fabric
+
+let peer_conns t =
+  Hashtbl.fold
+    (fun name conn acc ->
+      if Net.Tcp.is_open conn then (name, conn) :: acc else acc)
+    t.conns []
+
+(* Send to every other view member; a member whose mesh connection is not
+   up yet (joins complete before the full mesh does) gets the message queued
+   and flushed when the connection registers. *)
+let send_to_view t msg =
+  List.iter
+    (fun m ->
+      if m <> member_id t then
+        match Hashtbl.find_opt t.conns m with
+        | Some conn when Net.Tcp.is_open conn -> send_wire conn msg
+        | Some _ | None ->
+            let q = Option.value (Hashtbl.find_opt t.outbox m) ~default:[] in
+            Hashtbl.replace t.outbox m (msg :: q))
+    t.view_members
+
+let cbcast t ~kind ~obj ~data =
+  let vclock = Ordering.Causal.stamp_send t.causal in
+  let u =
+    {
+      T.seqno = Ordering.Vclock.get vclock (member_id t);
+      group = t.group;
+      kind;
+      obj;
+      data;
+      sender = member_id t;
+      timestamp = Sim.Engine.now (engine t);
+    }
+  in
+  Corona.Shared_state.apply t.state u;
+  t.delivered <- t.delivered + 1;
+  let msg = Data { from = member_id t; vclock = Ordering.Vclock.to_list vclock; update = u } in
+  send_to_view t msg
+
+(* --- view agreement (sponsor side) ----------------------------------- *)
+
+let rec start_next_sponsor_round t =
+  match t.sponsor_queue with
+  | [] -> ()
+  | ps :: _ ->
+      (* Flush-round participants: ourselves plus every member we can still
+         reach. A stale entry from an aborted earlier join (its donor died
+         mid-transfer) has no connection and would hang the round forever. *)
+      let reachable =
+        List.filter
+          (fun m ->
+            m <> ps.ps_joiner
+            && (m = member_id t
+               ||
+               match Hashtbl.find_opt t.conns m with
+               | Some conn -> Net.Tcp.is_open conn
+               | None -> false))
+          t.view_members
+      in
+      t.view_members <- reachable;
+      ps.ps_waiting <- reachable;
+      let propose =
+        View_propose { view = ps.ps_view; members = reachable; joiner = ps.ps_joiner }
+      in
+      List.iter
+        (fun m ->
+          if m <> member_id t then
+            match Hashtbl.find_opt t.conns m with
+            | Some conn -> send_wire conn propose
+            | None -> ())
+        reachable;
+      (* Our own ack, after our own (possibly artificial) flush delay. *)
+      ignore
+        (Sim.Engine.schedule (engine t) ~delay:t.ack_delay (fun () ->
+             sponsor_ack t ps.ps_view (member_id t)))
+
+and sponsor_ack t view from =
+  match t.sponsor_queue with
+  | ps :: rest when ps.ps_view = view ->
+      ps.ps_waiting <- List.filter (fun m -> m <> from) ps.ps_waiting;
+      if ps.ps_waiting = [] then begin
+        (* All members flushed: install the view and donate the state. A
+           re-joining member keeps a single entry. *)
+        let new_members =
+          List.filter (fun m -> m <> ps.ps_joiner) t.view_members @ [ ps.ps_joiner ]
+        in
+        t.view <- ps.ps_view;
+        t.view_members <- new_members;
+        let install = View_install { view = ps.ps_view; members = new_members } in
+        List.iter (fun (_, conn) -> send_wire conn install) (peer_conns t);
+        if Net.Tcp.is_open ps.ps_conn then
+          send_wire ps.ps_conn
+            (State_donate
+               {
+                 view = ps.ps_view;
+                 members = new_members;
+                 objects = Corona.Shared_state.objects t.state;
+               });
+        t.sponsor_queue <- rest;
+        start_next_sponsor_round t
+      end
+  | _ -> ()
+
+(* --- message handling -------------------------------------------------- *)
+
+let handle t from_conn msg =
+  match msg with
+  | Join_req { joiner } ->
+      let ps =
+        {
+          ps_joiner = joiner;
+          ps_conn = from_conn;
+          ps_view = t.view + 1 + List.length t.sponsor_queue;
+          ps_waiting = [];
+        }
+      in
+      let idle = t.sponsor_queue = [] in
+      t.sponsor_queue <- t.sponsor_queue @ [ ps ];
+      if idle then start_next_sponsor_round t
+  | View_propose { view; joiner = _; members = _ } ->
+      (* Flush, then ack to the sponsor (the connection the proposal came
+         from). *)
+      ignore
+        (Sim.Engine.schedule (engine t) ~delay:t.ack_delay (fun () ->
+             if Net.Tcp.is_open from_conn then
+               send_wire from_conn (View_ack { view; from = member_id t })))
+  | View_ack { view; from } -> sponsor_ack t view from
+  | View_install { view; members } ->
+      if view > t.view then begin
+        t.view <- view;
+        t.view_members <- members
+      end
+  | State_donate _ -> () (* only joiners receive these, handled separately *)
+  | Data { from; vclock; update } ->
+      let deliverable =
+        Ordering.Causal.receive t.causal ~from (Ordering.Vclock.of_list vclock) update
+      in
+      List.iter
+        (fun u ->
+          Corona.Shared_state.apply t.state u;
+          t.delivered <- t.delivered + 1;
+          t.on_deliver u)
+        deliverable
+
+let wire_receiver t conn =
+  Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+      match payload with Isis msg -> handle t conn msg | _ -> ())
+
+let register_conn t name conn =
+  Hashtbl.replace t.conns name conn;
+  (match Hashtbl.find_opt t.outbox name with
+  | Some queued ->
+      Hashtbl.remove t.outbox name;
+      List.iter (send_wire conn) (List.rev queued)
+  | None -> ());
+  Net.Tcp.set_on_close conn (fun _reason ->
+      (* Local view update on member failure; full view agreement on
+         failure is out of scope for the baseline. *)
+      Hashtbl.remove t.conns name;
+      t.view_members <- List.filter (fun m -> m <> name) t.view_members);
+  wire_receiver t conn
+
+let make_member fabric host cfg ~group ~initial =
+  let t =
+    {
+      fabric;
+      host;
+      cfg;
+      group;
+      view = 0;
+      view_members = [ Net.Host.name host ];
+      causal = Ordering.Causal.create ~site:(Net.Host.name host);
+      state = Corona.Shared_state.of_objects initial;
+      conns = Hashtbl.create 8;
+      on_deliver = ignore;
+      ack_delay = cfg.view_ack_delay;
+      sponsor_queue = [];
+      outbox = Hashtbl.create 4;
+      delivered = 0;
+    }
+  in
+  ignore
+    (Net.Tcp.listen fabric host ~port:cfg.port ~on_accept:(fun conn ->
+         (* Identify the peer on its first message; joins carry the name,
+            mesh-extension conns greet with a Join-less Data/install, so we
+            register lazily below. *)
+         Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+             match payload with
+             | Isis (Join_req { joiner }) ->
+                 register_conn t joiner conn;
+                 handle t conn (Join_req { joiner })
+             | Isis (Data { from; _ } as msg) ->
+                 if not (Hashtbl.mem t.conns from) then register_conn t from conn;
+                 handle t conn msg
+             | Isis msg -> handle t conn msg
+             | _ -> ())));
+  t
+
+let found_group fabric host ?(config = default_config) ~group ~initial () =
+  make_member fabric host config ~group ~initial
+
+let join fabric host ?(config = default_config) ~group ~contacts ~on_joined
+    ~on_failed () =
+  let joiner = Net.Host.name host in
+  let rec try_contact = function
+    | [] -> on_failed "all contacts exhausted"
+    | contact :: rest ->
+        let settled = ref false in
+        Net.Tcp.connect fabric ~src:host ~dst:contact ~port:config.port
+          ~on_connected:(fun conn ->
+            send_wire conn (Join_req { joiner });
+            (* The paper's point: a dead donor costs a detection timeout
+               before the joiner can retry elsewhere. *)
+            ignore
+              (Sim.Engine.schedule (Net.Fabric.engine fabric)
+                 ~delay:config.donor_timeout (fun () ->
+                   if not !settled then begin
+                     settled := true;
+                     if Net.Tcp.is_open conn then Net.Tcp.close conn;
+                     try_contact rest
+                   end));
+            Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+                match payload with
+                | Isis (State_donate { view; members; objects }) when not !settled ->
+                    settled := true;
+                    let t = make_member fabric host config ~group ~initial:objects in
+                    t.view <- view;
+                    t.view_members <- members;
+                    register_conn t (Net.Host.name contact) conn;
+                    (* Complete the mesh towards the other members. *)
+                    List.iter
+                      (fun m ->
+                        if m <> joiner && m <> Net.Host.name contact then
+                          Net.Tcp.connect fabric ~src:host
+                            ~dst:(Net.Fabric.host fabric m) ~port:config.port
+                            ~on_connected:(fun c ->
+                              register_conn t m c;
+                              (* Greet so the peer can map the conn. *)
+                              send_wire c
+                                (Data
+                                   {
+                                     from = joiner;
+                                     vclock = [];
+                                     update =
+                                       {
+                                         T.seqno = 0;
+                                         group;
+                                         kind = T.Append_update;
+                                         obj = "";
+                                         data = "";
+                                         sender = joiner;
+                                         timestamp = 0.0;
+                                       };
+                                   }))
+                            ~on_failed:(fun () -> ())
+                            ())
+                      members;
+                    on_joined t
+                | Isis _ | _ -> ()))
+          ~on_failed:(fun () ->
+            if not !settled then begin
+              settled := true;
+              try_contact rest
+            end)
+          ()
+  in
+  try_contact contacts

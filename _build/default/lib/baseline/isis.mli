@@ -1,0 +1,79 @@
+(** ISIS-style fully replicated process group — the comparison system.
+
+    §2 of the paper criticizes the traditional approach: every member holds
+    the full shared state, "the join of a new member involves the execution
+    of a join protocol among all group members, and slow members can slow
+    down the join operation", and "any state associated with a group must be
+    transferred to the joining client from an existing client, which may
+    occasionally fail", so join time includes a failure-detection timeout
+    plus a retry with another donor.
+
+    This implementation makes that measurable: members form a TCP mesh and
+    multicast causally (vector clocks, BSS delivery); a join runs a
+    view-agreement round that blocks on acknowledgments from {e every}
+    member (each may be artificially slow), after which the sponsor donates
+    the full state; a dead sponsor is detected by timeout and the joiner
+    retries with the next contact. *)
+
+type t
+(** A group member endpoint. *)
+
+type config = {
+  port : int;
+  view_ack_delay : float;
+      (** processing delay a member adds before acknowledging a view change
+          (0 for healthy members; raise it to model a slow member) *)
+  donor_timeout : float;
+      (** how long a joiner waits for the view/state before declaring its
+          sponsor dead and retrying (the paper's "timeout for failure
+          detection") *)
+}
+
+val default_config : config
+(** Port 7500, no artificial ack delay, 3 s donor timeout. *)
+
+val found_group :
+  Net.Fabric.t ->
+  Net.Host.t ->
+  ?config:config ->
+  group:Proto.Types.group_id ->
+  initial:(Proto.Types.object_id * string) list ->
+  unit ->
+  t
+(** Create the founding member. *)
+
+val join :
+  Net.Fabric.t ->
+  Net.Host.t ->
+  ?config:config ->
+  group:Proto.Types.group_id ->
+  contacts:Net.Host.t list ->
+  on_joined:(t -> unit) ->
+  on_failed:(string -> unit) ->
+  unit ->
+  unit
+(** Join through the first contact; on sponsor failure, retry with the next
+    (charging the detection timeout). [on_failed] fires when every contact
+    was exhausted. *)
+
+val member_id : t -> string
+(** Host name doubles as the member identity. *)
+
+val members : t -> string list
+(** Current view, sorted. *)
+
+val view_number : t -> int
+
+val state : t -> Corona.Shared_state.t
+(** This member's full replica of the shared state. *)
+
+val cbcast :
+  t -> kind:Proto.Types.update_kind -> obj:Proto.Types.object_id -> data:string -> unit
+(** Causal broadcast to the group (applied locally immediately). *)
+
+val set_on_deliver : t -> (Proto.Types.update -> unit) -> unit
+
+val set_view_ack_delay : t -> float -> unit
+(** Turn this member into a "slow member". *)
+
+val deliveries : t -> int

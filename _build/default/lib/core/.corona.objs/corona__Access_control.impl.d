@@ -1,0 +1,1 @@
+lib/core/access_control.ml: List Printf Proto

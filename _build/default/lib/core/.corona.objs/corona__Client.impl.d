@@ -1,0 +1,1 @@
+lib/core/client.ml: Hashtbl List Net Option Proto Queue Shared_state Sim

@@ -1,0 +1,1 @@
+lib/core/client.mli: Net Proto Shared_state

@@ -1,0 +1,1 @@
+lib/core/locks.ml: Hashtbl List Option Proto

@@ -1,0 +1,1 @@
+lib/core/locks.mli: Proto

@@ -1,0 +1,1 @@
+lib/core/server.ml: Access_control Hashtbl List Locks Membership Net Proto Server_storage Sim State_log Storage String Transfer

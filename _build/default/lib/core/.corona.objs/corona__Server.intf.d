@@ -1,0 +1,1 @@
+lib/core/server.mli: Access_control Net Proto Server_storage Shared_state State_log

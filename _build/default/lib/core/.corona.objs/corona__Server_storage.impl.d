@@ -1,0 +1,1 @@
+lib/core/server_storage.ml: Hashtbl List Proto State_log Storage

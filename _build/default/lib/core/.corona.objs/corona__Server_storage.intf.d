@@ -1,0 +1,1 @@
+lib/core/server_storage.mli: Net Proto State_log Storage

@@ -1,0 +1,1 @@
+lib/core/shared_state.ml: Buffer Hashtbl List Option Proto String

@@ -1,0 +1,1 @@
+lib/core/state_log.ml: List Proto Shared_state Storage String

@@ -1,0 +1,1 @@
+lib/core/state_log.mli: Proto Shared_state Storage

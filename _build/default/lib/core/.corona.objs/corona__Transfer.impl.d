@@ -1,0 +1,1 @@
+lib/core/transfer.ml: List Proto Shared_state State_log String

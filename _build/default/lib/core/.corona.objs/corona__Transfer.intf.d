@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Proto State_log

@@ -1,0 +1,430 @@
+module T = Proto.Types
+module M = Proto.Message
+
+type event =
+  | Delivered of T.update
+  | Membership_changed of {
+      group : T.group_id;
+      change : T.membership_change;
+      members : T.member list;
+    }
+  | Lock_granted_later of { group : T.group_id; lock : T.lock_id }
+  | Group_was_deleted of T.group_id
+  | Disconnected of Net.Tcp.close_reason
+
+type reply =
+  | R_ok
+  | R_join of { at_seqno : int; members : T.member list }
+  | R_membership of T.member list
+  | R_lock of [ `Granted | `Busy of T.member_id | `Released ]
+  | R_reduced of int
+  | R_failed of string
+
+(* What an outstanding request is waiting for; replies on a connection come
+   back in request order, so matching the oldest compatible expectation is
+   exact. *)
+type expect_kind =
+  | E_create
+  | E_delete
+  | E_join
+  | E_leave
+  | E_membership
+  | E_lock_acquire of T.lock_id
+  | E_lock_release of T.lock_id
+  | E_reduce
+
+type expectation = { e_kind : expect_kind; e_k : reply -> unit }
+
+type group_replica = {
+  gr_state : Shared_state.t;
+  mutable gr_last_seqno : int; (* highest applied; join_seqno - 1 initially *)
+  mutable gr_via_mcast : bool; (* deliveries arrive on the multicast channel *)
+  mutable gr_recent : T.update list;
+      (* newest first, bounded: the cache sender-assisted crash recovery
+         (§6) answers Resend_request from *)
+  gr_own_exclusive : (T.object_id * string) Queue.t;
+      (* our sender-exclusive sends already applied optimistically; their
+         multicast echoes must not be re-applied *)
+}
+
+type t = {
+  fabric : Net.Fabric.t;
+  conn : Net.Tcp.conn;
+  host : Net.Host.t;
+  server : Net.Host.t;
+  port : int;
+  member : T.member_id;
+  mutable on_event : (t -> event -> unit) option;
+  pending : (T.group_id, expectation Queue.t) Hashtbl.t;
+  pings : (int, float * (rtt:float -> unit)) Hashtbl.t; (* nonce -> sent, k *)
+  mutable next_nonce : int;
+  replicas : (T.group_id, group_replica) Hashtbl.t;
+  chunks : (T.group_id, (T.object_id * string) list) Hashtbl.t;
+      (* paced State_chunk slices accumulated until Join_accepted, newest
+         first *)
+  mutable deliveries : int;
+}
+
+let member t = t.member
+
+let is_connected t = Net.Tcp.is_open t.conn
+
+let set_on_event t f = t.on_event <- Some f
+
+let emit t event = match t.on_event with Some f -> f t event | None -> ()
+
+let now t = Sim.Engine.now (Net.Fabric.engine t.fabric)
+
+let expect t group kind k =
+  let q =
+    match Hashtbl.find_opt t.pending group with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.pending group q;
+        q
+  in
+  Queue.add { e_kind = kind; e_k = k } q
+
+(* Pop the oldest expectation satisfying [matches]; None if no such entry
+   exists (then the message is a push event). *)
+let take_expectation t group matches =
+  match Hashtbl.find_opt t.pending group with
+  | None -> None
+  | Some q ->
+      if (not (Queue.is_empty q)) && matches (Queue.peek q).e_kind then
+        Some (Queue.pop q)
+      else None
+
+let resolve t group matches reply =
+  match take_expectation t group matches with
+  | Some e ->
+      e.e_k reply;
+      true
+  | None -> false
+
+(* --- replica maintenance --------------------------------------------- *)
+
+(* Reassemble paced chunk fragments: the first slice of an object sets it,
+   later slices append. *)
+let drain_chunks t group =
+  match Hashtbl.find_opt t.chunks group with
+  | None -> []
+  | Some fragments ->
+      Hashtbl.remove t.chunks group;
+      List.rev fragments
+
+let apply_join_state t group at_seqno (state : M.join_state) =
+  match (state, Hashtbl.find_opt t.replicas group) with
+  | M.Update_history updates, Some replica ->
+      (* Resync onto the surviving replica (reconnection, [15]): replayed
+         updates overlap-safely through the sequence-number guard. *)
+      List.iter
+        (fun (u : T.update) ->
+          if u.seqno > replica.gr_last_seqno then begin
+            Shared_state.apply replica.gr_state u;
+            replica.gr_last_seqno <- u.seqno
+          end)
+        updates;
+      replica.gr_last_seqno <- max replica.gr_last_seqno (at_seqno - 1)
+  | _ ->
+      let replica =
+        {
+          gr_state = Shared_state.create ();
+          gr_last_seqno = at_seqno - 1;
+          gr_via_mcast = false;
+          gr_recent = [];
+          gr_own_exclusive = Queue.create ();
+        }
+      in
+      (match state with
+      | M.Snapshot { objects; log_tail } ->
+          List.iter
+            (fun (obj, data) ->
+              if Shared_state.mem replica.gr_state obj then
+                Shared_state.append_object replica.gr_state obj data
+              else Shared_state.set_object replica.gr_state obj data)
+            (drain_chunks t group @ objects);
+          List.iter (fun u -> Shared_state.apply replica.gr_state u) log_tail
+      | M.Update_history updates ->
+          List.iter (fun u -> Shared_state.apply replica.gr_state u) updates);
+      Hashtbl.replace t.replicas group replica
+
+let recent_cache_size = 128
+
+let remember_update replica (u : T.update) =
+  let trimmed =
+    if List.length replica.gr_recent >= recent_cache_size then
+      List.filteri (fun i _ -> i < recent_cache_size - 1) replica.gr_recent
+    else replica.gr_recent
+  in
+  replica.gr_recent <- u :: trimmed
+
+let apply_delivery t (u : T.update) =
+  match Hashtbl.find_opt t.replicas u.group with
+  | None -> ()
+  | Some replica ->
+      if u.seqno > replica.gr_last_seqno then begin
+        remember_update replica u;
+        (* Skip our own sender-exclusive updates already applied at send
+           (they never come back, so no double-apply; this guard is for the
+           sender-inclusive echo). *)
+        Shared_state.apply replica.gr_state u;
+        replica.gr_last_seqno <- u.seqno
+      end
+
+(* --- multicast subscription (§5.3 hybrid mode) -------------------------- *)
+
+let mcast_channel t group =
+  Net.Multicast.channel t.fabric ~name:("corona-mcast:" ^ group)
+
+let rec subscribe_mcast t group =
+  Net.Multicast.join (mcast_channel t group) t.host ~key:t.member
+    ~handler:(fun ~size:_ payload ->
+      match payload with
+      | M.Corona (M.Response resp) -> handle_mcast_response t group resp
+      | M.Corona (M.Request _) | _ -> ())
+    ()
+
+and unsubscribe_mcast t group =
+  Net.Multicast.leave (mcast_channel t group) t.host ~key:t.member ()
+
+and handle_mcast_response t group (resp : M.response) =
+  match resp with
+  | M.Deliver u when u.T.group = group -> handle_delivery t u
+  | _ -> ()
+
+(* A delivery, whatever transport it came on. Our own sender-exclusive
+   updates were applied at send time: swallow their multicast echo. *)
+and handle_delivery t (u : T.update) =
+  let own_exclusive_echo =
+    u.sender = t.member
+    &&
+    match Hashtbl.find_opt t.replicas u.group with
+    | Some r -> (
+        match Queue.peek_opt r.gr_own_exclusive with
+        | Some (obj, data) when obj = u.obj && data = u.data ->
+            ignore (Queue.pop r.gr_own_exclusive);
+            r.gr_last_seqno <- max r.gr_last_seqno u.seqno;
+            remember_update r u;
+            true
+        | Some _ | None -> false)
+    | None -> false
+  in
+  if not own_exclusive_echo then begin
+    t.deliveries <- t.deliveries + 1;
+    apply_delivery t u;
+    emit t (Delivered u)
+  end
+
+(* --- response dispatch ------------------------------------------------ *)
+
+let is_lock_acquire lock = function E_lock_acquire l -> l = lock | _ -> false
+
+let is_lock_release lock = function E_lock_release l -> l = lock | _ -> false
+
+let handle_response t (resp : M.response) =
+  match resp with
+  | M.Group_created { group } -> ignore (resolve t group (( = ) E_create) R_ok)
+  | M.State_chunk { group; objects; index = _; more = _ } ->
+      let sofar = Option.value (Hashtbl.find_opt t.chunks group) ~default:[] in
+      Hashtbl.replace t.chunks group (List.rev_append objects sofar)
+  | M.Group_deleted { group } ->
+      unsubscribe_mcast t group;
+      if not (resolve t group (( = ) E_delete) R_ok) then begin
+        Hashtbl.remove t.replicas group;
+        emit t (Group_was_deleted group)
+      end
+  | M.Join_accepted { group; at_seqno; state; members; multicast } ->
+      apply_join_state t group at_seqno state;
+      (match Hashtbl.find_opt t.replicas group with
+      | Some r -> r.gr_via_mcast <- multicast
+      | None -> ());
+      if not multicast then unsubscribe_mcast t group;
+      ignore (resolve t group (( = ) E_join) (R_join { at_seqno; members }))
+  | M.Left { group } ->
+      unsubscribe_mcast t group;
+      Hashtbl.remove t.replicas group;
+      ignore (resolve t group (( = ) E_leave) R_ok)
+  | M.Membership_info { group; members } ->
+      ignore (resolve t group (( = ) E_membership) (R_membership members))
+  | M.Membership_changed { group; change; members } ->
+      emit t (Membership_changed { group; change; members })
+  | M.Deliver u -> handle_delivery t u
+  | M.Lock_granted { group; lock } ->
+      if not (resolve t group (is_lock_acquire lock) (R_lock `Granted)) then
+        emit t (Lock_granted_later { group; lock })
+  | M.Lock_busy { group; lock; holder } ->
+      ignore (resolve t group (is_lock_acquire lock) (R_lock (`Busy holder)))
+  | M.Lock_released { group; lock } ->
+      ignore (resolve t group (is_lock_release lock) (R_lock `Released))
+  | M.Log_reduced { group; upto } ->
+      ignore (resolve t group (( = ) E_reduce) (R_reduced upto))
+  | M.Resend_request { group; from_seqno } ->
+      (* §6 sender-assisted recovery: return whatever we still hold with the
+         original sequence numbers; always answer, even empty, so the server
+         can finish our join. *)
+      let updates =
+        match Hashtbl.find_opt t.replicas group with
+        | Some r ->
+            List.filter (fun (u : T.update) -> u.seqno >= from_seqno) r.gr_recent
+            |> List.sort (fun (a : T.update) (b : T.update) ->
+                   compare a.seqno b.seqno)
+        | None -> []
+      in
+      if is_connected t then
+        M.send t.conn (M.Request (M.Resend { group; member = t.member; updates }))
+  | M.Request_failed { group; reason } ->
+      ignore (resolve t group (fun _ -> true) (R_failed reason))
+  | M.Pong { nonce } -> (
+      match Hashtbl.find_opt t.pings nonce with
+      | Some (sent, k) ->
+          Hashtbl.remove t.pings nonce;
+          k ~rtt:(now t -. sent)
+      | None -> ())
+
+let connect_internal fabric ~host ~server ~port ~member ~on_event ~replicas
+    ~deliveries ~on_connected ~on_failed () =
+  Net.Tcp.connect fabric ~src:host ~dst:server ~port
+    ~on_connected:(fun conn ->
+      let t =
+        {
+          fabric;
+          conn;
+          host;
+          server;
+          port;
+          member;
+          on_event;
+          pending = Hashtbl.create 8;
+          pings = Hashtbl.create 8;
+          next_nonce = 0;
+          replicas;
+          chunks = Hashtbl.create 4;
+          deliveries;
+        }
+      in
+      Net.Tcp.set_on_close conn (fun reason -> emit t (Disconnected reason));
+      Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+          match payload with
+          | M.Corona (M.Response resp) -> handle_response t resp
+          | M.Corona (M.Request _) | _ -> ());
+      on_connected t)
+    ~on_failed ()
+
+let connect fabric ~host ~server ?(port = 7000) ~member ?on_event ~on_connected
+    ~on_failed () =
+  connect_internal fabric ~host ~server ~port ~member ~on_event
+    ~replicas:(Hashtbl.create 8) ~deliveries:0 ~on_connected ~on_failed ()
+
+(* Reconnection with state resync (the companion paper's client/link failure
+   handling): the new endpoint inherits the member identity, event handler
+   and — crucially — the local replicas, so {!rejoin} only has to fetch the
+   missed suffix. *)
+let reconnect t ~on_connected ~on_failed =
+  connect_internal t.fabric ~host:t.host ~server:t.server ~port:t.port
+    ~member:t.member ~on_event:t.on_event ~replicas:t.replicas
+    ~deliveries:t.deliveries ~on_connected ~on_failed ()
+
+let send t msg = if is_connected t then M.send t.conn (M.Request msg)
+
+let disconnect t =
+  Hashtbl.iter (fun group _ -> unsubscribe_mcast t group) t.replicas;
+  if is_connected t then Net.Tcp.close t.conn
+
+(* --- requests --------------------------------------------------------- *)
+
+let create_group t ~group ?(persistent = false) ?(initial = []) ~k () =
+  expect t group E_create k;
+  send t (M.Create_group { group; creator = t.member; persistent; initial })
+
+let delete_group t ~group ~k =
+  expect t group E_delete k;
+  send t (M.Delete_group { group; requester = t.member })
+
+let join t ~group ?(role = T.Principal) ?(transfer = T.Full_state) ?(notify = true)
+    ~k () =
+  expect t group E_join k;
+  (* Subscribe before the request travels: every delivery multicast after
+     the server processes the join is already audible. The subscription is
+     dropped again if the server answers [multicast = false]. *)
+  if Net.Host.multicast_capable t.host then subscribe_mcast t group;
+  send t (M.Join { group; member = t.member; role; transfer; notify })
+
+let rejoin t ~group ?(role = T.Principal) ?(notify = true) ~k () =
+  let transfer =
+    match Hashtbl.find_opt t.replicas group with
+    | Some r -> T.Updates_since (r.gr_last_seqno + 1)
+    | None -> T.Full_state
+  in
+  join t ~group ~role ~transfer ~notify ~k ()
+
+let leave t ~group ~k =
+  expect t group E_leave k;
+  send t (M.Leave { group; member = t.member })
+
+let get_membership t ~group ~k =
+  expect t group E_membership k;
+  send t (M.Get_membership { group })
+
+let bcast t ~group ~kind ~obj ~data ~mode =
+  (match mode with
+  | T.Sender_exclusive -> (
+      (* Optimistic local apply: the server will not echo it back over TCP,
+         and the multicast echo (which cannot exclude us) is swallowed by
+         [handle_delivery]. *)
+      match Hashtbl.find_opt t.replicas group with
+      | Some replica ->
+          if replica.gr_via_mcast then Queue.add (obj, data) replica.gr_own_exclusive;
+          let u =
+            {
+              T.seqno = replica.gr_last_seqno; (* not sequenced locally *)
+              group;
+              kind;
+              obj;
+              data;
+              sender = t.member;
+              timestamp = now t;
+            }
+          in
+          Shared_state.apply replica.gr_state u
+      | None -> ())
+  | T.Sender_inclusive -> ());
+  send t (M.Bcast { group; sender = t.member; kind; obj; data; mode })
+
+let bcast_state t ~group ~obj ~data ?(mode = T.Sender_inclusive) () =
+  bcast t ~group ~kind:T.Set_state ~obj ~data ~mode
+
+let bcast_update t ~group ~obj ~data ?(mode = T.Sender_inclusive) () =
+  bcast t ~group ~kind:T.Append_update ~obj ~data ~mode
+
+let acquire_lock t ~group ~lock ~k =
+  expect t group (E_lock_acquire lock) k;
+  send t (M.Acquire_lock { group; lock; member = t.member })
+
+let release_lock t ~group ~lock ~k =
+  expect t group (E_lock_release lock) k;
+  send t (M.Release_lock { group; lock; member = t.member })
+
+let reduce_log t ~group ~k =
+  expect t group E_reduce k;
+  send t (M.Reduce_log { group; member = t.member })
+
+let ping t ~k =
+  let nonce = t.next_nonce in
+  t.next_nonce <- nonce + 1;
+  Hashtbl.replace t.pings nonce (now t, k);
+  send t (M.Ping { nonce })
+
+(* --- replica accessors ------------------------------------------------ *)
+
+let replica t group =
+  Option.map (fun r -> r.gr_state) (Hashtbl.find_opt t.replicas group)
+
+let joined_groups t =
+  Hashtbl.fold (fun g _ acc -> g :: acc) t.replicas [] |> List.sort compare
+
+let last_seqno t group =
+  Option.map (fun r -> r.gr_last_seqno) (Hashtbl.find_opt t.replicas group)
+
+let deliveries_received t = t.deliveries

@@ -1,0 +1,155 @@
+(** Corona client library.
+
+    The counterpart the paper's downloadable applets embed: it connects to a
+    Corona server over (simulated) TCP, issues the service requests, keeps a
+    local replica of each joined group's shared state (join-time transfer +
+    applied deliveries), and surfaces asynchronous events — deliveries,
+    membership changes, deferred lock grants, disconnection — to the
+    application.
+
+    Replica semantics: sender-inclusive broadcasts are applied when the
+    server's copy comes back (total order preserved); sender-exclusive
+    broadcasts are applied optimistically at send time. *)
+
+type t
+
+(** Asynchronous events pushed by the server. *)
+type event =
+  | Delivered of Proto.Types.update
+  | Membership_changed of {
+      group : Proto.Types.group_id;
+      change : Proto.Types.membership_change;
+      members : Proto.Types.member list;
+    }
+  | Lock_granted_later of {
+      group : Proto.Types.group_id;
+      lock : Proto.Types.lock_id;
+    }  (** a queued acquire finally succeeded *)
+  | Group_was_deleted of Proto.Types.group_id
+  | Disconnected of Net.Tcp.close_reason
+
+(** Reply to a group-scoped request. *)
+type reply =
+  | R_ok
+  | R_join of { at_seqno : int; members : Proto.Types.member list }
+  | R_membership of Proto.Types.member list
+  | R_lock of [ `Granted | `Busy of Proto.Types.member_id | `Released ]
+  | R_reduced of int
+  | R_failed of string
+
+val connect :
+  Net.Fabric.t ->
+  host:Net.Host.t ->
+  server:Net.Host.t ->
+  ?port:int ->
+  member:Proto.Types.member_id ->
+  ?on_event:(t -> event -> unit) ->
+  on_connected:(t -> unit) ->
+  on_failed:(unit -> unit) ->
+  unit ->
+  unit
+(** Open a connection (default port 7000). Clients connect independently of
+    other clients — there is no group-wide join protocol. *)
+
+val reconnect : t -> on_connected:(t -> unit) -> on_failed:(unit -> unit) -> unit
+(** After a link failure or disconnection: open a fresh connection to the
+    same server, carrying over the member identity, event handler and local
+    replicas (the companion paper's client-reconnection support). Follow up
+    with {!rejoin} per group to fetch only the missed updates. *)
+
+val member : t -> Proto.Types.member_id
+
+val is_connected : t -> bool
+
+val disconnect : t -> unit
+(** Graceful close; the server treats joined groups as left. *)
+
+val set_on_event : t -> (t -> event -> unit) -> unit
+
+(* --- requests -------------------------------------------------------- *)
+
+val create_group :
+  t ->
+  group:Proto.Types.group_id ->
+  ?persistent:bool ->
+  ?initial:(Proto.Types.object_id * string) list ->
+  k:(reply -> unit) ->
+  unit ->
+  unit
+
+val delete_group : t -> group:Proto.Types.group_id -> k:(reply -> unit) -> unit
+
+val join :
+  t ->
+  group:Proto.Types.group_id ->
+  ?role:Proto.Types.role ->
+  ?transfer:Proto.Types.transfer_spec ->
+  ?notify:bool ->
+  k:(reply -> unit) ->
+  unit ->
+  unit
+(** Join and transfer state per [transfer] (default [Full_state]); [notify]
+    (default true) subscribes to membership-change notifications. On
+    [R_join] the local replica is already populated. *)
+
+val rejoin :
+  t ->
+  group:Proto.Types.group_id ->
+  ?role:Proto.Types.role ->
+  ?notify:bool ->
+  k:(reply -> unit) ->
+  unit ->
+  unit
+(** Join asking for [Updates_since (last applied + 1)] when a local replica
+    survives (reconnection resync; the server falls back to the full state
+    if its log was reduced past that point), [Full_state] otherwise. *)
+
+val leave : t -> group:Proto.Types.group_id -> k:(reply -> unit) -> unit
+
+val get_membership : t -> group:Proto.Types.group_id -> k:(reply -> unit) -> unit
+
+val bcast_state :
+  t ->
+  group:Proto.Types.group_id ->
+  obj:Proto.Types.object_id ->
+  data:string ->
+  ?mode:Proto.Types.delivery_mode ->
+  unit ->
+  unit
+(** [bcastState]: override the object's state (default sender-inclusive). *)
+
+val bcast_update :
+  t ->
+  group:Proto.Types.group_id ->
+  obj:Proto.Types.object_id ->
+  data:string ->
+  ?mode:Proto.Types.delivery_mode ->
+  unit ->
+  unit
+(** [bcastUpdate]: append an incremental change. *)
+
+val acquire_lock :
+  t -> group:Proto.Types.group_id -> lock:Proto.Types.lock_id -> k:(reply -> unit) -> unit
+(** On [`Busy holder] the client is queued; the eventual grant arrives as a
+    {!Lock_granted_later} event. *)
+
+val release_lock :
+  t -> group:Proto.Types.group_id -> lock:Proto.Types.lock_id -> k:(reply -> unit) -> unit
+
+val reduce_log : t -> group:Proto.Types.group_id -> k:(reply -> unit) -> unit
+
+val ping : t -> k:(rtt:float -> unit) -> unit
+(** Round-trip probe through the server. *)
+
+(* --- local replica --------------------------------------------------- *)
+
+val replica : t -> Proto.Types.group_id -> Shared_state.t option
+(** Local copy of a joined group's shared state. *)
+
+val joined_groups : t -> Proto.Types.group_id list
+
+val last_seqno : t -> Proto.Types.group_id -> int option
+(** Highest sequence number applied to the replica (join point - 1 when
+    nothing delivered yet). *)
+
+val deliveries_received : t -> int

@@ -1,0 +1,54 @@
+type lock_state = {
+  mutable holder : Proto.Types.member_id;
+  mutable queue : Proto.Types.member_id list; (* FIFO *)
+}
+
+type t = { locks : (Proto.Types.lock_id, lock_state) Hashtbl.t }
+
+let create () = { locks = Hashtbl.create 8 }
+
+let acquire t ~lock ~member =
+  match Hashtbl.find_opt t.locks lock with
+  | None ->
+      Hashtbl.replace t.locks lock { holder = member; queue = [] };
+      `Granted
+  | Some s when s.holder = member -> `Granted
+  | Some s ->
+      if not (List.mem member s.queue) then s.queue <- s.queue @ [ member ];
+      `Busy s.holder
+
+let grant_next t lock s =
+  match s.queue with
+  | [] ->
+      Hashtbl.remove t.locks lock;
+      None
+  | next :: rest ->
+      s.holder <- next;
+      s.queue <- rest;
+      Some next
+
+let release t ~lock ~member =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s when s.holder = member -> `Released (grant_next t lock s)
+  | Some _ | None -> `Not_holder
+
+let release_all t ~member =
+  let released = ref [] in
+  let locks = Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.locks [] in
+  List.iter
+    (fun (lock, s) ->
+      s.queue <- List.filter (fun m -> m <> member) s.queue;
+      if s.holder = member then
+        released := (lock, grant_next t lock s) :: !released)
+    locks;
+  List.sort compare !released
+
+let holder t lock =
+  Option.map (fun s -> s.holder) (Hashtbl.find_opt t.locks lock)
+
+let waiters t lock =
+  match Hashtbl.find_opt t.locks lock with Some s -> s.queue | None -> []
+
+let held t =
+  Hashtbl.fold (fun k s acc -> (k, s.holder) :: acc) t.locks []
+  |> List.sort compare

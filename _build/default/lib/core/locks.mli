@@ -1,0 +1,40 @@
+(** Lock-based synchronization of client updates (§3.2).
+
+    Locks are named, group-scoped and owned by members. An acquire on a held
+    lock queues the requester (the immediate reply tells it who holds the
+    lock); releasing grants to the head of the queue. A member's locks are
+    force-released when it leaves or crashes. *)
+
+type t
+
+val create : unit -> t
+
+val acquire :
+  t ->
+  lock:Proto.Types.lock_id ->
+  member:Proto.Types.member_id ->
+  [ `Granted | `Busy of Proto.Types.member_id ]
+(** [`Busy holder] also means the requester is now queued (duplicate queue
+    entries are not created; re-acquiring a held lock is [`Granted]). *)
+
+val release :
+  t ->
+  lock:Proto.Types.lock_id ->
+  member:Proto.Types.member_id ->
+  [ `Released of Proto.Types.member_id option | `Not_holder ]
+(** [`Released (Some next)] names the queued member that was just granted
+    the lock; the caller must notify it. *)
+
+val release_all :
+  t ->
+  member:Proto.Types.member_id ->
+  (Proto.Types.lock_id * Proto.Types.member_id option) list
+(** Force-release every lock held by the member and drop it from every wait
+    queue. Returns the released locks with their new holders. *)
+
+val holder : t -> Proto.Types.lock_id -> Proto.Types.member_id option
+
+val waiters : t -> Proto.Types.lock_id -> Proto.Types.member_id list
+
+val held : t -> (Proto.Types.lock_id * Proto.Types.member_id) list
+(** All currently held locks, sorted by lock id. *)

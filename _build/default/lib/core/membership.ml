@@ -1,0 +1,42 @@
+type entry = {
+  member : Proto.Types.member_id;
+  role : Proto.Types.role;
+  notify : bool;
+  joined_at : float;
+}
+
+type t = { mutable entries : entry list (* join order *) }
+
+let create () = { entries = [] }
+
+let mem t member = List.exists (fun e -> e.member = member) t.entries
+
+let add t ~member ~role ~notify ~joined_at =
+  let entry = { member; role; notify; joined_at } in
+  if mem t member then
+    t.entries <-
+      List.map (fun e -> if e.member = member then entry else e) t.entries
+  else t.entries <- t.entries @ [ entry ]
+
+let remove t member =
+  let present = mem t member in
+  if present then t.entries <- List.filter (fun e -> e.member <> member) t.entries;
+  present
+
+let find t member = List.find_opt (fun e -> e.member = member) t.entries
+
+let role_of t member = Option.map (fun e -> e.role) (find t member)
+
+let count t = List.length t.entries
+
+let is_empty t = t.entries = []
+
+let entries t = t.entries
+
+let members t =
+  List.map
+    (fun e -> { Proto.Types.member = e.member; role = e.role })
+    t.entries
+
+let notify_targets t =
+  List.filter_map (fun e -> if e.notify then Some e.member else None) t.entries

@@ -1,0 +1,51 @@
+(** Group membership table.
+
+    Tracks members in join order (fan-out follows this order, so the paper's
+    "probe client is the last one a broadcast is sent to" methodology is
+    reproducible), their roles, and whether they asked for membership-change
+    notifications (§3.2: "existing members ... are not aware that a new
+    client is joining, unless they request explicitly membership change
+    notifications"). *)
+
+type entry = {
+  member : Proto.Types.member_id;
+  role : Proto.Types.role;
+  notify : bool;
+  joined_at : float;
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  member:Proto.Types.member_id ->
+  role:Proto.Types.role ->
+  notify:bool ->
+  joined_at:float ->
+  unit
+(** Adds or re-adds (rejoin replaces the old entry but keeps its position in
+    join order if still present). *)
+
+val remove : t -> Proto.Types.member_id -> bool
+(** [true] if the member was present. *)
+
+val mem : t -> Proto.Types.member_id -> bool
+
+val find : t -> Proto.Types.member_id -> entry option
+
+val role_of : t -> Proto.Types.member_id -> Proto.Types.role option
+
+val count : t -> int
+
+val is_empty : t -> bool
+
+val entries : t -> entry list
+(** Join order. *)
+
+val members : t -> Proto.Types.member list
+(** Join order, as wire-level member records. *)
+
+val notify_targets : t -> Proto.Types.member_id list
+(** Members that subscribed to membership-change notifications. *)

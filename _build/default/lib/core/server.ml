@@ -1,0 +1,607 @@
+module T = Proto.Types
+module M = Proto.Message
+
+type logging_mode = No_logging | Async_logging | Sync_logging
+
+type config = {
+  port : int;
+  maintain_state : bool;
+  logging : logging_mode;
+  reduction : State_log.reduction_policy;
+  access : Access_control.t;
+  use_ip_multicast : bool;
+      (* §5.3 hybrid mode: deliveries go out on the group's IP-multicast
+         channel for capable clients, point-to-point TCP for the rest *)
+  transfer_chunk_bytes : int option;
+      (* QoS-adaptive transfer pacing ([11], §5.3) *)
+}
+
+let default_config =
+  {
+    port = 7000;
+    maintain_state = true;
+    logging = Async_logging;
+    reduction = State_log.No_reduction;
+    access = Access_control.allow_all;
+    use_ip_multicast = false;
+    transfer_chunk_bytes = None;
+  }
+
+type stats = {
+  requests_handled : int;
+  bcasts_sequenced : int;
+  deliveries_sent : int;
+  bytes_delivered : int;
+  joins_served : int;
+  state_transfer_bytes : int;
+}
+
+(* Sequencer-only bookkeeping when [maintain_state = false]. *)
+type keeper = Stateful of State_log.t | Stateless of { mutable next_seqno : int }
+
+type group = {
+  g_id : T.group_id;
+  g_persistent : bool;
+  g_keeper : keeper;
+  g_members : Membership.t;
+  g_locks : Locks.t;
+  g_mcast_members : (T.member_id, unit) Hashtbl.t;
+      (* members served via the multicast channel rather than their TCP
+         connection *)
+}
+
+type t = {
+  fabric : Net.Fabric.t;
+  server_host : Net.Host.t;
+  cfg : config;
+  storage : Server_storage.t;
+  groups : (T.group_id, group) Hashtbl.t;
+  conn_of_member : (T.member_id, Net.Tcp.conn) Hashtbl.t;
+  (* joins paused on §6 sender-assisted recovery: completed when that
+     member's Resend arrives *)
+  pending_recovery : (T.group_id * T.member_id, Net.Tcp.conn * T.transfer_spec) Hashtbl.t;
+  mutable client_conns : Net.Tcp.conn list;
+  listener : Net.Tcp.listener option ref;
+  mutable st : stats;
+}
+
+let now t = Sim.Engine.now (Net.Fabric.engine t.fabric)
+
+let mcast_channel_name group = "corona-mcast:" ^ group
+
+let host t = t.server_host
+
+let config t = t.cfg
+
+let stats t = t.st
+
+let connected_clients t = List.length (List.filter Net.Tcp.is_open t.client_conns)
+
+(* --- queries --------------------------------------------------------- *)
+
+let group_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.groups [] |> List.sort compare
+
+let group_exists t id = Hashtbl.mem t.groups id
+
+let group_members t id =
+  match Hashtbl.find_opt t.groups id with
+  | Some g -> Membership.members g.g_members
+  | None -> []
+
+let group_state t id =
+  match Hashtbl.find_opt t.groups id with
+  | Some { g_keeper = Stateful log; _ } -> Some (State_log.state log)
+  | Some { g_keeper = Stateless _; _ } | None -> None
+
+let group_next_seqno t id =
+  match Hashtbl.find_opt t.groups id with
+  | Some { g_keeper = Stateful log; _ } -> Some (State_log.next_seqno log)
+  | Some { g_keeper = Stateless s; _ } -> Some s.next_seqno
+  | None -> None
+
+let group_log_length t id =
+  match Hashtbl.find_opt t.groups id with
+  | Some { g_keeper = Stateful log; _ } -> Some (State_log.log_length log)
+  | Some { g_keeper = Stateless _; _ } | None -> None
+
+let lock_holder t group lock =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> Locks.holder g.g_locks lock
+  | None -> None
+
+(* --- sending --------------------------------------------------------- *)
+
+let send_to_conn t conn response =
+  let msg = M.Response response in
+  t.st <-
+    {
+      t.st with
+      deliveries_sent = t.st.deliveries_sent + 1;
+      bytes_delivered = t.st.bytes_delivered + M.wire_size msg;
+    };
+  M.send conn msg
+
+let send_to_member t member response =
+  match Hashtbl.find_opt t.conn_of_member member with
+  | Some conn when Net.Tcp.is_open conn -> send_to_conn t conn response
+  | Some _ | None -> ()
+
+(* Fan out to group members in join order, optionally skipping one. *)
+let fan_out t g ?exclude response =
+  List.iter
+    (fun (m : Membership.entry) ->
+      match exclude with
+      | Some skip when skip = m.member -> ()
+      | Some _ | None -> send_to_member t m.member response)
+    (Membership.entries g.g_members)
+
+let notify_membership_change t g change =
+  let members = Membership.members g.g_members in
+  let changed = T.changed_member change in
+  List.iter
+    (fun m ->
+      if m <> changed then
+        send_to_member t m (M.Membership_changed { group = g.g_id; change; members }))
+    (Membership.notify_targets g.g_members)
+
+(* --- group lifecycle ------------------------------------------------- *)
+
+let make_keeper t ~group ~persistent ~initial =
+  if t.cfg.maintain_state then begin
+    let wal =
+      match t.cfg.logging with
+      | No_logging -> Storage.Wal.create_ephemeral ~name:group
+      | Async_logging | Sync_logging -> Server_storage.wal_for t.storage group
+    in
+    Stateful
+      (State_log.create ~group ~persistent ~wal
+         ~checkpoints:(Server_storage.checkpoints t.storage)
+         ~policy:t.cfg.reduction ~initial ())
+  end
+  else Stateless { next_seqno = 0 }
+
+let drop_group t g =
+  (match g.g_keeper with
+  | Stateful log -> State_log.delete_durable log
+  | Stateless _ -> ());
+  Server_storage.drop_group t.storage g.g_id;
+  Hashtbl.remove t.groups g.g_id
+
+(* Transient groups cease to exist at null membership (§3.1); persistent
+   groups keep their state. *)
+let handle_empty_group t g =
+  if Membership.is_empty g.g_members && not g.g_persistent then drop_group t g
+
+(* Remove a member: shared by leave, graceful disconnect and crash. *)
+let remove_member t g member ~change =
+  Hashtbl.remove g.g_mcast_members member;
+  if Membership.remove g.g_members member then begin
+    List.iter
+      (fun (lock, next) ->
+        match next with
+        | Some next_holder ->
+            send_to_member t next_holder (M.Lock_granted { group = g.g_id; lock })
+        | None -> ())
+      (Locks.release_all g.g_locks ~member);
+    notify_membership_change t g change;
+    handle_empty_group t g
+  end
+
+(* --- state transfer (§3.2: customized per client) --------------------- *)
+
+(* Slice a snapshot's objects into fragments of at most [chunk] bytes; a
+   fragment is (id, byte slice), and a large object spans several fragments
+   (the client reassembles by appending). *)
+let slice_objects objects ~chunk =
+  let fragments = ref [] in
+  List.iter
+    (fun (id, data) ->
+      let len = String.length data in
+      if len = 0 then fragments := (id, data) :: !fragments
+      else begin
+        let pos = ref 0 in
+        while !pos < len do
+          let n = min chunk (len - !pos) in
+          fragments := (id, String.sub data !pos n) :: !fragments;
+          pos := !pos + n
+        done
+      end)
+    objects;
+  (* Pack fragments into chunks of ~[chunk] bytes. *)
+  let chunks = ref [] and current = ref [] and current_bytes = ref 0 in
+  List.iter
+    (fun (id, data) ->
+      if !current_bytes > 0 && !current_bytes + String.length data > chunk then begin
+        chunks := List.rev !current :: !chunks;
+        current := [];
+        current_bytes := 0
+      end;
+      current := (id, data) :: !current;
+      current_bytes := !current_bytes + String.length data)
+    (List.rev !fragments);
+  if !current <> [] then chunks := List.rev !current :: !chunks;
+  List.rev !chunks
+
+(* Pace the slices at ~half the NIC rate so interactive traffic interleaves
+   — the QoS scheduler of [11] in its simplest form. *)
+let send_chunked t conn ~group ~chunks ~finish =
+  let engine = Net.Fabric.engine t.fabric in
+  let pace chunk_bytes =
+    2.0 *. float_of_int chunk_bytes /. Net.Host.nic_bandwidth t.server_host
+  in
+  let rec send index = function
+    | [] -> finish ()
+    | objects :: rest ->
+        if Net.Tcp.is_open conn then begin
+          let bytes =
+            List.fold_left (fun acc (_, d) -> acc + String.length d) 0 objects
+          in
+          send_to_conn t conn
+            (M.State_chunk { group; objects; index; more = true });
+          ignore
+            (Sim.Engine.schedule engine ~delay:(pace bytes) (fun () ->
+                 send (index + 1) rest))
+        end
+  in
+  send 0 chunks
+
+let join_state_for keeper (transfer : T.transfer_spec) : M.join_state * int =
+  match keeper with
+  | Stateless s -> (M.Update_history [], s.next_seqno)
+  | Stateful log -> Transfer.join_state log transfer
+
+let join_state_bytes = Transfer.bytes
+
+(* --- request handling -------------------------------------------------- *)
+
+let fail t conn group reason = send_to_conn t conn (M.Request_failed { group; reason })
+
+let with_access t conn group decision k =
+  match decision with
+  | Access_control.Allow -> k ()
+  | Access_control.Deny reason -> fail t conn group reason
+
+let handle_create t conn ~group ~persistent ~initial ~requester =
+  with_access t conn group (t.cfg.access.can_create requester group) (fun () ->
+      if Hashtbl.mem t.groups group then fail t conn group "group already exists"
+      else begin
+        let g =
+          {
+            g_id = group;
+            g_persistent = persistent;
+            g_keeper = make_keeper t ~group ~persistent ~initial;
+            g_members = Membership.create ();
+            g_locks = Locks.create ();
+            g_mcast_members = Hashtbl.create 8;
+          }
+        in
+        Hashtbl.replace t.groups group g;
+        send_to_conn t conn (M.Group_created { group })
+      end)
+
+let handle_delete t conn ~group ~requester =
+  with_access t conn group (t.cfg.access.can_delete requester group) (fun () ->
+      match Hashtbl.find_opt t.groups group with
+      | None -> fail t conn group "no such group"
+      | Some g ->
+          fan_out t g (M.Group_deleted { group });
+          drop_group t g;
+          send_to_conn t conn (M.Group_deleted { group }))
+
+let handle_join t conn ~group ~member ~role ~transfer ~notify =
+  with_access t conn group (t.cfg.access.can_join member group role) (fun () ->
+      match Hashtbl.find_opt t.groups group with
+      | None -> fail t conn group "no such group"
+      | Some g ->
+          Hashtbl.replace t.conn_of_member member conn;
+          Membership.add g.g_members ~member ~role ~notify ~joined_at:(now t);
+          (match (g.g_keeper, transfer) with
+          | Stateful log, T.Updates_since n when n > State_log.next_seqno log ->
+              (* The client is ahead of our recovered log: our crash lost a
+                 suffix it still holds. Retrieve it from the original
+                 sender (§6) before completing the join. *)
+              Hashtbl.replace t.pending_recovery (group, member)
+                (conn, T.Full_state);
+              send_to_conn t conn
+                (M.Resend_request { group; from_seqno = State_log.next_seqno log });
+              notify_membership_change t g (T.Member_joined member);
+              raise Exit
+          | (Stateful _ | Stateless _), _ -> ());
+          let multicast =
+            t.cfg.use_ip_multicast
+            && Net.Host.multicast_capable (Net.Tcp.peer_host conn)
+          in
+          if multicast then Hashtbl.replace g.g_mcast_members member ()
+          else Hashtbl.remove g.g_mcast_members member;
+          let state, at_seqno = join_state_for g.g_keeper transfer in
+          t.st <-
+            {
+              t.st with
+              joins_served = t.st.joins_served + 1;
+              state_transfer_bytes = t.st.state_transfer_bytes + join_state_bytes state;
+            };
+          let members = Membership.members g.g_members in
+          let accept state =
+            send_to_conn t conn
+              (M.Join_accepted { group; at_seqno; state; members; multicast })
+          in
+          (match (t.cfg.transfer_chunk_bytes, state) with
+          | Some chunk, M.Snapshot { objects; log_tail }
+            when join_state_bytes state > chunk ->
+              send_chunked t conn ~group ~chunks:(slice_objects objects ~chunk)
+                ~finish:(fun () ->
+                  accept (M.Snapshot { objects = []; log_tail }))
+          | (Some _ | None), _ -> accept state);
+          notify_membership_change t g (T.Member_joined member))
+
+let handle_leave t conn ~group ~member =
+  match Hashtbl.find_opt t.groups group with
+  | None -> fail t conn group "no such group"
+  | Some g ->
+      send_to_conn t conn (M.Left { group });
+      remove_member t g member ~change:(T.Member_left member)
+
+let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
+  with_access t conn group (t.cfg.access.can_update sender group) (fun () ->
+      match Hashtbl.find_opt t.groups group with
+      | None -> fail t conn group "no such group"
+      | Some g -> (
+          match Membership.role_of g.g_members sender with
+          | None -> fail t conn group "sender is not a member"
+          | Some T.Observer -> fail t conn group "observers may not update shared state"
+          | Some T.Principal ->
+              t.st <- { t.st with bcasts_sequenced = t.st.bcasts_sequenced + 1 };
+              let exclude =
+                match mode with
+                | T.Sender_exclusive -> Some sender
+                | T.Sender_inclusive -> None
+              in
+              let deliver (u : T.update) =
+                let resp = M.Deliver u in
+                let mcast_subscribers =
+                  Hashtbl.fold (fun m () acc -> m :: acc) g.g_mcast_members []
+                in
+                if mcast_subscribers <> [] then begin
+                  (* One NIC transmission covers every subscribed member;
+                     sender exclusion for subscribed senders happens at the
+                     client. *)
+                  let msg = M.Response resp in
+                  let chan =
+                    Net.Multicast.channel t.fabric ~name:(mcast_channel_name g.g_id)
+                  in
+                  t.st <-
+                    {
+                      t.st with
+                      deliveries_sent = t.st.deliveries_sent + 1;
+                      bytes_delivered = t.st.bytes_delivered + M.wire_size msg;
+                    };
+                  Net.Multicast.send chan ~src:t.server_host ~size:(M.wire_size msg)
+                    (M.Corona msg)
+                end;
+                List.iter
+                  (fun (m : Membership.entry) ->
+                    let skip =
+                      Hashtbl.mem g.g_mcast_members m.member
+                      || match exclude with Some e -> e = m.member | None -> false
+                    in
+                    if not skip then send_to_member t m.member resp)
+                  (Membership.entries g.g_members)
+              in
+              (match g.g_keeper with
+              | Stateful log -> (
+                  let fanned = ref false in
+                  let u =
+                    State_log.append log ~kind ~obj ~data ~sender ~timestamp:(now t)
+                      ~on_durable:(fun u ->
+                        (* Sync mode: multicast only once the log write is
+                           on the platter. *)
+                        match t.cfg.logging with
+                        | Sync_logging when not !fanned ->
+                            fanned := true;
+                            deliver u
+                        | Sync_logging | Async_logging | No_logging -> ())
+                  in
+                  match t.cfg.logging with
+                  | Async_logging | No_logging -> deliver u
+                  | Sync_logging -> ())
+              | Stateless s ->
+                  let u =
+                    {
+                      T.seqno = s.next_seqno;
+                      group;
+                      kind;
+                      obj;
+                      data;
+                      sender;
+                      timestamp = now t;
+                    }
+                  in
+                  s.next_seqno <- s.next_seqno + 1;
+                  deliver u)))
+
+let handle_lock_acquire t conn ~group ~lock ~member =
+  match Hashtbl.find_opt t.groups group with
+  | None -> fail t conn group "no such group"
+  | Some g -> (
+      match Locks.acquire g.g_locks ~lock ~member with
+      | `Granted -> send_to_conn t conn (M.Lock_granted { group; lock })
+      | `Busy holder -> send_to_conn t conn (M.Lock_busy { group; lock; holder }))
+
+let handle_lock_release t conn ~group ~lock ~member =
+  match Hashtbl.find_opt t.groups group with
+  | None -> fail t conn group "no such group"
+  | Some g -> (
+      match Locks.release g.g_locks ~lock ~member with
+      | `Not_holder -> fail t conn group "not the lock holder"
+      | `Released next ->
+          send_to_conn t conn (M.Lock_released { group; lock });
+          (match next with
+          | Some next_holder ->
+              send_to_member t next_holder (M.Lock_granted { group; lock })
+          | None -> ()))
+
+let handle_reduce t conn ~group =
+  match Hashtbl.find_opt t.groups group with
+  | None -> fail t conn group "no such group"
+  | Some { g_keeper = Stateless _; _ } -> fail t conn group "server keeps no state"
+  | Some { g_keeper = Stateful log; _ } ->
+      if State_log.log_length log = 0 then
+        send_to_conn t conn (M.Log_reduced { group; upto = State_log.snapshot_seqno log })
+      else
+        State_log.reduce log ~on_done:(fun ~upto ->
+            if Net.Tcp.is_open conn then
+              send_to_conn t conn (M.Log_reduced { group; upto }))
+
+let handle_request t conn (req : M.request) =
+  t.st <- { t.st with requests_handled = t.st.requests_handled + 1 };
+  match req with
+  | M.Create_group { group; creator; persistent; initial } ->
+      handle_create t conn ~group ~persistent ~initial ~requester:creator
+  | M.Delete_group { group; requester } -> handle_delete t conn ~group ~requester
+  | M.Join { group; member; role; transfer; notify } -> (
+      try handle_join t conn ~group ~member ~role ~transfer ~notify
+      with Exit -> () (* join deferred to sender-assisted recovery *))
+  | M.Leave { group; member } -> handle_leave t conn ~group ~member
+  | M.Get_membership { group } -> (
+      match Hashtbl.find_opt t.groups group with
+      | None -> fail t conn group "no such group"
+      | Some g ->
+          send_to_conn t conn
+            (M.Membership_info { group; members = Membership.members g.g_members }))
+  | M.Bcast { group; sender; kind; obj; data; mode } ->
+      handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode
+  | M.Acquire_lock { group; lock; member } ->
+      handle_lock_acquire t conn ~group ~lock ~member
+  | M.Release_lock { group; lock; member } ->
+      handle_lock_release t conn ~group ~lock ~member
+  | M.Reduce_log { group; member = _ } -> handle_reduce t conn ~group
+  | M.Resend { group; member; updates } -> (
+      match Hashtbl.find_opt t.groups group with
+      | Some ({ g_keeper = Stateful log; _ } as g) ->
+          (* Replay the lost suffix in order; the original sequence numbers
+             line up with our recovery position, so duplicates (a second
+             client resending the same suffix) fall out naturally. *)
+          List.iter
+            (fun (u : T.update) ->
+              if u.seqno = State_log.next_seqno log then
+                State_log.apply_sequenced log u ~on_durable:(fun _ -> ()))
+            updates;
+          (match Hashtbl.find_opt t.pending_recovery (group, member) with
+          | Some (conn', transfer) ->
+              Hashtbl.remove t.pending_recovery (group, member);
+              if Net.Tcp.is_open conn' then begin
+                let state, at_seqno = join_state_for g.g_keeper transfer in
+                t.st <-
+                  {
+                    t.st with
+                    joins_served = t.st.joins_served + 1;
+                    state_transfer_bytes =
+                      t.st.state_transfer_bytes + join_state_bytes state;
+                  };
+                send_to_conn t conn'
+                  (M.Join_accepted
+                     {
+                       group;
+                       at_seqno;
+                       state;
+                       members = Membership.members g.g_members;
+                       multicast = Hashtbl.mem g.g_mcast_members member;
+                     })
+              end
+          | None -> ())
+      | Some { g_keeper = Stateless _; _ } | None -> ())
+  | M.Ping { nonce } -> send_to_conn t conn (M.Pong { nonce })
+
+(* A client connection died: clean up every group its member(s) joined.
+   Graceful closes count as leaves; broken ones as crashes (§3.2 membership
+   awareness distinguishes the two). *)
+let handle_disconnect t conn reason =
+  t.client_conns <- List.filter (fun c -> Net.Tcp.id c <> Net.Tcp.id conn) t.client_conns;
+  let members_on_conn =
+    Hashtbl.fold
+      (fun member c acc -> if Net.Tcp.id c = Net.Tcp.id conn then member :: acc else acc)
+      t.conn_of_member []
+  in
+  List.iter
+    (fun member ->
+      Hashtbl.remove t.conn_of_member member;
+      let change =
+        match reason with
+        | Net.Tcp.Graceful -> T.Member_left member
+        | Net.Tcp.Peer_crashed | Net.Tcp.Rejected -> T.Member_crashed member
+      in
+      let groups = Hashtbl.fold (fun _ g acc -> g :: acc) t.groups [] in
+      List.iter (fun g -> remove_member t g member ~change) groups)
+    members_on_conn
+
+let accept t conn =
+  t.client_conns <- conn :: t.client_conns;
+  Net.Tcp.set_on_close conn (fun reason -> handle_disconnect t conn reason);
+  Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+      match payload with
+      | M.Corona (M.Request req) -> handle_request t conn req
+      | M.Corona (M.Response _) | _ -> ())
+
+let recover_groups t =
+  List.iter
+    (fun (ck : State_log.checkpoint) ->
+      let wal = Server_storage.wal_for t.storage ck.ck_group in
+      let log =
+        State_log.recover ck ~wal
+          ~checkpoints:(Server_storage.checkpoints t.storage)
+          ~policy:t.cfg.reduction
+      in
+      Hashtbl.replace t.groups ck.ck_group
+        {
+          g_id = ck.ck_group;
+          g_persistent = ck.ck_persistent;
+          g_keeper = Stateful log;
+          g_members = Membership.create ();
+          g_locks = Locks.create ();
+          g_mcast_members = Hashtbl.create 8;
+        })
+    (Server_storage.recoverable_groups t.storage)
+
+let create fabric server_host ?(config = default_config) ~storage () =
+  let t =
+    {
+      fabric;
+      server_host;
+      cfg = config;
+      storage;
+      groups = Hashtbl.create 16;
+      conn_of_member = Hashtbl.create 64;
+      pending_recovery = Hashtbl.create 4;
+      client_conns = [];
+      listener = ref None;
+      st =
+        {
+          requests_handled = 0;
+          bcasts_sequenced = 0;
+          deliveries_sent = 0;
+          bytes_delivered = 0;
+          joins_served = 0;
+          state_transfer_bytes = 0;
+        };
+    }
+  in
+  if config.maintain_state then recover_groups t;
+  t.listener :=
+    Some (Net.Tcp.listen fabric server_host ~port:config.port ~on_accept:(accept t));
+  t
+
+let shutdown t =
+  Hashtbl.iter
+    (fun _ g ->
+      match g.g_keeper with
+      | Stateful log when g.g_persistent ->
+          State_log.checkpoint_now log ~on_durable:(fun () -> ())
+      | Stateful _ | Stateless _ -> ())
+    t.groups;
+  (match !(t.listener) with
+  | Some l -> Net.Tcp.close_listener l
+  | None -> ());
+  t.listener := None;
+  List.iter (fun c -> if Net.Tcp.is_open c then Net.Tcp.close c) t.client_conns;
+  t.client_conns <- []

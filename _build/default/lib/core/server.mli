@@ -1,0 +1,95 @@
+(** The stateful Corona server (§3).
+
+    A single logical server that accepts TCP connections from clients and
+    provides the full service suite: group membership (create / delete /
+    join / leave / getMembership plus change notifications), totally ordered
+    group multicast with sender-inclusive or -exclusive delivery and server
+    timestamping, state keeping with write-ahead logging, per-client state
+    transfer, state-log reduction, and lock-based synchronization.
+
+    The server is {e stateful}: it maintains up-to-date copies of group
+    shared states as identifier-tagged byte streams, without interpreting
+    them. Set [maintain_state = false] for the paper's "stateless"
+    comparison server (Figure 3), which acts as a sequencer only.
+
+    A server survives crashes of its host: create a new server on the
+    restarted host with the {e same} {!Server_storage.t} and persistent
+    groups are recovered from checkpoint + durable log (updates that never
+    reached the disk are lost — the risk §6 calls acceptable). *)
+
+type logging_mode =
+  | No_logging  (** state kept in memory only *)
+  | Async_logging  (** default: multicast proceeds in parallel with disk I/O *)
+  | Sync_logging  (** fan-out waits for durability (throughput ablation) *)
+
+type config = {
+  port : int;
+  maintain_state : bool;
+  logging : logging_mode;
+  reduction : State_log.reduction_policy;
+  access : Access_control.t;
+  use_ip_multicast : bool;
+      (** §5.3 hybrid mode: group deliveries go out once on the group's
+          IP-multicast channel for capable clients and point-to-point for
+          the rest; membership, state transfer and locks stay on TCP *)
+  transfer_chunk_bytes : int option;
+      (** QoS-adaptive scheduling ([11], §5.3): when set, a join-state
+          snapshot larger than this is sent as paced [State_chunk] slices
+          (at roughly half the NIC rate) so concurrent interactive
+          multicasts are not head-of-line blocked behind a bulk transfer;
+          [None] sends the whole state in one message *)
+}
+
+val default_config : config
+(** Port 7000, stateful, async logging, no automatic reduction, allow-all,
+    multicast off, unchunked transfers. *)
+
+type stats = {
+  requests_handled : int;
+  bcasts_sequenced : int;
+  deliveries_sent : int;
+  bytes_delivered : int;
+  joins_served : int;
+  state_transfer_bytes : int;
+}
+
+type t
+
+val create :
+  Net.Fabric.t ->
+  Net.Host.t ->
+  ?config:config ->
+  storage:Server_storage.t ->
+  unit ->
+  t
+(** Start the server: bind the listener and recover persistent groups from
+    [storage]. @raise Invalid_argument if the port is already bound. *)
+
+val shutdown : t -> unit
+(** Graceful stop: checkpoint persistent groups, close the listener and all
+    client connections. *)
+
+val host : t -> Net.Host.t
+
+val config : t -> config
+
+val group_ids : t -> Proto.Types.group_id list
+
+val group_exists : t -> Proto.Types.group_id -> bool
+
+val group_members : t -> Proto.Types.group_id -> Proto.Types.member list
+(** Empty when the group does not exist. *)
+
+val group_state : t -> Proto.Types.group_id -> Shared_state.t option
+(** The server's materialized copy (stateful mode only). *)
+
+val group_next_seqno : t -> Proto.Types.group_id -> int option
+
+val group_log_length : t -> Proto.Types.group_id -> int option
+
+val lock_holder :
+  t -> Proto.Types.group_id -> Proto.Types.lock_id -> Proto.Types.member_id option
+
+val stats : t -> stats
+
+val connected_clients : t -> int

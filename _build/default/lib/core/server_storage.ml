@@ -1,0 +1,34 @@
+type t = {
+  disk : Storage.Disk.t;
+  checkpoints : State_log.checkpoint Storage.Snapshot.t;
+  wals : (Proto.Types.group_id, Proto.Types.update Storage.Wal.t) Hashtbl.t;
+}
+
+let create host ?(disk_rate = 4e6) () =
+  let disk = Storage.Disk.create host ~transfer_rate:disk_rate () in
+  {
+    disk;
+    checkpoints = Storage.Snapshot.create disk ~name:"checkpoints";
+    wals = Hashtbl.create 16;
+  }
+
+let disk t = t.disk
+
+let checkpoints t = t.checkpoints
+
+let wal_for t group =
+  match Hashtbl.find_opt t.wals group with
+  | Some wal -> wal
+  | None ->
+      let wal = Storage.Wal.create t.disk ~name:group in
+      Hashtbl.replace t.wals group wal;
+      wal
+
+let drop_group t group =
+  Storage.Snapshot.delete t.checkpoints ~key:group;
+  Hashtbl.remove t.wals group
+
+let recoverable_groups t =
+  Storage.Snapshot.keys t.checkpoints
+  |> List.filter_map (fun key -> Storage.Snapshot.load t.checkpoints ~key)
+  |> List.filter (fun ck -> ck.State_log.ck_persistent)

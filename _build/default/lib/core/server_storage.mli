@@ -1,0 +1,25 @@
+(** The stable storage a Corona server owns.
+
+    Created once per server host and handed to every server incarnation, so
+    a restarted server finds the durable checkpoints and logs of its
+    predecessor — this is the object that models "the disk survives the
+    crash". *)
+
+type t
+
+val create : Net.Host.t -> ?disk_rate:float -> unit -> t
+(** Attach a disk (default 4 MB/s, the paper's late-90s figure) to a host. *)
+
+val disk : t -> Storage.Disk.t
+
+val checkpoints : t -> State_log.checkpoint Storage.Snapshot.t
+
+val wal_for : t -> Proto.Types.group_id -> Proto.Types.update Storage.Wal.t
+(** The group's write-ahead log, created on first use and shared by every
+    server incarnation. *)
+
+val drop_group : t -> Proto.Types.group_id -> unit
+(** Erase a group's durable remains (checkpoint and log). *)
+
+val recoverable_groups : t -> State_log.checkpoint list
+(** Checkpoints of persistent groups present on disk, for recovery. *)

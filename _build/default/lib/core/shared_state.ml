@@ -1,0 +1,67 @@
+(* Each object is a base stream plus appended segments; materialization
+   concatenates them lazily so repeated appends stay O(1). *)
+
+type entry = { mutable base : string; mutable segments : string list (* newest first *) }
+
+type t = { objects : (Proto.Types.object_id, entry) Hashtbl.t }
+
+let create () = { objects = Hashtbl.create 16 }
+
+let set_object t obj data =
+  Hashtbl.replace t.objects obj { base = data; segments = [] }
+
+let of_objects pairs =
+  let t = create () in
+  List.iter (fun (obj, data) -> set_object t obj data) pairs;
+  t
+
+let append_object t obj data =
+  match Hashtbl.find_opt t.objects obj with
+  | Some e -> e.segments <- data :: e.segments
+  | None -> Hashtbl.replace t.objects obj { base = ""; segments = [ data ] }
+
+let apply t (u : Proto.Types.update) =
+  match u.kind with
+  | Proto.Types.Set_state -> set_object t u.obj u.data
+  | Proto.Types.Append_update -> append_object t u.obj u.data
+
+let materialize e =
+  match e.segments with
+  | [] -> e.base
+  | segments ->
+      let buf = Buffer.create (String.length e.base + 64) in
+      Buffer.add_string buf e.base;
+      List.iter (Buffer.add_string buf) (List.rev segments);
+      let s = Buffer.contents buf in
+      (* Cache the concatenation. *)
+      e.base <- s;
+      e.segments <- [];
+      s
+
+let get t obj = Option.map materialize (Hashtbl.find_opt t.objects obj)
+
+let mem t obj = Hashtbl.mem t.objects obj
+
+let object_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.objects [] |> List.sort compare
+
+let objects t =
+  List.map (fun id -> (id, Option.get (get t id))) (object_ids t)
+
+let restrict t ids =
+  List.filter_map (fun id -> Option.map (fun s -> (id, s)) (get t id)) ids
+
+let object_count t = Hashtbl.length t.objects
+
+let total_bytes t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      acc + String.length e.base
+      + List.fold_left (fun n s -> n + String.length s) 0 e.segments)
+    t.objects 0
+
+let copy t = of_objects (objects t)
+
+let equal a b = objects a = objects b
+
+let clear t = Hashtbl.reset t.objects

@@ -1,0 +1,30 @@
+module T = Proto.Types
+module M = Proto.Message
+
+let join_state log (transfer : T.transfer_spec) : M.join_state * int =
+  let at = State_log.next_seqno log in
+  match transfer with
+  | T.Full_state ->
+      ( M.Snapshot { objects = Shared_state.objects (State_log.state log); log_tail = [] },
+        at )
+  | T.Latest_updates n -> (M.Update_history (State_log.latest_updates log n), at)
+  | T.Updates_since n ->
+      if n < State_log.snapshot_seqno log then
+        (* The log was reduced past the client's position: the increments it
+           needs are folded into the checkpoint, so transfer everything. *)
+        ( M.Snapshot
+            { objects = Shared_state.objects (State_log.state log); log_tail = [] },
+          at )
+      else (M.Update_history (State_log.updates_from log n), at)
+  | T.Objects ids ->
+      ( M.Snapshot
+          { objects = Shared_state.restrict (State_log.state log) ids; log_tail = [] },
+        at )
+  | T.No_state -> (M.Update_history [], at)
+
+let bytes = function
+  | M.Snapshot { objects; log_tail } ->
+      List.fold_left (fun acc (_, d) -> acc + String.length d) 0 objects
+      + List.fold_left (fun acc (u : T.update) -> acc + String.length u.data) 0 log_tail
+  | M.Update_history updates ->
+      List.fold_left (fun acc (u : T.update) -> acc + String.length u.data) 0 updates

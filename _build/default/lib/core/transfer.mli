@@ -1,0 +1,13 @@
+(** Customized state transfer (§3.2).
+
+    Computes what a joining client receives from a group's {!State_log}
+    according to its {!Proto.Types.transfer_spec}: the whole state, the
+    latest [n] updates, the state of selected objects, or nothing. Shared by
+    the single stateful server and the replicated service. *)
+
+val join_state :
+  State_log.t -> Proto.Types.transfer_spec -> Proto.Message.join_state * int
+(** Returns the state payload and the sequence number it reflects. *)
+
+val bytes : Proto.Message.join_state -> int
+(** Payload bytes transferred (for accounting). *)

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Hashtbl Host List Printf Sim

@@ -1,0 +1,1 @@
+lib/net/multicast.ml: Fabric Hashtbl Host List Option Payload Sim

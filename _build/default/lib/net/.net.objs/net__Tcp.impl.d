@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Fabric Format Hashtbl Host List Option Payload Printf Sim

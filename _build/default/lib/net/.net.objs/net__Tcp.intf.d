@@ -1,0 +1,1 @@
+lib/net/tcp.mli: Fabric Format Host Payload

@@ -1,0 +1,131 @@
+type config = { base_latency : float; jitter : float; loss_rate : float }
+
+let lan = { base_latency = 0.3e-3; jitter = 0.0; loss_rate = 0.0 }
+
+let campus = { base_latency = 1.5e-3; jitter = 0.2e-3; loss_rate = 0.0 }
+
+let wan = { base_latency = 40e-3; jitter = 5e-3; loss_rate = 0.0 }
+
+type t = {
+  id : int;
+  engine : Sim.Engine.t;
+  config : config;
+  rng : Sim.Rng.t;
+  hosts : (string, Host.t) Hashtbl.t;
+  mutable host_order : Host.t list; (* newest first *)
+  latency_overrides : (string * string, float) Hashtbl.t;
+  mutable component_of : (string, int) Hashtbl.t option; (* None = no partition *)
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let next_fabric_id = ref 0
+
+let create ?(config = lan) engine =
+  incr next_fabric_id;
+  {
+    id = !next_fabric_id;
+    engine;
+    config;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    hosts = Hashtbl.create 64;
+    host_order = [];
+    latency_overrides = Hashtbl.create 16;
+    component_of = None;
+    packets = 0;
+    bytes = 0;
+  }
+
+let id t = t.id
+
+let engine t = t.engine
+
+let config t = t.config
+
+let rng t = t.rng
+
+let add_host t ~name ?cpu ?nic_bandwidth ?multicast_capable () =
+  if Hashtbl.mem t.hosts name then
+    invalid_arg (Printf.sprintf "Fabric.add_host: duplicate host %S" name);
+  let host = Host.create t.engine ~name ?cpu ?nic_bandwidth ?multicast_capable () in
+  Hashtbl.replace t.hosts name host;
+  t.host_order <- host :: t.host_order;
+  host
+
+let host t name = Hashtbl.find t.hosts name
+
+let hosts t = List.rev t.host_order
+
+let set_latency t ~src ~dst l = Hashtbl.replace t.latency_overrides (src, dst) l
+
+let latency t src dst =
+  match Hashtbl.find_opt t.latency_overrides (Host.name src, Host.name dst) with
+  | Some l -> l
+  | None -> t.config.base_latency
+
+let partition t components =
+  let table = Hashtbl.create 64 in
+  List.iteri
+    (fun idx names -> List.iter (fun n -> Hashtbl.replace table n idx) names)
+    components;
+  (* Unlisted hosts join the first component. *)
+  Hashtbl.iter
+    (fun name _ -> if not (Hashtbl.mem table name) then Hashtbl.replace table name 0)
+    t.hosts;
+  t.component_of <- Some table
+
+let heal t = t.component_of <- None
+
+let same_component t a b =
+  match t.component_of with
+  | None -> true
+  | Some table -> (
+      match
+        ( Hashtbl.find_opt table (Host.name a),
+          Hashtbl.find_opt table (Host.name b) )
+      with
+      | Some ca, Some cb -> ca = cb
+      | _ -> true)
+
+let reachable t a b =
+  Host.is_alive a && Host.is_alive b && same_component t a b
+
+let transmit t ~src ~dst ~size ?(on_dropped = ignore) k =
+  let cpu_src = Host.cpu src and cpu_dst = Host.cpu dst in
+  let serialize_cost =
+    cpu_src.Host.send_overhead +. (float_of_int size *. cpu_src.Host.per_byte_cost)
+  in
+  let deserialize_cost =
+    cpu_dst.Host.recv_overhead +. (float_of_int size *. cpu_dst.Host.per_byte_cost)
+  in
+  let deliver () =
+    if Host.is_alive dst then Host.exec dst ~cost:deserialize_cost k
+    else on_dropped ()
+  in
+  if Host.name src = Host.name dst then
+    (* Loopback: skip NIC and network. *)
+    Host.exec src ~cost:serialize_cost (fun () -> deliver ())
+  else
+    Host.exec src ~cost:serialize_cost (fun () ->
+        Host.nic_send src ~size (fun () ->
+            t.packets <- t.packets + 1;
+            t.bytes <- t.bytes + size;
+            if not (same_component t src dst) then on_dropped ()
+            else if t.config.loss_rate > 0.0 && Sim.Rng.float t.rng 1.0 < t.config.loss_rate
+            then on_dropped ()
+            else begin
+              let delay =
+                latency t src dst
+                +.
+                if t.config.jitter > 0.0 then Sim.Rng.float t.rng t.config.jitter else 0.0
+              in
+              ignore (Sim.Engine.schedule t.engine ~delay deliver)
+            end))
+
+let record_packet t ~size =
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + size
+
+let packets_sent t = t.packets
+
+let bytes_sent t = t.bytes

@@ -1,0 +1,94 @@
+(** Network fabric: the container tying hosts together.
+
+    The fabric owns the latency model, optional jitter and loss, and the
+    partition state. Transport protocols ({!Tcp}, {!Multicast}) are built on
+    its {!transmit} primitive, which charges the full cost pipeline:
+    sender CPU serialization → sender NIC transmission → propagation →
+    receiver CPU deserialization → handler. *)
+
+type config = {
+  base_latency : float;  (** one-way propagation delay, seconds *)
+  jitter : float;  (** max uniform extra delay added per packet *)
+  loss_rate : float;  (** probability a packet is silently dropped *)
+}
+
+val lan : config
+(** 10 Mbps switched-Ethernet LAN profile (0.3 ms, no jitter, no loss). *)
+
+val campus : config
+(** A few routers away (paper §5.2.3): 1.5 ms with mild jitter. *)
+
+val wan : config
+(** Wide-area profile for the collaboratory scenarios: 40 ms, jittery. *)
+
+type t
+
+val create : ?config:config -> Sim.Engine.t -> t
+
+val id : t -> int
+(** Unique per-fabric identifier (distinguishes fabrics in global tables). *)
+
+val engine : t -> Sim.Engine.t
+
+val config : t -> config
+
+val rng : t -> Sim.Rng.t
+
+val add_host :
+  t ->
+  name:string ->
+  ?cpu:Host.cpu_profile ->
+  ?nic_bandwidth:float ->
+  ?multicast_capable:bool ->
+  unit ->
+  Host.t
+(** Create a host attached to this fabric. Host names must be unique. *)
+
+val host : t -> string -> Host.t
+(** Look up a host by name. @raise Not_found if absent. *)
+
+val hosts : t -> Host.t list
+(** All hosts in creation order. *)
+
+val set_latency : t -> src:string -> dst:string -> float -> unit
+(** Override the one-way latency for a directed pair (both directions must be
+    set separately if desired). *)
+
+val latency : t -> Host.t -> Host.t -> float
+
+val partition : t -> string list list -> unit
+(** [partition t components] splits the network: hosts in different listed
+    components cannot exchange packets. Hosts not listed anywhere join the
+    first component. In-flight packets already past the network stage are
+    delivered. *)
+
+val heal : t -> unit
+(** Remove the partition. *)
+
+val reachable : t -> Host.t -> Host.t -> bool
+(** Whether a packet sent now from one host would reach the other (both
+    alive, same partition component). Loopback is always reachable when the
+    host is alive. *)
+
+val transmit :
+  t ->
+  src:Host.t ->
+  dst:Host.t ->
+  size:int ->
+  ?on_dropped:(unit -> unit) ->
+  (unit -> unit) ->
+  unit
+(** [transmit t ~src ~dst ~size k] pushes [size] bytes through the pipeline
+    and runs [k] on the destination when fully received. The packet is
+    dropped — with [on_dropped] fired at the point of loss, if given — when
+    the pair is partitioned at network-traversal time, when the destination
+    is dead at delivery time, or by random loss. Loopback transmissions skip
+    the NIC and network stages. *)
+
+val record_packet : t -> size:int -> unit
+(** Transports built beside {!transmit} (e.g. {!Multicast}) report their NIC
+    transmissions here so the fabric counters stay meaningful. *)
+
+val packets_sent : t -> int
+
+val bytes_sent : t -> int

@@ -1,0 +1,32 @@
+let crash_at fabric host ~at =
+  ignore (Sim.Engine.schedule_at (Fabric.engine fabric) at (fun () -> Host.crash host))
+
+let restart_at fabric host ~at =
+  ignore (Sim.Engine.schedule_at (Fabric.engine fabric) at (fun () -> Host.restart host))
+
+let crash_for fabric host ~at ~duration =
+  crash_at fabric host ~at;
+  restart_at fabric host ~at:(at +. duration)
+
+let partition_during fabric components ~at ~duration =
+  let engine = Fabric.engine fabric in
+  ignore (Sim.Engine.schedule_at engine at (fun () -> Fabric.partition fabric components));
+  ignore (Sim.Engine.schedule_at engine (at +. duration) (fun () -> Fabric.heal fabric))
+
+let flaky_host fabric host ~mean_uptime ~mean_downtime =
+  let engine = Fabric.engine fabric in
+  let rng = Sim.Rng.split (Fabric.rng fabric) in
+  let rec up () =
+    let dt = Sim.Rng.exponential rng ~mean:mean_uptime in
+    ignore
+      (Sim.Engine.schedule engine ~delay:dt (fun () ->
+           Host.crash host;
+           down ()))
+  and down () =
+    let dt = Sim.Rng.exponential rng ~mean:mean_downtime in
+    ignore
+      (Sim.Engine.schedule engine ~delay:dt (fun () ->
+           Host.restart host;
+           up ()))
+  in
+  up ()

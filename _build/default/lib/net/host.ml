@@ -1,0 +1,160 @@
+type cpu_profile = {
+  profile_name : string;
+  send_overhead : float;
+  recv_overhead : float;
+  per_byte_cost : float;
+  workers : int;
+}
+
+(* Cost calibration note: the absolute values below are chosen so that the
+   simulated testbed lands in the same order of magnitude as the paper's
+   1998-era measurements (multicast RTTs of tens of milliseconds for tens of
+   clients, server throughput of hundreds of kB/s on a 10 Mbps LAN). Only
+   the relative shapes matter for the reproduction. *)
+
+let ultrasparc =
+  {
+    profile_name = "ultrasparc-1";
+    send_overhead = 250e-6;
+    recv_overhead = 200e-6;
+    per_byte_cost = 180e-9;
+    workers = 1;
+  }
+
+let sparc20 =
+  {
+    profile_name = "sparc-20";
+    send_overhead = 400e-6;
+    recv_overhead = 350e-6;
+    per_byte_cost = 300e-9;
+    workers = 1;
+  }
+
+let pentium_ii_quad =
+  {
+    profile_name = "pentium-ii-200x4";
+    send_overhead = 180e-6;
+    recv_overhead = 150e-6;
+    per_byte_cost = 120e-9;
+    workers = 4;
+  }
+
+let modem_client =
+  {
+    profile_name = "modem-client";
+    send_overhead = 1.5e-3;
+    recv_overhead = 1.2e-3;
+    per_byte_cost = 1e-6;
+    workers = 1;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  cpu : cpu_profile;
+  nic_bandwidth : float;
+  mutable worker_free : float array; (* virtual time each CPU worker frees *)
+  mutable nic_free : float;
+  mutable alive : bool;
+  mutable epoch : int;
+  mutable crash_hooks : (unit -> unit) list;
+  mutable cpu_seconds : float;
+  multicast_capable : bool;
+}
+
+let default_bandwidth = 1.25e6 (* 10 Mbps Ethernet *)
+
+let create engine ~name ?(cpu = ultrasparc) ?(nic_bandwidth = default_bandwidth)
+    ?(multicast_capable = true) () =
+  {
+    engine;
+    name;
+    cpu;
+    nic_bandwidth;
+    worker_free = Array.make (max 1 cpu.workers) 0.0;
+    nic_free = 0.0;
+    alive = true;
+    epoch = 0;
+    crash_hooks = [];
+    cpu_seconds = 0.0;
+    multicast_capable;
+  }
+
+let name t = t.name
+
+let engine t = t.engine
+
+let cpu t = t.cpu
+
+let is_alive t = t.alive
+
+let multicast_capable t = t.multicast_capable
+
+let nic_bandwidth t = t.nic_bandwidth
+
+let epoch t = t.epoch
+
+(* Run [f] at virtual time [at] only if the host is still in the same
+   incarnation by then. *)
+let guarded_at t at f =
+  let epoch_at_schedule = t.epoch in
+  ignore
+    (Sim.Engine.schedule_at t.engine at (fun () ->
+         if t.alive && t.epoch = epoch_at_schedule then f ()))
+
+let exec t ~cost f =
+  if t.alive then begin
+    let cost = if cost < 0.0 then 0.0 else cost in
+    let now = Sim.Engine.now t.engine in
+    (* Assign to the earliest-free worker (non-preemptive FIFO). *)
+    let best = ref 0 in
+    for i = 1 to Array.length t.worker_free - 1 do
+      if t.worker_free.(i) < t.worker_free.(!best) then best := i
+    done;
+    let start = if t.worker_free.(!best) > now then t.worker_free.(!best) else now in
+    let finish = start +. cost in
+    t.worker_free.(!best) <- finish;
+    t.cpu_seconds <- t.cpu_seconds +. cost;
+    guarded_at t finish f
+  end
+
+let nic_send t ~size f =
+  if t.alive then begin
+    let now = Sim.Engine.now t.engine in
+    let start = if t.nic_free > now then t.nic_free else now in
+    let finish = start +. (float_of_int (max 0 size) /. t.nic_bandwidth) in
+    t.nic_free <- finish;
+    guarded_at t finish f
+  end
+
+let cpu_busy_until t =
+  let now = Sim.Engine.now t.engine in
+  Array.fold_left (fun acc x -> min acc (max x now)) infinity t.worker_free
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.epoch <- t.epoch + 1;
+    (* Queued work is implicitly dropped by the epoch guard. *)
+    let now = Sim.Engine.now t.engine in
+    t.worker_free <- Array.map (fun _ -> now) t.worker_free;
+    t.nic_free <- now;
+    List.iter (fun hook -> hook ()) (List.rev t.crash_hooks)
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    t.epoch <- t.epoch + 1;
+    let now = Sim.Engine.now t.engine in
+    t.worker_free <- Array.map (fun _ -> now) t.worker_free;
+    t.nic_free <- now
+  end
+
+let on_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
+
+let cpu_seconds_used t = t.cpu_seconds
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s,%s)" t.name t.cpu.profile_name
+    (if t.alive then "up" else "down")

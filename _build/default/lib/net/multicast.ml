@@ -1,0 +1,83 @@
+type subscription = {
+  m_host : Host.t;
+  m_key : string;
+  m_handler : size:int -> Payload.t -> unit;
+  m_epoch : int; (* host epoch at join: a crash invalidates the entry *)
+}
+
+type t = {
+  fabric : Fabric.t;
+  name : string;
+  mutable subs : subscription list; (* newest first *)
+}
+
+(* Channels are named per fabric so server and clients meet on the same
+   object. *)
+let registry : (int * string, t) Hashtbl.t = Hashtbl.create 16
+
+let channel fabric ~name =
+  let key = (Fabric.id fabric, name) in
+  match Hashtbl.find_opt registry key with
+  | Some t -> t
+  | None ->
+      let t = { fabric; name; subs = [] } in
+      Hashtbl.replace registry key t;
+      t
+
+let name t = t.name
+
+let leave t host ?key () =
+  let key = Option.value key ~default:(Host.name host) in
+  t.subs <-
+    List.filter
+      (fun s -> not (Host.name s.m_host = Host.name host && s.m_key = key))
+      t.subs
+
+let join t host ?key ~handler () =
+  let key = Option.value key ~default:(Host.name host) in
+  leave t host ~key ();
+  t.subs <-
+    { m_host = host; m_key = key; m_handler = handler; m_epoch = Host.epoch host }
+    :: t.subs
+
+let live_subs t =
+  List.filter
+    (fun s -> Host.is_alive s.m_host && Host.epoch s.m_host = s.m_epoch)
+    (List.rev t.subs)
+
+let subscriber_count t = List.length (live_subs t)
+
+let is_member t host =
+  List.exists (fun s -> Host.name s.m_host = Host.name host) (live_subs t)
+
+let send t ~src ~size payload =
+  let cpu = Host.cpu src in
+  let serialize_cost =
+    cpu.Host.send_overhead +. (float_of_int size *. cpu.Host.per_byte_cost)
+  in
+  let engine = Fabric.engine t.fabric in
+  let targets =
+    List.filter (fun s -> Host.name s.m_host <> Host.name src) (live_subs t)
+  in
+  Host.exec src ~cost:serialize_cost (fun () ->
+      Host.nic_send src ~size (fun () ->
+          Fabric.record_packet t.fabric ~size;
+          List.iter
+            (fun s ->
+              if Fabric.reachable t.fabric src s.m_host then begin
+                let delay = Fabric.latency t.fabric src s.m_host in
+                let epoch = s.m_epoch in
+                ignore
+                  (Sim.Engine.schedule engine ~delay (fun () ->
+                       if Host.is_alive s.m_host && Host.epoch s.m_host = epoch
+                       then begin
+                         let dst_cpu = Host.cpu s.m_host in
+                         let recv_cost =
+                           dst_cpu.Host.recv_overhead
+                           +. (float_of_int size *. dst_cpu.Host.per_byte_cost)
+                         in
+                         Host.exec s.m_host ~cost:recv_cost (fun () ->
+                             s.m_handler ~size payload)
+                       end))
+              end)
+            targets))

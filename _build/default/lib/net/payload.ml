@@ -1,0 +1,3 @@
+type t = ..
+
+type t += Raw of string

@@ -1,0 +1,9 @@
+(** Universal message payload.
+
+    The network layer transports opaque payloads; each protocol extends this
+    type with its own constructors, keeping the substrate independent of any
+    particular wire protocol while remaining fully typed. *)
+
+type t = ..
+
+type t += Raw of string  (** Convenience payload for tests and examples. *)

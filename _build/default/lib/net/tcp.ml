@@ -1,0 +1,221 @@
+type close_reason = Graceful | Peer_crashed | Rejected
+
+let pp_close_reason ppf = function
+  | Graceful -> Format.pp_print_string ppf "graceful"
+  | Peer_crashed -> Format.pp_print_string ppf "peer-crashed"
+  | Rejected -> Format.pp_print_string ppf "rejected"
+
+(* A connection is two symmetric endpoints. Each endpoint numbers its
+   outgoing messages and reorders at the receiver, so delivery is FIFO even
+   under jitter; fabric-level drops (loss or partition) are retransmitted
+   until the connection closes, which models TCP stalling across a partition
+   and resuming on heal. *)
+
+type conn = {
+  id : int;
+  fabric : Fabric.t;
+  host : Host.t;
+  mutable peer : conn option; (* None only during construction *)
+  mutable open_ : bool;
+  mutable receiver : (size:int -> Payload.t -> unit) option;
+  mutable on_close : (close_reason -> unit) option;
+  mutable send_seq : int;
+  mutable recv_next : int;
+  holdback : (int, int * Payload.t) Hashtbl.t; (* seq -> size, payload *)
+  mutable early : (int * Payload.t) list; (* delivered before receiver set, newest first *)
+}
+
+let retransmit_timeout = 0.5
+
+let crash_notify_delay = 0.2
+
+let next_conn_id = ref 0
+
+let fresh_id () =
+  incr next_conn_id;
+  !next_conn_id
+
+let engine_of c = Fabric.engine c.fabric
+
+let peer_exn c =
+  match c.peer with
+  | Some p -> p
+  | None -> invalid_arg "Tcp: endpoint used before handshake completed"
+
+let local_host c = c.host
+
+let peer_host c = (peer_exn c).host
+
+let is_open c = c.open_
+
+let id c = c.id
+
+let close_endpoint c reason =
+  if c.open_ then begin
+    c.open_ <- false;
+    Hashtbl.reset c.holdback;
+    match c.on_close with Some f -> f reason | None -> ()
+  end
+
+(* Deliver buffered in-order messages to the receiver (or stash them). *)
+let rec flush_ready c =
+  if c.open_ then
+    match Hashtbl.find_opt c.holdback c.recv_next with
+    | None -> ()
+    | Some (size, payload) ->
+        Hashtbl.remove c.holdback c.recv_next;
+        c.recv_next <- c.recv_next + 1;
+        (match c.receiver with
+        | Some f -> f ~size payload
+        | None -> c.early <- (size, payload) :: c.early);
+        flush_ready c
+
+let set_receiver c f =
+  c.receiver <- Some f;
+  let backlog = List.rev c.early in
+  c.early <- [];
+  List.iter (fun (size, payload) -> if c.open_ then f ~size payload) backlog
+
+let set_on_close c f = c.on_close <- f |> Option.some
+
+let rec transmit_seq src seq size payload =
+  (* Retransmit until delivered or the connection dies on our side. *)
+  let dst = peer_exn src in
+  let retry () =
+    if src.open_ then
+      ignore
+        (Sim.Engine.schedule (engine_of src) ~delay:retransmit_timeout (fun () ->
+             if src.open_ then transmit_seq src seq size payload))
+  in
+  Fabric.transmit src.fabric ~src:src.host ~dst:dst.host ~size ~on_dropped:retry
+    (fun () ->
+      if dst.open_ && seq >= dst.recv_next && not (Hashtbl.mem dst.holdback seq)
+      then begin
+        Hashtbl.replace dst.holdback seq (size, payload);
+        flush_ready dst
+      end)
+
+let send c ~size payload =
+  if c.open_ then begin
+    let seq = c.send_seq in
+    c.send_seq <- seq + 1;
+    transmit_seq c seq size payload
+  end
+
+let close c =
+  if c.open_ then begin
+    let p = peer_exn c in
+    close_endpoint c Graceful;
+    (* FIN: one-latency notification, no retransmission. *)
+    let delay = Fabric.latency c.fabric c.host p.host in
+    ignore
+      (Sim.Engine.schedule (engine_of c) ~delay (fun () -> close_endpoint p Graceful))
+  end
+
+(* Crash handling: when a host dies, its endpoints close silently and each
+   live peer learns about it after latency + crash_notify_delay (keepalive /
+   reset detection). *)
+let watch_crash c =
+  let p_delay () =
+    match c.peer with
+    | Some p -> Fabric.latency c.fabric c.host p.host
+    | None -> 0.0
+  in
+  Host.on_crash c.host (fun () ->
+      if c.open_ then begin
+        let notify_delay = p_delay () +. crash_notify_delay in
+        let peer = c.peer in
+        c.open_ <- false;
+        c.on_close <- None;
+        match peer with
+        | Some p ->
+            ignore
+              (Sim.Engine.schedule (engine_of c) ~delay:notify_delay (fun () ->
+                   close_endpoint p Peer_crashed))
+        | None -> ()
+      end)
+
+let make_endpoint fabric host id =
+  let c =
+    {
+      id;
+      fabric;
+      host;
+      peer = None;
+      open_ = true;
+      receiver = None;
+      on_close = None;
+      send_seq = 0;
+      recv_next = 0;
+      holdback = Hashtbl.create 8;
+      early = [];
+    }
+  in
+  watch_crash c;
+  c
+
+type listener = {
+  l_fabric : Fabric.t;
+  l_host : Host.t;
+  l_port : int;
+  mutable l_open : bool;
+  l_on_accept : conn -> unit;
+}
+
+(* Global listener table: (fabric id, host name, port) -> listener. *)
+let listeners : (int * string * int, listener) Hashtbl.t = Hashtbl.create 64
+
+let listen fabric host ~port ~on_accept =
+  let key = (Fabric.id fabric, Host.name host, port) in
+  (match Hashtbl.find_opt listeners key with
+  | Some l when l.l_open ->
+      invalid_arg
+        (Printf.sprintf "Tcp.listen: %s:%d already bound" (Host.name host) port)
+  | Some _ | None -> ());
+  let l =
+    { l_fabric = fabric; l_host = host; l_port = port; l_open = true; l_on_accept = on_accept }
+  in
+  Hashtbl.replace listeners key l;
+  (* A crashed server's listener dies with it. *)
+  Host.on_crash host (fun () -> l.l_open <- false);
+  l
+
+let close_listener l =
+  l.l_open <- false;
+  Hashtbl.remove listeners (Fabric.id l.l_fabric, Host.name l.l_host, l.l_port)
+
+let syn_size = 64
+
+let connect fabric ~src ~dst ~port ?(timeout = 5.0) ~on_connected ~on_failed () =
+  let engine = Fabric.engine fabric in
+  let settled = ref false in
+  let fail () =
+    if not !settled then begin
+      settled := true;
+      on_failed ()
+    end
+  in
+  ignore (Sim.Engine.schedule engine ~delay:timeout fail);
+  (* SYN *)
+  Fabric.transmit fabric ~src ~dst ~size:syn_size ~on_dropped:fail (fun () ->
+      match Hashtbl.find_opt listeners (Fabric.id fabric, Host.name dst, port) with
+      | Some l when l.l_open && Host.is_alive dst ->
+          let id = fresh_id () in
+          let client_end = make_endpoint fabric src id in
+          let server_end = make_endpoint fabric dst id in
+          client_end.peer <- Some server_end;
+          server_end.peer <- Some client_end;
+          (* SYN-ACK: accept fires on the server now, the client learns after
+             the return trip. *)
+          l.l_on_accept server_end;
+          Fabric.transmit fabric ~src:dst ~dst:src ~size:syn_size
+            ~on_dropped:(fun () -> close_endpoint server_end Peer_crashed)
+            (fun () ->
+              if not !settled then begin
+                settled := true;
+                if client_end.open_ then on_connected client_end
+              end)
+      | Some _ | None ->
+          (* RST *)
+          Fabric.transmit fabric ~src:dst ~dst:src ~size:syn_size ~on_dropped:fail
+            (fun () -> fail ()))

@@ -1,0 +1,63 @@
+(** Reliable, FIFO, connection-oriented transport over the {!Fabric}.
+
+    Models the TCP point-to-point connections the Corona implementation used:
+    per-connection in-order delivery, retransmission on loss (so partitions
+    stall a connection rather than silently losing data), graceful close, and
+    asynchronous notification when the peer crashes. *)
+
+type conn
+
+type listener
+
+type close_reason =
+  | Graceful  (** peer called {!close} *)
+  | Peer_crashed  (** peer host failed; detected after a notification delay *)
+  | Rejected  (** no listener at the destination port *)
+
+val pp_close_reason : Format.formatter -> close_reason -> unit
+
+val listen :
+  Fabric.t -> Host.t -> port:int -> on_accept:(conn -> unit) -> listener
+(** Register a listener. At most one listener per (host, port).
+    @raise Invalid_argument on a duplicate binding. *)
+
+val close_listener : listener -> unit
+
+val connect :
+  Fabric.t ->
+  src:Host.t ->
+  dst:Host.t ->
+  port:int ->
+  ?timeout:float ->
+  on_connected:(conn -> unit) ->
+  on_failed:(unit -> unit) ->
+  unit ->
+  unit
+(** Three-ish-way handshake: [on_connected] fires on the client side once the
+    server accepted (the server side gets [on_accept]); [on_failed] fires if
+    there is no listener, the destination is unreachable, or the [timeout]
+    (default 5 s) expires. *)
+
+val set_receiver : conn -> (size:int -> Payload.t -> unit) -> unit
+(** Install the message handler. Messages arriving before a receiver is
+    installed are buffered and flushed on installation. *)
+
+val set_on_close : conn -> (close_reason -> unit) -> unit
+
+val send : conn -> size:int -> Payload.t -> unit
+(** Queue a message. Delivery is reliable and in-order while the connection
+    lives; messages in flight when the connection dies are lost. Sending on a
+    closed connection is a silent no-op (like writing to a broken socket
+    whose error you ignore). *)
+
+val close : conn -> unit
+(** Graceful close; the peer's [on_close Graceful] fires after one latency. *)
+
+val is_open : conn -> bool
+
+val local_host : conn -> Host.t
+
+val peer_host : conn -> Host.t
+
+val id : conn -> int
+(** Unique identifier (same value on both endpoints of a connection). *)

@@ -1,0 +1,1 @@
+lib/ordering/causal.ml: List Vclock

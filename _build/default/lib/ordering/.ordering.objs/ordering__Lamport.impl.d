@@ -1,0 +1,1 @@
+lib/ordering/lamport.ml: Format

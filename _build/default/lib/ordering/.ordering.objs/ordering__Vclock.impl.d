@@ -1,0 +1,1 @@
+lib/ordering/vclock.ml: Format List Map String

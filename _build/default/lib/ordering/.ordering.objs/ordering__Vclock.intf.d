@@ -1,0 +1,1 @@
+lib/ordering/vclock.mli: Format

@@ -1,0 +1,60 @@
+type 'a held = { h_from : string; h_clock : Vclock.t; h_value : 'a }
+
+type 'a t = {
+  site : string;
+  mutable clock : Vclock.t;
+  mutable held : 'a held list; (* unordered buffer *)
+}
+
+let create ~site = { site; clock = Vclock.empty; held = [] }
+
+let site t = t.site
+
+let clock t = t.clock
+
+let stamp_send t =
+  t.clock <- Vclock.tick t.clock t.site;
+  t.clock
+
+(* BSS condition: deliver m from s with clock V when V(s) = local(s) + 1 and
+   V(k) <= local(k) for every k <> s. *)
+let deliverable t h =
+  Vclock.get h.h_clock h.h_from = Vclock.get t.clock h.h_from + 1
+  && List.for_all
+       (fun s -> s = h.h_from || Vclock.get h.h_clock s <= Vclock.get t.clock s)
+       (Vclock.sites h.h_clock)
+
+let deliver t h = t.clock <- Vclock.merge t.clock h.h_clock
+
+let rec drain t acc =
+  match List.find_opt (deliverable t) t.held with
+  | None -> List.rev acc
+  | Some h ->
+      t.held <- List.filter (fun x -> x != h) t.held;
+      deliver t h;
+      drain t (h.h_value :: acc)
+
+let receive t ~from vclock value =
+  if from = t.site then []
+  else begin
+    let h = { h_from = from; h_clock = vclock; h_value = value } in
+    let duplicate =
+      (* Already delivered or already buffered. *)
+      Vclock.get vclock from <= Vclock.get t.clock from
+      || List.exists
+           (fun x ->
+             x.h_from = from && Vclock.get x.h_clock from = Vclock.get vclock from)
+           t.held
+    in
+    if duplicate then []
+    else if deliverable t h then begin
+      deliver t h;
+      drain t [ value ]
+    end
+    else begin
+      t.held <- h :: t.held;
+      []
+    end
+  end
+
+let pending t = List.length t.held

@@ -1,0 +1,26 @@
+(** Causal delivery buffer (Birman–Schiper–Stephenson style).
+
+    Used by the ISIS-style baseline: each site stamps broadcasts with its
+    vector clock; receivers hold back a message until all causally preceding
+    messages have been delivered. *)
+
+type 'a t
+
+val create : site:string -> 'a t
+
+val site : 'a t -> string
+
+val clock : 'a t -> Vclock.t
+(** Deliveries observed so far. *)
+
+val stamp_send : 'a t -> Vclock.t
+(** Record a local broadcast and return the vector clock to attach to it. *)
+
+val receive : 'a t -> from:string -> Vclock.t -> 'a -> 'a list
+(** Offer a received message; returns the messages (possibly several, in
+    causal order) that become deliverable, or [] if it must wait. Messages
+    from the local site are ignored (already applied at send). Duplicate
+    timestamps are ignored. *)
+
+val pending : 'a t -> int
+(** Messages still held back. *)

@@ -1,0 +1,35 @@
+type 'a t = { mutable next : int; buffer : (int, 'a) Hashtbl.t }
+
+let create ?(next = 0) () = { next; buffer = Hashtbl.create 16 }
+
+let next_expected t = t.next
+
+let offer t ~seqno value =
+  if seqno < t.next || Hashtbl.mem t.buffer seqno then []
+  else begin
+    Hashtbl.replace t.buffer seqno value;
+    let rec drain acc =
+      match Hashtbl.find_opt t.buffer t.next with
+      | None -> List.rev acc
+      | Some v ->
+          Hashtbl.remove t.buffer t.next;
+          t.next <- t.next + 1;
+          drain (v :: acc)
+    in
+    drain []
+  end
+
+let pending t = Hashtbl.length t.buffer
+
+let gap t =
+  if Hashtbl.length t.buffer = 0 then None
+  else begin
+    let min_buffered =
+      Hashtbl.fold (fun k _ acc -> min k acc) t.buffer max_int
+    in
+    if min_buffered > t.next then Some (t.next, min_buffered - 1) else None
+  end
+
+let reset t ~next =
+  Hashtbl.reset t.buffer;
+  t.next <- next

@@ -1,0 +1,29 @@
+(** Sequence-number hold-back queue.
+
+    Corona's coordinator assigns monotonically increasing sequence numbers
+    imposing a total order on a group's multicasts (§4.1). Receivers pass
+    arriving messages through a hold-back queue that releases them in exact
+    sequence order, detecting gaps and duplicates. *)
+
+type 'a t
+
+val create : ?next:int -> unit -> 'a t
+(** [next] is the first expected sequence number (default 0). *)
+
+val next_expected : 'a t -> int
+
+val offer : 'a t -> seqno:int -> 'a -> 'a list
+(** Offer a message; returns the in-order run that becomes deliverable
+    (empty when a gap remains). Messages with [seqno < next_expected] and
+    duplicates are dropped. *)
+
+val pending : 'a t -> int
+(** Held-back (out-of-order) messages. *)
+
+val gap : 'a t -> (int * int) option
+(** [Some (from, upto)] when messages [from .. upto] are missing but a later
+    one is buffered; [None] when in sync. Drives retransmission requests. *)
+
+val reset : 'a t -> next:int -> unit
+(** Drop the buffer and jump to a new expected number (after state
+    transfer). *)

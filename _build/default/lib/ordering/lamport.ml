@@ -1,0 +1,24 @@
+type t = { mutable time : int }
+
+let create () = { time = 0 }
+
+let now t = t.time
+
+let tick t =
+  t.time <- t.time + 1;
+  t.time
+
+let observe t remote =
+  t.time <- max t.time remote + 1;
+  t.time
+
+module Stamp = struct
+  type stamp = { time : int; site : string }
+
+  let compare a b =
+    match compare a.time b.time with 0 -> compare a.site b.site | c -> c
+
+  let pp ppf s = Format.fprintf ppf "%d@%s" s.time s.site
+end
+
+let stamp t ~site = { Stamp.time = tick t; site }

@@ -1,0 +1,32 @@
+(** Lamport logical clocks.
+
+    The paper criticizes a Transis-based replication approach for "the
+    inefficiencies of using global total ordering with Lamport clocks" (§2);
+    we implement them both as a substrate for the ISIS-style baseline and to
+    let benches quantify that remark. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current logical time (starts at 0). *)
+
+val tick : t -> int
+(** Local event: increment and return the new time. *)
+
+val observe : t -> int -> int
+(** Receive event carrying a remote timestamp: advance to
+    [max local remote + 1] and return it. *)
+
+(** Totally ordered (time, site) pairs — Lamport's total order extension. *)
+module Stamp : sig
+  type stamp = { time : int; site : string }
+
+  val compare : stamp -> stamp -> int
+
+  val pp : Format.formatter -> stamp -> unit
+end
+
+val stamp : t -> site:string -> Stamp.stamp
+(** Tick and return a totally ordered stamp for a send event. *)

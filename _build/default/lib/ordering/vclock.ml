@@ -1,0 +1,39 @@
+module Site_map = Map.Make (String)
+
+type t = int Site_map.t
+
+let empty = Site_map.empty
+
+let get t site = match Site_map.find_opt site t with Some v -> v | None -> 0
+
+let tick t site = Site_map.add site (get t site + 1) t
+
+let merge a b = Site_map.union (fun _ x y -> Some (max x y)) a b
+
+let normalized t = Site_map.filter (fun _ v -> v <> 0) t
+
+let sites t = Site_map.bindings (normalized t) |> List.map fst
+
+type relation = Equal | Before | After | Concurrent
+
+let leq a b = Site_map.for_all (fun site va -> va <= get b site) (normalized a)
+
+let compare_causal a b =
+  let a = normalized a and b = normalized b in
+  let a_leq_b = leq a b and b_leq_a = leq b a in
+  match (a_leq_b, b_leq_a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let to_list t = Site_map.bindings (normalized t)
+
+let of_list l = List.fold_left (fun acc (site, v) -> Site_map.add site v acc) empty l
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (site, v) -> Format.fprintf ppf "%s:%d" site v))
+    (to_list t)

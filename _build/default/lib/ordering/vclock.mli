@@ -1,0 +1,32 @@
+(** Vector clocks over string-named sites. *)
+
+type t
+
+val empty : t
+
+val get : t -> string -> int
+(** Component for a site (0 when absent). *)
+
+val tick : t -> string -> t
+(** Increment one component. *)
+
+val merge : t -> t -> t
+(** Component-wise maximum. *)
+
+val sites : t -> string list
+(** Sites with a non-zero component, sorted. *)
+
+type relation = Equal | Before | After | Concurrent
+
+val compare_causal : t -> t -> relation
+(** [Before] when the first strictly happens-before the second. *)
+
+val leq : t -> t -> bool
+(** Pointwise ≤ ([Equal] or [Before]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_list : t -> (string * int) list
+(** Sorted association list of non-zero components. *)
+
+val of_list : (string * int) list -> t

@@ -1,0 +1,1 @@
+lib/proto/message.ml: Codec Format List Net Printf String Types

@@ -1,0 +1,1 @@
+lib/proto/types.ml: Format String

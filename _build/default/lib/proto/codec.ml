@@ -1,0 +1,122 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(initial_capacity = 256) () = Buffer.create initial_capacity
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.Writer.u8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Codec.Writer.u16: out of range";
+    u8 t (v lsr 8);
+    u8 t (v land 0xFF)
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.Writer.u32: out of range";
+    u16 t (v lsr 16);
+    u16 t (v land 0xFFFF)
+
+  let i64 t v =
+    for shift = 7 downto 0 do
+      u8 t (Int64.to_int (Int64.logand (Int64.shift_right_logical v (shift * 8)) 0xFFL))
+    done
+
+  let int_as_i64 t v = i64 t (Int64.of_int v)
+
+  let f64 t v = i64 t (Int64.bits_of_float v)
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let string t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let list t enc xs =
+    u32 t (List.length xs);
+    List.iter (enc t) xs
+
+  let option t enc = function
+    | None -> u8 t 0
+    | Some v ->
+        u8 t 1;
+        enc t v
+
+  let size t = Buffer.length t
+
+  let contents t = Buffer.contents t
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Truncated
+
+  exception Malformed of string
+
+  let of_string data = { data; pos = 0 }
+
+  let u8 t =
+    if t.pos >= String.length t.data then raise Truncated;
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let hi = u16 t in
+    let lo = u16 t in
+    (hi lsl 16) lor lo
+
+  let i64 t =
+    let v = ref 0L in
+    for _ = 1 to 8 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 t))
+    done;
+    !v
+
+  let int_as_i64 t = Int64.to_int (i64 t)
+
+  let f64 t = Int64.float_of_bits (i64 t)
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Malformed (Printf.sprintf "bool tag %d" n))
+
+  let string t =
+    let len = u32 t in
+    if t.pos + len > String.length t.data then raise Truncated;
+    let s = String.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let list t dec =
+    let n = u32 t in
+    List.init n (fun _ -> dec t)
+
+  let option t dec =
+    match u8 t with
+    | 0 -> None
+    | 1 -> Some (dec t)
+    | n -> raise (Malformed (Printf.sprintf "option tag %d" n))
+
+  let remaining t = String.length t.data - t.pos
+
+  let at_end t = remaining t = 0
+end
+
+let encoded_size enc v =
+  let w = Writer.create () in
+  enc w v;
+  Writer.size w
+
+let roundtrip enc dec v =
+  let w = Writer.create () in
+  enc w v;
+  dec (Reader.of_string (Writer.contents w))

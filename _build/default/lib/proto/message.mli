@@ -1,0 +1,126 @@
+(** Client ↔ server wire protocol.
+
+    Every Corona service of §3.2 appears here: group membership (create /
+    delete / join / leave / getMembership plus change notifications), group
+    multicast ([Bcast] carrying either flavor and either delivery mode), the
+    state log reduction request, and lock-based synchronization. Messages
+    have a real binary encoding ({!encode} / {!decode}); {!wire_size} is the
+    framed encoded size, which the simulator charges to CPUs, NICs and
+    disks. *)
+
+type request =
+  | Create_group of {
+      group : Types.group_id;
+      creator : Types.member_id;
+      persistent : bool;
+      initial : (Types.object_id * string) list;
+    }
+  | Delete_group of { group : Types.group_id; requester : Types.member_id }
+  | Join of {
+      group : Types.group_id;
+      member : Types.member_id;
+      role : Types.role;
+      transfer : Types.transfer_spec;
+      notify : bool;  (** wants membership-change notifications *)
+    }
+  | Leave of { group : Types.group_id; member : Types.member_id }
+  | Get_membership of { group : Types.group_id }
+  | Bcast of {
+      group : Types.group_id;
+      sender : Types.member_id;
+      kind : Types.update_kind;
+      obj : Types.object_id;
+      data : string;
+      mode : Types.delivery_mode;
+    }
+  | Acquire_lock of {
+      group : Types.group_id;
+      lock : Types.lock_id;
+      member : Types.member_id;
+    }
+  | Release_lock of {
+      group : Types.group_id;
+      lock : Types.lock_id;
+      member : Types.member_id;
+    }
+  | Reduce_log of { group : Types.group_id; member : Types.member_id }
+  | Resend of {
+      group : Types.group_id;
+      member : Types.member_id;
+      updates : Types.update list;
+    }
+      (** sender-assisted crash recovery (§6): the client returns the
+          updates, with their original sequence numbers, that the server
+          lost with its un-flushed log tail *)
+  | Ping of { nonce : int }
+
+(** State handed to a joining client, shaped by its {!Types.transfer_spec}. *)
+type join_state =
+  | Snapshot of {
+      objects : (Types.object_id * string) list;
+      log_tail : Types.update list;
+          (** updates since the snapshot point, replayed after the objects *)
+    }
+  | Update_history of Types.update list
+
+type response =
+  | Group_created of { group : Types.group_id }
+  | State_chunk of {
+      group : Types.group_id;
+      objects : (Types.object_id * string) list;
+      index : int;
+      more : bool;
+    }
+      (** QoS-adaptive transfer ([11], §5.3): a slice of a large join-state
+          transfer, paced so interactive multicasts interleave with it; the
+          closing [Join_accepted] carries the remainder and the metadata *)
+  | Group_deleted of { group : Types.group_id }
+  | Join_accepted of {
+      group : Types.group_id;
+      at_seqno : int;  (** group sequence number the state reflects *)
+      state : join_state;
+      members : Types.member list;
+      multicast : bool;
+          (** deliveries for this group will arrive on the group's
+              IP-multicast channel (§5.3 hybrid mode) *)
+    }
+  | Left of { group : Types.group_id }
+  | Membership_info of { group : Types.group_id; members : Types.member list }
+  | Membership_changed of {
+      group : Types.group_id;
+      change : Types.membership_change;
+      members : Types.member list;
+    }
+  | Deliver of Types.update
+  | Lock_granted of { group : Types.group_id; lock : Types.lock_id }
+  | Lock_busy of {
+      group : Types.group_id;
+      lock : Types.lock_id;
+      holder : Types.member_id;
+    }
+  | Lock_released of { group : Types.group_id; lock : Types.lock_id }
+  | Log_reduced of { group : Types.group_id; upto : int }
+  | Request_failed of { group : Types.group_id; reason : string }
+  | Resend_request of { group : Types.group_id; from_seqno : int }
+      (** the server noticed a rejoining client is ahead of its recovered
+          log and asks for the missing suffix (§6) *)
+  | Pong of { nonce : int }
+
+type t = Request of request | Response of response
+
+type Net.Payload.t += Corona of t
+  (** Transport payload constructor used on simulated TCP connections. *)
+
+val encode : Codec.Writer.t -> t -> unit
+
+val decode : Codec.Reader.t -> t
+(** @raise Codec.Reader.Malformed on unknown tags. *)
+
+val wire_size : t -> int
+(** Framed size in bytes: 8-byte frame header + encoded body. *)
+
+val send : Net.Tcp.conn -> t -> unit
+(** Send over a simulated connection, charging {!wire_size} bytes. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human-readable rendering (for traces and tests). *)

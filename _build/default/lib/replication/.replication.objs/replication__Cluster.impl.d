@@ -1,0 +1,1 @@
+lib/replication/cluster.ml: Corona List Net Node Printf Reconcile

@@ -1,0 +1,1 @@
+lib/replication/cluster.mli: Net Node Proto Reconcile Smsg

@@ -1,0 +1,1 @@
+lib/replication/directory.ml: Corona Hashtbl List Option Proto Smsg

@@ -1,0 +1,1 @@
+lib/replication/directory.mli: Corona Proto Smsg

@@ -1,0 +1,1 @@
+lib/replication/node.ml: Corona Directory Hashtbl List Net Option Ordering Proto Sim Smsg

@@ -1,0 +1,1 @@
+lib/replication/node.mli: Corona Net Proto Smsg

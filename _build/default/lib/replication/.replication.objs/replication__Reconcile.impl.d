@@ -1,0 +1,1 @@
+lib/replication/reconcile.ml: Corona List Proto

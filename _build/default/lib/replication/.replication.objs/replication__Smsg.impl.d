@@ -1,0 +1,1 @@
+lib/replication/smsg.ml: Format List Net Option Proto String

@@ -1,0 +1,1 @@
+lib/replication/smsg.mli: Format Net Proto

@@ -1,0 +1,248 @@
+type message =
+  | Claim of { from : string }
+  | Claim_ack of { from : string; candidate : string; ok : bool }
+  | Election of { from : string }
+  | Answer of { from : string }
+  | Victory of { from : string }
+  | Token of { candidate : string }
+
+type env = {
+  self : string;
+  all : string list;
+  is_alive : string -> bool;
+  send : dst:string -> message -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  on_elected : string -> unit;
+}
+
+module type ALGORITHM = sig
+  type t
+
+  val name : string
+
+  val create : env -> t
+
+  val start : t -> unit
+
+  val handle : t -> from:string -> message -> unit
+end
+
+let base_timeout = 0.1
+
+let live env = List.filter env.is_alive env.all
+
+let peers env = List.filter (fun s -> s <> env.self) (live env)
+
+(* Position of [who] in the live list; ranks shift as the detector learns
+   about more failures, which is what gives the escalating-timeout
+   tolerance of k simultaneous crashes. *)
+let rank env who =
+  let rec scan i = function
+    | [] -> i (* unknown servers sort last *)
+    | s :: _ when s = who -> i
+    | _ :: rest -> scan (i + 1) rest
+  in
+  scan 0 (live env)
+
+module List_order = struct
+  type t = {
+    env : env;
+    mutable decided : bool;
+    mutable claiming : bool;
+    mutable acks : string list;
+    mutable nacks : string list;
+  }
+
+  let name = "list-order"
+
+  let create env = { env; decided = false; claiming = false; acks = []; nacks = [] }
+
+  let majority t =
+    (* Half+1 of the remaining (live) servers, counting ourselves. *)
+    (List.length (live t.env) / 2) + 1
+
+  let decide t winner =
+    if not t.decided then begin
+      t.decided <- true;
+      t.env.on_elected winner
+    end
+
+  let claim t =
+    if (not t.decided) && rank t.env t.env.self = 0 then begin
+      t.claiming <- true;
+      t.acks <- [ t.env.self ];
+      t.nacks <- [];
+      List.iter (fun dst -> t.env.send ~dst (Claim { from = t.env.self })) (peers t.env);
+      if List.length t.acks >= majority t then decide t t.env.self
+    end
+
+  (* Wait for my escalating slot; if by then nobody has won, claim. The
+     slot is re-evaluated: if the failure detector has learned that servers
+     ahead of me died, my rank (and wait) shrinks on the next attempt. *)
+  let rec arm t =
+    if not t.decided then begin
+      let r = rank t.env t.env.self in
+      t.env.schedule ~delay:(float_of_int (r + 1) *. base_timeout) (fun () ->
+          if not t.decided then begin
+            if rank t.env t.env.self = 0 then claim t else arm t
+          end)
+    end
+
+  let start t = if rank t.env t.env.self = 0 then claim t else arm t
+
+  let handle t ~from msg =
+    match msg with
+    | Claim { from = candidate } ->
+        let ok = (not t.decided) && rank t.env candidate = 0 in
+        t.env.send ~dst:from (Claim_ack { from = t.env.self; candidate; ok });
+        if ok then
+          (* Give the candidate its majority window before escalating. *)
+          arm t
+    | Claim_ack { from = voter; candidate; ok } ->
+        if t.claiming && candidate = t.env.self && not t.decided then begin
+          if ok then begin
+            if not (List.mem voter t.acks) then t.acks <- voter :: t.acks;
+            if List.length t.acks >= majority t then begin
+              decide t t.env.self;
+              List.iter
+                (fun dst -> t.env.send ~dst (Victory { from = t.env.self }))
+                (peers t.env)
+            end
+          end
+          else if not (List.mem voter t.nacks) then t.nacks <- voter :: t.nacks
+        end
+    | Victory { from = winner } -> decide t winner
+    | Election _ | Answer _ | Token _ -> ()
+end
+
+module Bully = struct
+  type t = {
+    env : env;
+    mutable decided : bool;
+    mutable awaiting_answer : bool;
+    mutable awaiting_victory : bool;
+  }
+
+  let name = "bully"
+
+  let create env =
+    { env; decided = false; awaiting_answer = false; awaiting_victory = false }
+
+  let decide t winner =
+    if not t.decided then begin
+      t.decided <- true;
+      t.env.on_elected winner
+    end
+
+  (* Static rank in the full list: lower index = higher priority (mirrors
+     the paper's startup order; Garcia-Molina uses ids, the order is what
+     matters). *)
+  let static_rank t who =
+    let rec scan i = function
+      | [] -> i
+      | s :: _ when s = who -> i
+      | _ :: rest -> scan (i + 1) rest
+    in
+    scan 0 t.env.all
+
+  let higher t =
+    List.filter
+      (fun s -> s <> t.env.self && static_rank t s < static_rank t t.env.self)
+      (live t.env)
+
+  let announce_victory t =
+    decide t t.env.self;
+    List.iter (fun dst -> t.env.send ~dst (Victory { from = t.env.self })) (peers t.env)
+
+  let rec start t =
+    if not t.decided then
+      match higher t with
+      | [] -> announce_victory t
+      | hs ->
+          t.awaiting_answer <- true;
+          List.iter (fun dst -> t.env.send ~dst (Election { from = t.env.self })) hs;
+          t.env.schedule ~delay:base_timeout (fun () ->
+              if t.awaiting_answer && not t.decided then announce_victory t)
+
+  and await_victory t =
+    t.awaiting_victory <- true;
+    t.env.schedule ~delay:(3.0 *. base_timeout) (fun () ->
+        if t.awaiting_victory && not t.decided then start t)
+
+  let handle t ~from msg =
+    match msg with
+    | Election { from = starter } ->
+        if static_rank t t.env.self < static_rank t starter then begin
+          t.env.send ~dst:from (Answer { from = t.env.self });
+          if (not t.decided) && not t.awaiting_answer then start t
+        end
+    | Answer _ ->
+        t.awaiting_answer <- false;
+        if not t.decided then await_victory t
+    | Victory { from = winner } ->
+        t.awaiting_victory <- false;
+        decide t winner
+    | Claim _ | Claim_ack _ | Token _ -> ()
+end
+
+module Ring = struct
+  type t = { env : env; mutable decided : bool; mutable forwarded_self : bool }
+
+  let name = "ring"
+
+  let create env = { env; decided = false; forwarded_self = false }
+
+  let decide t winner =
+    if not t.decided then begin
+      t.decided <- true;
+      t.env.on_elected winner
+    end
+
+  (* Next live server after self in ring order. *)
+  let successor t =
+    match live t.env with
+    | [] | [ _ ] -> None
+    | ring ->
+        let rec after = function
+          | [] -> List.nth_opt ring 0
+          | s :: rest -> if s = t.env.self then List.nth_opt rest 0 else after rest
+        in
+        (match after ring with
+        | Some s when s <> t.env.self -> Some s
+        | Some _ | None -> (
+            match ring with s :: _ when s <> t.env.self -> Some s | _ -> None))
+
+  let forward t candidate =
+    match successor t with
+    | Some dst -> t.env.send ~dst (Token { candidate })
+    | None -> decide t t.env.self (* alone in the ring *)
+
+  let start t =
+    if not t.decided then begin
+      t.forwarded_self <- true;
+      forward t t.env.self
+    end
+
+  let handle t ~from:_ msg =
+    match msg with
+    | Token { candidate } ->
+        if candidate = t.env.self then begin
+          (* Our token survived the whole ring. *)
+          decide t t.env.self;
+          List.iter
+            (fun dst -> t.env.send ~dst (Victory { from = t.env.self }))
+            (peers t.env)
+        end
+        else begin
+          (* Chang–Roberts: forward the better (earlier-ranked) candidate;
+             swallow worse ones, injecting ourselves once. *)
+          let better = rank t.env candidate < rank t.env t.env.self in
+          if better then forward t candidate
+          else if not t.forwarded_self then begin
+            t.forwarded_self <- true;
+            forward t t.env.self
+          end
+        end
+    | Victory { from = winner } -> decide t winner
+    | Claim _ | Claim_ack _ | Election _ | Answer _ -> ()
+end

@@ -1,0 +1,1298 @@
+module T = Proto.Types
+module M = Proto.Message
+module SL = Corona.State_log
+
+type config = {
+  client_port : int;
+  server_port : int;
+  heartbeat_interval : float;
+  failure_timeout : float;
+  election_timeout : float;
+  reduction : SL.reduction_policy;
+  access : Corona.Access_control.t;
+  relaxed_membership : bool;
+  server_multicast : bool;
+}
+
+let default_config =
+  {
+    client_port = 7000;
+    server_port = 7100;
+    heartbeat_interval = 0.5;
+    failure_timeout = 1.6;
+    election_timeout = 0.4;
+    reduction = SL.No_reduction;
+    access = Corona.Access_control.allow_all;
+    relaxed_membership = false;
+    server_multicast = false;
+  }
+
+type role = Coordinator | Replica
+
+type stats = {
+  fwd_bcasts : int;
+  sequenced : int;
+  applied : int;
+  deliveries_sent : int;
+  elections_started : int;
+  took_over_at : float option;
+}
+
+(* Local copy of a group at a replica. [rg_log = None] while the state fetch
+   is in flight. *)
+type rgroup = {
+  rg_id : T.group_id;
+  mutable rg_persistent : bool;
+  mutable rg_log : SL.t option;
+  rg_local : Corona.Membership.t; (* clients of this replica *)
+  mutable rg_global : T.member list;
+  rg_holdback : (T.update * T.delivery_mode * Smsg.origin_tag) Ordering.Holdback.t;
+  rg_last_og : (Smsg.server_id, int) Hashtbl.t; (* duplicate filter *)
+  mutable rg_expecting_blob : bool; (* a State_blob is on its way *)
+}
+
+type pending_join = {
+  pj_conn : Net.Tcp.conn;
+  pj_transfer : T.transfer_spec;
+  mutable pj_result : (int * T.member list) option; (* from Join_result *)
+}
+
+type t = {
+  fabric : Net.Fabric.t;
+  node_host : Net.Host.t;
+  self : Smsg.server_id;
+  cfg : config;
+  storage : Corona.Server_storage.t;
+  server_list : Smsg.server_id list;
+  mutable alive : Smsg.server_id list; (* believed up, in server_list order *)
+  mutable coord : Smsg.server_id;
+  mutable node_role : role;
+  (* coordinator state *)
+  dir : Directory.t;
+  mutable dir_ready : bool;
+  mutable dir_waiting_on : Smsg.server_id list;
+  mutable recovery_reports : (Smsg.server_id * Smsg.dir_report) list;
+  mutable coord_buffer : (Smsg.server_id * Smsg.t) list; (* newest first *)
+  (* replica state *)
+  rgroups : (T.group_id, rgroup) Hashtbl.t;
+  (* mesh *)
+  peers : (Smsg.server_id, Net.Tcp.conn) Hashtbl.t;
+  outbox : (Smsg.server_id, Smsg.t list) Hashtbl.t;
+      (* messages for peers whose mesh connection is still handshaking *)
+  mutable conn_ids : (int * Smsg.server_id) list; (* conn id -> peer *)
+  (* clients *)
+  conn_of_member : (T.member_id, Net.Tcp.conn) Hashtbl.t;
+  mutable client_conns : Net.Tcp.conn list;
+  (* request correlation *)
+  pending_create :
+    (T.group_id, Net.Tcp.conn * bool * (T.object_id * string) list) Hashtbl.t;
+  pending_delete : (T.group_id, Net.Tcp.conn) Hashtbl.t;
+  pending_join : (T.group_id * T.member_id, pending_join) Hashtbl.t;
+  pending_lock : (T.group_id * T.lock_id * T.member_id, Net.Tcp.conn) Hashtbl.t;
+  mutable fwd_seq : int;
+  pending_bcast : (int, Smsg.t) Hashtbl.t; (* og_seq -> Fwd_bcast *)
+  (* liveness *)
+  last_seen : (Smsg.server_id, float) Hashtbl.t;
+  mutable electing : bool;
+  mutable elect_acks : Smsg.server_id list;
+  mutable acked_candidate : Smsg.server_id option; (* earliest claim seen *)
+  mutable stopped : bool;
+  node_epoch : int; (* host epoch at creation; a crash orphans this node *)
+  mutable st : stats;
+}
+
+let now t = Sim.Engine.now (Net.Fabric.engine t.fabric)
+
+let id t = t.self
+
+let host t = t.node_host
+
+let fabric t = t.fabric
+
+let role t = t.node_role
+
+let coordinator_id t = t.coord
+
+let believes_alive t = t.alive
+
+let stats t = t.st
+
+let is_current t =
+  (not t.stopped)
+  && Net.Host.is_alive t.node_host
+  && Net.Host.epoch t.node_host = t.node_epoch
+
+(* --- inspection -------------------------------------------------------- *)
+
+let groups_held t =
+  Hashtbl.fold
+    (fun g rg acc -> if rg.rg_log <> None then g :: acc else acc)
+    t.rgroups []
+  |> List.sort compare
+
+let group_state t g =
+  match Hashtbl.find_opt t.rgroups g with
+  | Some { rg_log = Some log; _ } -> Some (SL.state log)
+  | Some { rg_log = None; _ } | None -> None
+
+let group_next_seqno t g =
+  match Hashtbl.find_opt t.rgroups g with
+  | Some { rg_log = Some log; _ } -> Some (SL.next_seqno log)
+  | Some { rg_log = None; _ } | None -> None
+
+let group_updates_from t g from =
+  match Hashtbl.find_opt t.rgroups g with
+  | Some { rg_log = Some log; _ } -> SL.updates_from log from
+  | Some { rg_log = None; _ } | None -> []
+
+let group_base t g =
+  match Hashtbl.find_opt t.rgroups g with
+  | Some { rg_log = Some log; _ } -> Some (SL.base log)
+  | Some { rg_log = None; _ } | None -> None
+
+let group_local_members t g =
+  match Hashtbl.find_opt t.rgroups g with
+  | Some rg -> Corona.Membership.members rg.rg_local
+  | None -> []
+
+let directory_groups t = if t.node_role = Coordinator then Directory.group_ids t.dir else []
+
+(* --- server mesh ------------------------------------------------------- *)
+
+let rec handle_smsg t ~from msg = dispatch_smsg t ~from msg
+
+and send_srv t dst msg =
+  if dst = t.self then handle_smsg t ~from:t.self msg
+  else begin
+    match Hashtbl.find_opt t.peers dst with
+    | Some conn when Net.Tcp.is_open conn -> Smsg.send conn msg
+    | Some _ -> () (* peer died; higher-level retries cover it *)
+    | None ->
+        (* The mesh handshake has not completed yet (it races the first
+           client requests at startup): park the message. *)
+        let q = Option.value (Hashtbl.find_opt t.outbox dst) ~default:[] in
+        Hashtbl.replace t.outbox dst (msg :: q)
+  end
+
+(* --- client sending ---------------------------------------------------- *)
+
+and send_client t conn resp =
+  t.st <- { t.st with deliveries_sent = t.st.deliveries_sent + 1 };
+  M.send conn (M.Response resp)
+
+and send_member t member resp =
+  match Hashtbl.find_opt t.conn_of_member member with
+  | Some conn when Net.Tcp.is_open conn -> send_client t conn resp
+  | Some _ | None -> ()
+
+and fail_client t conn group reason =
+  send_client t conn (M.Request_failed { group; reason })
+
+(* Fan a response to the local members of a group, in join order. *)
+and fan_local t rg ?exclude resp =
+  List.iter
+    (fun (m : Corona.Membership.entry) ->
+      match exclude with
+      | Some skip when skip = m.member -> ()
+      | Some _ | None -> send_member t m.member resp)
+    (Corona.Membership.entries rg.rg_local)
+
+and notify_local_membership t rg change members =
+  let changed = T.changed_member change in
+  List.iter
+    (fun m ->
+      if m <> changed then
+        send_member t m (M.Membership_changed { group = rg.rg_id; change; members }))
+    (Corona.Membership.notify_targets rg.rg_local)
+
+(* --- rgroup lifecycle --------------------------------------------------- *)
+
+and make_rgroup t group =
+  let rg =
+    {
+      rg_id = group;
+      rg_persistent = false;
+      rg_log = None;
+      rg_local = Corona.Membership.create ();
+      rg_global = [];
+      rg_holdback = Ordering.Holdback.create ();
+      rg_last_og = Hashtbl.create 8;
+      rg_expecting_blob = false;
+    }
+  in
+  Hashtbl.replace t.rgroups group rg;
+  rg
+
+and rgroup_of t group =
+  match Hashtbl.find_opt t.rgroups group with
+  | Some rg -> rg
+  | None -> make_rgroup t group
+
+and seed_rgroup t rg ~persistent ~at_seqno ~objects =
+  let wal = Corona.Server_storage.wal_for t.storage rg.rg_id in
+  let log =
+    SL.create ~group:rg.rg_id ~persistent ~wal
+      ~checkpoints:(Corona.Server_storage.checkpoints t.storage)
+      ~policy:t.cfg.reduction ~at_seqno ~initial:objects ()
+  in
+  rg.rg_persistent <- persistent;
+  rg.rg_log <- Some log;
+  rg.rg_expecting_blob <- false;
+  Ordering.Holdback.reset rg.rg_holdback ~next:at_seqno;
+  complete_ready_joins t rg
+
+and drop_rgroup t group =
+  (match Hashtbl.find_opt t.rgroups group with
+  | Some { rg_log = Some log; _ } -> SL.delete_durable log
+  | Some { rg_log = None; _ } | None -> ());
+  Corona.Server_storage.drop_group t.storage group;
+  Hashtbl.remove t.rgroups group
+
+(* --- join completion ---------------------------------------------------- *)
+
+and complete_join t rg key (pj : pending_join) =
+  match (rg.rg_log, pj.pj_result) with
+  | Some log, Some (_, members) ->
+      Hashtbl.remove t.pending_join key;
+      let _group, member = key in
+      let entry_role =
+        match List.find_opt (fun (m : T.member) -> m.member = member) members with
+        | Some m -> m.role
+        | None -> T.Principal
+      in
+      Corona.Membership.add rg.rg_local ~member ~role:entry_role
+        ~notify:true (* notify flag is tracked globally; local copy notifies all *)
+        ~joined_at:(now t);
+      rg.rg_global <- members;
+      let state, at_seqno = Corona.Transfer.join_state log pj.pj_transfer in
+      if Net.Tcp.is_open pj.pj_conn then
+        send_client t pj.pj_conn
+          (M.Join_accepted
+             { group = rg.rg_id; at_seqno; state; members; multicast = false })
+  | _ -> ()
+
+and complete_ready_joins t rg =
+  let ready =
+    Hashtbl.fold
+      (fun ((g, _m) as key) pj acc ->
+        if g = rg.rg_id && pj.pj_result <> None then (key, pj) :: acc else acc)
+      t.pending_join []
+  in
+  List.iter (fun (key, pj) -> complete_join t rg key pj) ready
+
+(* --- applying sequenced updates ------------------------------------------ *)
+
+and apply_sequenced t rg (u : T.update) mode (origin : Smsg.origin_tag) =
+  (* Consume the seqno even for duplicates (re-sequenced after failover) so
+     the hold-back stream stays contiguous everywhere. An empty origin marks
+     a gap-repair delivery, which bypasses the duplicate filter. *)
+  let duplicate =
+    origin.og_server <> ""
+    &&
+    match Hashtbl.find_opt rg.rg_last_og origin.og_server with
+    | Some last -> origin.og_seq <= last
+    | None -> false
+  in
+  if origin.og_server <> "" then
+    Hashtbl.replace rg.rg_last_og origin.og_server origin.og_seq;
+  if origin.og_server = t.self then Hashtbl.remove t.pending_bcast origin.og_seq;
+  if not duplicate then begin
+    (match rg.rg_log with
+    | Some log -> SL.apply_sequenced log u ~on_durable:(fun _ -> ())
+    | None -> ());
+    t.st <- { t.st with applied = t.st.applied + 1 };
+    let exclude =
+      match mode with T.Sender_exclusive -> Some u.sender | T.Sender_inclusive -> None
+    in
+    fan_local t rg ?exclude (M.Deliver u)
+  end
+
+and offer_sequenced t rg u mode origin =
+  List.iter
+    (fun (u, mode, origin) -> apply_sequenced t rg u mode origin)
+    (Ordering.Holdback.offer rg.rg_holdback ~seqno:u.T.seqno (u, mode, origin));
+  match Ordering.Holdback.gap rg.rg_holdback with
+  | Some (from_seqno, _) ->
+      send_srv t t.coord
+        (Smsg.Fetch_updates { from = t.self; group = rg.rg_id; from_seqno })
+  | None -> ()
+
+(* --- coordinator: directory operations ----------------------------------- *)
+
+and srv_mcast_channel t =
+  Net.Multicast.channel t.fabric ~name:"corona-srv"
+
+and coord_fan_group t entry ?except msg =
+  match msg with
+  | Smsg.Sequenced _ when t.cfg.server_multicast ->
+      (* §4.1: one transmission reaches every server; replicas that hold no
+         copy of the group simply ignore the update. Gap repair covers
+         best-effort losses. *)
+      Net.Multicast.send (srv_mcast_channel t) ~src:t.node_host
+        ~size:(Smsg.wire_size msg) (Smsg.Srv msg);
+      (* The channel skips the sending host: deliver locally too. *)
+      if List.mem t.self (Directory.replicas_of entry) then
+        handle_smsg t ~from:t.self msg
+  | _ ->
+      List.iter
+        (fun srv ->
+          match except with
+          | Some skip when skip = srv -> ()
+          | Some _ | None -> send_srv t srv msg)
+        (Directory.replicas_of entry)
+
+and coord_handle t ~from msg =
+  if not t.dir_ready then t.coord_buffer <- (from, msg) :: t.coord_buffer
+  else begin
+    match msg with
+    | Smsg.Fwd_create { origin; group; creator; persistent; initial } ->
+        ignore initial;
+        let created =
+          match t.cfg.access.can_create creator group with
+          | Corona.Access_control.Deny reason -> Error reason
+          | Corona.Access_control.Allow -> (
+              match Directory.add_group t.dir ~group ~persistent ~first_holder:origin with
+              | `Ok entry -> Ok entry
+              | `Exists -> Error "group already exists")
+        in
+        (match created with
+        | Ok entry ->
+            (* Reply first: the creator seeds its copy before the backup's
+               fetch arrives on the same FIFO connection. *)
+            send_srv t origin (Smsg.Create_result { group; error = None });
+            ensure_two_holders t entry
+        | Error reason ->
+            send_srv t origin (Smsg.Create_result { group; error = Some reason }))
+    | Smsg.Fwd_delete { origin; group; requester } -> (
+        match t.cfg.access.can_delete requester group with
+        | Corona.Access_control.Deny reason ->
+            send_srv t origin (Smsg.Create_result { group; error = Some reason })
+        | Corona.Access_control.Allow -> (
+            match Directory.find t.dir group with
+            | None ->
+                send_srv t origin
+                  (Smsg.Create_result { group; error = Some "no such group" })
+            | Some entry ->
+                coord_fan_group t entry (Smsg.Delete_group { group });
+                if not (List.mem origin (Directory.replicas_of entry)) then
+                  send_srv t origin (Smsg.Delete_group { group });
+                Directory.remove_group t.dir group))
+    | Smsg.Fwd_join { origin; group; member; role = mrole; notify } -> (
+        match t.cfg.access.can_join member group mrole with
+        | Corona.Access_control.Deny reason ->
+            send_srv t origin
+              (Smsg.Join_result
+                 {
+                   group;
+                   member;
+                   error = Some reason;
+                   next_seqno = 0;
+                   members = [];
+                   holder = None;
+                 })
+        | Corona.Access_control.Allow -> (
+            match Directory.join t.dir ~group ~member ~role:mrole ~notify ~server:origin with
+            | `No_group ->
+                send_srv t origin
+                  (Smsg.Join_result
+                     {
+                       group;
+                       member;
+                       error = Some "no such group";
+                       next_seqno = 0;
+                       members = [];
+                       holder = None;
+                     })
+            | `Ok (entry, source) ->
+                let members = Directory.members entry in
+                send_srv t origin
+                  (Smsg.Join_result
+                     {
+                       group;
+                       member;
+                       error = None;
+                       next_seqno = Directory.next_seqno entry;
+                       members;
+                       holder = source;
+                     });
+                (* Order the state fetch behind every sequenced update by
+                   sending it on the coordinator->holder FIFO channel. *)
+                (match source with
+                | Some holder when holder <> origin ->
+                    send_srv t holder (Smsg.Fetch_state { from = origin; group })
+                | Some _ | None -> ());
+                ensure_two_holders t entry;
+                let except = if t.cfg.relaxed_membership then Some origin else None in
+                coord_fan_group t entry ?except
+                  (Smsg.Membership_update
+                     { group; change = T.Member_joined member; members })))
+    | Smsg.Fwd_leave { origin; group; member; crashed } -> (
+        match Directory.leave t.dir ~group ~member with
+        | `No_group | `Not_member -> ()
+        | `Ok entry ->
+            (* Force-release the member's locks. *)
+            List.iter
+              (fun (lock, next) ->
+                match next with
+                | Some next_holder -> coord_push_lock_grant t entry ~lock ~member:next_holder
+                | None -> ())
+              (Corona.Locks.release_all (Directory.locks entry) ~member);
+            let members = Directory.members entry in
+            let change = if crashed then T.Member_crashed member else T.Member_left member in
+            let except = if t.cfg.relaxed_membership then Some origin else None in
+            coord_fan_group t entry ?except (Smsg.Membership_update { group; change; members });
+            if members = [] && not (Directory.persistent entry) then begin
+              coord_fan_group t entry (Smsg.Delete_group { group });
+              Directory.remove_group t.dir group
+            end)
+    | Smsg.Fwd_bcast { origin; group; sender; kind; obj; data; mode } -> (
+        match Directory.find t.dir group with
+        | None -> send_srv t origin.og_server (Smsg.Bcast_reject { origin; reason = "no such group" })
+        | Some entry -> (
+            match Directory.member_info entry sender with
+            | None ->
+                send_srv t origin.og_server
+                  (Smsg.Bcast_reject { origin; reason = "sender is not a member" })
+            | Some info when info.mi_role = T.Observer ->
+                send_srv t origin.og_server
+                  (Smsg.Bcast_reject
+                     { origin; reason = "observers may not update shared state" })
+            | Some _ ->
+                let seqno = Directory.sequence entry in
+                t.st <- { t.st with sequenced = t.st.sequenced + 1 };
+                let u =
+                  { T.seqno; group; kind; obj; data; sender; timestamp = now t }
+                in
+                coord_fan_group t entry (Smsg.Sequenced { origin; update = u; mode })))
+    | Smsg.Fwd_lock { origin; group; lock; member; acquire } -> (
+        match Directory.find t.dir group with
+        | None ->
+            send_srv t origin
+              (Smsg.Lock_result { group; lock; member; result = `Error "no such group" })
+        | Some entry ->
+            if acquire then begin
+              let result =
+                match Corona.Locks.acquire (Directory.locks entry) ~lock ~member with
+                | `Granted -> `Granted
+                | `Busy holder -> `Busy holder
+              in
+              send_srv t origin (Smsg.Lock_result { group; lock; member; result })
+            end
+            else begin
+              match Corona.Locks.release (Directory.locks entry) ~lock ~member with
+              | `Not_holder ->
+                  send_srv t origin
+                    (Smsg.Lock_result
+                       { group; lock; member; result = `Error "not the lock holder" })
+              | `Released next ->
+                  send_srv t origin
+                    (Smsg.Lock_result { group; lock; member; result = `Released });
+                  (match next with
+                  | Some next_holder -> coord_push_lock_grant t entry ~lock ~member:next_holder
+                  | None -> ())
+            end)
+    | Smsg.Dir_reply { from; reports } ->
+        let tagged = List.map (fun r -> (from, r)) reports in
+        t.recovery_reports <- tagged @ t.recovery_reports;
+        Directory.rebuild t.dir tagged
+    | Smsg.Heartbeat { from } ->
+        Hashtbl.replace t.last_seen from (now t);
+        send_srv t from (Smsg.Heartbeat_ack { from = t.self })
+    | _ -> ()
+  end
+
+(* §4.1: "at least two copies of the state exist at any moment, in order to
+   provide a hot standby"; when only one replica holds a group, a backup is
+   elected from the other servers. *)
+and ensure_two_holders t entry =
+  match Directory.holders entry with
+  | [ only ] -> (
+      let backup =
+        List.find_opt (fun s -> s <> only && s <> t.self) t.alive
+        |> (function
+             | Some b -> Some b
+             | None -> List.find_opt (fun s -> s <> only) t.alive)
+      in
+      match backup with
+      | Some b ->
+          Directory.add_holder entry b;
+          let group = Directory.group entry in
+          send_srv t b (Smsg.Add_replica { group; holder = Some only });
+          send_srv t only (Smsg.Fetch_state { from = b; group })
+      | None -> ())
+  | _ -> ()
+
+and coord_push_lock_grant t entry ~lock ~member =
+  match Directory.member_info entry member with
+  | Some info ->
+      send_srv t info.mi_server
+        (Smsg.Lock_result
+           { group = Directory.group entry; lock; member; result = `Granted })
+  | None -> ()
+
+(* --- replica: handling coordinator/peer messages -------------------------- *)
+
+and replica_handle t ~from msg =
+  match msg with
+  | Smsg.Heartbeat { from } ->
+      Hashtbl.replace t.last_seen from (now t);
+      send_srv t from (Smsg.Heartbeat_ack { from = t.self })
+  | Smsg.Heartbeat_ack { from } -> Hashtbl.replace t.last_seen from (now t)
+  | Smsg.Create_result { group; error } -> (
+      match Hashtbl.find_opt t.pending_create group with
+      | None -> ()
+      | Some (conn, persistent, initial) ->
+          Hashtbl.remove t.pending_create group;
+          (match error with
+          | Some reason -> if Net.Tcp.is_open conn then fail_client t conn group reason
+          | None ->
+              let rg = rgroup_of t group in
+              seed_rgroup t rg ~persistent ~at_seqno:0 ~objects:initial;
+              if Net.Tcp.is_open conn then send_client t conn (M.Group_created { group })))
+  | Smsg.Join_result { group; member; error; next_seqno; members; holder } -> (
+      let key = (group, member) in
+      match Hashtbl.find_opt t.pending_join key with
+      | None -> ()
+      | Some pj -> (
+          match error with
+          | Some reason ->
+              Hashtbl.remove t.pending_join key;
+              if Net.Tcp.is_open pj.pj_conn then fail_client t pj.pj_conn group reason
+          | None ->
+              pj.pj_result <- Some (next_seqno, members);
+              let rg = rgroup_of t group in
+              rg.rg_global <- members;
+              (match (rg.rg_log, holder) with
+              | Some _, _ -> complete_join t rg key pj
+              | None, Some _ -> rg.rg_expecting_blob <- true
+              | None, None ->
+                  if not rg.rg_expecting_blob then
+                    (* We are the first holder (or the only copy was lost):
+                       start from an empty state at the group's position. *)
+                    seed_rgroup t rg ~persistent:false ~at_seqno:next_seqno
+                      ~objects:[])))
+  | Smsg.Membership_update { group; change; members } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | None -> ()
+      | Some rg ->
+          rg.rg_global <- members;
+          (match change with
+          | T.Member_left m | T.Member_crashed m ->
+              ignore (Corona.Membership.remove rg.rg_local m)
+          | T.Member_joined _ -> ());
+          notify_local_membership t rg change members)
+  | Smsg.Sequenced { origin; update; mode } -> (
+      match Hashtbl.find_opt t.rgroups update.group with
+      | None -> ()
+      | Some rg -> offer_sequenced t rg update mode origin)
+  | Smsg.Bcast_reject { origin; reason } ->
+      ignore reason;
+      if origin.og_server = t.self then Hashtbl.remove t.pending_bcast origin.og_seq
+  | Smsg.Fetch_state { from = requester; group } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | Some { rg_log = Some log; _ } ->
+          send_srv t requester
+            (Smsg.State_blob
+               {
+                 group;
+                 at_seqno = SL.next_seqno log;
+                 objects = Corona.Shared_state.objects (SL.state log);
+                 error = None;
+               })
+      | Some { rg_log = None; _ } | None ->
+          send_srv t requester
+            (Smsg.State_blob
+               { group; at_seqno = 0; objects = []; error = Some "state not here" }))
+  | Smsg.State_blob { group; at_seqno; objects; error } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | Some rg when rg.rg_log = None -> (
+          match error with
+          | None -> seed_rgroup t rg ~persistent:rg.rg_persistent ~at_seqno ~objects
+          | Some _ ->
+              rg.rg_expecting_blob <- false;
+              (* Complete any waiting joins from an empty state rather than
+                 stalling them forever. *)
+              let waiting =
+                Hashtbl.fold
+                  (fun (g, _) pj acc ->
+                    if g = group then match pj.pj_result with
+                      | Some (ns, _) -> ns :: acc
+                      | None -> acc
+                    else acc)
+                  t.pending_join []
+              in
+              (match waiting with
+              | ns :: _ -> seed_rgroup t rg ~persistent:false ~at_seqno:ns ~objects:[]
+              | [] -> ()))
+      | Some _ | None -> ())
+  | Smsg.Fetch_updates { from; group; from_seqno } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | Some { rg_log = Some log; _ } when SL.next_seqno log > from_seqno ->
+          (* We are a holder with the missing suffix: answer directly. *)
+          send_srv t from
+            (Smsg.Updates_blob { group; updates = SL.updates_from log from_seqno })
+      | _ ->
+          if t.node_role = Coordinator then begin
+            (* Relay to the freshest holder other than the requester. *)
+            match Directory.find t.dir group with
+            | Some entry -> (
+                match
+                  List.find_opt (fun h -> h <> from && h <> t.self)
+                    (Directory.holders entry)
+                with
+                | Some holder ->
+                    send_srv t holder (Smsg.Fetch_updates { from; group; from_seqno })
+                | None -> ())
+            | None -> ()
+          end)
+  | Smsg.Updates_blob { group; updates } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | None -> ()
+      | Some rg ->
+          (* Repaired updates carry no origin tag; apply_sequenced skips the
+             duplicate filter for them. *)
+          List.iter
+            (fun (u : T.update) ->
+              offer_sequenced t rg u T.Sender_inclusive
+                { Smsg.og_server = ""; og_seq = 0 })
+            updates)
+  | Smsg.Add_replica { group; holder = _ } ->
+      (* The blob will follow (the coordinator ordered the fetch). *)
+      let rg = rgroup_of t group in
+      if rg.rg_log = None then rg.rg_expecting_blob <- true
+  | Smsg.Delete_group { group } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | None -> ()
+      | Some rg ->
+          fan_local t rg (M.Group_deleted { group });
+          drop_rgroup t group)
+  | Smsg.Lock_result { group; lock; member; result } -> (
+      let key = (group, lock, member) in
+      match Hashtbl.find_opt t.pending_lock key with
+      | Some conn ->
+          Hashtbl.remove t.pending_lock key;
+          if Net.Tcp.is_open conn then begin
+            match result with
+            | `Granted -> send_client t conn (M.Lock_granted { group; lock })
+            | `Busy holder -> send_client t conn (M.Lock_busy { group; lock; holder })
+            | `Released -> send_client t conn (M.Lock_released { group; lock })
+            | `Error reason -> fail_client t conn group reason
+          end
+      | None -> (
+          (* Deferred grant pushed to the member. *)
+          match result with
+          | `Granted -> send_member t member (M.Lock_granted { group; lock })
+          | `Busy _ | `Released | `Error _ -> ()))
+  | Smsg.Dir_query { from } ->
+      let reports =
+        Hashtbl.fold
+          (fun g rg acc ->
+            match rg.rg_log with
+            | None -> acc
+            | Some _ ->
+                {
+                  Smsg.dr_group = g;
+                  dr_persistent = rg.rg_persistent;
+                  dr_next_seqno = Ordering.Holdback.next_expected rg.rg_holdback;
+                  dr_members =
+                    List.map
+                      (fun (e : Corona.Membership.entry) ->
+                        ({ T.member = e.member; role = e.role }, e.notify))
+                      (Corona.Membership.entries rg.rg_local);
+                }
+                :: acc)
+          t.rgroups []
+      in
+      send_srv t from (Smsg.Dir_reply { from = t.self; reports })
+  | Smsg.Elect_me { from = candidate } ->
+      let static_pos srv =
+        let rec scan i = function
+          | [] -> i
+          | x :: _ when x = srv -> i
+          | _ :: rest -> scan (i + 1) rest
+        in
+        scan 0 t.server_list
+      in
+      let ok =
+        (not (List.mem t.coord t.alive))
+        &&
+        match t.acked_candidate with
+        | None -> true
+        | Some prev -> static_pos candidate <= static_pos prev
+      in
+      if ok then t.acked_candidate <- Some candidate;
+      send_srv t candidate (Smsg.Elect_ack { from = t.self; candidate; ok })
+  | Smsg.Elect_ack { from = voter; candidate; ok } ->
+      if t.electing && candidate = t.self && ok then begin
+        if not (List.mem voter t.elect_acks) then t.elect_acks <- voter :: t.elect_acks;
+        let majority = (List.length t.alive / 2) + 1 in
+        if List.length t.elect_acks >= majority then become_coordinator t
+      end
+  | Smsg.Coordinator_is { coord } -> on_new_coordinator t coord
+  | Smsg.Dir_reply _ | Smsg.Fwd_create _ | Smsg.Fwd_delete _ | Smsg.Fwd_join _
+  | Smsg.Fwd_leave _ | Smsg.Fwd_bcast _ | Smsg.Fwd_lock _ ->
+      ignore from
+
+(* --- failure handling / election ----------------------------------------- *)
+
+and mark_dead t srv =
+  if List.mem srv t.alive then begin
+    t.alive <- List.filter (fun s -> s <> srv) t.alive;
+    if t.node_role = Coordinator then coord_server_died t srv
+    else if srv = t.coord then start_election t
+  end
+
+and coord_server_died t srv =
+  let lost_members, need_copy = Directory.remove_server t.dir srv in
+  List.iter
+    (fun (group, members) ->
+      match Directory.find t.dir group with
+      | None -> ()
+      | Some entry ->
+          let ms = Directory.members entry in
+          List.iter
+            (fun m ->
+              coord_fan_group t entry
+                (Smsg.Membership_update
+                   { group; change = T.Member_crashed m; members = ms }))
+            members;
+          if ms = [] && not (Directory.persistent entry) then begin
+            coord_fan_group t entry (Smsg.Delete_group { group });
+            Directory.remove_group t.dir group
+          end)
+    lost_members;
+  (* Restore the two-copy invariant (§4.1). *)
+  List.iter
+    (fun (group, surviving) ->
+      match (Directory.find t.dir group, surviving) with
+      | Some entry, Some holder ->
+          let backup =
+            List.find_opt
+              (fun s -> s <> holder && not (List.mem s (Directory.holders entry)))
+              t.alive
+          in
+          (match backup with
+          | Some b ->
+              Directory.add_holder entry b;
+              send_srv t b (Smsg.Add_replica { group; holder = Some holder });
+              send_srv t holder (Smsg.Fetch_state { from = b; group })
+          | None -> ())
+      | Some _, None | None, _ -> ())
+    need_copy
+
+and start_election t =
+  if (not t.electing) && t.node_role = Replica && not (List.mem t.coord t.alive)
+  then begin
+    t.electing <- true;
+    t.st <- { t.st with elections_started = t.st.elections_started + 1 };
+    attempt_claim t
+  end
+
+and claim t =
+  if t.electing && is_current t then begin
+    t.elect_acks <- [ t.self ];
+    t.acked_candidate <- Some t.self;
+    List.iter
+      (fun dst -> if dst <> t.self then send_srv t dst (Smsg.Elect_me { from = t.self }))
+      t.alive;
+    let majority = (List.length t.alive / 2) + 1 in
+    if List.length t.elect_acks >= majority then become_coordinator t
+    else
+      (* Retry: acks may be lost, or peers may not yet suspect. *)
+      ignore
+        (Sim.Engine.schedule (Net.Fabric.engine t.fabric) ~delay:t.cfg.election_timeout
+           (fun () -> claim t))
+  end
+
+and attempt_claim t =
+  if t.electing && is_current t then begin
+    let rec rank i = function
+      | [] -> i
+      | s :: _ when s = t.self -> i
+      | s :: rest -> if List.mem s t.alive then rank (i + 1) rest else rank i rest
+    in
+    let r = rank 0 t.server_list in
+    if r = 0 then claim t
+    else
+      (* Escalating timeout (§4.2): rank k claims after k·t of silence,
+         implicitly asserting that the k servers ahead of it are down too —
+         whether or not the failure detector confirmed it (it cannot, across
+         a partition). An earlier-listed live candidate claims first and
+         wins the ack race. *)
+      ignore
+        (Sim.Engine.schedule (Net.Fabric.engine t.fabric)
+           ~delay:(float_of_int r *. t.cfg.election_timeout)
+           (fun () -> if t.electing then claim t))
+  end
+
+and become_coordinator t =
+  if t.electing then begin
+    t.electing <- false;
+    t.acked_candidate <- None;
+    t.node_role <- Coordinator;
+    t.coord <- t.self;
+    (* Liveness bookkeeping restarts from the takeover: entries left over
+       from before (e.g. the mesh-setup hello) must not read as silence. *)
+    List.iter (fun srv -> Hashtbl.replace t.last_seen srv (now t)) t.alive;
+    t.dir_ready <- false;
+    t.dir_waiting_on <- List.filter (fun s -> s <> t.self) t.alive;
+    t.st <- { t.st with took_over_at = Some (now t) };
+    List.iter
+      (fun dst ->
+        if dst <> t.self then begin
+          send_srv t dst (Smsg.Coordinator_is { coord = t.self });
+          send_srv t dst (Smsg.Dir_query { from = t.self })
+        end)
+      t.alive;
+    (* Include our own local holdings. *)
+    self_dir_report t;
+    (* Open for sequencing once everyone reported, or after a settle
+       timeout. *)
+    let deadline = 2.0 *. t.cfg.election_timeout in
+    ignore
+      (Sim.Engine.schedule (Net.Fabric.engine t.fabric) ~delay:deadline (fun () ->
+           if not t.dir_ready then finish_directory_recovery t));
+    (* Our own un-acknowledged forwards go through the new sequencer (i.e.,
+       ourselves); they sit in the buffer until the directory is ready. *)
+    resend_pending t
+  end
+
+and self_dir_report t =
+  Hashtbl.iter
+    (fun g rg ->
+      match rg.rg_log with
+      | None -> ()
+      | Some _ ->
+          let report =
+                {
+                  Smsg.dr_group = g;
+                  dr_persistent = rg.rg_persistent;
+                  dr_next_seqno = Ordering.Holdback.next_expected rg.rg_holdback;
+                  dr_members =
+                    List.map
+                      (fun (e : Corona.Membership.entry) ->
+                        ({ T.member = e.member; role = e.role }, e.notify))
+                      (Corona.Membership.entries rg.rg_local);
+                }
+          in
+          t.recovery_reports <- (t.self, report) :: t.recovery_reports;
+          Directory.rebuild t.dir [ (t.self, report) ])
+    t.rgroups
+
+and finish_directory_recovery t =
+  t.dir_ready <- true;
+  (* Heal sequence gaps left by the crash: any replica whose copy is behind
+     the group's recovered position gets the missing suffix from the
+     freshest reporter. *)
+  let reports = t.recovery_reports in
+  t.recovery_reports <- [];
+  let by_group : (T.group_id, (Smsg.server_id * int) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (srv, (r : Smsg.dir_report)) ->
+      let prev = Option.value (Hashtbl.find_opt by_group r.dr_group) ~default:[] in
+      Hashtbl.replace by_group r.dr_group ((srv, r.dr_next_seqno) :: prev))
+    reports;
+  Hashtbl.iter
+    (fun group positions ->
+      let freshest, max_next =
+        List.fold_left
+          (fun (bs, bn) (srv, n) -> if n > bn then (srv, n) else (bs, bn))
+          ("", -1) positions
+      in
+      List.iter
+        (fun (srv, n) ->
+          if n < max_next then
+            send_srv t freshest
+              (Smsg.Fetch_updates { from = srv; group; from_seqno = n }))
+        positions)
+    by_group;
+  let buffered = List.rev t.coord_buffer in
+  t.coord_buffer <- [];
+  List.iter (fun (from, msg) -> coord_handle t ~from msg) buffered
+
+and on_new_coordinator t coord =
+  if coord <> t.coord || t.electing then begin
+    t.coord <- coord;
+    t.electing <- false;
+    t.acked_candidate <- None;
+    if coord <> t.self then t.node_role <- Replica;
+    if not (List.mem coord t.alive) then
+      t.alive <-
+        List.filter (fun s -> List.mem s t.alive || s = coord) t.server_list;
+    Hashtbl.replace t.last_seen coord (now t);
+    resend_pending t
+  end
+
+(* After a coordinator change, re-send everything not yet acknowledged:
+   broadcasts (deduplicated by origin tag), joins, creates, deletes and lock
+   requests (the directory join is idempotent; lock re-acquire by the same
+   member is idempotent too). *)
+and resend_pending t =
+  let bcasts =
+    Hashtbl.fold (fun seq msg acc -> (seq, msg) :: acc) t.pending_bcast []
+    |> List.sort compare
+  in
+  List.iter (fun (_, msg) -> send_srv t t.coord msg) bcasts;
+  Hashtbl.iter
+    (fun (group, member) (pj : pending_join) ->
+      if pj.pj_result = None then
+        send_srv t t.coord
+          (Smsg.Fwd_join
+             { origin = t.self; group; member; role = T.Principal; notify = true }))
+    t.pending_join;
+  Hashtbl.iter
+    (fun group (_conn, persistent, initial) ->
+      send_srv t t.coord
+        (Smsg.Fwd_create { origin = t.self; group; creator = ""; persistent; initial }))
+    t.pending_create;
+  Hashtbl.iter
+    (fun group _conn ->
+      send_srv t t.coord (Smsg.Fwd_delete { origin = t.self; group; requester = "" }))
+    t.pending_delete;
+  Hashtbl.iter
+    (fun (group, lock, member) _conn ->
+      send_srv t t.coord
+        (Smsg.Fwd_lock { origin = t.self; group; lock; member; acquire = true }))
+    t.pending_lock
+
+(* --- dispatch ------------------------------------------------------------ *)
+
+and dispatch_smsg t ~from msg =
+  if is_current t then begin
+    match msg with
+    | Smsg.Heartbeat _ | Smsg.Heartbeat_ack _ | Smsg.Elect_me _ | Smsg.Elect_ack _
+    | Smsg.Coordinator_is _ | Smsg.Dir_query _ ->
+        replica_handle t ~from msg
+    | Smsg.Fwd_create _ | Smsg.Fwd_delete _ | Smsg.Fwd_join _ | Smsg.Fwd_leave _
+    | Smsg.Fwd_bcast _ | Smsg.Fwd_lock _ ->
+        if t.node_role = Coordinator then coord_handle t ~from msg
+    | Smsg.Dir_reply _ ->
+        if t.node_role = Coordinator then begin
+          coord_handle t ~from msg;
+          t.dir_waiting_on <- List.filter (fun s -> s <> from) t.dir_waiting_on;
+          if t.dir_waiting_on = [] && not t.dir_ready then finish_directory_recovery t
+        end
+    | Smsg.Create_result _ | Smsg.Join_result _ | Smsg.Membership_update _
+    | Smsg.Sequenced _ | Smsg.Bcast_reject _ | Smsg.Fetch_state _ | Smsg.State_blob _
+    | Smsg.Add_replica _ | Smsg.Delete_group _ | Smsg.Lock_result _
+    | Smsg.Fetch_updates _ | Smsg.Updates_blob _ ->
+        replica_handle t ~from msg
+  end
+
+(* --- client request handling ---------------------------------------------- *)
+
+let adopt_group_state t group ~at_seqno ~objects =
+  let rg = rgroup_of t group in
+  let persistent = rg.rg_persistent in
+  rg.rg_log <- None;
+  Hashtbl.reset rg.rg_last_og;
+  seed_rgroup t rg ~persistent ~at_seqno ~objects
+
+let admin_heal t ~coordinator =
+  t.alive <- t.server_list;
+  t.electing <- false;
+  t.coord <- coordinator;
+  Hashtbl.reset t.last_seen;
+  if coordinator = t.self then begin
+    t.node_role <- Coordinator;
+    t.dir_ready <- false;
+    t.dir_waiting_on <- List.filter (fun s -> s <> t.self) t.alive;
+    List.iter
+      (fun dst -> if dst <> t.self then send_srv t dst (Smsg.Dir_query { from = t.self }))
+      t.alive;
+    self_dir_report t;
+    ignore
+      (Sim.Engine.schedule (Net.Fabric.engine t.fabric)
+         ~delay:(2.0 *. t.cfg.election_timeout)
+         (fun () -> if not t.dir_ready then finish_directory_recovery t))
+  end
+  else begin
+    t.node_role <- Replica;
+    resend_pending t
+  end
+
+let handle_client_request t conn (req : M.request) =
+  match req with
+  | M.Create_group { group; creator; persistent; initial } ->
+      Hashtbl.replace t.pending_create group (conn, persistent, initial);
+      send_srv t t.coord
+        (Smsg.Fwd_create { origin = t.self; group; creator; persistent; initial })
+  | M.Delete_group { group; requester } ->
+      Hashtbl.replace t.pending_delete group conn;
+      send_srv t t.coord (Smsg.Fwd_delete { origin = t.self; group; requester })
+  | M.Join { group; member; role = mrole; transfer; notify } ->
+      Hashtbl.replace t.conn_of_member member conn;
+      Hashtbl.replace t.pending_join (group, member)
+        { pj_conn = conn; pj_transfer = transfer; pj_result = None };
+      (* §4.1 relaxation: a join "does not directly affect the other
+         members", so co-located members hear about it before the
+         coordinator round-trip; the coordinator skips this replica in its
+         Membership_update fan. *)
+      (if t.cfg.relaxed_membership then
+         match Hashtbl.find_opt t.rgroups group with
+         | Some rg ->
+             let members =
+               List.filter (fun (m : T.member) -> m.member <> member) rg.rg_global
+               @ [ { T.member; role = mrole } ]
+             in
+             notify_local_membership t rg (T.Member_joined member) members
+         | None -> ());
+      send_srv t t.coord
+        (Smsg.Fwd_join { origin = t.self; group; member; role = mrole; notify })
+  | M.Leave { group; member } ->
+      (* §4.1 relaxation: a leave does not directly affect the others, so
+         acknowledge locally before the coordinator round-trip. *)
+      (match Hashtbl.find_opt t.rgroups group with
+      | Some rg ->
+          ignore (Corona.Membership.remove rg.rg_local member);
+          send_client t conn (M.Left { group });
+          if t.cfg.relaxed_membership then
+            notify_local_membership t rg (T.Member_left member)
+              (List.filter (fun (m : T.member) -> m.member <> member) rg.rg_global)
+      | None -> fail_client t conn group "no such group");
+      send_srv t t.coord
+        (Smsg.Fwd_leave { origin = t.self; group; member; crashed = false })
+  | M.Get_membership { group } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | Some rg -> send_client t conn (M.Membership_info { group; members = rg.rg_global })
+      | None -> fail_client t conn group "no such group")
+  | M.Bcast { group; sender; kind; obj; data; mode } ->
+      let og_seq = t.fwd_seq in
+      t.fwd_seq <- og_seq + 1;
+      let msg =
+        Smsg.Fwd_bcast
+          {
+            origin = { Smsg.og_server = t.self; og_seq };
+            group;
+            sender;
+            kind;
+            obj;
+            data;
+            mode;
+          }
+      in
+      Hashtbl.replace t.pending_bcast og_seq msg;
+      t.st <- { t.st with fwd_bcasts = t.st.fwd_bcasts + 1 };
+      send_srv t t.coord msg
+  | M.Acquire_lock { group; lock; member } ->
+      Hashtbl.replace t.pending_lock (group, lock, member) conn;
+      send_srv t t.coord
+        (Smsg.Fwd_lock { origin = t.self; group; lock; member; acquire = true })
+  | M.Release_lock { group; lock; member } ->
+      Hashtbl.replace t.pending_lock (group, lock, member) conn;
+      send_srv t t.coord
+        (Smsg.Fwd_lock { origin = t.self; group; lock; member; acquire = false })
+  | M.Reduce_log { group; member = _ } -> (
+      (* Log reduction is a local matter: each holder trims its own copy. *)
+      match Hashtbl.find_opt t.rgroups group with
+      | Some { rg_log = Some log; _ } ->
+          if Corona.State_log.log_length log = 0 then
+            send_client t conn
+              (M.Log_reduced { group; upto = Corona.State_log.snapshot_seqno log })
+          else
+            Corona.State_log.reduce log ~on_done:(fun ~upto ->
+                if Net.Tcp.is_open conn then send_client t conn (M.Log_reduced { group; upto }))
+      | Some { rg_log = None; _ } | None -> fail_client t conn group "no such group")
+  | M.Resend _ ->
+      (* §6 sender-assisted recovery is a single-server feature; replicated
+         groups restore lost suffixes from other holders instead. *)
+      ()
+  | M.Ping { nonce } -> send_client t conn (M.Pong { nonce })
+
+let handle_client_disconnect t conn reason =
+  t.client_conns <- List.filter (fun c -> Net.Tcp.id c <> Net.Tcp.id conn) t.client_conns;
+  let members_on_conn =
+    Hashtbl.fold
+      (fun member c acc -> if Net.Tcp.id c = Net.Tcp.id conn then member :: acc else acc)
+      t.conn_of_member []
+  in
+  let crashed = reason <> Net.Tcp.Graceful in
+  List.iter
+    (fun member ->
+      Hashtbl.remove t.conn_of_member member;
+      Hashtbl.iter
+        (fun group rg ->
+          if Corona.Membership.mem rg.rg_local member then begin
+            ignore (Corona.Membership.remove rg.rg_local member);
+            if t.cfg.relaxed_membership then begin
+              let change =
+                if crashed then T.Member_crashed member else T.Member_left member
+              in
+              notify_local_membership t rg change
+                (List.filter (fun (m : T.member) -> m.member <> member) rg.rg_global)
+            end;
+            send_srv t t.coord (Smsg.Fwd_leave { origin = t.self; group; member; crashed })
+          end)
+        t.rgroups)
+    members_on_conn
+
+(* --- liveness loop --------------------------------------------------------- *)
+
+let heartbeat_tick t =
+  if is_current t then begin
+    let now_ = now t in
+    if t.node_role = Replica then begin
+      send_srv t t.coord (Smsg.Heartbeat { from = t.self });
+      match Hashtbl.find_opt t.last_seen t.coord with
+      | Some seen when now_ -. seen > t.cfg.failure_timeout -> mark_dead t t.coord
+      | Some _ -> ()
+      | None -> Hashtbl.replace t.last_seen t.coord now_
+    end
+    else
+      List.iter
+        (fun srv ->
+          if srv <> t.self then begin
+            match Hashtbl.find_opt t.last_seen srv with
+            | Some seen when now_ -. seen > t.cfg.failure_timeout -> mark_dead t srv
+            | Some _ -> ()
+            | None -> Hashtbl.replace t.last_seen srv now_
+          end)
+        t.alive
+  end;
+  is_current t
+
+(* --- construction ----------------------------------------------------------- *)
+
+let wire_peer t peer_id conn =
+  Hashtbl.replace t.peers peer_id conn;
+  (match Hashtbl.find_opt t.outbox peer_id with
+  | Some queued ->
+      Hashtbl.remove t.outbox peer_id;
+      List.iter (Smsg.send conn) (List.rev queued)
+  | None -> ());
+  t.conn_ids <- (Net.Tcp.id conn, peer_id) :: t.conn_ids;
+  Net.Tcp.set_on_close conn (fun reason ->
+      if is_current t && reason = Net.Tcp.Peer_crashed then mark_dead t peer_id);
+  Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+      match payload with
+      | Smsg.Srv msg -> dispatch_smsg t ~from:peer_id msg
+      | M.Corona _ | _ -> ())
+
+let accept_peer t conn =
+  (* Identity arrives with the first message carrying a [from]/origin. *)
+  Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+      match payload with
+      | Smsg.Srv (Smsg.Heartbeat { from }) ->
+          if not (Hashtbl.mem t.peers from) then wire_peer t from conn;
+          dispatch_smsg t ~from (Smsg.Heartbeat { from })
+      | Smsg.Srv msg ->
+          let from =
+            match List.assoc_opt (Net.Tcp.id conn) t.conn_ids with
+            | Some p -> p
+            | None -> "?"
+          in
+          dispatch_smsg t ~from msg
+      | M.Corona _ | _ -> ())
+
+let accept_client t conn =
+  t.client_conns <- conn :: t.client_conns;
+  Net.Tcp.set_on_close conn (fun reason ->
+      if is_current t then handle_client_disconnect t conn reason);
+  Net.Tcp.set_receiver conn (fun ~size:_ payload ->
+      match payload with
+      | M.Corona (M.Request req) -> if is_current t then handle_client_request t conn req
+      | M.Corona (M.Response _) | _ -> ())
+
+let create fabric node_host ?(config = default_config) ~storage ~server_list
+    ~coordinator () =
+  let self = Net.Host.name node_host in
+  let t =
+    {
+      fabric;
+      node_host;
+      self;
+      cfg = config;
+      storage;
+      server_list;
+      alive = server_list;
+      coord = coordinator;
+      node_role = (if self = coordinator then Coordinator else Replica);
+      dir = Directory.create ();
+      dir_ready = true;
+      dir_waiting_on = [];
+      recovery_reports = [];
+      coord_buffer = [];
+      rgroups = Hashtbl.create 16;
+      peers = Hashtbl.create 16;
+      outbox = Hashtbl.create 8;
+      conn_ids = [];
+      conn_of_member = Hashtbl.create 64;
+      client_conns = [];
+      pending_create = Hashtbl.create 8;
+      pending_delete = Hashtbl.create 8;
+      pending_join = Hashtbl.create 16;
+      pending_lock = Hashtbl.create 8;
+      fwd_seq = 0;
+      pending_bcast = Hashtbl.create 16;
+      last_seen = Hashtbl.create 16;
+      electing = false;
+      elect_acks = [];
+      acked_candidate = None;
+      stopped = false;
+      node_epoch = Net.Host.epoch node_host;
+      st =
+        {
+          fwd_bcasts = 0;
+          sequenced = 0;
+          applied = 0;
+          deliveries_sent = 0;
+          elections_started = 0;
+          took_over_at = None;
+        };
+    }
+  in
+  if config.server_multicast then
+    Net.Multicast.join
+      (Net.Multicast.channel fabric ~name:"corona-srv")
+      node_host ~key:self
+      ~handler:(fun ~size:_ payload ->
+        match payload with
+        | Smsg.Srv (Smsg.Sequenced _ as msg) ->
+            (* Sender identity travels in the origin tag; "from" is only
+               used for reply routing, which Sequenced never needs. *)
+            dispatch_smsg t ~from:t.coord msg
+        | Smsg.Srv _ | _ -> ())
+      ();
+  ignore (Net.Tcp.listen fabric node_host ~port:config.server_port ~on_accept:(accept_peer t));
+  ignore (Net.Tcp.listen fabric node_host ~port:config.client_port ~on_accept:(accept_client t));
+  Sim.Engine.periodic (Net.Fabric.engine fabric) ~every:config.heartbeat_interval
+    (fun () -> heartbeat_tick t);
+  t
+
+let connect_peers t nodes =
+  let my_index =
+    let rec find i = function
+      | [] -> i
+      | s :: _ when s = t.self -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 t.server_list
+  in
+  List.iter
+    (fun peer ->
+      let peer_id = peer.self in
+      let peer_index =
+        let rec find i = function
+          | [] -> i
+          | s :: _ when s = peer_id -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 t.server_list
+      in
+      if peer_index > my_index then
+        Net.Tcp.connect t.fabric ~src:t.node_host ~dst:peer.node_host
+          ~port:t.cfg.server_port
+          ~on_connected:(fun conn ->
+            wire_peer t peer_id conn;
+            (* Hello: lets the acceptor map the connection to us. *)
+            Smsg.send conn (Smsg.Heartbeat { from = t.self }))
+          ~on_failed:(fun () -> ())
+          ())
+    nodes
+
+let shutdown t =
+  t.stopped <- true;
+  List.iter (fun c -> if Net.Tcp.is_open c then Net.Tcp.close c) t.client_conns;
+  Hashtbl.iter (fun _ c -> if Net.Tcp.is_open c then Net.Tcp.close c) t.peers

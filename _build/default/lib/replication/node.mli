@@ -1,0 +1,127 @@
+(** A server of the replicated Corona service (§4).
+
+    Nodes form a star over a full TCP mesh: one node is the {e coordinator}
+    — the sequencer that assigns monotonically increasing per-group sequence
+    numbers, maintains the group {!Directory} and the group-wide lock tables
+    — while the others are {e replicas} that serve clients directly, keep
+    copies of the shared state of the groups their clients belong to, and
+    forward broadcasts to the coordinator for sequencing.
+
+    Fault tolerance (§4.2, fail-stop model): heartbeats between each replica
+    and the coordinator with timeout-based detection (TCP resets accelerate
+    it); on coordinator failure the first live server in the startup list
+    claims the role with escalating timeouts and assumes it on half+1
+    acknowledgments, then rebuilds the directory by querying every replica;
+    replicas re-send their un-sequenced forwards to the new coordinator
+    (duplicates are filtered by per-origin monotone tags). On replica
+    failure the coordinator purges its members and re-replicates every group
+    that dropped below two state copies. *)
+
+type config = {
+  client_port : int;
+  server_port : int;
+  heartbeat_interval : float;
+  failure_timeout : float;  (** silence before declaring a peer dead *)
+  election_timeout : float;  (** escalation unit of the paper's election *)
+  reduction : Corona.State_log.reduction_policy;
+  access : Corona.Access_control.t;
+  relaxed_membership : bool;
+      (** §4.1 relaxation: the origin replica notifies its local clients of
+          joins/leaves immediately, without waiting for the coordinator
+          round-trip *)
+  server_multicast : bool;
+      (** §4.1: "it is possible to use IP-multicast for broadcasting
+          messages among the servers, while also maintaining point-to-point
+          connections" — when on, the coordinator fans [Sequenced] updates
+          out on one inter-server channel; control traffic and recovery stay
+          on the TCP mesh *)
+}
+
+val default_config : config
+(** Ports 7000/7100, 0.5 s heartbeats, 1.6 s failure timeout, 0.4 s election
+    unit, no auto reduction, allow-all access, relaxation and server
+    multicast off. *)
+
+type role = Coordinator | Replica
+
+type t
+
+val create :
+  Net.Fabric.t ->
+  Net.Host.t ->
+  ?config:config ->
+  storage:Corona.Server_storage.t ->
+  server_list:Smsg.server_id list ->
+  coordinator:Smsg.server_id ->
+  unit ->
+  t
+(** Start a node. [server_list] is the startup-ordered list every server
+    knows (it determines election priority); [coordinator] names the initial
+    coordinator. The node id is its host name. Call {!connect_peers} once
+    all nodes of the cluster exist. *)
+
+val connect_peers : t -> t list -> unit
+(** Open mesh connections to peers later in the list (each pair connects
+    once; accepting sides learn the link via the handshake hello). *)
+
+val id : t -> Smsg.server_id
+
+val host : t -> Net.Host.t
+
+val fabric : t -> Net.Fabric.t
+
+val role : t -> role
+
+val coordinator_id : t -> Smsg.server_id
+
+val believes_alive : t -> Smsg.server_id list
+(** Servers this node currently considers up (including itself). *)
+
+val groups_held : t -> Proto.Types.group_id list
+(** Groups this node keeps a state copy of. *)
+
+val group_state : t -> Proto.Types.group_id -> Corona.Shared_state.t option
+
+val group_next_seqno : t -> Proto.Types.group_id -> int option
+(** Next sequence number this node's copy expects. *)
+
+val group_updates_from : t -> Proto.Types.group_id -> int -> Proto.Types.update list
+(** Retained updates of the local copy (for reconciliation). *)
+
+val group_base : t -> Proto.Types.group_id -> ((Proto.Types.object_id * string) list * int) option
+(** The local copy's base state and the sequence number it reflects (initial
+    objects or last reduction checkpoint); the retained log starts there. *)
+
+val group_local_members : t -> Proto.Types.group_id -> Proto.Types.member list
+
+val directory_groups : t -> Proto.Types.group_id list
+(** Coordinator only: groups in the directory ([] on replicas). *)
+
+val adopt_group_state :
+  t ->
+  Proto.Types.group_id ->
+  at_seqno:int ->
+  objects:(Proto.Types.object_id * string) list ->
+  unit
+(** Partition reconciliation hook (§4.2): overwrite the local copy of a
+    group with the resolved state. The application chooses the resolution;
+    this applies it. *)
+
+val admin_heal : t -> coordinator:Smsg.server_id -> unit
+(** After a partition heals: accept [coordinator] as the single coordinator
+    again, consider every listed server alive (heartbeats re-prune real
+    failures), and — on the coordinator itself — re-run directory recovery
+    so membership and sequence counters re-converge. *)
+
+type stats = {
+  fwd_bcasts : int;  (** broadcasts forwarded to the coordinator *)
+  sequenced : int;  (** updates sequenced (coordinator role) *)
+  applied : int;  (** sequenced updates applied to local copies *)
+  deliveries_sent : int;  (** messages pushed to local clients *)
+  elections_started : int;
+  took_over_at : float option;  (** when this node became coordinator *)
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit

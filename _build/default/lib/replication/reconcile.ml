@@ -1,0 +1,80 @@
+type side = {
+  s_base_objects : (Proto.Types.object_id * string) list;
+  s_base_seqno : int;
+  s_updates : Proto.Types.update list;
+}
+
+type divergence = {
+  d_group : Proto.Types.group_id;
+  d_common_seqno : int;
+  d_a_suffix : Proto.Types.update list;
+  d_b_suffix : Proto.Types.update list;
+}
+
+type resolution =
+  | Rollback
+  | Adopt_a
+  | Adopt_b
+  | Fork of { suffix_a : string; suffix_b : string }
+
+type outcome = {
+  o_groups : (Proto.Types.group_id * (Proto.Types.object_id * string) list * int) list;
+}
+
+let update_equal (a : Proto.Types.update) (b : Proto.Types.update) =
+  a.seqno = b.seqno && a.sender = b.sender && a.kind = b.kind && a.obj = b.obj
+  && a.data = b.data
+
+let find_divergence ~group ~a ~b =
+  let rec scan a b =
+    match (a, b) with
+    | ua :: ra, ub :: rb when update_equal ua ub -> scan ra rb
+    | _ -> (a, b)
+  in
+  let a_suffix, b_suffix = scan a b in
+  let common =
+    match (a_suffix, b_suffix) with
+    | (u : Proto.Types.update) :: _, _ -> u.seqno
+    | [], (u : Proto.Types.update) :: _ -> u.seqno
+    | [], [] -> (
+        match List.rev a with
+        | (u : Proto.Types.update) :: _ -> u.seqno + 1
+        | [] -> 0)
+  in
+  { d_group = group; d_common_seqno = common; d_a_suffix = a_suffix; d_b_suffix = b_suffix }
+
+let is_consistent d = d.d_a_suffix = [] && d.d_b_suffix = []
+
+let materialize base updates =
+  let state = Corona.Shared_state.of_objects base in
+  List.iter (Corona.Shared_state.apply state) updates;
+  Corona.Shared_state.objects state
+
+let side_state_upto side upto =
+  materialize side.s_base_objects
+    (List.filter (fun (u : Proto.Types.update) -> u.seqno < upto) side.s_updates)
+
+let side_state side =
+  materialize side.s_base_objects side.s_updates
+
+let side_end side =
+  match List.rev side.s_updates with
+  | (u : Proto.Types.update) :: _ -> u.seqno + 1
+  | [] -> side.s_base_seqno
+
+let resolve ~side_a ~side_b d resolution =
+  match resolution with
+  | Rollback ->
+      (* Either side can reconstruct the consistent state from its own
+         checkpoint plus the common prefix. *)
+      { o_groups = [ (d.d_group, side_state_upto side_a d.d_common_seqno, d.d_common_seqno) ] }
+  | Adopt_a -> { o_groups = [ (d.d_group, side_state side_a, side_end side_a) ] }
+  | Adopt_b -> { o_groups = [ (d.d_group, side_state side_b, side_end side_b) ] }
+  | Fork { suffix_a; suffix_b } ->
+      {
+        o_groups =
+          [
+            (d.d_group ^ suffix_a, side_state side_a, side_end side_a);
+            (d.d_group ^ suffix_b, side_state side_b, side_end side_b);
+          ];
+      }

@@ -1,0 +1,53 @@
+(** Partition reconciliation (§4.2).
+
+    While partitioned, the two subsets sequence updates independently, so a
+    group's copies diverge after the last globally consistent sequence
+    number. When connectivity returns, this module identifies that point
+    from the two sides' logs and computes the state resulting from the
+    application's chosen resolution: roll back to the consistent state,
+    adopt one side's history, or let the group evolve as two groups
+    (fork). Pure functions — {!Cluster.reconcile} applies the outcome. *)
+
+type side = { s_base_objects : (Proto.Types.object_id * string) list;
+              s_base_seqno : int;
+              (** state at the last pre-divergence point this side can
+                  reconstruct *)
+              s_updates : Proto.Types.update list;
+              (** updates from [s_base_seqno] on, in sequence order *) }
+
+type divergence = {
+  d_group : Proto.Types.group_id;
+  d_common_seqno : int;
+      (** first sequence number at which the sides disagree (or the end of
+          the shorter log when one is a prefix of the other) *)
+  d_a_suffix : Proto.Types.update list;  (** side A beyond the common prefix *)
+  d_b_suffix : Proto.Types.update list;
+}
+
+type resolution =
+  | Rollback  (** return to the last globally consistent state *)
+  | Adopt_a  (** keep side A's history, discard B's divergent suffix *)
+  | Adopt_b
+  | Fork of { suffix_a : string; suffix_b : string }
+      (** split into two groups named [group ^ suffix] *)
+
+type outcome = {
+  o_groups : (Proto.Types.group_id * (Proto.Types.object_id * string) list * int) list;
+      (** groups to (re)seed: name, objects, at_seqno *)
+}
+
+val find_divergence :
+  group:Proto.Types.group_id ->
+  a:Proto.Types.update list ->
+  b:Proto.Types.update list ->
+  divergence
+(** Compare two logs covering the same starting point. Updates are equal
+    when sequence number, sender, kind, object and data all match. *)
+
+val is_consistent : divergence -> bool
+(** True when neither side has a divergent suffix. *)
+
+val resolve : side_a:side -> side_b:side -> divergence -> resolution -> outcome
+(** Compute the post-reconciliation group state(s). For [Rollback] the
+    common prefix is replayed onto the base; for [Adopt_*] the chosen side's
+    full history wins; for [Fork] both survive under new names. *)

@@ -1,0 +1,222 @@
+type server_id = string
+
+type origin_tag = { og_server : server_id; og_seq : int }
+
+type dir_report = {
+  dr_group : Proto.Types.group_id;
+  dr_persistent : bool;
+  dr_next_seqno : int;
+  dr_members : (Proto.Types.member * bool) list;
+}
+
+type t =
+  | Heartbeat of { from : server_id }
+  | Heartbeat_ack of { from : server_id }
+  | Fwd_create of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      creator : Proto.Types.member_id;
+      persistent : bool;
+      initial : (Proto.Types.object_id * string) list;
+    }
+  | Create_result of { group : Proto.Types.group_id; error : string option }
+  | Fwd_delete of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      requester : Proto.Types.member_id;
+    }
+  | Delete_group of { group : Proto.Types.group_id }
+  | Fwd_join of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      member : Proto.Types.member_id;
+      role : Proto.Types.role;
+      notify : bool;
+    }
+  | Join_result of {
+      group : Proto.Types.group_id;
+      member : Proto.Types.member_id;
+      error : string option;
+      next_seqno : int;
+      members : Proto.Types.member list;
+      holder : server_id option;
+    }
+  | Fwd_leave of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      member : Proto.Types.member_id;
+      crashed : bool;
+    }
+  | Membership_update of {
+      group : Proto.Types.group_id;
+      change : Proto.Types.membership_change;
+      members : Proto.Types.member list;
+    }
+  | Fwd_bcast of {
+      origin : origin_tag;
+      group : Proto.Types.group_id;
+      sender : Proto.Types.member_id;
+      kind : Proto.Types.update_kind;
+      obj : Proto.Types.object_id;
+      data : string;
+      mode : Proto.Types.delivery_mode;
+    }
+  | Sequenced of {
+      origin : origin_tag;
+      update : Proto.Types.update;
+      mode : Proto.Types.delivery_mode;
+    }
+  | Bcast_reject of { origin : origin_tag; reason : string }
+  | Fetch_state of { from : server_id; group : Proto.Types.group_id }
+  | State_blob of {
+      group : Proto.Types.group_id;
+      at_seqno : int;
+      objects : (Proto.Types.object_id * string) list;
+      error : string option;
+    }
+  | Add_replica of { group : Proto.Types.group_id; holder : server_id option }
+  | Fetch_updates of {
+      from : server_id;
+      group : Proto.Types.group_id;
+      from_seqno : int;
+    }
+  | Updates_blob of {
+      group : Proto.Types.group_id;
+      updates : Proto.Types.update list;
+    }
+  | Fwd_lock of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      lock : Proto.Types.lock_id;
+      member : Proto.Types.member_id;
+      acquire : bool;
+    }
+  | Lock_result of {
+      group : Proto.Types.group_id;
+      lock : Proto.Types.lock_id;
+      member : Proto.Types.member_id;
+      result :
+        [ `Granted | `Busy of Proto.Types.member_id | `Released | `Error of string ];
+    }
+  | Elect_me of { from : server_id }
+  | Elect_ack of { from : server_id; candidate : server_id; ok : bool }
+  | Coordinator_is of { coord : server_id }
+  | Dir_query of { from : server_id }
+  | Dir_reply of { from : server_id; reports : dir_report list }
+
+type Net.Payload.t += Srv of t
+
+let header = 8
+
+let str s = 4 + String.length s
+
+let pairs_size ps =
+  List.fold_left (fun acc (k, v) -> acc + str k + str v) 4 ps
+
+let members_size ms =
+  List.fold_left (fun acc (m : Proto.Types.member) -> acc + str m.member + 1) 4 ms
+
+let update_size (u : Proto.Types.update) =
+  8 + str u.group + 1 + str u.obj + str u.data + str u.sender + 8
+
+let tag_size tag = str tag.og_server + 8
+
+let report_size r =
+  str r.dr_group + 1 + 8
+  + List.fold_left (fun acc (m, _) -> acc + str m.Proto.Types.member + 2) 4 r.dr_members
+
+let wire_size t =
+  header
+  +
+  match t with
+  | Heartbeat { from } | Heartbeat_ack { from } -> str from
+  | Fwd_create { origin; group; creator; initial; _ } ->
+      str origin + str group + str creator + 1 + pairs_size initial
+  | Create_result { group; error } ->
+      str group + (match error with Some e -> str e | None -> 1)
+  | Fwd_delete { origin; group; requester } -> str origin + str group + str requester
+  | Delete_group { group } -> str group
+  | Fwd_join { origin; group; member; _ } -> str origin + str group + str member + 2
+  | Join_result { group; member; error; members; holder; _ } ->
+      str group + str member + 8 + members_size members
+      + (match error with Some e -> str e | None -> 1)
+      + (match holder with Some h -> str h | None -> 1)
+  | Fwd_leave { origin; group; member; _ } -> str origin + str group + str member + 1
+  | Membership_update { group; members; _ } -> str group + 8 + members_size members
+  | Fwd_bcast { origin; group; sender; obj; data; _ } ->
+      tag_size origin + str group + str sender + 1 + str obj + str data + 1
+  | Sequenced { origin; update; _ } -> tag_size origin + update_size update + 1
+  | Bcast_reject { origin; reason } -> tag_size origin + str reason
+  | Fetch_state { from; group } -> str from + str group
+  | State_blob { group; objects; error; _ } ->
+      str group + 8 + pairs_size objects
+      + (match error with Some e -> str e | None -> 1)
+  | Add_replica { group; holder } ->
+      str group + (match holder with Some h -> str h | None -> 1)
+  | Fetch_updates { from; group; _ } -> str from + str group + 8
+  | Updates_blob { group; updates } ->
+      str group + List.fold_left (fun acc u -> acc + update_size u) 4 updates
+  | Fwd_lock { origin; group; lock; member; _ } ->
+      str origin + str group + str lock + str member + 1
+  | Lock_result { group; lock; member; result } ->
+      str group + str lock + str member
+      + (match result with
+        | `Busy h -> str h
+        | `Error e -> str e
+        | `Granted | `Released -> 1)
+  | Elect_me { from } -> str from
+  | Elect_ack { from; candidate; _ } -> str from + str candidate + 1
+  | Coordinator_is { coord } -> str coord
+  | Dir_query { from } -> str from
+  | Dir_reply { from; reports } ->
+      str from + List.fold_left (fun acc r -> acc + report_size r) 4 reports
+
+let send conn t = Net.Tcp.send conn ~size:(wire_size t) (Srv t)
+
+let pp ppf = function
+  | Heartbeat { from } -> Format.fprintf ppf "heartbeat from=%s" from
+  | Heartbeat_ack { from } -> Format.fprintf ppf "heartbeat_ack from=%s" from
+  | Fwd_create { origin; group; _ } -> Format.fprintf ppf "fwd_create %s from=%s" group origin
+  | Create_result { group; error = None } -> Format.fprintf ppf "create_ok %s" group
+  | Create_result { group; error = Some e } ->
+      Format.fprintf ppf "create_fail %s: %s" group e
+  | Fwd_delete { group; _ } -> Format.fprintf ppf "fwd_delete %s" group
+  | Delete_group { group } -> Format.fprintf ppf "delete_group %s" group
+  | Fwd_join { group; member; origin; _ } ->
+      Format.fprintf ppf "fwd_join %s/%s from=%s" group member origin
+  | Join_result { group; member; error = None; _ } ->
+      Format.fprintf ppf "join_ok %s/%s" group member
+  | Join_result { group; member; error = Some e; _ } ->
+      Format.fprintf ppf "join_fail %s/%s: %s" group member e
+  | Fwd_leave { group; member; crashed; _ } ->
+      Format.fprintf ppf "fwd_leave %s/%s crashed=%b" group member crashed
+  | Membership_update { group; change; _ } ->
+      Format.fprintf ppf "membership_update %s %a" group Proto.Types.pp_membership_change change
+  | Fwd_bcast { origin; group; sender; _ } ->
+      Format.fprintf ppf "fwd_bcast %s by %s (%s#%d)" group sender origin.og_server
+        origin.og_seq
+  | Sequenced { update; _ } -> Format.fprintf ppf "sequenced %a" Proto.Types.pp_update update
+  | Bcast_reject { reason; _ } -> Format.fprintf ppf "bcast_reject: %s" reason
+  | Fetch_state { from; group } -> Format.fprintf ppf "fetch_state %s from=%s" group from
+  | State_blob { group; at_seqno; error = None; _ } ->
+      Format.fprintf ppf "state_blob %s at=%d" group at_seqno
+  | State_blob { group; error = Some e; _ } ->
+      Format.fprintf ppf "state_blob %s error=%s" group e
+  | Add_replica { group; holder } ->
+      Format.fprintf ppf "add_replica %s holder=%s" group
+        (Option.value holder ~default:"-")
+  | Fetch_updates { from; group; from_seqno } ->
+      Format.fprintf ppf "fetch_updates %s from_seqno=%d for %s" group from_seqno from
+  | Updates_blob { group; updates } ->
+      Format.fprintf ppf "updates_blob %s (%d updates)" group (List.length updates)
+  | Fwd_lock { group; lock; member; acquire; _ } ->
+      Format.fprintf ppf "fwd_lock %s/%s %s acquire=%b" group lock member acquire
+  | Lock_result { group; lock; member; _ } ->
+      Format.fprintf ppf "lock_result %s/%s -> %s" group lock member
+  | Elect_me { from } -> Format.fprintf ppf "elect_me %s" from
+  | Elect_ack { from; candidate; ok } ->
+      Format.fprintf ppf "elect_ack %s -> %s ok=%b" from candidate ok
+  | Coordinator_is { coord } -> Format.fprintf ppf "coordinator_is %s" coord
+  | Dir_query { from } -> Format.fprintf ppf "dir_query %s" from
+  | Dir_reply { from; reports } ->
+      Format.fprintf ppf "dir_reply %s (%d groups)" from (List.length reports)

@@ -1,0 +1,145 @@
+(** Server-to-server protocol of the replicated Corona service (§4).
+
+    Servers form a star for sequencing — replicas forward client broadcasts
+    to the coordinator, which assigns sequence numbers and multicasts them to
+    the replicas serving the group — plus a full mesh for control traffic:
+    state fetches, heartbeats, election, and directory recovery.
+
+    Unlike the client protocol (which has a real binary codec), server
+    messages carry a structural {!wire_size} so the simulator charges honest
+    byte counts without a second codec. *)
+
+type server_id = string
+
+(** Deduplication tag for a forwarded broadcast: the origin replica numbers
+    its forwards so a re-send after coordinator failover is not sequenced
+    twice. *)
+type origin_tag = { og_server : server_id; og_seq : int }
+
+(** Per-group directory snapshot a replica reports during coordinator
+    recovery. *)
+type dir_report = {
+  dr_group : Proto.Types.group_id;
+  dr_persistent : bool;
+  dr_next_seqno : int;
+  dr_members : (Proto.Types.member * bool) list;
+      (** local members of that replica, with their notify flag *)
+}
+
+type t =
+  (* liveness *)
+  | Heartbeat of { from : server_id }
+  | Heartbeat_ack of { from : server_id }
+  (* group lifecycle (replica -> coordinator -> replica) *)
+  | Fwd_create of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      creator : Proto.Types.member_id;
+      persistent : bool;
+      initial : (Proto.Types.object_id * string) list;
+    }
+  | Create_result of { group : Proto.Types.group_id; error : string option }
+  | Fwd_delete of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      requester : Proto.Types.member_id;
+    }
+  | Delete_group of { group : Proto.Types.group_id }
+      (** coordinator -> every replica of the group *)
+  (* membership *)
+  | Fwd_join of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      member : Proto.Types.member_id;
+      role : Proto.Types.role;
+      notify : bool;
+    }
+  | Join_result of {
+      group : Proto.Types.group_id;
+      member : Proto.Types.member_id;
+      error : string option;
+      next_seqno : int;
+      members : Proto.Types.member list;
+      holder : server_id option;
+          (** a replica that already has the state, to fetch from *)
+    }
+  | Fwd_leave of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      member : Proto.Types.member_id;
+      crashed : bool;
+    }
+  | Membership_update of {
+      group : Proto.Types.group_id;
+      change : Proto.Types.membership_change;
+      members : Proto.Types.member list;
+    }  (** coordinator -> replicas of the group (they notify local clients) *)
+  (* sequencing *)
+  | Fwd_bcast of {
+      origin : origin_tag;
+      group : Proto.Types.group_id;
+      sender : Proto.Types.member_id;
+      kind : Proto.Types.update_kind;
+      obj : Proto.Types.object_id;
+      data : string;
+      mode : Proto.Types.delivery_mode;
+    }
+  | Sequenced of {
+      origin : origin_tag;
+      update : Proto.Types.update;
+      mode : Proto.Types.delivery_mode;
+    }  (** coordinator -> replicas of the group, in sequence order *)
+  | Bcast_reject of { origin : origin_tag; reason : string }
+  (* state replication *)
+  | Fetch_state of { from : server_id; group : Proto.Types.group_id }
+  | State_blob of {
+      group : Proto.Types.group_id;
+      at_seqno : int;
+      objects : (Proto.Types.object_id * string) list;
+      error : string option;
+    }
+  | Add_replica of {
+      group : Proto.Types.group_id;
+      holder : server_id option;
+    }  (** coordinator asks a server to become a (backup) holder *)
+  | Fetch_updates of {
+      from : server_id;
+      group : Proto.Types.group_id;
+      from_seqno : int;
+    }  (** gap repair: replica -> coordinator (relayed to a holder) *)
+  | Updates_blob of {
+      group : Proto.Types.group_id;
+      updates : Proto.Types.update list;
+    }  (** holder -> stale replica: the missing sequenced updates *)
+  (* locks (coordinator-owned in replicated mode) *)
+  | Fwd_lock of {
+      origin : server_id;
+      group : Proto.Types.group_id;
+      lock : Proto.Types.lock_id;
+      member : Proto.Types.member_id;
+      acquire : bool;
+    }
+  | Lock_result of {
+      group : Proto.Types.group_id;
+      lock : Proto.Types.lock_id;
+      member : Proto.Types.member_id;
+      result : [ `Granted | `Busy of Proto.Types.member_id | `Released | `Error of string ];
+    }
+  (* election and directory recovery *)
+  | Elect_me of { from : server_id }
+  | Elect_ack of { from : server_id; candidate : server_id; ok : bool }
+  | Coordinator_is of { coord : server_id }
+  | Dir_query of { from : server_id }
+  | Dir_reply of { from : server_id; reports : dir_report list }
+
+type Net.Payload.t += Srv of t
+  (** Transport payload for the server mesh. *)
+
+val wire_size : t -> int
+(** Structural estimate of the encoded size in bytes (header + fields +
+    payload data). *)
+
+val send : Net.Tcp.conn -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Constructor name plus key fields, for traces. *)

@@ -1,0 +1,150 @@
+type time = float
+
+type event_id = int
+
+type event = {
+  at : time;
+  seq : int; (* tie-break: schedule order *)
+  id : event_id;
+  run : unit -> unit;
+}
+
+(* Array-based binary min-heap on (at, seq). *)
+module Heap = struct
+  type t = { mutable a : event array; mutable len : int }
+
+  let dummy = { at = 0.0; seq = 0; id = -1; run = ignore }
+
+  let create () = { a = Array.make 64 dummy; len = 0 }
+
+  let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+
+  let grow h =
+    let a = Array.make (2 * Array.length h.a) dummy in
+    Array.blit h.a 0 a 0 h.len;
+    h.a <- a
+
+  let push h e =
+    if h.len = Array.length h.a then grow h;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.a.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if before h.a.(!i) h.a.(parent) then begin
+        let tmp = h.a.(parent) in
+        h.a.(parent) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := parent
+      end else continue := false
+    done
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.len && before h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  heap : Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable clock : time;
+  mutable next_seq : int;
+  mutable next_id : event_id;
+  mutable live : int; (* scheduled and not cancelled *)
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 1L) () =
+  {
+    heap = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    clock = 0.0;
+    next_seq = 0;
+    next_id = 0;
+    live = 0;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t at run =
+  let at = if at < t.clock then t.clock else at in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap { at; seq; id; run };
+  t.live <- t.live + 1;
+  id
+
+let schedule t ~delay run =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t (t.clock +. delay) run
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let periodic t ~every f =
+  let rec tick () = if f () then ignore (schedule t ~delay:every tick) in
+  ignore (schedule t ~delay:every tick)
+
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some e ->
+      if Hashtbl.mem t.cancelled e.id then begin
+        Hashtbl.remove t.cancelled e.id;
+        step t
+      end
+      else begin
+        t.live <- t.live - 1;
+        t.clock <- e.at;
+        e.run ();
+        true
+      end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | Some e when Hashtbl.mem t.cancelled e.id ->
+            ignore (Heap.pop t.heap);
+            Hashtbl.remove t.cancelled e.id
+        | Some e when e.at <= limit -> ignore (step t)
+        | Some _ | None ->
+            continue := false;
+            if t.clock < limit then t.clock <- limit
+      done
+
+let pending t = t.live

@@ -1,0 +1,49 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine maintains a virtual clock and a priority queue of scheduled
+    callbacks. Events at equal timestamps fire in scheduling order, which —
+    together with {!Rng} — makes every simulation fully deterministic. *)
+
+type t
+
+type time = float
+(** Simulated time, in seconds. *)
+
+type event_id
+(** Handle of a scheduled event, usable with {!cancel}. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] returns an engine whose clock is at [0.0]. [seed]
+    (default [1L]) initializes the engine's root {!Rng}. *)
+
+val now : t -> time
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream. Components should {!Rng.split} it. *)
+
+val schedule : t -> delay:time -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays are
+    clamped to zero. *)
+
+val schedule_at : t -> time -> (unit -> unit) -> event_id
+(** [schedule_at t at f] runs [f] at absolute time [at] (clamped to [now]). *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; cancelling a fired or unknown event is a no-op. *)
+
+val periodic : t -> every:time -> (unit -> bool) -> unit
+(** [periodic t ~every f] calls [f] every [every] seconds, starting after one
+    period, until [f] returns [false]. *)
+
+val step : t -> bool
+(** Fire the single earliest pending event. Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:time -> t -> unit
+(** Drain the event queue. With [~until], stops (without firing them) at the
+    first event strictly later than [until] and advances the clock to
+    [until]. *)
+
+val pending : t -> int
+(** Number of scheduled, uncancelled events. *)

@@ -1,0 +1,125 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : float array option; (* cache, invalidated on add *)
+}
+
+let create () = { data = Array.make 16 0.0; len = 0; sorted = None }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let a = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 a 0 t.len;
+    t.data <- a
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- None
+
+let count t = t.len
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let total t = fold ( +. ) 0.0 t
+
+let mean t = if t.len = 0 then nan else total t /. float_of_int t.len
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t in
+    sqrt (ss /. float_of_int (t.len - 1))
+  end
+
+let min_value t = fold min infinity t
+
+let max_value t = fold max neg_infinity t
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.sub t.data 0 t.len in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
+let percentile t p =
+  if t.len = 0 then nan
+  else begin
+    let a = sorted t in
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    (* Nearest-rank. *)
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+    let idx = if rank <= 0 then 0 else rank - 1 in
+    a.(min idx (t.len - 1))
+  end
+
+let median t = percentile t 50.0
+
+let samples t = Array.sub t.data 0 t.len
+
+let merge a b =
+  let t = create () in
+  Array.iter (add t) (samples a);
+  Array.iter (add t) (samples b);
+  t
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize t =
+  {
+    n = t.len;
+    mean = mean t;
+    stddev = stddev t;
+    min = (if t.len = 0 then nan else min_value t);
+    max = (if t.len = 0 then nan else max_value t);
+    p50 = percentile t 50.0;
+    p95 = percentile t 95.0;
+    p99 = percentile t 99.0;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
+    s.n s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+module Histogram = struct
+  type h = { lo : float; hi : float; counts : int array }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+    { lo; hi; counts = Array.make buckets 0 }
+
+  let add h x =
+    let buckets = Array.length h.counts in
+    let idx =
+      if x < h.lo then 0
+      else if x >= h.hi then buckets - 1
+      else int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int buckets)
+    in
+    let idx = max 0 (min (buckets - 1) idx) in
+    h.counts.(idx) <- h.counts.(idx) + 1
+
+  let counts h = Array.copy h.counts
+
+  let bucket_bounds h i =
+    let buckets = float_of_int (Array.length h.counts) in
+    let width = (h.hi -. h.lo) /. buckets in
+    (h.lo +. (float_of_int i *. width), h.lo +. (float_of_int (i + 1) *. width))
+end

@@ -1,0 +1,67 @@
+(** Sample collection and summary statistics for experiments.
+
+    A {!t} accumulates float samples (latencies, sizes, counts) and reports
+    mean, standard deviation, min/max and percentiles. Percentiles use the
+    nearest-rank method on the sorted sample set. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** Mean of the samples; [nan] when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator); [0.] for fewer than two
+    samples. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]]; [nan] when empty. *)
+
+val median : t -> float
+
+val samples : t -> float array
+(** Copy of the samples in insertion order. *)
+
+val merge : t -> t -> t
+(** Samples of both, as a fresh collector. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Fixed-bucket histogram over [\[lo, hi)]. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+
+  val add : h -> float -> unit
+
+  val counts : h -> int array
+  (** Per-bucket counts; out-of-range samples land in the first/last
+      bucket. *)
+
+  val bucket_bounds : h -> int -> float * float
+end

@@ -1,0 +1,48 @@
+type record = { at : Engine.time; component : string; message : string }
+
+type t = {
+  engine : Engine.t;
+  mutable items : record list; (* newest first *)
+  mutable enabled : bool;
+}
+
+let create ?(enabled = true) engine = { engine; items = []; enabled }
+
+let enabled t = t.enabled
+
+let set_enabled t flag = t.enabled <- flag
+
+let record t ~component message =
+  if t.enabled then
+    t.items <- { at = Engine.now t.engine; component; message } :: t.items
+
+let recordf t ~component fmt =
+  Format.kasprintf (fun message -> record t ~component message) fmt
+
+let records t = List.rev t.items
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else begin
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  end
+
+let find t ~component needle =
+  List.find_opt
+    (fun r -> r.component = component && contains ~needle r.message)
+    (records t)
+
+let count_matching t ~component needle =
+  List.length
+    (List.filter
+       (fun r -> r.component = component && contains ~needle r.message)
+       t.items)
+
+let clear t = t.items <- []
+
+let pp ppf t =
+  List.iter
+    (fun r -> Format.fprintf ppf "%10.6f [%s] %s@." r.at r.component r.message)
+    (records t)

@@ -1,0 +1,37 @@
+(** Structured trace of simulation events.
+
+    Components append [(time, component, message)] records; tests assert on
+    the recorded sequence and examples print it. Tracing is cheap and can be
+    disabled wholesale. *)
+
+type t
+
+type record = { at : Engine.time; component : string; message : string }
+
+val create : ?enabled:bool -> Engine.t -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val record : t -> component:string -> string -> unit
+(** Append a record stamped with the engine's current time (no-op when
+    disabled). *)
+
+val recordf :
+  t -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!record} with formatting; the format arguments are only evaluated
+    when tracing is enabled. *)
+
+val records : t -> record list
+(** All records, oldest first. *)
+
+val find : t -> component:string -> string -> record option
+(** First record of [component] whose message contains the given substring. *)
+
+val count_matching : t -> component:string -> string -> int
+(** Number of records of [component] whose message contains the substring. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

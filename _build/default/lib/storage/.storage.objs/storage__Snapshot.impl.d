@@ -1,0 +1,1 @@
+lib/storage/snapshot.ml: Disk Hashtbl List Option

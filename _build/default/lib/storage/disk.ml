@@ -1,0 +1,46 @@
+type t = {
+  host : Net.Host.t;
+  transfer_rate : float;
+  seek_time : float;
+  mutable free_at : float;
+  mutable bytes_written : int;
+}
+
+let create host ?(transfer_rate = 4e6) ?(seek_time = 2e-3) () =
+  let t = { host; transfer_rate; seek_time; free_at = 0.0; bytes_written = 0 } in
+  (* A crash empties the device queue: whatever had not completed is gone. *)
+  Net.Host.on_crash host (fun () ->
+      t.free_at <- Sim.Engine.now (Net.Host.engine host));
+  t
+
+let host t = t.host
+
+let transfer_rate t = t.transfer_rate
+
+let engine t = Net.Host.engine t.host
+
+let schedule_io t ~size k =
+  let now = Sim.Engine.now (engine t) in
+  let start = if t.free_at > now then t.free_at else now in
+  let finish = start +. t.seek_time +. (float_of_int (max 0 size) /. t.transfer_rate) in
+  t.free_at <- finish;
+  (* Completion is guarded by the host epoch: a crash between issue and
+     completion silently discards the operation. *)
+  let epoch = Net.Host.epoch t.host in
+  ignore
+    (Sim.Engine.schedule_at (engine t) finish (fun () ->
+         if Net.Host.is_alive t.host && Net.Host.epoch t.host = epoch then k ()))
+
+let write t ~size ~on_durable =
+  if Net.Host.is_alive t.host then
+    schedule_io t ~size (fun () ->
+        t.bytes_written <- t.bytes_written + size;
+        on_durable ())
+
+let read t ~size k = if Net.Host.is_alive t.host then schedule_io t ~size k
+
+let busy_until t =
+  let now = Sim.Engine.now (engine t) in
+  if t.free_at > now then t.free_at else now
+
+let bytes_written t = t.bytes_written

@@ -1,0 +1,31 @@
+(** Disk device model.
+
+    A disk is attached to a {!Net.Host} and serializes writes through a FIFO
+    queue at a finite transfer rate (the paper cites 3–5 MB/s for late-90s
+    disks, §6). Writes complete asynchronously; a host crash loses writes
+    still in the queue, while completed writes are durable across crash and
+    restart. Reads during recovery are charged at the same transfer rate. *)
+
+type t
+
+val create : Net.Host.t -> ?transfer_rate:float -> ?seek_time:float -> unit -> t
+(** [transfer_rate] in bytes/second (default 4e6); [seek_time] is a fixed
+    per-operation positioning cost (default 2 ms). *)
+
+val host : t -> Net.Host.t
+
+val transfer_rate : t -> float
+
+val write : t -> size:int -> on_durable:(unit -> unit) -> unit
+(** Queue a [size]-byte write; [on_durable] fires when it reaches the
+    platter. Dropped (durability never reached) if the host crashes first.
+    No-op when the host is dead. *)
+
+val read : t -> size:int -> (unit -> unit) -> unit
+(** Queue a [size]-byte read and run the continuation when it completes. *)
+
+val busy_until : t -> float
+(** Virtual time at which the write queue drains (≥ now). *)
+
+val bytes_written : t -> int
+(** Durable bytes so far (survives crashes; it is a device odometer). *)

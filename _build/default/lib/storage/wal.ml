@@ -1,0 +1,111 @@
+type 'a record = { size : int; value : 'a }
+
+type 'a t = {
+  disk : Disk.t option; (* None = ephemeral, memory-only *)
+  name : string;
+  records : (int, 'a record) Hashtbl.t; (* index -> record, in-memory view *)
+  mutable first : int;
+  mutable next : int;
+  mutable durable_upto : int;
+  mutable bytes : int;
+}
+
+let make disk name =
+  {
+    disk;
+    name;
+    records = Hashtbl.create 256;
+    first = 0;
+    next = 0;
+    durable_upto = 0;
+    bytes = 0;
+  }
+
+let create disk ~name = make (Some disk) name
+
+let create_ephemeral ~name = make None name
+
+let name t = t.name
+
+let disk t =
+  match t.disk with
+  | Some d -> d
+  | None -> invalid_arg "Wal.disk: ephemeral log has no disk"
+
+let record_header_size = 16 (* index + length framing on disk *)
+
+let do_append t ~size value ~on_durable =
+  let index = t.next in
+  t.next <- index + 1;
+  Hashtbl.replace t.records index { size; value };
+  t.bytes <- t.bytes + size;
+  (match t.disk with
+  | Some disk ->
+      Disk.write disk ~size:(size + record_header_size) ~on_durable:(fun () ->
+          (* Disk writes complete in order, so durability advances a prefix. *)
+          if index >= t.durable_upto then t.durable_upto <- index + 1;
+          on_durable index)
+  | None ->
+      (* Ephemeral: report completion now; durability never advances. *)
+      on_durable index);
+  index
+
+let append t ~size value = do_append t ~size value ~on_durable:(fun _ -> ())
+
+let append_sync t ~size value ~on_durable =
+  ignore (do_append t ~size value ~on_durable)
+
+let first_index t = t.first
+
+let next_index t = t.next
+
+let length t = t.next - t.first
+
+let get t i = Option.map (fun r -> r.value) (Hashtbl.find_opt t.records i)
+
+let iter_from t from f =
+  let start = if from > t.first then from else t.first in
+  for i = start to t.next - 1 do
+    match Hashtbl.find_opt t.records i with
+    | Some r -> f i r.value
+    | None -> ()
+  done
+
+let truncate_prefix t ~upto =
+  let upto = min upto t.next in
+  for i = t.first to upto - 1 do
+    match Hashtbl.find_opt t.records i with
+    | Some r ->
+        t.bytes <- t.bytes - r.size;
+        Hashtbl.remove t.records i
+    | None -> ()
+  done;
+  if upto > t.first then t.first <- upto;
+  if t.durable_upto < t.first then t.durable_upto <- t.first
+
+let durable_upto t = t.durable_upto
+
+let bytes_retained t = t.bytes
+
+let crash_recover t =
+  (* The un-durable suffix is gone. *)
+  for i = t.durable_upto to t.next - 1 do
+    match Hashtbl.find_opt t.records i with
+    | Some r ->
+        t.bytes <- t.bytes - r.size;
+        Hashtbl.remove t.records i
+    | None -> ()
+  done;
+  t.next <- t.durable_upto
+
+let replay_cost t =
+  match t.disk with
+  | None -> 0.0
+  | Some disk ->
+      let durable_bytes = ref 0 in
+      for i = t.first to t.durable_upto - 1 do
+        match Hashtbl.find_opt t.records i with
+        | Some r -> durable_bytes := !durable_bytes + r.size + record_header_size
+        | None -> ()
+      done;
+      float_of_int !durable_bytes /. Disk.transfer_rate disk

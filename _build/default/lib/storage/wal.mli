@@ -1,0 +1,67 @@
+(** Append-only write-ahead log on a {!Disk}.
+
+    The Corona server logs every multicast "both in memory and on stable
+    storage" (§3.2). Appends are asynchronous by default — logging is off the
+    multicast critical path (§6) — so a crash can lose a suffix of recent
+    records; [append_sync] waits for durability instead. Records carry an
+    explicit wire size so disk time is charged honestly.
+
+    Records are addressed by a monotonically increasing index (0-based,
+    never reused, surviving truncation). *)
+
+type 'a t
+
+val create : Disk.t -> name:string -> 'a t
+
+val create_ephemeral : name:string -> 'a t
+(** A memory-only log: appends cost no disk time and report completion
+    immediately, nothing ever becomes durable, and {!crash_recover} empties
+    the log. Models a server configured to keep state without stable
+    storage. *)
+
+val name : 'a t -> string
+
+val disk : 'a t -> Disk.t
+
+val append : 'a t -> size:int -> 'a -> int
+(** Asynchronous append; returns the record's index. The record is
+    immediately readable in memory and becomes durable when the disk write
+    completes. *)
+
+val append_sync : 'a t -> size:int -> 'a -> on_durable:(int -> unit) -> unit
+(** Append and call back (with the index) once durable. The callback is lost
+    if the host crashes first. *)
+
+val first_index : 'a t -> int
+(** Index of the oldest retained record ([next_index] when empty). *)
+
+val next_index : 'a t -> int
+(** Index the next append will get. *)
+
+val length : 'a t -> int
+(** Number of retained records (in-memory view). *)
+
+val get : 'a t -> int -> 'a option
+(** In-memory read; [None] for truncated or out-of-range indices. *)
+
+val iter_from : 'a t -> int -> (int -> 'a -> unit) -> unit
+(** [iter_from t i f] applies [f] to retained records with index ≥ [i], in
+    order, from the in-memory view. *)
+
+val truncate_prefix : 'a t -> upto:int -> unit
+(** Log reduction: drop all records with index < [upto]. In-memory and
+    durable views both shrink. *)
+
+val durable_upto : 'a t -> int
+(** All records with index < this value are on the platter. *)
+
+val bytes_retained : 'a t -> int
+(** Sum of sizes of retained records. *)
+
+val crash_recover : 'a t -> unit
+(** After a host restart: discard the in-memory suffix that never became
+    durable, re-reading the durable part (charges disk read time is the
+    caller's concern via {!replay_cost}). *)
+
+val replay_cost : 'a t -> float
+(** Seconds of disk time needed to re-read the durable log on recovery. *)

@@ -1,0 +1,1 @@
+lib/workload/exp_churn.ml: Array Corona Net Printf Proto Report Sim String Testbed

@@ -1,0 +1,1 @@
+lib/workload/exp_disk.ml: Array Corona List Option Proto Report Sim Storage String Testbed

@@ -1,0 +1,1 @@
+lib/workload/exp_failover.ml: Array Corona Float Hashtbl List Net Printf Proto Replication Report Sim Testbed

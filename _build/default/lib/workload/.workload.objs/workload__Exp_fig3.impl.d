@@ -1,0 +1,1 @@
+lib/workload/exp_fig3.ml: Array Corona List Printf Proto Report Sim Testbed

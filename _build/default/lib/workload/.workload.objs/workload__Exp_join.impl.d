@@ -1,0 +1,1 @@
+lib/workload/exp_join.ml: Array Baseline Corona List Net Option Printf Proto Report Sim String Testbed

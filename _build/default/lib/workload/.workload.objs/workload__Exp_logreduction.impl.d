@@ -1,0 +1,1 @@
+lib/workload/exp_logreduction.ml: Array Corona List Proto Report Sim Storage String Testbed

@@ -1,0 +1,1 @@
+lib/workload/exp_partition.ml: Array Corona List Net Option Printf Proto Replication Report Sim Testbed

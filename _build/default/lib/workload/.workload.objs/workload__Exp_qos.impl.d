@@ -1,0 +1,1 @@
+lib/workload/exp_qos.ml: Array Corona List Printf Proto Report Sim String Testbed

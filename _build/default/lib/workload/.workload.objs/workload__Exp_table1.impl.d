@@ -1,0 +1,1 @@
+lib/workload/exp_table1.ml: Array Corona List Net Printf Proto Report Sim String Testbed

@@ -1,0 +1,1 @@
+lib/workload/exp_table2.ml: Array Corona List Option Printf Proto Replication Report Sim Testbed

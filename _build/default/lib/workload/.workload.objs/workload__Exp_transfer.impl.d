@@ -1,0 +1,1 @@
+lib/workload/exp_transfer.ml: Array Corona List Option Printf Proto Report Sim String Testbed

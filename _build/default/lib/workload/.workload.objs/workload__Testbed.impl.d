@@ -1,0 +1,1 @@
+lib/workload/testbed.ml: Array Corona Net Option Printf Proto Replication Sim String

@@ -1,0 +1,1 @@
+lib/workload/testbed.mli: Corona Net Proto Replication Sim

@@ -1,0 +1,118 @@
+(* §1: "a process should be able to join and leave a group unobtrusively;
+   the existing processes in the group should be able to carry on with
+   their operations in the presence of multiple, concurrent joins and
+   leaves." A probe chats steadily while a churning population joins,
+   leaves and crashes around it; its RTT distribution must stay put. *)
+
+module T = Proto.Types
+
+type point = {
+  churn_per_s : float;
+  rtt : Sim.Stats.summary;
+  joins : int;
+  crashes : int;
+}
+
+let measure ?(seed = 59L) ?chunk ~churn_period ~duration () =
+  let config =
+    { Corona.Server.default_config with transfer_chunk_bytes = chunk }
+  in
+  let tb = Testbed.single_server ~seed ~config () in
+  let engine = tb.s_engine in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let rtts = Sim.Stats.create () in
+  let joins = ref 0 and crashes = ref 0 in
+  let stop_at = 1.0 +. duration in
+  Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:2
+    (fun cls ->
+      let owner = cls.(0) and probe = cls.(1) in
+      Corona.Client.create_group owner ~group:"g"
+        ~initial:[ ("doc", String.make 20_000 'd') ]
+        ~k:(fun _ -> ()) ();
+      Corona.Client.join owner ~group:"g"
+        ~k:(fun _ ->
+          Corona.Client.join probe ~group:"g" ~transfer:T.No_state
+            ~k:(fun _ ->
+              (* Steady interactive traffic. *)
+              let me = Corona.Client.member probe in
+              let sent_at = ref 0.0 in
+              Corona.Client.set_on_event probe (fun _ -> function
+                | Corona.Client.Delivered u when u.T.sender = me ->
+                    if Sim.Engine.now engine > 1.0 then
+                      Sim.Stats.add rtts (Sim.Engine.now engine -. !sent_at)
+                | _ -> ());
+              Sim.Engine.periodic engine ~every:0.05 (fun () ->
+                  sent_at := Sim.Engine.now engine;
+                  Corona.Client.bcast_update probe ~group:"g" ~obj:"chat"
+                    ~data:(String.make 500 'c') ();
+                  Sim.Engine.now engine < stop_at);
+              (* Churn: every [churn_period] a visitor joins (full state
+                 transfer!), stays ~1 s, then leaves or crashes. *)
+              if churn_period > 0.0 then begin
+                let counter = ref 0 in
+                Sim.Engine.periodic engine ~every:churn_period (fun () ->
+                    incr counter;
+                    let id = !counter in
+                    let host =
+                      Net.Fabric.add_host tb.s_fabric
+                        ~name:(Printf.sprintf "visitor-%d" id)
+                        ~cpu:Net.Host.sparc20 ()
+                    in
+                    Corona.Client.connect tb.s_fabric ~host
+                      ~server:tb.s_server_host
+                      ~member:(Printf.sprintf "v%d" id)
+                      ~on_connected:(fun v ->
+                        Corona.Client.join v ~group:"g"
+                          ~k:(fun _ ->
+                            incr joins;
+                            let stay = Sim.Rng.uniform rng ~lo:0.5 ~hi:1.5 in
+                            ignore
+                              (Sim.Engine.schedule engine ~delay:stay (fun () ->
+                                   if Sim.Rng.bool rng then
+                                     Corona.Client.leave v ~group:"g"
+                                       ~k:(fun _ -> ())
+                                   else begin
+                                     incr crashes;
+                                     Net.Host.crash host
+                                   end)))
+                          ())
+                      ~on_failed:(fun () -> ())
+                      ();
+                    Sim.Engine.now engine < stop_at)
+              end)
+            ())
+        ());
+  Testbed.run_until engine (fun () -> Sim.Engine.now engine >= stop_at +. 2.0);
+  {
+    churn_per_s = (if churn_period > 0.0 then 1.0 /. churn_period else 0.0);
+    rtt = Sim.Stats.summarize rtts;
+    joins = !joins;
+    crashes = !crashes;
+  }
+
+let run ?(duration = 15.0) () =
+  Report.section
+    "Client churn (§1) — joins, leaves and crashes must be unobtrusive";
+  Report.note
+    "probe chats at 20 msg/s; visitors join (20 kB transfer), stay ~1 s, then leave or crash";
+  let row label ?chunk churn_period =
+    let p = measure ?chunk ~churn_period ~duration () in
+    [
+      label;
+      string_of_int p.joins;
+      string_of_int p.crashes;
+      Report.ms p.rtt.Sim.Stats.p50;
+      Report.ms p.rtt.Sim.Stats.p95;
+      Report.ms p.rtt.Sim.Stats.max;
+    ]
+  in
+  Report.table
+    ~header:[ "churn"; "joins"; "crashes"; "RTT p50"; "RTT p95"; "RTT max" ]
+    [
+      row "none" 0.0;
+      row "1/s" 1.0;
+      row "4/s" 0.25;
+      row "4/s + QoS 8 kB chunks" ~chunk:8_000 0.25;
+    ]

@@ -1,0 +1,127 @@
+(* Figure 3: round-trip delay of a group multicast vs. number of clients,
+   single server, 1000-byte messages, stateful vs. stateless service. The
+   paper's shape: both curves ≈ linear in #clients and nearly identical
+   (state logging is off the critical path). §5.2.1 adds that sizes up to a
+   few hundred bytes barely matter while 10 kB steepens the slope — the
+   [size_sweep] reproduces that. *)
+
+module T = Proto.Types
+
+type point = {
+  clients : int;
+  size : int;
+  stateful : bool;
+  rtt : Sim.Stats.summary;
+}
+
+(* One data point: n clients (1 probe joining last + n-1 receivers), the
+   probe paces [count] sender-inclusive broadcasts. *)
+let measure ?(seed = 11L) ?(multicast = false) ~stateful ~clients ~size ~count () =
+  let config =
+    {
+      Corona.Server.default_config with
+      maintain_state = stateful;
+      use_ip_multicast = multicast;
+    }
+  in
+  let tb = Testbed.single_server ~seed ~config () in
+  let result = ref None in
+  Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:clients
+    (fun cls ->
+      Corona.Client.create_group cls.(0) ~group:"g"
+        ~k:(fun _ ->
+          Testbed.join_all cls ~group:"g" ~transfer:T.No_state (fun () ->
+              let probe = cls.(clients - 1) in
+              Testbed.paced_probe tb.s_engine ~probe ~group:"g" ~size ~period:0.1
+                ~count ~on_done:(fun stats ->
+                  result := Some (Sim.Stats.summarize stats))))
+        ());
+  Sim.Engine.run tb.s_engine;
+  match !result with
+  | Some rtt -> { clients; size; stateful; rtt }
+  | None -> failwith "fig3: measurement did not complete"
+
+let default_counts = [ 10; 20; 30; 40; 50; 60 ]
+
+let run ?(count = 120) ?(sizes = [ 1000 ]) ?(client_counts = default_counts) () =
+  Report.section "Figure 3 — round-trip delay vs #clients (single server)";
+  Report.note
+    "paper: stateful and stateless curves nearly identical, both ~linear in #clients";
+  List.iter
+    (fun size ->
+      let rows =
+        List.map
+          (fun n ->
+            let st = measure ~stateful:true ~clients:n ~size ~count () in
+            let sl = measure ~stateful:false ~clients:n ~size ~count () in
+            let overhead =
+              100.0 *. (st.rtt.Sim.Stats.mean -. sl.rtt.Sim.Stats.mean)
+              /. sl.rtt.Sim.Stats.mean
+            in
+            [
+              string_of_int n;
+              Report.ms st.rtt.Sim.Stats.mean;
+              Report.ms st.rtt.Sim.Stats.stddev;
+              Report.ms sl.rtt.Sim.Stats.mean;
+              Report.ms sl.rtt.Sim.Stats.stddev;
+              Printf.sprintf "%+.1f%%" overhead;
+            ])
+          client_counts
+      in
+      Report.note "message size %d bytes, %d messages per point at 10 msg/s" size count;
+      Report.table
+        ~header:
+          [ "clients"; "stateful ms"; "sd"; "stateless ms"; "sd"; "state overhead" ]
+        rows)
+    sizes
+
+(* §5.2.1 size sweep: up to a few hundred bytes the size makes little
+   difference; 10 kB has a clearly higher slope. *)
+(* §5.3: the hybrid IP-multicast version — one NIC transmission serves the
+   whole group, so the per-client linear term disappears. *)
+let run_multicast ?(count = 120) ?(client_counts = default_counts) () =
+  Report.section
+    "Extension (§5.3) — hybrid IP-multicast delivery vs point-to-point TCP";
+  Report.note
+    "paper (current work): IP-multicast whenever possible, TCP otherwise; expected: flat RTT vs #clients";
+  let rows =
+    List.map
+      (fun n ->
+        let tcp = measure ~stateful:true ~clients:n ~size:1000 ~count () in
+        let mc = measure ~multicast:true ~stateful:true ~clients:n ~size:1000 ~count () in
+        [
+          string_of_int n;
+          Report.ms tcp.rtt.Sim.Stats.mean;
+          Report.ms mc.rtt.Sim.Stats.mean;
+          Printf.sprintf "%.1fx" (tcp.rtt.Sim.Stats.mean /. mc.rtt.Sim.Stats.mean);
+        ])
+      client_counts
+  in
+  Report.table
+    ~header:[ "clients"; "tcp fan-out (ms)"; "ip-multicast (ms)"; "speedup" ]
+    rows
+
+let run_size_sweep ?(count = 120) () =
+  Report.section "Figure 3 (text) — effect of message size on the slope";
+  Report.note "paper: <= few hundred bytes: size barely matters; 10000 bytes: higher slope";
+  let sizes = [ 100; 400; 1000; 10000 ] in
+  let clients = [ 10; 30; 60 ] in
+  let rows =
+    List.map
+      (fun size ->
+        let cells =
+          List.map
+            (fun n ->
+              let p = measure ~stateful:true ~clients:n ~size ~count () in
+              Report.ms p.rtt.Sim.Stats.mean)
+            clients
+        in
+        string_of_int size :: cells)
+      sizes
+  in
+  Report.table
+    ~header:
+      ("size B" :: List.map (fun n -> Printf.sprintf "%d clients (ms)" n) clients)
+    rows

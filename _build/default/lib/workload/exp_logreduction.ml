@@ -1,0 +1,73 @@
+(* §3.2 state log reduction: trimming the update history and replacing it
+   with the consistent state bounds the log size and the crash-recovery
+   replay work; the new state is "equivalent with the initial state plus the
+   history of state updates". *)
+
+module T = Proto.Types
+
+let updates = 2000
+
+let update_bytes = 500
+
+let measure ?(seed = 29L) ~policy ~client_requested () =
+  let config = { Corona.Server.default_config with reduction = policy } in
+  let tb = Testbed.single_server ~seed ~config () in
+  let done_ = ref false in
+  Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:1
+    (fun cls ->
+      let c = cls.(0) in
+      Corona.Client.create_group c ~group:"g" ~persistent:true
+        ~k:(fun _ ->
+          Corona.Client.join c ~group:"g"
+            ~k:(fun _ ->
+              let sent = ref 0 in
+              Sim.Engine.periodic tb.s_engine ~every:0.005 (fun () ->
+                  if !sent < updates then begin
+                    incr sent;
+                    Corona.Client.bcast_update c ~group:"g" ~obj:"doc"
+                      ~data:(String.make update_bytes 'u') ();
+                    true
+                  end
+                  else begin
+                    if client_requested then
+                      Corona.Client.reduce_log c ~group:"g" ~k:(fun _ -> done_ := true)
+                    else done_ := true;
+                    false
+                  end))
+            ())
+        ());
+  Testbed.run_until tb.s_engine (fun () -> !done_);
+  (* Let in-flight disk work settle. *)
+  let settle = Sim.Engine.now tb.s_engine +. 2.0 in
+  Testbed.run_until tb.s_engine (fun () -> Sim.Engine.now tb.s_engine >= settle);
+  let wal = Corona.Server_storage.wal_for tb.s_storage "g" in
+  let log_records = Storage.Wal.length wal in
+  let log_bytes = Storage.Wal.bytes_retained wal in
+  let replay = Storage.Wal.replay_cost wal in
+  (log_records, log_bytes, replay)
+
+let run () =
+  Report.section "State log reduction (§3.2) — log growth and recovery replay cost";
+  Report.note "%d updates of %d bytes to one group" updates update_bytes;
+  let cases =
+    [
+      ("no reduction", Corona.State_log.No_reduction, false);
+      ("service policy: every 200 updates", Corona.State_log.Every_n_updates 200, false);
+      ( "service policy: log > 100 kB",
+        Corona.State_log.Log_bytes_threshold 100_000,
+        false );
+      ("client-requested at the end", Corona.State_log.No_reduction, true);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, policy, client_requested) ->
+        let records, bytes, replay = measure ~policy ~client_requested () in
+        [ label; string_of_int records; Report.fbytes bytes; Report.ms replay ])
+      cases
+  in
+  Report.table
+    ~header:[ "policy"; "retained records"; "retained bytes"; "recovery replay (ms)" ]
+    rows

@@ -1,0 +1,92 @@
+(* QoS-adaptive scheduling ([11], cited in §5.3): "priorities and explicit
+   control over the scheduling of different activities ... dynamic
+   adjustment of its policies according to system load". The measurable
+   core: a bulk state transfer to a joining client head-of-line blocks the
+   interactive multicasts of everyone else on the server NIC; pacing the
+   transfer in chunks bounds that interference at a small cost in transfer
+   completion time. *)
+
+module T = Proto.Types
+
+type point = {
+  label : string;
+  probe_rtt_p50 : float;
+  probe_rtt_max : float;
+  join_time : float;
+}
+
+let measure ?(seed = 53L) ~chunk () =
+  let config =
+    { Corona.Server.default_config with transfer_chunk_bytes = chunk }
+  in
+  let tb = Testbed.single_server ~seed ~config () in
+  let engine = tb.s_engine in
+  let state_objects =
+    List.init 50 (fun i -> (Printf.sprintf "obj-%02d" i, String.make 10_000 'd'))
+  in
+  let rtts = Sim.Stats.create () in
+  let join_started = ref nan and join_done = ref nan in
+  Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:3
+    (fun cls ->
+      let owner = cls.(0) and probe = cls.(1) and joiner = cls.(2) in
+      Corona.Client.create_group owner ~group:"g" ~initial:state_objects
+        ~k:(fun _ -> ()) ();
+      Corona.Client.join owner ~group:"g"
+        ~k:(fun _ ->
+          Corona.Client.join probe ~group:"g" ~transfer:T.No_state
+            ~k:(fun _ ->
+              (* The probe chats at 20 msg/s throughout. *)
+              let sent_at = ref 0.0 in
+              let me = Corona.Client.member probe in
+              Corona.Client.set_on_event probe (fun _ -> function
+                | Corona.Client.Delivered u when u.T.sender = me ->
+                    Sim.Stats.add rtts (Sim.Engine.now engine -. !sent_at)
+                | _ -> ());
+              Sim.Engine.periodic engine ~every:0.05 (fun () ->
+                  sent_at := Sim.Engine.now engine;
+                  Corona.Client.bcast_update probe ~group:"g" ~obj:"chat"
+                    ~data:(String.make 200 'c') ();
+                  Sim.Engine.now engine < 4.0);
+              (* At t=1s a newcomer pulls the 500 kB state. *)
+              ignore
+                (Sim.Engine.schedule_at engine 1.0 (fun () ->
+                     join_started := Sim.Engine.now engine;
+                     Corona.Client.join joiner ~group:"g"
+                       ~k:(fun _ -> join_done := Sim.Engine.now engine)
+                       ())))
+            ())
+        ());
+  Sim.Engine.run ~until:6.0 engine;
+  let s = Sim.Stats.summarize rtts in
+  {
+    label =
+      (match chunk with
+      | None -> "unchunked (FIFO NIC)"
+      | Some c -> Printf.sprintf "%d kB chunks" (c / 1000));
+    probe_rtt_p50 = s.Sim.Stats.p50;
+    probe_rtt_max = s.Sim.Stats.max;
+    join_time = !join_done -. !join_started;
+  }
+
+let run () =
+  Report.section
+    "QoS-adaptive transfer ([11], §5.3) — bulk state transfer vs interactive latency";
+  Report.note
+    "probe chats at 20 msg/s while a newcomer pulls 500 kB of state; pacing bounds the interference";
+  let rows =
+    List.map
+      (fun chunk ->
+        let p = measure ~chunk () in
+        [
+          p.label;
+          Report.ms p.probe_rtt_p50;
+          Report.ms p.probe_rtt_max;
+          Report.ms p.join_time;
+        ])
+      [ None; Some 64_000; Some 8_000 ]
+  in
+  Report.table
+    ~header:[ "transfer policy"; "probe RTT p50 (ms)"; "probe RTT max (ms)"; "join time (ms)" ]
+    rows

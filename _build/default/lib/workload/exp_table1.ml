@@ -1,0 +1,91 @@
+(* Table 1: server throughput with 6 clients on separate machines
+   "multicasting data as fast as possible", message sizes 1000 and 10000
+   bytes, on the UltraSparc 1 (Solaris) vs. the quad Pentium II 200 (NT).
+   Paper's shape: the NT box is faster; larger messages push more bytes; the
+   bottleneck is the 10 Mbps network and slow clients, not server CPU
+   (utilization stayed under 50%). *)
+
+module T = Proto.Types
+
+type point = {
+  host_profile : string;
+  size : int;
+  delivered_kbs : float; (* payload bytes delivered to clients per second *)
+  sequenced_per_s : float;
+  server_cpu_utilization : float;
+}
+
+(* Each client keeps [window] broadcasts outstanding: a new one is sent on
+   each own echo, which is how "as fast as possible" behaves over TCP. *)
+let measure ?(seed = 13L) ~server_cpu ~size ~clients ~duration () =
+  let tb = Testbed.single_server ~seed ~server_cpu () in
+  let window = 2 in
+  let delivered_bytes = ref 0 in
+  let start_at = 1.0 in
+  Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:clients
+    (fun cls ->
+      Corona.Client.create_group cls.(0) ~group:"g"
+        ~k:(fun _ ->
+          Testbed.join_all cls ~group:"g" ~transfer:T.No_state (fun () ->
+              Array.iter
+                (fun cl ->
+                  let me = Corona.Client.member cl in
+                  let send () =
+                    Corona.Client.bcast_update cl ~group:"g" ~obj:"o"
+                      ~data:(String.make size 'x')
+                      ~mode:T.Sender_inclusive ()
+                  in
+                  Corona.Client.set_on_event cl (fun _ -> function
+                    | Corona.Client.Delivered u ->
+                        if Sim.Engine.now tb.s_engine >= start_at then
+                          delivered_bytes := !delivered_bytes + String.length u.T.data;
+                        if u.T.sender = me then send ()
+                    | _ -> ());
+                  for _ = 1 to window do
+                    send ()
+                  done)
+                cls))
+        ());
+  let horizon = start_at +. duration in
+  let cpu_before = ref 0.0 in
+  ignore
+    (Sim.Engine.schedule_at tb.s_engine start_at (fun () ->
+         cpu_before := Net.Host.cpu_seconds_used tb.s_server_host));
+  Sim.Engine.run ~until:horizon tb.s_engine;
+  let cpu_used = Net.Host.cpu_seconds_used tb.s_server_host -. !cpu_before in
+  let st = Corona.Server.stats tb.s_server in
+  let workers = float_of_int (Net.Host.cpu tb.s_server_host).Net.Host.workers in
+  {
+    host_profile = (Net.Host.cpu tb.s_server_host).Net.Host.profile_name;
+    size;
+    delivered_kbs = float_of_int !delivered_bytes /. duration;
+    sequenced_per_s = float_of_int st.Corona.Server.bcasts_sequenced /. duration;
+    server_cpu_utilization = cpu_used /. (duration *. workers);
+  }
+
+let run ?(duration = 20.0) () =
+  Report.section "Table 1 — server throughput, 6 saturating clients";
+  Report.note
+    "paper: NT quad Pentium II beats the UltraSparc; network and slow clients are the limit, CPU < 50%%";
+  let cases =
+    [ (Net.Host.ultrasparc, 1000); (Net.Host.ultrasparc, 10000);
+      (Net.Host.pentium_ii_quad, 1000); (Net.Host.pentium_ii_quad, 10000) ]
+  in
+  let rows =
+    List.map
+      (fun (cpu, size) ->
+        let p = measure ~server_cpu:cpu ~size ~clients:6 ~duration () in
+        [
+          p.host_profile;
+          string_of_int p.size;
+          Report.kbs p.delivered_kbs;
+          Printf.sprintf "%.0f" p.sequenced_per_s;
+          Printf.sprintf "%.0f%%" (100.0 *. p.server_cpu_utilization);
+        ])
+      cases
+  in
+  Report.table
+    ~header:[ "server"; "msg bytes"; "delivered kB/s"; "msgs/s"; "server CPU" ]
+    rows

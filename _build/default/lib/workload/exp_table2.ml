@@ -1,0 +1,62 @@
+(* Table 2: round-trip delay of a 1000-byte multicast for 100/200/300
+   clients — one server vs. a coordinator plus six replicas (§5.2.3).
+   Paper's shape: the replicated service is faster and scales better,
+   because the fan-out work is split across six server NICs/CPUs at the
+   price of one extra (lightly loaded) coordinator hop. *)
+
+module T = Proto.Types
+
+let measure_single ?(seed = 17L) ~clients ~size ~count () =
+  let tb = Testbed.single_server ~seed ~client_machines:12 () in
+  let result = ref None in
+  Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:clients
+    (fun cls ->
+      Corona.Client.create_group cls.(0) ~group:"g"
+        ~k:(fun _ ->
+          Testbed.join_all cls ~group:"g" ~transfer:T.No_state (fun () ->
+              Testbed.paced_probe tb.s_engine ~probe:cls.(clients - 1) ~group:"g"
+                ~size ~period:0.1 ~count ~on_done:(fun stats ->
+                  result := Some (Sim.Stats.summarize stats))))
+        ());
+  Sim.Engine.run tb.s_engine;
+  Option.get !result
+
+let measure_replicated ?(seed = 17L) ~clients ~size ~count () =
+  let tb = Testbed.replicated ~seed ~replicas:6 ~client_machines:12 () in
+  let result = ref None in
+  let replica_host i =
+    Replication.Node.host (Replication.Cluster.replica_for tb.r_cluster i)
+  in
+  Testbed.spawn_clients tb.r_fabric ~hosts:tb.r_client_hosts
+    ~server_for:replica_host ~n:clients
+    (fun cls ->
+      Corona.Client.create_group cls.(0) ~group:"g"
+        ~k:(fun _ ->
+          Testbed.join_all cls ~group:"g" ~transfer:T.No_state (fun () ->
+              Testbed.paced_probe tb.r_engine ~probe:cls.(clients - 1) ~group:"g"
+                ~size ~period:0.1 ~count ~on_done:(fun stats ->
+                  result := Some (Sim.Stats.summarize stats))))
+        ());
+  Testbed.run_until tb.r_engine (fun () -> !result <> None);
+  Option.get !result
+
+let run ?(count = 60) ?(client_counts = [ 100; 200; 300 ]) () =
+  Report.section
+    "Table 2 — roundtrip delay (ms), 1000-byte multicast: single server vs coordinator + 6 replicas";
+  Report.note "paper: the replicated service wins and scales better with #clients";
+  let rows =
+    List.map
+      (fun n ->
+        let s = measure_single ~clients:n ~size:1000 ~count () in
+        let r = measure_replicated ~clients:n ~size:1000 ~count () in
+        [
+          string_of_int n;
+          Report.ms s.Sim.Stats.mean;
+          Report.ms r.Sim.Stats.mean;
+          Printf.sprintf "%.1fx" (s.Sim.Stats.mean /. r.Sim.Stats.mean);
+        ])
+      client_counts
+  in
+  Report.table ~header:[ "clients"; "single (ms)"; "replicated (ms)"; "speedup" ] rows

@@ -1,0 +1,67 @@
+(* §3.2 customized state transfer: what a joining client asks for shapes
+   both its join latency and the bytes moved — the reason Corona lets
+   clients on slow links request "only the latest updates" or "only the
+   state of certain objects". *)
+
+module T = Proto.Types
+
+let objects = List.init 20 (fun i -> (Printf.sprintf "obj-%02d" i, String.make 5_000 'd'))
+
+let history_updates = 200
+
+let measure ?(seed = 23L) ~transfer () =
+  let tb = Testbed.single_server ~seed () in
+  let joined_at = ref None in
+  let started_at = ref 0.0 in
+  let before_bytes = ref 0 in
+  Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:2
+    (fun cls ->
+      let creator = cls.(0) and joiner = cls.(1) in
+      Corona.Client.create_group creator ~group:"g" ~initial:objects
+        ~k:(fun _ ->
+          Corona.Client.join creator ~group:"g"
+            ~k:(fun _ ->
+              for i = 0 to history_updates - 1 do
+                Corona.Client.bcast_update creator ~group:"g"
+                  ~obj:(Printf.sprintf "obj-%02d" (i mod 20))
+                  ~data:(String.make 500 'u') ()
+              done;
+              ignore
+                (Sim.Engine.schedule tb.s_engine ~delay:2.0 (fun () ->
+                     before_bytes :=
+                       (Corona.Server.stats tb.s_server).Corona.Server.state_transfer_bytes;
+                     started_at := Sim.Engine.now tb.s_engine;
+                     Corona.Client.join joiner ~group:"g" ~transfer
+                       ~k:(fun _ -> joined_at := Some (Sim.Engine.now tb.s_engine))
+                       ())))
+            ())
+        ());
+  Testbed.run_until tb.s_engine (fun () -> !joined_at <> None);
+  let bytes =
+    (Corona.Server.stats tb.s_server).Corona.Server.state_transfer_bytes
+    - !before_bytes
+  in
+  (Option.get !joined_at -. !started_at, bytes)
+
+let run () =
+  Report.section "State-transfer policies (§3.2) — join latency vs bytes moved";
+  Report.note "group: 20 objects x 5 kB plus 200 x 500 B update history";
+  let cases =
+    [
+      ("full state", T.Full_state);
+      ("latest 20 updates", T.Latest_updates 20);
+      ("latest 100 updates", T.Latest_updates 100);
+      ("2 objects of 20", T.Objects [ "obj-00"; "obj-01" ]);
+      ("no state", T.No_state);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, transfer) ->
+        let latency, bytes = measure ~transfer () in
+        [ label; Report.ms latency; Report.fbytes bytes ])
+      cases
+  in
+  Report.table ~header:[ "policy"; "join latency (ms)"; "state bytes" ] rows

@@ -1,0 +1,45 @@
+let section title =
+  let line = String.make (String.length title + 4) '=' in
+  Format.printf "@.%s@.= %s =@.%s@." line title line
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+let table ~header rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let print_row row =
+    Format.printf "  ";
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Format.printf "%-*s  " w cell)
+      row;
+    Format.printf "@."
+  in
+  print_row header;
+  Format.printf "  ";
+  List.iter (fun w -> Format.printf "%s  " (String.make w '-')) widths;
+  Format.printf "@.";
+  List.iter print_row rows
+
+let kv pairs =
+  let w = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter (fun (k, v) -> Format.printf "  %-*s  %s@." w k v) pairs
+
+let ms seconds = Printf.sprintf "%.1f" (seconds *. 1000.0)
+
+let kbs bytes_per_sec = Printf.sprintf "%.0f" (bytes_per_sec /. 1000.0)
+
+let fbytes n =
+  if n >= 1_000_000 then Printf.sprintf "%.1f MB" (float_of_int n /. 1e6)
+  else if n >= 1000 then Printf.sprintf "%.1f kB" (float_of_int n /. 1e3)
+  else Printf.sprintf "%d B" n

@@ -1,0 +1,25 @@
+(** Plain-text experiment reports.
+
+    Every bench prints, for each paper table/figure, the measured series
+    next to the paper's qualitative expectation, in fixed-width tables. *)
+
+val section : string -> unit
+(** A banner line. *)
+
+val note : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** An indented free-form remark. *)
+
+val table : header:string list -> string list list -> unit
+(** Aligned columns; the header is underlined. *)
+
+val kv : (string * string) list -> unit
+(** Aligned key/value pairs. *)
+
+val ms : float -> string
+(** Seconds, rendered as milliseconds with one decimal. *)
+
+val kbs : float -> string
+(** Bytes/second rendered as kB/s. *)
+
+val fbytes : int -> string
+(** Bytes with a unit suffix. *)

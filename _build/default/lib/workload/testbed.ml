@@ -1,0 +1,119 @@
+module T = Proto.Types
+
+(* The paper's data points carry 2-19%% standard deviation (GC pauses, thread
+   scheduling, shared Ethernet); a little network jitter recreates that
+   noise without changing any mean. *)
+let noisy_lan = { Net.Fabric.lan with Net.Fabric.jitter = 0.8e-3 }
+
+type single = {
+  s_engine : Sim.Engine.t;
+  s_fabric : Net.Fabric.t;
+  s_server_host : Net.Host.t;
+  s_server : Corona.Server.t;
+  s_storage : Corona.Server_storage.t;
+  s_client_hosts : Net.Host.t array;
+}
+
+let client_host_pool fabric n =
+  Array.init n (fun i ->
+      Net.Fabric.add_host fabric ~name:(Printf.sprintf "cm-%d" i)
+        ~cpu:Net.Host.sparc20 ())
+
+let single_server ?(seed = 11L) ?(server_cpu = Net.Host.ultrasparc) ?config
+    ?disk_rate ?(net = noisy_lan) ?(client_machines = 6) () =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Net.Fabric.create ~config:net engine in
+  let server_host = Net.Fabric.add_host fabric ~name:"server" ~cpu:server_cpu () in
+  let storage = Corona.Server_storage.create server_host ?disk_rate () in
+  let server = Corona.Server.create fabric server_host ?config ~storage () in
+  {
+    s_engine = engine;
+    s_fabric = fabric;
+    s_server_host = server_host;
+    s_server = server;
+    s_storage = storage;
+    s_client_hosts = client_host_pool fabric client_machines;
+  }
+
+type replicated = {
+  r_engine : Sim.Engine.t;
+  r_fabric : Net.Fabric.t;
+  r_cluster : Replication.Cluster.t;
+  r_client_hosts : Net.Host.t array;
+}
+
+let replicated ?(seed = 11L) ?config ?server_cpu ?(net = noisy_lan) ?(replicas = 6)
+    ?(client_machines = 12) () =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Net.Fabric.create ~config:net engine in
+  let cluster = Replication.Cluster.create fabric ?config ?server_cpu ~replicas () in
+  {
+    r_engine = engine;
+    r_fabric = fabric;
+    r_cluster = cluster;
+    r_client_hosts = client_host_pool fabric client_machines;
+  }
+
+let spawn_clients fabric ~hosts ~server_for ~n ?(prefix = "c") k =
+  let clients = Array.make n None in
+  let connected = ref 0 in
+  let finish () =
+    if !connected = n then k (Array.map Option.get clients)
+  in
+  for i = 0 to n - 1 do
+    Corona.Client.connect fabric
+      ~host:hosts.(i mod Array.length hosts)
+      ~server:(server_for i)
+      ~member:(Printf.sprintf "%s%d" prefix i)
+      ~on_connected:(fun cl ->
+        clients.(i) <- Some cl;
+        incr connected;
+        finish ())
+      ~on_failed:(fun () -> failwith (Printf.sprintf "client %d failed to connect" i))
+      ()
+  done
+
+let join_all clients ~group ?(transfer = T.Full_state) ?(notify = false) k =
+  let n = Array.length clients in
+  let rec join i =
+    if i >= n then k ()
+    else
+      Corona.Client.join clients.(i) ~group ~transfer ~notify
+        ~k:(function
+          | Corona.Client.R_join _ -> join (i + 1)
+          | Corona.Client.R_failed reason ->
+              failwith (Printf.sprintf "join %d failed: %s" i reason)
+          | _ -> failwith "unexpected join reply")
+        ()
+  in
+  join 0
+
+let run_until engine done_ =
+  let continue = ref true in
+  while !continue do
+    if done_ () then continue := false
+    else if not (Sim.Engine.step engine) then continue := false
+  done
+
+let paced_probe engine ~probe ~group ~size ~period ~count ~on_done =
+  let stats = Sim.Stats.create () in
+  let sent_at = ref 0.0 in
+  let remaining = ref count in
+  let me = Corona.Client.member probe in
+  let rec send_one () =
+    sent_at := Sim.Engine.now engine;
+    Corona.Client.bcast_update probe ~group ~obj:"probe"
+      ~data:(String.make (max 1 size) 'x')
+      ~mode:T.Sender_inclusive ()
+  and arm_next () =
+    if !remaining > 0 then ignore (Sim.Engine.schedule engine ~delay:period send_one)
+    else on_done stats
+  in
+  Corona.Client.set_on_event probe (fun _ ev ->
+      match ev with
+      | Corona.Client.Delivered u when u.T.sender = me && u.T.obj = "probe" ->
+          Sim.Stats.add stats (Sim.Engine.now engine -. !sent_at);
+          decr remaining;
+          arm_next ()
+      | _ -> ());
+  send_one ()

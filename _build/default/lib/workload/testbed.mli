@@ -1,0 +1,87 @@
+(** Experiment testbeds modelled on the paper's §5.2 setup.
+
+    Single-server runs use one server machine (UltraSparc 1 by default, or
+    the quad Pentium II) and a pool of Sparc-20-class client machines on a
+    10 Mbps Ethernet; clients are spread uniformly over the machines, as in
+    the paper. Replicated runs use a coordinator plus N replica servers
+    (Figure 2 / Table 2). *)
+
+type single = {
+  s_engine : Sim.Engine.t;
+  s_fabric : Net.Fabric.t;
+  s_server_host : Net.Host.t;
+  s_server : Corona.Server.t;
+  s_storage : Corona.Server_storage.t;
+  s_client_hosts : Net.Host.t array;
+}
+
+val single_server :
+  ?seed:int64 ->
+  ?server_cpu:Net.Host.cpu_profile ->
+  ?config:Corona.Server.config ->
+  ?disk_rate:float ->
+  ?net:Net.Fabric.config ->
+  ?client_machines:int ->
+  unit ->
+  single
+(** Default: 6 client machines (the paper's testbed), UltraSparc server. *)
+
+type replicated = {
+  r_engine : Sim.Engine.t;
+  r_fabric : Net.Fabric.t;
+  r_cluster : Replication.Cluster.t;
+  r_client_hosts : Net.Host.t array;
+}
+
+val replicated :
+  ?seed:int64 ->
+  ?config:Replication.Node.config ->
+  ?server_cpu:Net.Host.cpu_profile ->
+  ?net:Net.Fabric.config ->
+  ?replicas:int ->
+  ?client_machines:int ->
+  unit ->
+  replicated
+(** Default: 6 replicas behind a coordinator, 12 client machines (§5.2.3). *)
+
+val spawn_clients :
+  Net.Fabric.t ->
+  hosts:Net.Host.t array ->
+  server_for:(int -> Net.Host.t) ->
+  n:int ->
+  ?prefix:string ->
+  (Corona.Client.t array -> unit) ->
+  unit
+(** Connect [n] clients, client [i] living on [hosts.(i mod machines)] and
+    talking to [server_for i]; the continuation fires when every connection
+    is up. *)
+
+val join_all :
+  Corona.Client.t array ->
+  group:Proto.Types.group_id ->
+  ?transfer:Proto.Types.transfer_spec ->
+  ?notify:bool ->
+  (unit -> unit) ->
+  unit
+(** Join the group strictly in array order (the paper's probe client is the
+    last one a broadcast is sent to, so join order matters); the
+    continuation fires after the last join is accepted. *)
+
+val run_until : Sim.Engine.t -> (unit -> bool) -> unit
+(** Step the engine until the predicate holds (or the event queue drains).
+    Needed on replicated testbeds, whose heartbeat timers never let
+    {!Sim.Engine.run} terminate on its own. *)
+
+val paced_probe :
+  Sim.Engine.t ->
+  probe:Corona.Client.t ->
+  group:Proto.Types.group_id ->
+  size:int ->
+  period:float ->
+  count:int ->
+  on_done:(Sim.Stats.t -> unit) ->
+  unit
+(** The paper's measurement loop: the probe broadcasts a [size]-byte
+    sender-inclusive update every [period] seconds, [count] times, and the
+    round-trip time to its own delivery (it is the last member) is
+    collected. *)

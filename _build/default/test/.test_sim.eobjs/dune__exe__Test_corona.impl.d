@@ -1,0 +1,1 @@
+test/test_corona.ml: Alcotest Array Char Corona Float Fun List Net Option Printf Proto Sim Storage String

@@ -1,0 +1,1 @@
+test/test_corona_units.ml: Alcotest Corona Format Hashtbl List Net Option Printf Proto QCheck QCheck_alcotest Sim Storage

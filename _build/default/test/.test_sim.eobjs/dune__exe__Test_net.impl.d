@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Gen List Net Option Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Array Fun Int64 List Ordering QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Format Gen List Proto QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Corona Fun List Net Option Printf Proto Replication Sim String

@@ -1,0 +1,1 @@
+test/test_replication_units.ml: Alcotest Gen Hashtbl List Option Printf Proto QCheck QCheck_alcotest Replication Sim String

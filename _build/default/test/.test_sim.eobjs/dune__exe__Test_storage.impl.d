@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest List Net QCheck QCheck_alcotest Sim Storage

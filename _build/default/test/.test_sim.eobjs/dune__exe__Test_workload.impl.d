@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Corona Format Fun List Net Option Printf Proto Sim String Workload

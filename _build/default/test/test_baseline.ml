@@ -1,0 +1,158 @@
+(* Tests for the ISIS-style baseline: view agreement on join, full-replica
+   causal multicast, slow-member and crashed-donor behavior. *)
+
+let make_world ?(seed = 21L) n =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Net.Fabric.create engine in
+  let hosts =
+    Array.init n (fun i -> Net.Fabric.add_host fabric ~name:(Printf.sprintf "p%d" i) ())
+  in
+  (engine, fabric, hosts)
+
+let grow_group engine fabric hosts ~initial k =
+  let founder = Baseline.Isis.found_group fabric hosts.(0) ~group:"g" ~initial () in
+  let members = ref [ founder ] in
+  let n = Array.length hosts in
+  let rec add i =
+    if i >= n then k !members
+    else
+      Baseline.Isis.join fabric hosts.(i) ~group:"g" ~contacts:[ hosts.(0) ]
+        ~on_joined:(fun m ->
+          members := !members @ [ m ];
+          add (i + 1))
+        ~on_failed:(fun r -> Alcotest.failf "grow failed: %s" r)
+        ()
+  in
+  add 1;
+  Sim.Engine.run engine
+
+let test_join_installs_view_and_state () =
+  let engine, fabric, hosts = make_world 4 in
+  grow_group engine fabric hosts ~initial:[ ("doc", "contents") ] (fun members ->
+      List.iter
+        (fun m ->
+          Alcotest.(check int)
+            (Baseline.Isis.member_id m ^ " sees 4 members")
+            4
+            (List.length (Baseline.Isis.members m));
+          Alcotest.(check (option string))
+            (Baseline.Isis.member_id m ^ " replica")
+            (Some "contents")
+            (Corona.Shared_state.get (Baseline.Isis.state m) "doc"))
+        members;
+      Alcotest.(check int) "views advanced" 3
+        (Baseline.Isis.view_number (List.hd members)))
+
+let test_cbcast_replicates_everywhere () =
+  let engine, fabric, hosts = make_world 3 in
+  let all = ref [] in
+  grow_group engine fabric hosts ~initial:[ ("doc", "") ] (fun members ->
+      all := members;
+      match members with
+      | m0 :: _ ->
+          ignore
+            (Sim.Engine.schedule engine ~delay:1.0 (fun () ->
+                 Baseline.Isis.cbcast m0 ~kind:Proto.Types.Append_update ~obj:"doc"
+                   ~data:"x";
+                 Baseline.Isis.cbcast m0 ~kind:Proto.Types.Append_update ~obj:"doc"
+                   ~data:"y"))
+      | [] -> Alcotest.fail "no members");
+  Sim.Engine.run engine;
+  List.iter
+    (fun m ->
+      Alcotest.(check (option string))
+        (Baseline.Isis.member_id m ^ " replica converged")
+        (Some "xy")
+        (Corona.Shared_state.get (Baseline.Isis.state m) "doc"))
+    !all
+
+let test_cbcast_causal_order () =
+  let engine, fabric, hosts = make_world 3 in
+  let log = ref [] in
+  grow_group engine fabric hosts ~initial:[] (fun members ->
+      match members with
+      | [ m0; m1; m2 ] ->
+          Baseline.Isis.set_on_deliver m2 (fun u ->
+              log := u.Proto.Types.data :: !log);
+          (* m1 replies to m0's message: causally ordered for m2. *)
+          Baseline.Isis.set_on_deliver m1 (fun u ->
+              if u.Proto.Types.data = "question" then
+                Baseline.Isis.cbcast m1 ~kind:Proto.Types.Append_update ~obj:"chat"
+                  ~data:"answer");
+          Baseline.Isis.cbcast m0 ~kind:Proto.Types.Append_update ~obj:"chat"
+            ~data:"question"
+      | _ -> Alcotest.fail "expected 3 members");
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "causal order at m2" [ "question"; "answer" ]
+    (List.rev !log)
+
+let test_slow_member_delays_join () =
+  let engine, fabric, hosts = make_world 3 in
+  let join_time = ref nan in
+  grow_group engine fabric hosts ~initial:[] (fun members ->
+      Baseline.Isis.set_view_ack_delay (List.nth members 1) 1.5;
+      let joiner = Net.Fabric.add_host fabric ~name:"late" () in
+      let t0 = Sim.Engine.now engine in
+      Baseline.Isis.join fabric joiner ~group:"g" ~contacts:[ hosts.(0) ]
+        ~on_joined:(fun _ -> join_time := Sim.Engine.now engine -. t0)
+        ~on_failed:(fun r -> Alcotest.failf "join failed: %s" r)
+        ());
+  Sim.Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "join blocked on the slow member (%.2fs)" !join_time)
+    true (!join_time >= 1.5)
+
+let test_crashed_donor_costs_timeout_then_retry () =
+  let engine, fabric, hosts = make_world 3 in
+  let join_time = ref nan in
+  grow_group engine fabric hosts ~initial:[ ("doc", "v") ] (fun members ->
+      (* A slow sponsor: its own flush takes 1 s, so it is still mid-round
+         when it dies. *)
+      Baseline.Isis.set_view_ack_delay (List.hd members) 1.0;
+      let joiner = Net.Fabric.add_host fabric ~name:"late" () in
+      let t0 = Sim.Engine.now engine in
+      ignore
+        (Sim.Engine.schedule engine ~delay:0.5 (fun () -> Net.Host.crash hosts.(0)));
+      Baseline.Isis.join fabric joiner ~group:"g"
+        ~contacts:[ hosts.(0); hosts.(1) ]
+        ~on_joined:(fun m ->
+          join_time := Sim.Engine.now engine -. t0;
+          Alcotest.(check (option string)) "state from the second donor" (Some "v")
+            (Corona.Shared_state.get (Baseline.Isis.state m) "doc"))
+        ~on_failed:(fun r -> Alcotest.failf "join failed: %s" r)
+        ());
+  Sim.Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "paid the 3s detection timeout (%.2fs)" !join_time)
+    true
+    (!join_time >= 3.0)
+
+let test_all_contacts_dead_fails () =
+  let engine, fabric, hosts = make_world 2 in
+  let failed = ref false in
+  grow_group engine fabric hosts ~initial:[] (fun _ ->
+      Net.Host.crash hosts.(0);
+      Net.Host.crash hosts.(1);
+      let joiner = Net.Fabric.add_host fabric ~name:"late" () in
+      Baseline.Isis.join fabric joiner ~group:"g"
+        ~contacts:[ hosts.(0); hosts.(1) ]
+        ~on_joined:(fun _ -> Alcotest.fail "must not join")
+        ~on_failed:(fun _ -> failed := true)
+        ());
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "exhausted contacts" true !failed
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "baseline"
+    [
+      ( "isis",
+        [
+          tc "join installs view and state" `Quick test_join_installs_view_and_state;
+          tc "cbcast replicates" `Quick test_cbcast_replicates_everywhere;
+          tc "cbcast causal order" `Quick test_cbcast_causal_order;
+          tc "slow member delays join" `Quick test_slow_member_delays_join;
+          tc "crashed donor costs timeout" `Quick test_crashed_donor_costs_timeout_then_retry;
+          tc "all contacts dead" `Quick test_all_contacts_dead_fails;
+        ] );
+    ]

@@ -1,0 +1,1040 @@
+(* Integration tests for the single stateful Corona server: group lifecycle,
+   multicast semantics, state transfer, persistence, locks, log reduction and
+   crash recovery — all over the simulated network. *)
+
+module T = Proto.Types
+
+let run engine = Sim.Engine.run engine
+
+(* A world with one server host and [n] client hosts. *)
+type world = {
+  engine : Sim.Engine.t;
+  fabric : Net.Fabric.t;
+  server_host : Net.Host.t;
+  client_hosts : Net.Host.t array;
+  storage : Corona.Server_storage.t;
+}
+
+let make_world ?(seed = 42L) ?(clients = 4) ?config () =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Net.Fabric.create engine in
+  let server_host = Net.Fabric.add_host fabric ~name:"server" () in
+  let client_hosts =
+    Array.init clients (fun i ->
+        Net.Fabric.add_host fabric ~name:(Printf.sprintf "client-host-%d" i)
+          ~cpu:Net.Host.sparc20 ())
+  in
+  let storage = Corona.Server_storage.create server_host () in
+  let server = Corona.Server.create fabric server_host ?config ~storage () in
+  ignore server;
+  ({ engine; fabric; server_host; client_hosts; storage }, server)
+
+let connect_client w ~host ~member k =
+  Corona.Client.connect w.fabric ~host ~server:w.server_host ~member
+    ~on_connected:k
+    ~on_failed:(fun () -> Alcotest.failf "client %s failed to connect" member)
+    ()
+
+let expect_ok name = function
+  | Corona.Client.R_ok -> ()
+  | Corona.Client.R_failed reason -> Alcotest.failf "%s failed: %s" name reason
+  | _ -> Alcotest.failf "%s: unexpected reply" name
+
+let expect_join name = function
+  | Corona.Client.R_join { at_seqno; members } -> (at_seqno, members)
+  | Corona.Client.R_failed reason -> Alcotest.failf "%s failed: %s" name reason
+  | _ -> Alcotest.failf "%s: unexpected reply" name
+
+(* --- tests ------------------------------------------------------------ *)
+
+let test_create_join_bcast () =
+  let w, server = make_world () in
+  let delivered = ref [] in
+  let done_ = ref false in
+  connect_client w ~host:w.client_hosts.(0) ~member:"alice" (fun alice ->
+      Corona.Client.create_group alice ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join alice ~group:"g"
+        ~k:(fun r ->
+          let at_seqno, members = expect_join "join alice" r in
+          Alcotest.(check int) "join at seqno 0" 0 at_seqno;
+          Alcotest.(check int) "one member" 1 (List.length members);
+          connect_client w ~host:w.client_hosts.(1) ~member:"bob" (fun bob ->
+              Corona.Client.set_on_event bob (fun _ ev ->
+                  match ev with
+                  | Corona.Client.Delivered u -> delivered := u :: !delivered
+                  | _ -> ());
+              Corona.Client.join bob ~group:"g"
+                ~k:(fun r ->
+                  ignore (expect_join "join bob" r);
+                  Corona.Client.bcast_state alice ~group:"g" ~obj:"doc"
+                    ~data:"hello world" ();
+                  done_ := true)
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check bool) "flow completed" true !done_;
+  (match !delivered with
+  | [ u ] ->
+      Alcotest.(check string) "object id" "doc" u.T.obj;
+      Alcotest.(check string) "data" "hello world" u.T.data;
+      Alcotest.(check int) "seqno" 0 u.T.seqno
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l));
+  match Corona.Server.group_state server "g" with
+  | Some state ->
+      Alcotest.(check (option string))
+        "server copy" (Some "hello world")
+        (Corona.Shared_state.get state "doc")
+  | None -> Alcotest.fail "server lost the group state"
+
+let test_full_state_transfer_on_join () =
+  let w, _server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"pub" (fun pub ->
+      Corona.Client.create_group pub ~group:"g"
+        ~initial:[ ("a", "AAAA"); ("b", "BB") ]
+        ~k:(expect_ok "create") ();
+      Corona.Client.join pub ~group:"g"
+        ~k:(fun r ->
+          ignore (expect_join "join pub" r);
+          Corona.Client.bcast_update pub ~group:"g" ~obj:"a" ~data:"+more" ();
+          (* A late joiner must receive initial state plus the update. *)
+          connect_client w ~host:w.client_hosts.(1) ~member:"late" (fun late ->
+              Corona.Client.join late ~group:"g"
+                ~k:(fun r ->
+                  ignore (expect_join "join late" r);
+                  let state = Option.get (Corona.Client.replica late "g") in
+                  Alcotest.(check (option string))
+                    "object a with appended update" (Some "AAAA+more")
+                    (Corona.Shared_state.get state "a");
+                  Alcotest.(check (option string))
+                    "object b" (Some "BB")
+                    (Corona.Shared_state.get state "b"))
+                ()))
+        ());
+  run w.engine
+
+let test_sender_exclusive_not_echoed () =
+  let w, _server = make_world () in
+  let echoes = ref 0 in
+  let peer_deliveries = ref 0 in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Delivered _ -> incr echoes
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Delivered _ -> incr peer_deliveries
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.bcast_state a ~group:"g" ~obj:"o" ~data:"x"
+                    ~mode:T.Sender_exclusive ();
+                  (* Local replica applied optimistically. *)
+                  let state = Option.get (Corona.Client.replica a "g") in
+                  Alcotest.(check (option string))
+                    "optimistic apply" (Some "x")
+                    (Corona.Shared_state.get state "o"))
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check int) "sender not echoed" 0 !echoes;
+  Alcotest.(check int) "peer got it" 1 !peer_deliveries
+
+let test_total_order_across_senders () =
+  let w, _server = make_world ~clients:3 () in
+  let order_a = ref [] and order_b = ref [] in
+  let record cell = fun _ -> function
+    | Corona.Client.Delivered u -> cell := u.T.seqno :: !cell
+    | _ -> ()
+  in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (record order_a);
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (record order_b);
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  (* Both fire a burst concurrently. *)
+                  for i = 0 to 9 do
+                    Corona.Client.bcast_update a ~group:"g" ~obj:"o"
+                      ~data:(Printf.sprintf "a%d" i) ();
+                    Corona.Client.bcast_update b ~group:"g" ~obj:"o"
+                      ~data:(Printf.sprintf "b%d" i) ()
+                  done)
+                ()))
+        ());
+  run w.engine;
+  let a = List.rev !order_a and b = List.rev !order_b in
+  Alcotest.(check (list int)) "a sees 0..19 in order" (List.init 20 Fun.id) a;
+  Alcotest.(check (list int)) "b sees same order" a b
+
+let test_persistent_group_outlives_members () =
+  let w, server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"keep" ~persistent:true
+        ~k:(expect_ok "create") ();
+      Corona.Client.create_group a ~group:"drop" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"keep"
+        ~k:(fun _ ->
+          Corona.Client.join a ~group:"drop"
+            ~k:(fun _ ->
+              Corona.Client.bcast_state a ~group:"keep" ~obj:"o" ~data:"v" ();
+              Corona.Client.leave a ~group:"keep" ~k:(expect_ok "leave keep");
+              Corona.Client.leave a ~group:"drop" ~k:(expect_ok "leave drop"))
+            ())
+        ());
+  run w.engine;
+  Alcotest.(check bool)
+    "persistent group survives null membership" true
+    (Corona.Server.group_exists server "keep");
+  Alcotest.(check bool)
+    "transient group deleted at null membership" false
+    (Corona.Server.group_exists server "drop");
+  (* A fresh client joining the persistent group gets its state. *)
+  connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+      Corona.Client.join b ~group:"keep"
+        ~k:(fun r ->
+          ignore (expect_join "rejoin" r);
+          let state = Option.get (Corona.Client.replica b "keep") in
+          Alcotest.(check (option string))
+            "state preserved" (Some "v")
+            (Corona.Shared_state.get state "o"))
+        ());
+  run w.engine
+
+let test_crash_recovery_from_disk () =
+  let w, _server = make_world () in
+  let logged_seqnos = ref (-1) in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~persistent:true
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          for i = 0 to 19 do
+            Corona.Client.bcast_update a ~group:"g" ~obj:"o"
+              ~data:(Printf.sprintf "<%d>" i) ()
+          done)
+        ());
+  (* Let the run settle, then crash the server host. *)
+  run w.engine;
+  logged_seqnos := 19;
+  Net.Host.crash w.server_host;
+  run w.engine;
+  Net.Host.restart w.server_host;
+  let server2 = Corona.Server.create w.fabric w.server_host ~storage:w.storage () in
+  run w.engine;
+  Alcotest.(check bool) "group recovered" true
+    (Corona.Server.group_exists server2 "g");
+  (match Corona.Server.group_state server2 "g" with
+  | Some state ->
+      let v = Option.get (Corona.Shared_state.get state "o") in
+      (* All updates were durable by crash time (the run settled first). *)
+      let expected =
+        String.concat "" (List.init (!logged_seqnos + 1) (Printf.sprintf "<%d>"))
+      in
+      Alcotest.(check string) "recovered state" expected v
+  | None -> Alcotest.fail "no state after recovery");
+  Alcotest.(check (option int))
+    "sequence numbers continue" (Some 20)
+    (Corona.Server.group_next_seqno server2 "g")
+
+let test_crash_loses_unflushed_tail () =
+  (* Crash while the disk queue still holds a suffix of the log: recovery
+     must come back with a strict, non-empty prefix. The crash point is
+     found by watching the WAL rather than by a hard-coded time, so the
+     test is robust to cost-model recalibration. *)
+  let total = 100 in
+  let w, _server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~persistent:true
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          for i = 0 to total - 1 do
+            Corona.Client.bcast_update a ~group:"g" ~obj:"o"
+              ~data:(String.make 1000 (Char.chr (Char.code '0' + (i mod 10))))
+              ()
+          done)
+        ());
+  (* Crash as soon as every update is sequenced but the disk still lags. *)
+  let wal = Corona.Server_storage.wal_for w.storage "g" in
+  let crashed = ref false in
+  Sim.Engine.periodic w.engine ~every:0.0005 (fun () ->
+      if
+        (not !crashed)
+        && Storage.Wal.next_index wal = total
+        && Storage.Wal.durable_upto wal > 0
+        && Storage.Wal.durable_upto wal < total
+      then begin
+        crashed := true;
+        Net.Host.crash w.server_host
+      end;
+      not !crashed);
+  run w.engine;
+  Alcotest.(check bool) "found a crash window" true !crashed;
+  Net.Host.restart w.server_host;
+  let server2 = Corona.Server.create w.fabric w.server_host ~storage:w.storage () in
+  run w.engine;
+  let next = Option.get (Corona.Server.group_next_seqno server2 "g") in
+  Alcotest.(check bool)
+    (Printf.sprintf "a strict prefix survived (got %d)" next)
+    true
+    (next > 0 && next < total)
+
+let test_latest_updates_transfer () =
+  let w, _server = make_world () in
+  let joined = ref false in
+  let connect_late w' =
+    connect_client w' ~host:w'.client_hosts.(1) ~member:"b" (fun b ->
+        Corona.Client.join b ~group:"g"
+          ~transfer:(T.Latest_updates 3)
+          ~k:(fun r ->
+            ignore (expect_join "join b" r);
+            joined := true;
+            let state = Option.get (Corona.Client.replica b "g") in
+            Alcotest.(check (option string))
+              "only last 3 updates" (Some "7;8;9;")
+              (Corona.Shared_state.get state "o"))
+          ())
+  in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      (* Connect [b] only after a's 10th echo, when all updates are
+         sequenced. *)
+      let seen = ref 0 in
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Delivered _ ->
+            incr seen;
+            if !seen = 10 then connect_late w
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          for i = 0 to 9 do
+            Corona.Client.bcast_update a ~group:"g" ~obj:"o"
+              ~data:(Printf.sprintf "%d;" i) ()
+          done)
+        ());
+  run w.engine;
+  Alcotest.(check bool) "late client joined" true !joined
+
+let test_object_subset_transfer () =
+  let w, _server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g"
+        ~initial:[ ("x", "X"); ("y", "Y"); ("z", "Z") ]
+        ~k:(expect_ok "create") ();
+      connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+          Corona.Client.join b ~group:"g" ~transfer:(T.Objects [ "x"; "z" ])
+            ~k:(fun r ->
+              ignore (expect_join "join" r);
+              let state = Option.get (Corona.Client.replica b "g") in
+              Alcotest.(check (option string)) "x" (Some "X")
+                (Corona.Shared_state.get state "x");
+              Alcotest.(check (option string)) "y absent" None
+                (Corona.Shared_state.get state "y");
+              Alcotest.(check (option string)) "z" (Some "Z")
+                (Corona.Shared_state.get state "z"))
+            ()))
+  ;
+  run w.engine
+
+let test_membership_notifications () =
+  let w, _server = make_world () in
+  let changes = ref [] in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Membership_changed { change; _ } ->
+            changes := change :: !changes
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g" ~notify:true
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.join b ~group:"g" ~notify:false
+                ~k:(fun _ -> Corona.Client.leave b ~group:"g" ~k:(expect_ok "leave"))
+                ()))
+        ());
+  run w.engine;
+  let got = List.rev !changes in
+  Alcotest.(check int) "two notifications" 2 (List.length got);
+  (match got with
+  | [ T.Member_joined "b"; T.Member_left "b" ] -> ()
+  | _ -> Alcotest.fail "unexpected change sequence")
+
+let test_client_crash_detected () =
+  let w, server = make_world () in
+  let crashes = ref [] in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Membership_changed { change = T.Member_crashed m; _ } ->
+            crashes := m :: !crashes
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  ignore
+                    (Sim.Engine.schedule w.engine ~delay:0.05 (fun () ->
+                         Net.Host.crash w.client_hosts.(1))))
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check (list string)) "crash notified" [ "b" ] !crashes;
+  Alcotest.(check int) "only a remains" 1
+    (List.length (Corona.Server.group_members server "g"))
+
+let test_locks () =
+  let w, server = make_world () in
+  let later_grants = ref [] in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Lock_granted_later { lock; _ } ->
+                    later_grants := lock :: !later_grants
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.acquire_lock a ~group:"g" ~lock:"pen"
+                    ~k:(function
+                      | Corona.Client.R_lock `Granted ->
+                          Corona.Client.acquire_lock b ~group:"g" ~lock:"pen"
+                            ~k:(function
+                              | Corona.Client.R_lock (`Busy holder) ->
+                                  Alcotest.(check string) "holder" "a" holder;
+                                  Corona.Client.release_lock a ~group:"g"
+                                    ~lock:"pen" ~k:(fun _ -> ())
+                              | _ -> Alcotest.fail "expected busy")
+                      | _ -> Alcotest.fail "expected granted"))
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check (list string)) "b eventually granted" [ "pen" ] !later_grants;
+  Alcotest.(check (option string))
+    "server holder view" (Some "b")
+    (Corona.Server.lock_holder server "g" "pen")
+
+let test_log_reduction () =
+  let w, server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          for i = 0 to 9 do
+            Corona.Client.bcast_update a ~group:"g" ~obj:"o"
+              ~data:(Printf.sprintf "%d" i) ()
+          done;
+          Corona.Client.reduce_log a ~group:"g" ~k:(function
+            | Corona.Client.R_reduced upto ->
+                Alcotest.(check int) "reduced up to 10" 10 upto
+            | _ -> Alcotest.fail "expected reduction ack"))
+        ());
+  run w.engine;
+  Alcotest.(check (option int))
+    "log emptied" (Some 0)
+    (Corona.Server.group_log_length server "g");
+  (* State must be equivalent to initial + full history. *)
+  (match Corona.Server.group_state server "g" with
+  | Some st ->
+      Alcotest.(check (option string))
+        "materialized state intact" (Some "0123456789")
+        (Corona.Shared_state.get st "o")
+  | None -> Alcotest.fail "state missing");
+  (* New joiner after reduction still gets the full state. *)
+  connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+      Corona.Client.join b ~group:"g"
+        ~k:(fun r ->
+          ignore (expect_join "join after reduction" r);
+          let state = Option.get (Corona.Client.replica b "g") in
+          Alcotest.(check (option string))
+            "full state after reduction" (Some "0123456789")
+            (Corona.Shared_state.get state "o"))
+        ());
+  run w.engine
+
+let test_observer_cannot_update () =
+  let w, _server = make_world () in
+  let failed = ref false in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g" ~role:T.Observer
+        ~k:(fun _ ->
+          Corona.Client.set_on_event a (fun _ -> function
+            | _ -> ());
+          (* The bcast is rejected; the failure reply consumes no pending
+             expectation and reaches nobody, so verify via server state. *)
+          Corona.Client.bcast_state a ~group:"g" ~obj:"o" ~data:"x" ();
+          failed := true)
+        ());
+  run w.engine;
+  Alcotest.(check bool) "flow ran" true !failed;
+  match Corona.Server.group_state _server "g" with
+  | Some st -> Alcotest.(check (option string)) "no update applied" None
+                 (Corona.Shared_state.get st "o")
+  | None -> Alcotest.fail "group missing"
+
+let test_stateless_mode_sequences_only () =
+  let config =
+    { Corona.Server.default_config with maintain_state = false }
+  in
+  let w, server = make_world ~config () in
+  let delivered = ref 0 in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Delivered _ -> incr delivered
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.bcast_state a ~group:"g" ~obj:"o" ~data:"x" ())
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check int) "multicast still works" 1 !delivered;
+  Alcotest.(check (option Alcotest.reject))
+    "server keeps no state" None
+    (Corona.Server.group_state server "g")
+
+let test_multicast_delivery_mode () =
+  (* §5.3 hybrid: capable clients get deliveries over the group channel
+     (one server NIC transmission), the modem client over TCP. *)
+  let config = { Corona.Server.default_config with use_ip_multicast = true } in
+  let w, server = make_world ~config () in
+  let no_mcast_host =
+    Net.Fabric.add_host w.fabric ~name:"isp-client" ~cpu:Net.Host.sparc20
+      ~multicast_capable:false ()
+  in
+  let got = ref [] in
+  let recorder name = fun _ -> function
+    | Corona.Client.Delivered u -> got := (name, u.T.data) :: !got
+    | _ -> ()
+  in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (recorder "a");
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (recorder "b");
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.connect w.fabric ~host:no_mcast_host
+                    ~server:w.server_host ~member:"m"
+                    ~on_connected:(fun m ->
+                      Corona.Client.set_on_event m (recorder "m");
+                      Corona.Client.join m ~group:"g"
+                        ~k:(fun _ ->
+                          Corona.Client.bcast_state a ~group:"g" ~obj:"o"
+                            ~data:"x" ())
+                        ())
+                    ~on_failed:(fun () -> Alcotest.fail "m connect failed")
+                    ())
+                ()))
+        ());
+  run w.engine;
+  let names = List.sort compare (List.map fst !got) in
+  Alcotest.(check (list string)) "all three delivered" [ "a"; "b"; "m" ] names;
+  (* All replicas agree. *)
+  (match Corona.Server.group_state server "g" with
+  | Some st ->
+      Alcotest.(check (option string)) "server state" (Some "x")
+        (Corona.Shared_state.get st "o")
+  | None -> Alcotest.fail "no server state")
+
+let test_multicast_exclusive_echo_suppressed () =
+  let config = { Corona.Server.default_config with use_ip_multicast = true } in
+  let w, _server = make_world ~config () in
+  let a_deliveries = ref 0 and b_deliveries = ref 0 in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Delivered _ -> incr a_deliveries
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Delivered _ -> incr b_deliveries
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"u"
+                    ~mode:T.Sender_exclusive ();
+                  let st = Option.get (Corona.Client.replica a "g") in
+                  Alcotest.(check (option string)) "optimistic apply" (Some "u")
+                    (Corona.Shared_state.get st "o"))
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check int) "sender's multicast echo suppressed" 0 !a_deliveries;
+  Alcotest.(check int) "peer delivered once" 1 !b_deliveries;
+  (* And the sender's replica was not double-applied. *)
+  ()
+
+let test_reconnect_resync () =
+  (* Companion-paper behavior: a client drops its link, misses updates,
+     reconnects and rejoins — only the missed suffix travels. *)
+  let w, server = make_world () in
+  let phase = ref 0 in
+  let a_ref = ref None and b_ref = ref None in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      a_ref := Some a;
+      Corona.Client.create_group a ~group:"g" ~initial:[ ("o", "big-base-state") ]
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              b_ref := Some b;
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"+1" ();
+                  phase := 1)
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check int) "setup done" 1 !phase;
+  let a = Option.get !a_ref and b = Option.get !b_ref in
+  (* Link failure: b drops off; a keeps updating. *)
+  Corona.Client.disconnect b;
+  Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"+2" ();
+  Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"+3" ();
+  run w.engine;
+  let bytes_before =
+    (Corona.Server.stats server).Corona.Server.state_transfer_bytes
+  in
+  Corona.Client.reconnect b
+    ~on_connected:(fun b2 ->
+      Corona.Client.rejoin b2 ~group:"g"
+        ~k:(fun r ->
+          ignore (expect_join "rejoin" r);
+          let st = Option.get (Corona.Client.replica b2 "g") in
+          Alcotest.(check (option string)) "caught up exactly"
+            (Some "big-base-state+1+2+3")
+            (Corona.Shared_state.get st "o"))
+        ())
+    ~on_failed:(fun () -> Alcotest.fail "reconnect failed");
+  run w.engine;
+  let bytes_moved =
+    (Corona.Server.stats server).Corona.Server.state_transfer_bytes - bytes_before
+  in
+  (* Only "+2" and "+3" travelled, not the 14-byte base nor "+1". *)
+  Alcotest.(check int) "only the missed suffix travelled" 4 bytes_moved
+
+let test_rejoin_after_log_reduction_falls_back () =
+  let w, _server = make_world () in
+  let a_ref = ref None and b_ref = ref None in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      a_ref := Some a;
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              b_ref := Some b;
+              Corona.Client.join b ~group:"g" ~k:(fun _ -> ()) ()))
+        ());
+  run w.engine;
+  let a = Option.get !a_ref and b = Option.get !b_ref in
+  Corona.Client.disconnect b;
+  for i = 0 to 9 do
+    Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:(string_of_int i) ()
+  done;
+  run w.engine;
+  (* Fold the history b missed into a checkpoint. *)
+  Corona.Client.reduce_log a ~group:"g" ~k:(fun _ -> ());
+  run w.engine;
+  Corona.Client.reconnect b
+    ~on_connected:(fun b2 ->
+      Corona.Client.rejoin b2 ~group:"g"
+        ~k:(fun r ->
+          ignore (expect_join "rejoin after reduction" r);
+          let st = Option.get (Corona.Client.replica b2 "g") in
+          Alcotest.(check (option string)) "full state fallback"
+            (Some "0123456789")
+            (Corona.Shared_state.get st "o"))
+        ())
+    ~on_failed:(fun () -> Alcotest.fail "reconnect failed");
+  run w.engine
+
+let test_access_control_deny () =
+  let access =
+    Corona.Access_control.with_join_allowlist Corona.Access_control.allow_all
+      [ ("vip", [ "alice" ]) ]
+  in
+  let config = { Corona.Server.default_config with access } in
+  let w, _server = make_world ~config () in
+  let denied = ref false in
+  connect_client w ~host:w.client_hosts.(0) ~member:"alice" (fun alice ->
+      Corona.Client.create_group alice ~group:"vip" ~k:(expect_ok "create") ();
+      Corona.Client.join alice ~group:"vip"
+        ~k:(fun r ->
+          ignore (expect_join "alice may join" r);
+          connect_client w ~host:w.client_hosts.(1) ~member:"mallory"
+            (fun mallory ->
+              Corona.Client.join mallory ~group:"vip"
+                ~k:(function
+                  | Corona.Client.R_failed _ -> denied := true
+                  | _ -> Alcotest.fail "mallory should be denied")
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check bool) "mallory denied" true !denied
+
+let test_multiple_groups_one_client () =
+  let w, server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g1" ~k:(expect_ok "create g1") ();
+      Corona.Client.create_group a ~group:"g2" ~k:(expect_ok "create g2") ();
+      Corona.Client.join a ~group:"g1"
+        ~k:(fun _ ->
+          Corona.Client.join a ~group:"g2"
+            ~k:(fun _ ->
+              Corona.Client.bcast_state a ~group:"g1" ~obj:"o" ~data:"one" ();
+              Corona.Client.bcast_state a ~group:"g2" ~obj:"o" ~data:"two" ())
+            ())
+        ());
+  run w.engine;
+  let get g =
+    Option.bind (Corona.Server.group_state server g) (fun st ->
+        Corona.Shared_state.get st "o")
+  in
+  Alcotest.(check (option string)) "g1 isolated" (Some "one") (get "g1");
+  Alcotest.(check (option string)) "g2 isolated" (Some "two") (get "g2")
+
+let test_delete_group_notifies_members () =
+  let w, server = make_world () in
+  let deleted_seen = ref 0 in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Group_was_deleted "g" -> incr deleted_seen
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.delete_group a ~group:"g" ~k:(expect_ok "delete"))
+                ()))
+        ());
+  run w.engine;
+  Alcotest.(check int) "member notified of deletion" 1 !deleted_seen;
+  Alcotest.(check bool) "group gone" false (Corona.Server.group_exists server "g");
+  (* Deletion is durable: a server restart must not resurrect it. *)
+  Net.Host.crash w.server_host;
+  Net.Host.restart w.server_host;
+  let server2 = Corona.Server.create w.fabric w.server_host ~storage:w.storage () in
+  run w.engine;
+  Alcotest.(check bool) "stays gone after recovery" false
+    (Corona.Server.group_exists server2 "g")
+
+let test_get_membership_query () =
+  let w, _server = make_world () in
+  let got = ref [] in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g" ~role:T.Observer
+        ~k:(fun _ ->
+          Corona.Client.get_membership a ~group:"g" ~k:(function
+            | Corona.Client.R_membership ms -> got := ms
+            | _ -> Alcotest.fail "expected membership"))
+        ());
+  run w.engine;
+  match !got with
+  | [ { T.member = "a"; role = T.Observer } ] -> ()
+  | _ -> Alcotest.fail "unexpected membership info"
+
+let test_ping_measures_rtt () =
+  let w, _server = make_world () in
+  let rtt = ref nan in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.ping a ~k:(fun ~rtt:r -> rtt := r));
+  run w.engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "sane rtt (%.2f ms)" (!rtt *. 1000.))
+    true
+    (!rtt > 0.0 && !rtt < 0.01)
+
+let test_concurrent_joins_unobtrusive () =
+  (* §1: "existing processes ... should be able to carry on with their
+     operations in the presence of multiple, concurrent joins". A burst of
+     10 joins lands while the probe is mid-conversation; nothing is lost or
+     reordered. *)
+  let w, server = make_world ~clients:4 () in
+  let seqnos = ref [] in
+  connect_client w ~host:w.client_hosts.(0) ~member:"probe" (fun probe ->
+      Corona.Client.set_on_event probe (fun _ -> function
+        | Corona.Client.Delivered u -> seqnos := u.T.seqno :: !seqnos
+        | _ -> ());
+      Corona.Client.create_group probe ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join probe ~group:"g"
+        ~k:(fun _ ->
+          for i = 0 to 19 do
+            Corona.Client.bcast_update probe ~group:"g" ~obj:"o"
+              ~data:(string_of_int i) ()
+          done;
+          for j = 0 to 9 do
+            connect_client w
+              ~host:w.client_hosts.(1 + (j mod 3))
+              ~member:(Printf.sprintf "late-%d" j)
+              (fun late -> Corona.Client.join late ~group:"g" ~k:(fun _ -> ()) ())
+          done)
+        ());
+  run w.engine;
+  Alcotest.(check (list int)) "probe saw every update in order"
+    (List.init 20 Fun.id) (List.rev !seqnos);
+  Alcotest.(check int) "all 11 members present" 11
+    (List.length (Corona.Server.group_members server "g"))
+
+let test_graceful_shutdown_checkpoints () =
+  let w, server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~persistent:true
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ -> Corona.Client.bcast_state a ~group:"g" ~obj:"o" ~data:"v" ())
+        ());
+  run w.engine;
+  Corona.Server.shutdown server;
+  run w.engine;
+  (* A new incarnation on the same storage finds the group. *)
+  let server2 = Corona.Server.create w.fabric w.server_host ~storage:w.storage () in
+  Alcotest.(check bool) "recovered after clean shutdown" true
+    (Corona.Server.group_exists server2 "g");
+  match Corona.Server.group_state server2 "g" with
+  | Some st ->
+      Alcotest.(check (option string)) "state intact" (Some "v")
+        (Corona.Shared_state.get st "o")
+  | None -> Alcotest.fail "state missing"
+
+let test_join_nonexistent_group_fails () =
+  let w, _server = make_world () in
+  let failed = ref false in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.join a ~group:"nope"
+        ~k:(function
+          | Corona.Client.R_failed _ -> failed := true
+          | _ -> Alcotest.fail "join of a nonexistent group must fail")
+        ());
+  run w.engine;
+  Alcotest.(check bool) "failed" true !failed
+
+let test_transient_group_dies_with_last_crash () =
+  let w, server = make_world () in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          ignore
+            (Sim.Engine.schedule w.engine ~delay:0.1 (fun () ->
+                 Net.Host.crash w.client_hosts.(0))))
+        ());
+  run w.engine;
+  Alcotest.(check bool) "transient group deleted when last member crashed"
+    false
+    (Corona.Server.group_exists server "g")
+
+let test_chunked_transfer_reassembly () =
+  (* QoS pacing ([11]): a 25 kB object plus small ones, sliced into 8 kB
+     chunks, must reassemble byte-identically at the joiner. *)
+  let config =
+    { Corona.Server.default_config with transfer_chunk_bytes = Some 8_000 }
+  in
+  let w, _server = make_world ~config () in
+  let big = String.init 25_000 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+  let joined = ref false in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g"
+        ~initial:[ ("big", big); ("s1", "x"); ("s2", "yy") ]
+        ~k:(fun r ->
+          expect_ok "create" r;
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+          Corona.Client.join b ~group:"g"
+            ~k:(fun r ->
+              ignore (expect_join "chunked join" r);
+              joined := true;
+              let st = Option.get (Corona.Client.replica b "g") in
+              Alcotest.(check (option string)) "big object reassembled"
+                (Some big)
+                (Corona.Shared_state.get st "big");
+              Alcotest.(check (option string)) "s1" (Some "x")
+                (Corona.Shared_state.get st "s1");
+              Alcotest.(check (option string)) "s2" (Some "yy")
+                (Corona.Shared_state.get st "s2"))
+            ()))
+        ());
+  run w.engine;
+  Alcotest.(check bool) "join completed" true !joined
+
+let test_chunked_transfer_interleaving () =
+  (* While the 500 kB transfer is paced out, another member's update must
+     overtake it rather than queue behind the whole bulk. *)
+  let config =
+    { Corona.Server.default_config with transfer_chunk_bytes = Some 8_000 }
+  in
+  let w, _server = make_world ~config () in
+  let big = List.init 50 (fun i -> (Printf.sprintf "o%02d" i, String.make 10_000 'd')) in
+  let update_rtt = ref nan and join_done = ref nan and t0 = ref nan in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      let me = Corona.Client.member a in
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Delivered u when u.T.sender = me ->
+            update_rtt := Sim.Engine.now w.engine -. !t0
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~initial:big ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect_client w ~host:w.client_hosts.(1) ~member:"b" (fun b ->
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ -> join_done := Sim.Engine.now w.engine)
+                ();
+              (* Fire the interactive update just after the bulk transfer
+                 starts. *)
+              ignore
+                (Sim.Engine.schedule w.engine ~delay:0.02 (fun () ->
+                     t0 := Sim.Engine.now w.engine;
+                     Corona.Client.bcast_update a ~group:"g" ~obj:"chat"
+                       ~data:"hi" ()))))
+        ());
+  run w.engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "update overtook the bulk transfer (%.1f ms vs join %.1f ms)"
+       (!update_rtt *. 1000.) (!join_done *. 1000.))
+    true
+    (!update_rtt < 0.05 && Float.is_finite !join_done)
+
+let test_sender_assisted_recovery () =
+  (* §6: "if none of the replicas has logged an update, the update message
+     can be retrieved by the crash recovery algorithm from the original
+     sender of the message, based on the sequence number". Crash the server
+     with updates still in the disk queue; the rejoining sender restores the
+     lost suffix. *)
+  let total = 60 in
+  let w, _server = make_world () in
+  let a_ref = ref None in
+  connect_client w ~host:w.client_hosts.(0) ~member:"a" (fun a ->
+      a_ref := Some a;
+      Corona.Client.create_group a ~group:"g" ~persistent:true
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          for i = 0 to total - 1 do
+            Corona.Client.bcast_update a ~group:"g" ~obj:"o"
+              ~data:(Printf.sprintf "<%02d>" i) ()
+          done)
+        ());
+  (* Crash while a durable prefix exists but the tail is still queued. *)
+  let wal = Corona.Server_storage.wal_for w.storage "g" in
+  let crashed = ref false in
+  let durable_at_crash = ref 0 in
+  Sim.Engine.periodic w.engine ~every:0.0005 (fun () ->
+      if
+        (not !crashed)
+        && Storage.Wal.next_index wal = total
+        && Storage.Wal.durable_upto wal > 0
+        && Storage.Wal.durable_upto wal < total - 5
+      then begin
+        crashed := true;
+        durable_at_crash := Storage.Wal.durable_upto wal;
+        Net.Host.crash w.server_host
+      end;
+      not !crashed);
+  run w.engine;
+  Alcotest.(check bool) "found a crash window" true !crashed;
+  Net.Host.restart w.server_host;
+  let server2 = Corona.Server.create w.fabric w.server_host ~storage:w.storage () in
+  let recovered_from_disk = Option.get (Corona.Server.group_next_seqno server2 "g") in
+  Alcotest.(check bool)
+    (Printf.sprintf "a suffix was lost (disk had %d of %d)" recovered_from_disk total)
+    true
+    (recovered_from_disk < total);
+  (* The sender reconnects; its rejoin triggers the resend protocol, which
+     restores everything it had seen (updates still in flight at crash time
+     were never sequenced and are legitimately gone). *)
+  let rejoined = ref false in
+  let a = Option.get !a_ref in
+  let client_knows = Option.get (Corona.Client.last_seqno a "g") + 1 in
+  Alcotest.(check bool) "the client is ahead of the recovered disk" true
+    (client_knows > recovered_from_disk);
+  Corona.Client.reconnect a
+    ~on_connected:(fun a2 ->
+      Corona.Client.rejoin a2 ~group:"g"
+        ~k:(fun r ->
+          ignore (expect_join "rejoin" r);
+          rejoined := true;
+          let client_state =
+            Corona.Shared_state.get
+              (Option.get (Corona.Client.replica a2 "g"))
+              "o"
+          in
+          let server_state =
+            Option.bind (Corona.Server.group_state server2 "g") (fun st ->
+                Corona.Shared_state.get st "o")
+          in
+          Alcotest.(check (option string)) "client and server agree"
+            server_state client_state)
+        ())
+    ~on_failed:(fun () -> Alcotest.fail "reconnect failed");
+  run w.engine;
+  Alcotest.(check bool) "rejoined" true !rejoined;
+  (* Every update the sender had seen is back, beyond what the disk held. *)
+  Alcotest.(check (option int)) "server position = client position"
+    (Some client_knows)
+    (Corona.Server.group_next_seqno server2 "g");
+  Alcotest.(check bool) "recovered past the durable prefix" true
+    (client_knows > !durable_at_crash)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "corona"
+    [
+      ( "server",
+        [
+          tc "create, join, bcast" `Quick test_create_join_bcast;
+          tc "full state transfer on join" `Quick test_full_state_transfer_on_join;
+          tc "sender-exclusive not echoed" `Quick test_sender_exclusive_not_echoed;
+          tc "total order across senders" `Quick test_total_order_across_senders;
+          tc "persistent group outlives members" `Quick
+            test_persistent_group_outlives_members;
+          tc "crash recovery from disk" `Quick test_crash_recovery_from_disk;
+          tc "crash loses unflushed tail" `Quick test_crash_loses_unflushed_tail;
+          tc "latest-n state transfer" `Quick test_latest_updates_transfer;
+          tc "object-subset state transfer" `Quick test_object_subset_transfer;
+          tc "membership notifications" `Quick test_membership_notifications;
+          tc "client crash detected" `Quick test_client_crash_detected;
+          tc "locks: grant, busy, queue" `Quick test_locks;
+          tc "log reduction" `Quick test_log_reduction;
+          tc "observer cannot update" `Quick test_observer_cannot_update;
+          tc "stateless mode sequences only" `Quick
+            test_stateless_mode_sequences_only;
+          tc "access control denies join" `Quick test_access_control_deny;
+          tc "hybrid multicast delivery" `Quick test_multicast_delivery_mode;
+          tc "multicast exclusive echo suppressed" `Quick
+            test_multicast_exclusive_echo_suppressed;
+          tc "reconnect resyncs the missed suffix" `Quick test_reconnect_resync;
+          tc "rejoin after log reduction falls back" `Quick
+            test_rejoin_after_log_reduction_falls_back;
+          tc "multiple groups on one connection" `Quick test_multiple_groups_one_client;
+          tc "delete notifies members, durably" `Quick test_delete_group_notifies_members;
+          tc "get_membership query" `Quick test_get_membership_query;
+          tc "ping measures rtt" `Quick test_ping_measures_rtt;
+          tc "concurrent joins are unobtrusive" `Quick test_concurrent_joins_unobtrusive;
+          tc "graceful shutdown checkpoints" `Quick test_graceful_shutdown_checkpoints;
+          tc "join nonexistent group fails" `Quick test_join_nonexistent_group_fails;
+          tc "transient group dies with last crash" `Quick
+            test_transient_group_dies_with_last_crash;
+          tc "chunked transfer reassembles" `Quick test_chunked_transfer_reassembly;
+          tc "chunked transfer interleaves" `Quick test_chunked_transfer_interleaving;
+          tc "sender-assisted crash recovery" `Quick test_sender_assisted_recovery;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* Unit and property tests for the Corona core data structures: the shared
+   state model, the state log with reduction, locks, membership, access
+   control and the transfer computation. Complements test_corona.ml's
+   end-to-end server tests. *)
+
+module T = Proto.Types
+module SS = Corona.Shared_state
+
+(* --- shared state ------------------------------------------------------- *)
+
+let upd ?(seqno = 0) ?(kind = T.Append_update) obj data =
+  { T.seqno; group = "g"; kind; obj; data; sender = "s"; timestamp = 0.0 }
+
+let test_set_and_append () =
+  let s = SS.create () in
+  SS.set_object s "a" "base";
+  SS.append_object s "a" "+1";
+  SS.append_object s "a" "+2";
+  Alcotest.(check (option string)) "materialized" (Some "base+1+2") (SS.get s "a");
+  SS.set_object s "a" "reset";
+  Alcotest.(check (option string)) "set overrides" (Some "reset") (SS.get s "a");
+  SS.append_object s "new" "x";
+  Alcotest.(check (option string)) "append creates" (Some "x") (SS.get s "new")
+
+let test_objects_sorted_and_sizes () =
+  let s = SS.of_objects [ ("b", "22"); ("a", "1") ] in
+  Alcotest.(check (list (pair string string))) "sorted" [ ("a", "1"); ("b", "22") ]
+    (SS.objects s);
+  Alcotest.(check int) "count" 2 (SS.object_count s);
+  Alcotest.(check int) "bytes" 3 (SS.total_bytes s);
+  Alcotest.(check (list (pair string string))) "restrict" [ ("b", "22") ]
+    (SS.restrict s [ "b"; "missing" ])
+
+let test_copy_is_independent () =
+  let s = SS.of_objects [ ("a", "1") ] in
+  let c = SS.copy s in
+  SS.append_object s "a" "2";
+  Alcotest.(check (option string)) "copy unchanged" (Some "1") (SS.get c "a");
+  Alcotest.(check bool) "equal detects difference" false (SS.equal s c)
+
+(* Applying a random update sequence gives the same state as applying it to
+   a simple reference model (an assoc list of strings). *)
+let gen_op =
+  QCheck.Gen.(
+    map3
+      (fun obj set data -> (Printf.sprintf "o%d" obj, set, data))
+      (int_range 0 3) bool (string_size ~gen:printable (int_range 0 8)))
+
+let prop_matches_reference_model =
+  QCheck.Test.make ~name:"shared state = reference model" ~count:300
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 40) gen_op))
+    (fun ops ->
+      let s = SS.create () in
+      let model = Hashtbl.create 4 in
+      List.iter
+        (fun (obj, set, data) ->
+          let kind = if set then T.Set_state else T.Append_update in
+          SS.apply s (upd ~kind obj data);
+          let prev = Option.value (Hashtbl.find_opt model obj) ~default:"" in
+          Hashtbl.replace model obj (if set then data else prev ^ data))
+        ops;
+      List.for_all
+        (fun (obj, v) -> Hashtbl.find_opt model obj = Some v)
+        (SS.objects s)
+      && SS.object_count s = Hashtbl.length model)
+
+(* --- state log ------------------------------------------------------------ *)
+
+let make_log ?(policy = Corona.State_log.No_reduction) ?(initial = []) () =
+  let engine = Sim.Engine.create ~seed:3L () in
+  let fabric = Net.Fabric.create engine in
+  let host = Net.Fabric.add_host fabric ~name:"h" () in
+  let disk = Storage.Disk.create host () in
+  let wal = Storage.Wal.create disk ~name:"g" in
+  let checkpoints = Storage.Snapshot.create disk ~name:"cks" in
+  let log =
+    Corona.State_log.create ~group:"g" ~persistent:true ~wal ~checkpoints ~policy
+      ~initial ()
+  in
+  (engine, wal, checkpoints, log)
+
+let append log data =
+  Corona.State_log.append log ~kind:T.Append_update ~obj:"o" ~data ~sender:"s"
+    ~timestamp:0.0 ~on_durable:(fun _ -> ())
+
+let test_log_sequences () =
+  let _, _, _, log = make_log () in
+  let u0 = append log "a" in
+  let u1 = append log "b" in
+  Alcotest.(check (pair int int)) "seqnos" (0, 1) (u0.T.seqno, u1.T.seqno);
+  Alcotest.(check int) "next" 2 (Corona.State_log.next_seqno log);
+  Alcotest.(check (option string)) "state applied" (Some "ab")
+    (SS.get (Corona.State_log.state log) "o")
+
+let test_log_updates_from_and_latest () =
+  let _, _, _, log = make_log () in
+  for i = 0 to 9 do
+    ignore (append log (string_of_int i))
+  done;
+  let tail = Corona.State_log.updates_from log 7 in
+  Alcotest.(check (list int)) "from 7" [ 7; 8; 9 ]
+    (List.map (fun u -> u.T.seqno) tail);
+  let last = Corona.State_log.latest_updates log 4 in
+  Alcotest.(check (list int)) "latest 4" [ 6; 7; 8; 9 ]
+    (List.map (fun u -> u.T.seqno) last)
+
+let test_log_reduction_preserves_state () =
+  let engine, wal, _, log = make_log () in
+  for i = 0 to 9 do
+    ignore (append log (string_of_int i))
+  done;
+  let reduced_to = ref (-1) in
+  Corona.State_log.reduce log ~on_done:(fun ~upto -> reduced_to := upto);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "reduced up to 10" 10 !reduced_to;
+  Alcotest.(check int) "log emptied" 0 (Storage.Wal.length wal);
+  Alcotest.(check (option string)) "state intact" (Some "0123456789")
+    (SS.get (Corona.State_log.state log) "o");
+  let base, at = Corona.State_log.base log in
+  Alcotest.(check int) "base position" 10 at;
+  Alcotest.(check (list (pair string string))) "base objects"
+    [ ("o", "0123456789") ] base;
+  (* Sequencing continues past the reduction point. *)
+  let u = append log "x" in
+  Alcotest.(check int) "next seqno continues" 10 u.T.seqno
+
+let test_log_auto_reduction_policy () =
+  let engine, wal, _, log = make_log ~policy:(Corona.State_log.Every_n_updates 5) () in
+  for i = 0 to 11 do
+    ignore (append log (string_of_int i));
+    (* Let the checkpoint writes land between batches. *)
+    Sim.Engine.run engine
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "log stays below threshold (%d)" (Storage.Wal.length wal))
+    true
+    (Storage.Wal.length wal < 5);
+  Alcotest.(check (option string)) "state intact" (Some "01234567891011")
+    (SS.get (Corona.State_log.state log) "o")
+
+let test_log_recover_equals_base_plus_history () =
+  let engine, wal, checkpoints, log = make_log ~initial:[ ("o", "I") ] () in
+  for i = 0 to 4 do
+    ignore (append log (string_of_int i))
+  done;
+  Sim.Engine.run engine;
+  (* Everything durable; recover from the checkpoint and replay. *)
+  let ck = Option.get (Storage.Snapshot.load checkpoints ~key:"g") in
+  let log2 =
+    Corona.State_log.recover ck ~wal ~checkpoints
+      ~policy:Corona.State_log.No_reduction
+  in
+  Alcotest.(check (option string)) "state rebuilt" (Some "I01234")
+    (SS.get (Corona.State_log.state log2) "o");
+  Alcotest.(check int) "position rebuilt" 5 (Corona.State_log.next_seqno log2)
+
+let prop_state_equals_base_plus_retained_log =
+  (* The invariant reduction and reconciliation rely on (§3.2): the
+     materialized state always equals the base objects plus the retained
+     updates, whatever interleaving of appends and reductions happened. *)
+  QCheck.Test.make ~name:"state = base + retained log" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 30) (pair (int_range 0 2) bool)))
+    (fun ops ->
+      let engine, _, _, log = make_log () in
+      List.iter
+        (fun (obj, reduce) ->
+          ignore (append log (Printf.sprintf "<%d>" obj));
+          if reduce then begin
+            Corona.State_log.reduce log ~on_done:(fun ~upto -> ignore upto);
+            Sim.Engine.run engine
+          end)
+        ops;
+      Sim.Engine.run engine;
+      let base, at = Corona.State_log.base log in
+      let rebuilt = SS.of_objects base in
+      List.iter (SS.apply rebuilt) (Corona.State_log.updates_from log at);
+      SS.equal rebuilt (Corona.State_log.state log))
+
+(* --- locks ------------------------------------------------------------------ *)
+
+let test_lock_grant_queue_release () =
+  let l = Corona.Locks.create () in
+  Alcotest.(check bool) "grant" true (Corona.Locks.acquire l ~lock:"x" ~member:"a" = `Granted);
+  Alcotest.(check bool) "re-grant to holder" true
+    (Corona.Locks.acquire l ~lock:"x" ~member:"a" = `Granted);
+  Alcotest.(check bool) "busy" true
+    (Corona.Locks.acquire l ~lock:"x" ~member:"b" = `Busy "a");
+  Alcotest.(check bool) "duplicate queue entry ignored" true
+    (Corona.Locks.acquire l ~lock:"x" ~member:"b" = `Busy "a");
+  Alcotest.(check (list string)) "waiters" [ "b" ] (Corona.Locks.waiters l "x");
+  (match Corona.Locks.release l ~lock:"x" ~member:"a" with
+  | `Released (Some "b") -> ()
+  | _ -> Alcotest.fail "expected handoff to b");
+  Alcotest.(check (option string)) "b holds" (Some "b") (Corona.Locks.holder l "x");
+  (match Corona.Locks.release l ~lock:"x" ~member:"b" with
+  | `Released None -> ()
+  | _ -> Alcotest.fail "expected free release");
+  Alcotest.(check (option string)) "free" None (Corona.Locks.holder l "x")
+
+let test_lock_release_not_holder () =
+  let l = Corona.Locks.create () in
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"a");
+  Alcotest.(check bool) "not holder" true
+    (Corona.Locks.release l ~lock:"x" ~member:"b" = `Not_holder)
+
+let test_lock_release_all () =
+  let l = Corona.Locks.create () in
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"a");
+  ignore (Corona.Locks.acquire l ~lock:"y" ~member:"a");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"b");
+  ignore (Corona.Locks.acquire l ~lock:"y" ~member:"c");
+  ignore (Corona.Locks.acquire l ~lock:"z" ~member:"c");
+  let released = Corona.Locks.release_all l ~member:"a" in
+  Alcotest.(check (list (pair string (option string))))
+    "x to b, y to c" [ ("x", Some "b"); ("y", Some "c") ] released;
+  (* b was also dropped from queues it sat in. *)
+  ignore (Corona.Locks.release_all l ~member:"b");
+  Alcotest.(check (option string)) "x free after b gone" None (Corona.Locks.holder l "x")
+
+let prop_lock_single_holder =
+  (* Random acquire/release traffic never yields two holders and never
+     grants to someone who did not ask. *)
+  QCheck.Test.make ~name:"locks: single holder, FIFO handoff" ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 60) (pair (int_range 0 3) bool)))
+    (fun ops ->
+      let l = Corona.Locks.create () in
+      let member i = Printf.sprintf "m%d" i in
+      let ok = ref true in
+      List.iter
+        (fun (i, acquire) ->
+          if acquire then (
+            match Corona.Locks.acquire l ~lock:"k" ~member:(member i) with
+            | `Granted ->
+                ok := !ok && Corona.Locks.holder l "k" = Some (member i)
+            | `Busy h -> ok := !ok && Some h = Corona.Locks.holder l "k")
+          else
+            match Corona.Locks.release l ~lock:"k" ~member:(member i) with
+            | `Released (Some next) ->
+                ok := !ok && Corona.Locks.holder l "k" = Some next
+            | `Released None -> ok := !ok && Corona.Locks.holder l "k" = None
+            | `Not_holder -> ())
+        ops;
+      !ok)
+
+(* --- membership ------------------------------------------------------------ *)
+
+let test_membership_join_order_and_rejoin () =
+  let m = Corona.Membership.create () in
+  Corona.Membership.add m ~member:"a" ~role:T.Principal ~notify:true ~joined_at:0.0;
+  Corona.Membership.add m ~member:"b" ~role:T.Observer ~notify:false ~joined_at:1.0;
+  Corona.Membership.add m ~member:"c" ~role:T.Principal ~notify:true ~joined_at:2.0;
+  Alcotest.(check (list string)) "join order" [ "a"; "b"; "c" ]
+    (List.map (fun (x : T.member) -> x.member) (Corona.Membership.members m));
+  (* Rejoin updates in place, keeping position. *)
+  Corona.Membership.add m ~member:"b" ~role:T.Principal ~notify:true ~joined_at:3.0;
+  Alcotest.(check (list string)) "rejoin keeps order" [ "a"; "b"; "c" ]
+    (List.map (fun (x : T.member) -> x.member) (Corona.Membership.members m));
+  Alcotest.(check (option bool)) "role updated" (Some true)
+    (Option.map (fun r -> r = T.Principal) (Corona.Membership.role_of m "b"));
+  Alcotest.(check (list string)) "notify targets" [ "a"; "b"; "c" ]
+    (Corona.Membership.notify_targets m);
+  Alcotest.(check bool) "remove" true (Corona.Membership.remove m "b");
+  Alcotest.(check bool) "remove absent" false (Corona.Membership.remove m "b");
+  Alcotest.(check int) "count" 2 (Corona.Membership.count m)
+
+(* --- access control ----------------------------------------------------------- *)
+
+let test_access_allowlist () =
+  let policy =
+    Corona.Access_control.with_join_allowlist Corona.Access_control.allow_all
+      [ ("vip", [ "alice" ]) ]
+  in
+  (match policy.can_join "alice" "vip" T.Principal with
+  | Corona.Access_control.Allow -> ()
+  | Deny _ -> Alcotest.fail "alice should join");
+  (match policy.can_join "bob" "vip" T.Principal with
+  | Corona.Access_control.Deny _ -> ()
+  | Allow -> Alcotest.fail "bob should be denied");
+  match policy.can_join "bob" "public" T.Principal with
+  | Corona.Access_control.Allow -> ()
+  | Deny _ -> Alcotest.fail "unlisted group falls through"
+
+(* --- transfer ------------------------------------------------------------------ *)
+
+let test_transfer_policies () =
+  let _, _, _, log = make_log ~initial:[ ("a", "A"); ("b", "B") ] () in
+  for i = 0 to 4 do
+    ignore (append log (string_of_int i))
+  done;
+  let check_bytes spec expected =
+    let state, at = Corona.Transfer.join_state log spec in
+    Alcotest.(check int) "at current position" 5 at;
+    Alcotest.(check int)
+      (Format.asprintf "bytes for policy")
+      expected
+      (Corona.Transfer.bytes state)
+  in
+  check_bytes T.Full_state 7 (* A + B + "01234" *);
+  check_bytes (T.Latest_updates 2) 2;
+  check_bytes (T.Objects [ "a" ]) 1;
+  check_bytes T.No_state 0
+
+let () =
+  let tc = Alcotest.test_case in
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "corona-units"
+    [
+      ( "shared-state",
+        [
+          tc "set and append" `Quick test_set_and_append;
+          tc "objects sorted, sizes" `Quick test_objects_sorted_and_sizes;
+          tc "copy independent" `Quick test_copy_is_independent;
+          q prop_matches_reference_model;
+        ] );
+      ( "state-log",
+        [
+          tc "sequences" `Quick test_log_sequences;
+          tc "updates_from and latest" `Quick test_log_updates_from_and_latest;
+          tc "reduction preserves state" `Quick test_log_reduction_preserves_state;
+          tc "auto reduction policy" `Quick test_log_auto_reduction_policy;
+          tc "recover = base + history" `Quick test_log_recover_equals_base_plus_history;
+          q prop_state_equals_base_plus_retained_log;
+        ] );
+      ( "locks",
+        [
+          tc "grant, queue, release" `Quick test_lock_grant_queue_release;
+          tc "release by non-holder" `Quick test_lock_release_not_holder;
+          tc "release all on leave" `Quick test_lock_release_all;
+          q prop_lock_single_holder;
+        ] );
+      ("membership", [ tc "join order and rejoin" `Quick test_membership_join_order_and_rejoin ]);
+      ("access-control", [ tc "join allowlist" `Quick test_access_allowlist ]);
+      ("transfer", [ tc "policies" `Quick test_transfer_policies ]);
+    ]

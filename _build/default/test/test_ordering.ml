@@ -1,0 +1,220 @@
+(* Tests for the ordering substrate: Lamport clocks, vector clock laws,
+   causal delivery (BSS), and the sequencer hold-back queue. *)
+
+module V = Ordering.Vclock
+
+(* --- lamport ---------------------------------------------------------- *)
+
+let test_lamport_basic () =
+  let c = Ordering.Lamport.create () in
+  Alcotest.(check int) "starts at 0" 0 (Ordering.Lamport.now c);
+  Alcotest.(check int) "tick" 1 (Ordering.Lamport.tick c);
+  Alcotest.(check int) "observe jumps past remote" 11 (Ordering.Lamport.observe c 10);
+  Alcotest.(check int) "observe old remote still advances" 12
+    (Ordering.Lamport.observe c 3)
+
+let test_lamport_stamps_total_order () =
+  let a = Ordering.Lamport.create () and b = Ordering.Lamport.create () in
+  let s1 = Ordering.Lamport.stamp a ~site:"a" in
+  let s2 = Ordering.Lamport.stamp b ~site:"b" in
+  (* Equal times break ties by site: the order is total either way. *)
+  Alcotest.(check bool) "comparable" true (Ordering.Lamport.Stamp.compare s1 s2 <> 0)
+
+(* --- vclock ------------------------------------------------------------- *)
+
+let test_vclock_relations () =
+  let a = V.tick (V.tick V.empty "x") "y" in
+  let b = V.tick a "x" in
+  Alcotest.(check bool) "a before b" true (V.compare_causal a b = V.Before);
+  Alcotest.(check bool) "b after a" true (V.compare_causal b a = V.After);
+  Alcotest.(check bool) "a equal a" true (V.compare_causal a a = V.Equal);
+  let c = V.tick a "z" in
+  Alcotest.(check bool) "b and c concurrent" true (V.compare_causal b c = V.Concurrent)
+
+let gen_vclock =
+  QCheck.Gen.(
+    map
+      (fun pairs -> V.of_list (List.map (fun (s, n) -> ("s" ^ string_of_int s, n + 1))
+        pairs))
+      (list_size (int_range 0 5) (pair (int_range 0 4) (int_range 0 5))))
+
+let arb_vclock = QCheck.make gen_vclock
+
+let prop_merge_upper_bound =
+  QCheck.Test.make ~name:"merge is an upper bound" ~count:300
+    (QCheck.pair arb_vclock arb_vclock)
+    (fun (a, b) ->
+      let m = V.merge a b in
+      V.leq a m && V.leq b m)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge commutes" ~count:300 (QCheck.pair arb_vclock arb_vclock)
+    (fun (a, b) -> V.to_list (V.merge a b) = V.to_list (V.merge b a))
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"merge idempotent" ~count:300 arb_vclock
+    (fun a -> V.to_list (V.merge a a) = V.to_list a)
+
+let prop_tick_strictly_after =
+  QCheck.Test.make ~name:"tick is strictly after" ~count:300 arb_vclock
+    (fun a -> V.compare_causal a (V.tick a "s0") = V.Before)
+
+let prop_roundtrip_list =
+  QCheck.Test.make ~name:"of_list . to_list = id" ~count:300 arb_vclock
+    (fun a -> V.to_list (V.of_list (V.to_list a)) = V.to_list a)
+
+(* --- causal delivery ----------------------------------------------------- *)
+
+let test_causal_in_order () =
+  let site_b = Ordering.Causal.create ~site:"b" in
+  let a = Ordering.Causal.create ~site:"a" in
+  let v1 = Ordering.Causal.stamp_send a in
+  let v2 = Ordering.Causal.stamp_send a in
+  Alcotest.(check (list string)) "first delivered" [ "m1" ]
+    (Ordering.Causal.receive site_b ~from:"a" v1 "m1");
+  Alcotest.(check (list string)) "second delivered" [ "m2" ]
+    (Ordering.Causal.receive site_b ~from:"a" v2 "m2")
+
+let test_causal_holds_back_out_of_order () =
+  let site_b = Ordering.Causal.create ~site:"b" in
+  let a = Ordering.Causal.create ~site:"a" in
+  let v1 = Ordering.Causal.stamp_send a in
+  let v2 = Ordering.Causal.stamp_send a in
+  Alcotest.(check (list string)) "m2 held back" []
+    (Ordering.Causal.receive site_b ~from:"a" v2 "m2");
+  Alcotest.(check int) "one pending" 1 (Ordering.Causal.pending site_b);
+  Alcotest.(check (list string)) "m1 releases both" [ "m1"; "m2" ]
+    (Ordering.Causal.receive site_b ~from:"a" v1 "m1");
+  Alcotest.(check int) "none pending" 0 (Ordering.Causal.pending site_b)
+
+let test_causal_transitive_dependency () =
+  (* a sends m1; b receives it and replies m2; c receives m2 before m1:
+     m2 must wait for m1. *)
+  let a = Ordering.Causal.create ~site:"a" in
+  let b = Ordering.Causal.create ~site:"b" in
+  let c = Ordering.Causal.create ~site:"c" in
+  let v_m1 = Ordering.Causal.stamp_send a in
+  ignore (Ordering.Causal.receive b ~from:"a" v_m1 "m1");
+  let v_m2 = Ordering.Causal.stamp_send b in
+  Alcotest.(check (list string)) "m2 waits for its cause" []
+    (Ordering.Causal.receive c ~from:"b" v_m2 "m2");
+  Alcotest.(check (list string)) "m1 releases m1;m2" [ "m1"; "m2" ]
+    (Ordering.Causal.receive c ~from:"a" v_m1 "m1")
+
+let test_causal_duplicate_ignored () =
+  let b = Ordering.Causal.create ~site:"b" in
+  let a = Ordering.Causal.create ~site:"a" in
+  let v1 = Ordering.Causal.stamp_send a in
+  ignore (Ordering.Causal.receive b ~from:"a" v1 "m1");
+  Alcotest.(check (list string)) "duplicate dropped" []
+    (Ordering.Causal.receive b ~from:"a" v1 "m1")
+
+let prop_causal_delivery_order_per_sender =
+  (* Whatever the arrival permutation, messages from one sender are
+     delivered in send order. *)
+  QCheck.Test.make ~name:"per-sender FIFO under any arrival order" ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let sender = Ordering.Causal.create ~site:"s" in
+      let msgs = List.init n (fun i -> (i, Ordering.Causal.stamp_send sender)) in
+      let arrival = Array.of_list msgs in
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      Sim.Rng.shuffle rng arrival;
+      let receiver = Ordering.Causal.create ~site:"r" in
+      let delivered = ref [] in
+      Array.iter
+        (fun (i, v) ->
+          List.iter (fun x -> delivered := x :: !delivered)
+            (Ordering.Causal.receive receiver ~from:"s" v i))
+        arrival;
+      List.rev !delivered = List.init n Fun.id)
+
+(* --- holdback -------------------------------------------------------------- *)
+
+let test_holdback_in_order () =
+  let hb = Ordering.Holdback.create () in
+  Alcotest.(check (list string)) "0 released" [ "a" ]
+    (Ordering.Holdback.offer hb ~seqno:0 "a");
+  Alcotest.(check (list string)) "1 released" [ "b" ]
+    (Ordering.Holdback.offer hb ~seqno:1 "b")
+
+let test_holdback_gap_then_run () =
+  let hb = Ordering.Holdback.create () in
+  Alcotest.(check (list string)) "2 held" [] (Ordering.Holdback.offer hb ~seqno:2 "c");
+  Alcotest.(check (list string)) "1 held" [] (Ordering.Holdback.offer hb ~seqno:1 "b");
+  Alcotest.(check (option (pair int int))) "gap reported" (Some (0, 0))
+    (Ordering.Holdback.gap hb);
+  Alcotest.(check (list string)) "0 releases the run" [ "a"; "b"; "c" ]
+    (Ordering.Holdback.offer hb ~seqno:0 "a");
+  Alcotest.(check (option (pair int int))) "no gap" None (Ordering.Holdback.gap hb)
+
+let test_holdback_duplicates_and_stale () =
+  let hb = Ordering.Holdback.create () in
+  ignore (Ordering.Holdback.offer hb ~seqno:0 "a");
+  Alcotest.(check (list string)) "stale dropped" []
+    (Ordering.Holdback.offer hb ~seqno:0 "a'");
+  ignore (Ordering.Holdback.offer hb ~seqno:2 "c");
+  Alcotest.(check (list string)) "duplicate buffered dropped" []
+    (Ordering.Holdback.offer hb ~seqno:2 "c'");
+  Alcotest.(check (list string)) "run preserves first copy" [ "b"; "c" ]
+    (Ordering.Holdback.offer hb ~seqno:1 "b")
+
+let test_holdback_reset () =
+  let hb = Ordering.Holdback.create () in
+  ignore (Ordering.Holdback.offer hb ~seqno:5 "x");
+  Ordering.Holdback.reset hb ~next:10;
+  Alcotest.(check int) "pending cleared" 0 (Ordering.Holdback.pending hb);
+  Alcotest.(check (list string)) "resumes at new position" [ "y" ]
+    (Ordering.Holdback.offer hb ~seqno:10 "y")
+
+let prop_holdback_releases_in_sequence =
+  QCheck.Test.make ~name:"any permutation is released 0..n-1 in order" ~count:200
+    QCheck.(pair (int_range 1 30) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let arrival = Array.init n Fun.id in
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      Sim.Rng.shuffle rng arrival;
+      let hb = Ordering.Holdback.create () in
+      let out = ref [] in
+      Array.iter
+        (fun i ->
+          List.iter (fun x -> out := x :: !out) (Ordering.Holdback.offer hb ~seqno:i i))
+        arrival;
+      List.rev !out = List.init n Fun.id && Ordering.Holdback.pending hb = 0)
+
+let () =
+  let tc = Alcotest.test_case in
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ordering"
+    [
+      ( "lamport",
+        [
+          tc "tick and observe" `Quick test_lamport_basic;
+          tc "stamps totally ordered" `Quick test_lamport_stamps_total_order;
+        ] );
+      ( "vclock",
+        [
+          tc "causal relations" `Quick test_vclock_relations;
+          q prop_merge_upper_bound;
+          q prop_merge_commutative;
+          q prop_merge_idempotent;
+          q prop_tick_strictly_after;
+          q prop_roundtrip_list;
+        ] );
+      ( "causal",
+        [
+          tc "in-order delivery" `Quick test_causal_in_order;
+          tc "holds back out-of-order" `Quick test_causal_holds_back_out_of_order;
+          tc "transitive dependency" `Quick test_causal_transitive_dependency;
+          tc "duplicate ignored" `Quick test_causal_duplicate_ignored;
+          q prop_causal_delivery_order_per_sender;
+        ] );
+      ( "holdback",
+        [
+          tc "in order" `Quick test_holdback_in_order;
+          tc "gap then run" `Quick test_holdback_gap_then_run;
+          tc "duplicates and stale" `Quick test_holdback_duplicates_and_stale;
+          tc "reset" `Quick test_holdback_reset;
+          q prop_holdback_releases_in_sequence;
+        ] );
+    ]

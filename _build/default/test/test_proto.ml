@@ -1,0 +1,289 @@
+(* Tests for the wire protocol: codec primitives, message roundtrips
+   (hand-written and property-based over random messages), wire sizes. *)
+
+module T = Proto.Types
+module M = Proto.Message
+module W = Proto.Codec.Writer
+module R = Proto.Codec.Reader
+
+(* --- codec primitives ---------------------------------------------------- *)
+
+let test_primitive_roundtrips () =
+  let w = W.create () in
+  W.u8 w 200;
+  W.u16 w 60_000;
+  W.u32 w 4_000_000_000;
+  W.i64 w (-123456789L);
+  W.f64 w 3.14159;
+  W.bool w true;
+  W.string w "héllo\x00bytes";
+  W.list w W.string [ "a"; "bb"; "" ];
+  W.option w W.u8 (Some 7);
+  W.option w W.u8 None;
+  let r = R.of_string (W.contents w) in
+  Alcotest.(check int) "u8" 200 (R.u8 r);
+  Alcotest.(check int) "u16" 60_000 (R.u16 r);
+  Alcotest.(check int) "u32" 4_000_000_000 (R.u32 r);
+  Alcotest.(check int64) "i64" (-123456789L) (R.i64 r);
+  Alcotest.(check (float 0.0)) "f64" 3.14159 (R.f64 r);
+  Alcotest.(check bool) "bool" true (R.bool r);
+  Alcotest.(check string) "string" "héllo\x00bytes" (R.string r);
+  Alcotest.(check (list string)) "list" [ "a"; "bb"; "" ] (R.list r R.string);
+  Alcotest.(check (option int)) "some" (Some 7) (R.option r R.u8);
+  Alcotest.(check (option int)) "none" None (R.option r R.u8);
+  Alcotest.(check bool) "fully consumed" true (R.at_end r)
+
+let test_truncated_raises () =
+  let r = R.of_string "\x00\x01" in
+  Alcotest.check_raises "truncated u32" R.Truncated (fun () -> ignore (R.u32 r))
+
+let test_bad_tag_raises () =
+  let r = R.of_string "\x07" in
+  (match R.bool r with
+  | exception R.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed")
+
+let test_writer_bounds () =
+  let w = W.create () in
+  Alcotest.check_raises "u8 range" (Invalid_argument "Codec.Writer.u8: out of range")
+    (fun () -> W.u8 w 256)
+
+(* --- message roundtrips ---------------------------------------------------- *)
+
+let roundtrip msg =
+  let w = W.create () in
+  M.encode w msg;
+  let decoded = M.decode (R.of_string (W.contents w)) in
+  Alcotest.(check bool)
+    (Format.asprintf "roundtrip %a" M.pp msg)
+    true (decoded = msg)
+
+let sample_update =
+  { T.seqno = 9; group = "g"; kind = T.Set_state; obj = "o"; data = "payload";
+    sender = "alice"; timestamp = 17.25 }
+
+let all_request_samples =
+  [
+    M.Create_group { group = "g"; creator = "c"; persistent = true;
+                     initial = [ ("a", "1"); ("b", "") ] };
+    M.Delete_group { group = "g"; requester = "r" };
+    M.Join { group = "g"; member = "m"; role = T.Observer;
+             transfer = T.Latest_updates 12; notify = false };
+    M.Join { group = "g"; member = "m"; role = T.Principal;
+             transfer = T.Objects [ "x"; "y" ]; notify = true };
+    M.Join { group = "g"; member = "m"; role = T.Principal;
+             transfer = T.Full_state; notify = true };
+    M.Join { group = "g"; member = "m"; role = T.Principal;
+             transfer = T.No_state; notify = true };
+    M.Join { group = "g"; member = "m"; role = T.Principal;
+             transfer = T.Updates_since 44; notify = true };
+    M.Leave { group = "g"; member = "m" };
+    M.Get_membership { group = "g" };
+    M.Bcast { group = "g"; sender = "s"; kind = T.Append_update; obj = "o";
+              data = String.make 100 'z'; mode = T.Sender_exclusive };
+    M.Acquire_lock { group = "g"; lock = "l"; member = "m" };
+    M.Release_lock { group = "g"; lock = "l"; member = "m" };
+    M.Reduce_log { group = "g"; member = "m" };
+    M.Ping { nonce = 424242 };
+  ]
+
+let all_response_samples =
+  [
+    M.Group_created { group = "g" };
+    M.State_chunk { group = "g"; objects = [ ("o", "vvv") ]; index = 3; more = true };
+    M.Group_deleted { group = "g" };
+    M.Join_accepted
+      { group = "g"; at_seqno = 5;
+        state = M.Snapshot { objects = [ ("o", "v") ]; log_tail = [ sample_update ] };
+        members = [ { T.member = "a"; role = T.Principal } ]; multicast = true };
+    M.Join_accepted
+      { group = "g"; at_seqno = 0; state = M.Update_history [ sample_update ];
+        members = []; multicast = false };
+    M.Left { group = "g" };
+    M.Membership_info { group = "g"; members = [ { T.member = "a"; role = T.Observer } ] };
+    M.Membership_changed
+      { group = "g"; change = T.Member_crashed "b";
+        members = [ { T.member = "a"; role = T.Principal } ] };
+    M.Deliver sample_update;
+    M.Lock_granted { group = "g"; lock = "l" };
+    M.Lock_busy { group = "g"; lock = "l"; holder = "h" };
+    M.Lock_released { group = "g"; lock = "l" };
+    M.Log_reduced { group = "g"; upto = 77 };
+    M.Request_failed { group = "g"; reason = "nope" };
+    M.Pong { nonce = 1 };
+  ]
+
+let test_all_constructors_roundtrip () =
+  List.iter (fun r -> roundtrip (M.Request r)) all_request_samples;
+  List.iter (fun r -> roundtrip (M.Response r)) all_response_samples
+
+(* --- property-based roundtrips over random messages ---------------------- *)
+
+let gen_string = QCheck.Gen.(string_size ~gen:printable (int_range 0 30))
+
+let gen_role = QCheck.Gen.oneofl [ T.Principal; T.Observer ]
+
+let gen_kind = QCheck.Gen.oneofl [ T.Set_state; T.Append_update ]
+
+let gen_mode = QCheck.Gen.oneofl [ T.Sender_inclusive; T.Sender_exclusive ]
+
+let gen_update =
+  let open QCheck.Gen in
+  map
+    (fun (seqno, group, kind, obj, data, sender) ->
+      { T.seqno; group; kind; obj; data; sender; timestamp = 1.5 })
+    (tup6 (int_range 0 1_000_000) gen_string gen_kind gen_string gen_string gen_string)
+
+let gen_transfer =
+  let open QCheck.Gen in
+  oneof
+    [
+      return T.Full_state;
+      map (fun n -> T.Latest_updates n) (int_range 0 1000);
+      map (fun n -> T.Updates_since n) (int_range 0 1000);
+      map (fun l -> T.Objects l) (list_size (int_range 0 5) gen_string);
+      return T.No_state;
+    ]
+
+let gen_request =
+  let open QCheck.Gen in
+  oneof
+    [
+      map
+        (fun (group, creator, persistent, initial) ->
+          M.Create_group { group; creator; persistent; initial })
+        (tup4 gen_string gen_string bool
+           (list_size (int_range 0 4) (pair gen_string gen_string)));
+      map
+        (fun (group, member, role, transfer, notify) ->
+          M.Join { group; member; role; transfer; notify })
+        (tup5 gen_string gen_string gen_role gen_transfer bool);
+      map
+        (fun (group, sender, kind, obj, data, mode) ->
+          M.Bcast { group; sender; kind; obj; data; mode })
+        (tup6 gen_string gen_string gen_kind gen_string gen_string gen_mode);
+      map (fun (group, member) -> M.Leave { group; member }) (pair gen_string gen_string);
+      map (fun nonce -> M.Ping { nonce }) (int_range 0 1_000_000);
+    ]
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun u -> M.Deliver u) gen_update;
+      map
+        (fun (group, at_seqno, objects, log_tail, members) ->
+          M.Join_accepted
+            { group; at_seqno; state = M.Snapshot { objects; log_tail };
+              members = List.map (fun m -> { T.member = m; role = T.Principal }) members;
+              multicast = at_seqno mod 2 = 0 })
+        (tup5 gen_string (int_range 0 1000)
+           (list_size (int_range 0 4) (pair gen_string gen_string))
+           (list_size (int_range 0 3) gen_update)
+           (list_size (int_range 0 4) gen_string));
+      map
+        (fun (group, reason) -> M.Request_failed { group; reason })
+        (pair gen_string gen_string);
+      map
+        (fun (group, objects, index, more) -> M.State_chunk { group; objects; index; more })
+        (tup4 gen_string
+           (list_size (int_range 0 4) (pair gen_string gen_string))
+           (int_range 0 100) bool);
+    ]
+
+let gen_message =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun r -> M.Request r) gen_request;
+      QCheck.Gen.map (fun r -> M.Response r) gen_response;
+    ]
+
+let arb_message = QCheck.make gen_message
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"Message.decode inverts encode" ~count:500 arb_message
+    (fun msg ->
+      let w = W.create () in
+      M.encode w msg;
+      M.decode (R.of_string (W.contents w)) = msg)
+
+let prop_wire_size_consistent =
+  QCheck.Test.make ~name:"wire_size = frame + encoded length" ~count:300 arb_message
+    (fun msg ->
+      let w = W.create () in
+      M.encode w msg;
+      M.wire_size msg = 8 + W.size w)
+
+let prop_decode_consumes_everything =
+  QCheck.Test.make ~name:"decode consumes the full encoding" ~count:300 arb_message
+    (fun msg ->
+      let w = W.create () in
+      M.encode w msg;
+      let r = R.of_string (W.contents w) in
+      ignore (M.decode r);
+      R.at_end r)
+
+let prop_decode_garbage_never_crashes =
+  (* Robustness: feeding arbitrary bytes to the decoder must end in a
+     controlled exception (or a value), never a crash or out-of-bounds. *)
+  QCheck.Test.make ~name:"decode of garbage raises only Truncated/Malformed"
+    ~count:1000
+    QCheck.(string_gen_of_size (Gen.int_range 0 64) Gen.char)
+    (fun bytes ->
+      match M.decode (R.of_string bytes) with
+      | _ -> true
+      | exception R.Truncated -> true
+      | exception R.Malformed _ -> true)
+
+let prop_truncated_encodings_never_crash =
+  (* Every strict prefix of a valid encoding is rejected in a controlled
+     way. *)
+  QCheck.Test.make ~name:"truncated valid encodings fail cleanly" ~count:300
+    arb_message
+    (fun msg ->
+      let w = W.create () in
+      M.encode w msg;
+      let full = W.contents w in
+      let ok = ref true in
+      for cut = 0 to min 40 (String.length full - 1) do
+        match M.decode (R.of_string (String.sub full 0 cut)) with
+        | _ -> () (* a shorter valid message is acceptable in principle *)
+        | exception R.Truncated -> ()
+        | exception R.Malformed _ -> ()
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+let test_wire_size_scales_with_payload () =
+  let mk n =
+    M.wire_size
+      (M.Request
+         (M.Bcast
+            { group = "g"; sender = "s"; kind = T.Set_state; obj = "o";
+              data = String.make n 'x'; mode = T.Sender_inclusive }))
+  in
+  Alcotest.(check int) "1000 more payload bytes" (mk 1000 - mk 0) 1000
+
+let () =
+  let tc = Alcotest.test_case in
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "proto"
+    [
+      ( "codec",
+        [
+          tc "primitive roundtrips" `Quick test_primitive_roundtrips;
+          tc "truncated raises" `Quick test_truncated_raises;
+          tc "bad tag raises" `Quick test_bad_tag_raises;
+          tc "writer bounds" `Quick test_writer_bounds;
+        ] );
+      ( "message",
+        [
+          tc "all constructors roundtrip" `Quick test_all_constructors_roundtrip;
+          tc "wire size scales with payload" `Quick test_wire_size_scales_with_payload;
+          q prop_roundtrip;
+          q prop_wire_size_consistent;
+          q prop_decode_consumes_everything;
+          q prop_decode_garbage_never_crashes;
+          q prop_truncated_encodings_never_crash;
+        ] );
+    ]

@@ -1,0 +1,598 @@
+(* Integration tests for the replicated Corona service: star sequencing,
+   state fetch ordering, failover election, re-replication, and partition
+   reconciliation. *)
+
+module T = Proto.Types
+
+type world = {
+  engine : Sim.Engine.t;
+  fabric : Net.Fabric.t;
+  cluster : Replication.Cluster.t;
+  client_hosts : Net.Host.t array;
+}
+
+let make_world ?(seed = 7L) ?(replicas = 3) ?(clients = 6) ?config () =
+  let engine = Sim.Engine.create ~seed () in
+  let fabric = Net.Fabric.create engine in
+  let cluster = Replication.Cluster.create fabric ?config ~replicas () in
+  let client_hosts =
+    Array.init clients (fun i ->
+        Net.Fabric.add_host fabric ~name:(Printf.sprintf "cl-%d" i)
+          ~cpu:Net.Host.sparc20 ())
+  in
+  { engine; fabric; cluster; client_hosts }
+
+let connect w ~idx ~member k =
+  let replica = Replication.Cluster.replica_for w.cluster idx in
+  Corona.Client.connect w.fabric ~host:w.client_hosts.(idx)
+    ~server:(Replication.Node.host replica) ~member ~on_connected:k
+    ~on_failed:(fun () -> Alcotest.failf "connect failed for %s" member)
+    ()
+
+let expect_ok name = function
+  | Corona.Client.R_ok -> ()
+  | Corona.Client.R_failed reason -> Alcotest.failf "%s failed: %s" name reason
+  | _ -> Alcotest.failf "%s: unexpected reply" name
+
+let expect_join name = function
+  | Corona.Client.R_join { at_seqno; members } -> (at_seqno, members)
+  | Corona.Client.R_failed reason -> Alcotest.failf "%s failed: %s" name reason
+  | _ -> Alcotest.failf "%s: unexpected reply" name
+
+let run ?until w = Sim.Engine.run ?until w.engine
+
+(* Two clients on different replicas exchange updates through the
+   coordinator; both replicas end with identical copies. *)
+let test_cross_replica_multicast () =
+  let w = make_world () in
+  let got_a = ref [] and got_b = ref [] in
+  let record cell = fun _ -> function
+    | Corona.Client.Delivered u -> cell := u.T.data :: !cell
+    | _ -> ()
+  in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (record got_a);
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun r ->
+          ignore (expect_join "join a" r);
+          connect w ~idx:1 ~member:"b" (fun b ->
+              (* b replies only after seeing a's update, so the order is
+                 causal, not racy. *)
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Delivered u ->
+                    got_b := u.T.data :: !got_b;
+                    if u.T.data = "from-a" then
+                      Corona.Client.bcast_update b ~group:"g" ~obj:"o" ~data:"+b" ()
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun r ->
+                  ignore (expect_join "join b" r);
+                  Corona.Client.bcast_state a ~group:"g" ~obj:"o" ~data:"from-a" ())
+                ()))
+        ());
+  run ~until:30.0 w;
+  Alcotest.(check (list string)) "a sees both in order" [ "from-a"; "+b" ] (List.rev !got_a);
+  Alcotest.(check (list string)) "b sees both in order" [ "from-a"; "+b" ] (List.rev !got_b);
+  (* Both replicas hold identical state copies. *)
+  let r0 = Replication.Cluster.replica_for w.cluster 0 in
+  let r1 = Replication.Cluster.replica_for w.cluster 1 in
+  let state n =
+    Option.map
+      (fun s -> Corona.Shared_state.get s "o")
+      (Replication.Node.group_state n "g")
+  in
+  Alcotest.(check (option (option string))) "replica 0 copy" (Some (Some "from-a+b")) (state r0);
+  Alcotest.(check (option (option string))) "replica 1 copy" (Some (Some "from-a+b")) (state r1)
+
+(* A late joiner on a third replica gets the state via the
+   coordinator-ordered fetch. *)
+let test_state_fetch_on_new_replica () =
+  let w = make_world () in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~initial:[ ("o", "base") ]
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun r ->
+          ignore (expect_join "join a" r);
+          Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"+1" ();
+          connect w ~idx:2 ~member:"c" (fun c ->
+              Corona.Client.join c ~group:"g"
+                ~k:(fun r ->
+                  ignore (expect_join "join c" r);
+                  let st = Option.get (Corona.Client.replica c "g") in
+                  (* c's replica had no copy; state came from a's replica. *)
+                  match Corona.Shared_state.get st "o" with
+                  | Some ("base" | "base+1") -> ()
+                  | other ->
+                      Alcotest.failf "unexpected transferred state %s"
+                        (Option.value other ~default:"<none>"))
+                ()))
+        ());
+  run ~until:30.0 w;
+  (* Eventually all copies converge. *)
+  let r2 = Replication.Cluster.replica_for w.cluster 2 in
+  match Replication.Node.group_state r2 "g" with
+  | Some st ->
+      Alcotest.(check (option string)) "converged" (Some "base+1")
+        (Corona.Shared_state.get st "o")
+  | None -> Alcotest.fail "replica 2 holds no copy"
+
+(* Heavy interleaving from three senders on three replicas: every member
+   sees the same total order. *)
+let test_total_order_three_replicas () =
+  let w = make_world () in
+  let logs = Array.make 3 [] in
+  let record i = fun _ -> function
+    | Corona.Client.Delivered u -> logs.(i) <- (u.T.seqno, u.T.data) :: logs.(i)
+    | _ -> ()
+  in
+  let burst cl tag =
+    for i = 0 to 9 do
+      Corona.Client.bcast_update cl ~group:"g" ~obj:"o"
+        ~data:(Printf.sprintf "%s%d" tag i) ()
+    done
+  in
+  connect w ~idx:0 ~member:"m0" (fun c0 ->
+      Corona.Client.set_on_event c0 (record 0);
+      Corona.Client.create_group c0 ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join c0 ~group:"g"
+        ~k:(fun _ ->
+          connect w ~idx:1 ~member:"m1" (fun c1 ->
+              Corona.Client.set_on_event c1 (record 1);
+              Corona.Client.join c1 ~group:"g"
+                ~k:(fun _ ->
+                  connect w ~idx:2 ~member:"m2" (fun c2 ->
+                      Corona.Client.set_on_event c2 (record 2);
+                      Corona.Client.join c2 ~group:"g"
+                        ~k:(fun _ ->
+                          burst c0 "a";
+                          burst c1 "b";
+                          burst c2 "c")
+                        ()))
+                ()))
+        ());
+  run ~until:60.0 w;
+  let seq i = List.rev logs.(i) in
+  Alcotest.(check int) "m0 got 30" 30 (List.length (seq 0));
+  Alcotest.(check bool) "same order 0=1" true (seq 0 = seq 1);
+  Alcotest.(check bool) "same order 1=2" true (seq 1 = seq 2);
+  let seqnos = List.map fst (seq 0) in
+  Alcotest.(check (list int)) "gapless total order" (List.init 30 Fun.id) seqnos
+
+(* §4.1 option: the coordinator fans sequenced updates over one
+   inter-server IP-multicast transmission; the flow must be identical. *)
+let test_server_multicast_fanout () =
+  let config =
+    { Replication.Node.default_config with server_multicast = true }
+  in
+  let w = make_world ~config () in
+  let got = ref [] in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect w ~idx:1 ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Delivered u -> got := u.T.data :: !got
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  for i = 0 to 9 do
+                    Corona.Client.bcast_update a ~group:"g" ~obj:"o"
+                      ~data:(Printf.sprintf "u%d" i) ()
+                  done)
+                ()))
+        ());
+  run ~until:30.0 w;
+  Alcotest.(check (list string)) "all updates via the server channel"
+    (List.init 10 (Printf.sprintf "u%d"))
+    (List.rev !got);
+  (* Replica copies converge too. *)
+  let n = Replication.Cluster.replica_for w.cluster 1 in
+  match Replication.Node.group_state n "g" with
+  | Some st ->
+      Alcotest.(check (option string)) "copy converged"
+        (Some (String.concat "" (List.init 10 (Printf.sprintf "u%d"))))
+        (Corona.Shared_state.get st "o")
+  | None -> Alcotest.fail "no copy"
+
+(* §4.1 relaxation: the origin replica notifies its local clients of a
+   join before the coordinator round-trip; remote clients still hear it
+   exactly once. *)
+let test_relaxed_membership_notification () =
+  let config =
+    { Replication.Node.default_config with relaxed_membership = true }
+  in
+  let w = make_world ~config () in
+  let a_events = ref 0 and done_ = ref false in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Membership_changed { change = T.Member_joined "b"; _ } ->
+            incr a_events
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect w ~idx:1 ~member:"b" (fun b ->
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ -> done_ := true)
+                ()))
+        ());
+  run ~until:20.0 w;
+  Alcotest.(check bool) "join completed" true !done_;
+  Alcotest.(check int) "a notified exactly once" 1 !a_events
+
+(* Kill the coordinator mid-run: the first replica takes over, pending
+   broadcasts are re-sent, and the service continues. *)
+let test_coordinator_failover () =
+  let w = make_world ~replicas:3 () in
+  let delivered = ref [] in
+  let phase2 = ref (fun () -> ()) in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Delivered u -> delivered := u.T.data :: !delivered
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"before" ();
+          phase2 :=
+            fun () -> Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"after" ())
+        ());
+  (* Let 'before' flow, then crash srv-0 (the coordinator). *)
+  run ~until:2.0 w;
+  let coord_host = Replication.Node.host (Replication.Cluster.node w.cluster "srv-0") in
+  Net.Host.crash coord_host;
+  (* Send another update while the cluster is headless; it sits in the
+     origin replica's pending queue until the new coordinator emerges. *)
+  !phase2 ();
+  run ~until:30.0 w;
+  Alcotest.(check (list string)) "both updates survive failover"
+    [ "before"; "after" ] (List.rev !delivered);
+  let new_coord = Replication.Cluster.coordinator w.cluster in
+  Alcotest.(check string) "first live server took over" "srv-1"
+    (Replication.Node.id new_coord)
+
+(* Kill a replica holding the only... actually one of two copies: the
+   coordinator must re-replicate to restore two holders, and the crashed
+   replica's clients are reported crashed. *)
+let test_replica_crash_rereplication () =
+  let w = make_world ~replicas:3 () in
+  let crash_seen = ref [] in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Membership_changed { change = T.Member_crashed m; _ } ->
+            crash_seen := m :: !crash_seen
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~initial:[ ("o", "V") ]
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect w ~idx:1 ~member:"b" (fun b ->
+              Corona.Client.join b ~group:"g" ~k:(fun _ -> ()) ()))
+        ());
+  run ~until:3.0 w;
+  (* Replica of client b (srv-2, round robin: idx1 -> srv-2) holds a copy;
+     crash it. *)
+  let victim = Replication.Cluster.replica_for w.cluster 1 in
+  Net.Host.crash (Replication.Node.host victim);
+  run ~until:30.0 w;
+  Alcotest.(check (list string)) "b reported crashed" [ "b" ] !crash_seen;
+  (* Some other live server now holds a second copy. *)
+  let holders =
+    List.filter
+      (fun n ->
+        Replication.Node.id n <> Replication.Node.id victim
+        && List.mem "g" (Replication.Node.groups_held n))
+      (Replication.Cluster.live_nodes w.cluster)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "two live copies (got %d)" (List.length holders))
+    true
+    (List.length holders >= 2)
+
+(* Partition the cluster, let both sides evolve, heal, reconcile with each
+   policy. *)
+let test_partition_and_reconcile () =
+  let w = make_world ~replicas:3 ~clients:4 () in
+  let ca = ref None and cb = ref None in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      ca := Some a;
+      Corona.Client.create_group a ~group:"g" ~initial:[ ("o", "base:") ]
+        ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect w ~idx:1 ~member:"b" (fun b ->
+              cb := Some b;
+              Corona.Client.join b ~group:"g" ~k:(fun _ -> ()) ()))
+        ());
+  run ~until:3.0 w;
+  let a = Option.get !ca and b = Option.get !cb in
+  (* Client a is on srv-1, client b on srv-2 (round-robin).  Partition:
+     {srv-0, srv-1, cl-0} vs {srv-2, srv-3, cl-1}. *)
+  Net.Fabric.partition w.fabric
+    [ [ "srv-0"; "srv-1"; "cl-0"; "cl-2" ]; [ "srv-2"; "srv-3"; "cl-1"; "cl-3" ] ];
+  (* Both sides keep updating. Side B must first elect its own coordinator. *)
+  Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"A1;" ();
+  run ~until:10.0 w;
+  Corona.Client.bcast_update b ~group:"g" ~obj:"o" ~data:"B1;" ();
+  Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"A2;" ();
+  run ~until:25.0 w;
+  (* Side B elected srv-2 as its coordinator. *)
+  let side_b_coord = Replication.Cluster.node w.cluster "srv-2" in
+  Alcotest.(check bool) "minority side elected its own coordinator" true
+    (Replication.Node.role side_b_coord = Replication.Node.Coordinator);
+  let n1 = Replication.Cluster.node w.cluster "srv-1" in
+  let sa =
+    Corona.Shared_state.get (Option.get (Replication.Node.group_state n1 "g")) "o"
+  in
+  let sb =
+    Corona.Shared_state.get
+      (Option.get (Replication.Node.group_state side_b_coord "g"))
+      "o"
+  in
+  Alcotest.(check (option string)) "side A state" (Some "base:A1;A2;") sa;
+  Alcotest.(check (option string)) "side B state" (Some "base:B1;") sb;
+  (* Heal and reconcile by adopting side A. *)
+  Net.Fabric.heal w.fabric;
+  let d =
+    Replication.Cluster.reconcile w.cluster ~group:"g" ~side_a:n1
+      ~side_b:side_b_coord ~resolution:Replication.Reconcile.Adopt_a
+  in
+  Alcotest.(check bool) "divergence detected" false (Replication.Reconcile.is_consistent d);
+  run ~until:40.0 w;
+  List.iter
+    (fun n ->
+      match Replication.Node.group_state n "g" with
+      | Some st ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "%s adopted side A" (Replication.Node.id n))
+            (Some "base:A1;A2;")
+            (Corona.Shared_state.get st "o")
+      | None -> ())
+    (Replication.Cluster.live_nodes w.cluster)
+
+(* Locks are coordinator-owned: grant/busy/handoff works across replicas. *)
+let test_locks_across_replicas () =
+  let w = make_world () in
+  let later = ref [] in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect w ~idx:1 ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Lock_granted_later { lock; _ } -> later := lock :: !later
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.acquire_lock a ~group:"g" ~lock:"pen" ~k:(function
+                    | Corona.Client.R_lock `Granted ->
+                        Corona.Client.acquire_lock b ~group:"g" ~lock:"pen"
+                          ~k:(function
+                            | Corona.Client.R_lock (`Busy "a") ->
+                                Corona.Client.release_lock a ~group:"g" ~lock:"pen"
+                                  ~k:(fun _ -> ())
+                            | _ -> Alcotest.fail "expected busy by a")
+                    | _ -> Alcotest.fail "expected grant"))
+                ()))
+        ());
+  run ~until:20.0 w;
+  Alcotest.(check (list string)) "handoff crossed replicas" [ "pen" ] !later
+
+(* Group deletion propagates to every replica and client. *)
+let test_delete_group_cluster_wide () =
+  let w = make_world () in
+  let b_saw_delete = ref false in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ ->
+          connect w ~idx:1 ~member:"b" (fun b ->
+              Corona.Client.set_on_event b (fun _ -> function
+                | Corona.Client.Group_was_deleted "g" -> b_saw_delete := true
+                | _ -> ());
+              Corona.Client.join b ~group:"g"
+                ~k:(fun _ ->
+                  Corona.Client.delete_group a ~group:"g" ~k:(fun _ -> ()))
+                ()))
+        ());
+  run ~until:20.0 w;
+  Alcotest.(check bool) "b notified" true !b_saw_delete;
+  List.iter
+    (fun n ->
+      Alcotest.(check (list string))
+        (Replication.Node.id n ^ " dropped the group")
+        []
+        (List.filter (( = ) "g") (Replication.Node.groups_held n)))
+    (Replication.Cluster.live_nodes w.cluster)
+
+(* Observers may not update, enforced at the coordinator. *)
+let test_observer_rejected_at_coordinator () =
+  let w = make_world () in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g" ~role:T.Observer
+        ~k:(fun _ -> Corona.Client.bcast_state a ~group:"g" ~obj:"o" ~data:"x" ())
+        ());
+  run ~until:20.0 w;
+  let n = Replication.Cluster.replica_for w.cluster 0 in
+  match Replication.Node.group_state n "g" with
+  | Some st ->
+      Alcotest.(check (option string)) "update rejected" None
+        (Corona.Shared_state.get st "o")
+  | None -> Alcotest.fail "group missing"
+
+(* The paper's k-crash tolerance on the real cluster: coordinator and the
+   next server die together; the third takes over via the escalating
+   timeout. *)
+let test_double_crash_escalation () =
+  let w = make_world ~replicas:4 () in
+  let got = ref [] in
+  connect w ~idx:1 ~member:"a" (fun a ->
+      (* Client on srv-2, away from both victims. *)
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Delivered u -> got := u.T.data :: !got
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ -> Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"pre" ())
+        ());
+  run ~until:3.0 w;
+  Net.Host.crash (Replication.Node.host (Replication.Cluster.node w.cluster "srv-0"));
+  Net.Host.crash (Replication.Node.host (Replication.Cluster.node w.cluster "srv-1"));
+  run ~until:30.0 w;
+  let coord = Replication.Cluster.coordinator w.cluster in
+  Alcotest.(check string) "third server took over" "srv-2" (Replication.Node.id coord);
+  Alcotest.(check (list string)) "pre-crash update survived" [ "pre" ] !got
+
+(* Partition-style failure: no TCP reset, detection must come from the
+   heartbeat timeout alone. *)
+let test_heartbeat_only_detection () =
+  let w = make_world ~replicas:2 () in
+  let got = ref [] in
+  connect w ~idx:0 ~member:"a" (fun a ->
+      Corona.Client.set_on_event a (fun _ -> function
+        | Corona.Client.Delivered u -> got := u.T.data :: !got
+        | _ -> ());
+      Corona.Client.create_group a ~group:"g" ~k:(expect_ok "create") ();
+      Corona.Client.join a ~group:"g"
+        ~k:(fun _ -> Corona.Client.bcast_update a ~group:"g" ~obj:"o" ~data:"pre" ())
+        ());
+  run ~until:3.0 w;
+  (* Cut the coordinator off instead of crashing it: connections stall
+     silently, so only the heartbeat timeout can trigger the election. *)
+  Net.Fabric.partition w.fabric [ [ "srv-0" ]; [ "srv-1"; "srv-2"; "cl-0"; "cl-1" ] ];
+  run ~until:30.0 w;
+  let coord =
+    List.find
+      (fun n -> Replication.Node.id n <> "srv-0"
+                && Replication.Node.role n = Replication.Node.Coordinator)
+      (Replication.Cluster.nodes w.cluster)
+  in
+  Alcotest.(check string) "majority side elected" "srv-1" (Replication.Node.id coord)
+
+(* Randomized soak: several clients on different replicas fire interleaved
+   bursts with random sizes/targets — optionally with the coordinator
+   crashing mid-traffic; after quiescence every live holder's copy of every
+   group must be byte-identical and gapless. *)
+let soak_once ?(crash_coordinator = false) ~seed () =
+  let w = make_world ~seed ~replicas:3 ~clients:3 () in
+  let rng = Sim.Rng.create seed in
+  let groups = [ "g0"; "g1" ] in
+  let clients = ref [] in
+  connect w ~idx:0 ~member:"m0" (fun c0 ->
+      clients := [ c0 ];
+      Corona.Client.create_group c0 ~group:"g0" ~k:(fun _ -> ()) ();
+      Corona.Client.create_group c0 ~group:"g1" ~k:(fun _ -> ()) ();
+      Corona.Client.join c0 ~group:"g0"
+        ~k:(fun _ ->
+          Corona.Client.join c0 ~group:"g1"
+            ~k:(fun _ ->
+              connect w ~idx:1 ~member:"m1" (fun c1 ->
+                  clients := c1 :: !clients;
+                  Corona.Client.join c1 ~group:"g0"
+                    ~k:(fun _ ->
+                      connect w ~idx:2 ~member:"m2" (fun c2 ->
+                          clients := c2 :: !clients;
+                          Corona.Client.join c2 ~group:"g1" ~k:(fun _ -> ()) ()))
+                    ()))
+            ())
+        ());
+  run ~until:3.0 w;
+  if crash_coordinator then
+    ignore
+      (Sim.Engine.schedule w.engine ~delay:0.2 (fun () ->
+           Net.Host.crash
+             (Replication.Node.host (Replication.Cluster.node w.cluster "srv-0"))));
+  (* Random interleaved traffic. *)
+  List.iter
+    (fun cl ->
+      let joined = Corona.Client.joined_groups cl in
+      for i = 0 to 20 + Sim.Rng.int rng 20 do
+        match joined with
+        | [] -> ()
+        | _ ->
+            let group = List.nth joined (Sim.Rng.int rng (List.length joined)) in
+            let obj = Printf.sprintf "o%d" (Sim.Rng.int rng 3) in
+            let data =
+              Printf.sprintf "%s/%s#%d;" (Corona.Client.member cl) obj i
+            in
+            if Sim.Rng.bool rng then
+              Corona.Client.bcast_update cl ~group ~obj ~data ()
+            else
+              ignore
+                (Sim.Engine.schedule w.engine
+                   ~delay:(Sim.Rng.float rng 0.5)
+                   (fun () -> Corona.Client.bcast_update cl ~group ~obj ~data ()))
+      done)
+    !clients;
+  run ~until:30.0 w;
+  (* Convergence: all holders of a group agree byte-for-byte and at the same
+     position. *)
+  List.iter
+    (fun group ->
+      let copies =
+        List.filter_map
+          (fun n ->
+            match Replication.Node.group_state n group with
+            | Some st ->
+                Some
+                  ( Replication.Node.id n,
+                    Corona.Shared_state.objects st,
+                    Replication.Node.group_next_seqno n group )
+            | None -> None)
+          (Replication.Cluster.live_nodes w.cluster)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: >=2 copies of %s" seed group)
+        true
+        (List.length copies >= 2);
+      match copies with
+      | (_, ref_objs, ref_pos) :: rest ->
+          List.iter
+            (fun (id, objs, pos) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %Ld: %s state of %s converged" seed id group)
+                true
+                (objs = ref_objs && pos = ref_pos))
+            rest
+      | [] -> ())
+    groups
+
+let test_random_soak_convergence () =
+  List.iter (fun seed -> soak_once ~seed ()) [ 101L; 202L; 303L; 404L; 505L ]
+
+let test_random_soak_with_failover () =
+  List.iter
+    (fun seed -> soak_once ~crash_coordinator:true ~seed ())
+    [ 606L; 707L; 808L ]
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "replication"
+    [
+      ( "cluster",
+        [
+          tc "cross-replica multicast" `Quick test_cross_replica_multicast;
+          tc "state fetch on new replica" `Quick test_state_fetch_on_new_replica;
+          tc "total order across three replicas" `Quick test_total_order_three_replicas;
+          tc "coordinator failover" `Quick test_coordinator_failover;
+          tc "replica crash re-replication" `Quick test_replica_crash_rereplication;
+          tc "partition and reconcile" `Quick test_partition_and_reconcile;
+          tc "server-side multicast fan-out" `Quick test_server_multicast_fanout;
+          tc "relaxed membership notification" `Quick
+            test_relaxed_membership_notification;
+          tc "locks across replicas" `Quick test_locks_across_replicas;
+          tc "delete group cluster-wide" `Quick test_delete_group_cluster_wide;
+          tc "observer rejected at coordinator" `Quick
+            test_observer_rejected_at_coordinator;
+          tc "double crash escalation" `Quick test_double_crash_escalation;
+          tc "heartbeat-only detection" `Quick test_heartbeat_only_detection;
+          tc "randomized soak: holder convergence" `Slow
+            test_random_soak_convergence;
+          tc "randomized soak with coordinator crash" `Slow
+            test_random_soak_with_failover;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Unit tests for the replication building blocks: the coordinator
+   directory, the three election algorithms over a simulated transport, the
+   reconciliation calculus, and server-message sizes. *)
+
+module T = Proto.Types
+module D = Replication.Directory
+module E = Replication.Election
+module R = Replication.Reconcile
+
+(* --- directory ---------------------------------------------------------- *)
+
+let test_directory_lifecycle () =
+  let d = D.create () in
+  let e =
+    match D.add_group d ~group:"g" ~persistent:true ~first_holder:"s1" with
+    | `Ok e -> e
+    | `Exists -> Alcotest.fail "fresh group"
+  in
+  Alcotest.(check bool) "duplicate rejected" true
+    (D.add_group d ~group:"g" ~persistent:false ~first_holder:"s2" = `Exists);
+  Alcotest.(check (list string)) "holders" [ "s1" ] (D.holders e);
+  (match D.join d ~group:"g" ~member:"a" ~role:T.Principal ~notify:true ~server:"s2" with
+  | `Ok (_, Some "s1") -> () (* s2 must fetch from s1 *)
+  | _ -> Alcotest.fail "expected fetch source s1");
+  (match D.join d ~group:"g" ~member:"b" ~role:T.Observer ~notify:false ~server:"s2" with
+  | `Ok (_, None) -> () (* s2 already a holder *)
+  | _ -> Alcotest.fail "expected no fetch");
+  Alcotest.(check (list string)) "replicas" [ "s1"; "s2" ] (D.replicas_of e);
+  Alcotest.(check int) "seq 0" 0 (D.sequence e);
+  Alcotest.(check int) "seq 1" 1 (D.sequence e);
+  D.bump_seqno e 10;
+  Alcotest.(check int) "bumped" 10 (D.next_seqno e);
+  D.bump_seqno e 3;
+  Alcotest.(check int) "bump never lowers" 10 (D.next_seqno e);
+  Alcotest.(check (list (pair string string))) "notify targets"
+    [ ("a", "s2") ] (D.notify_targets e);
+  (match D.leave d ~group:"g" ~member:"a" with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "leave");
+  Alcotest.(check bool) "not member" true (D.leave d ~group:"g" ~member:"a" = `Not_member)
+
+let test_directory_remove_server () =
+  let d = D.create () in
+  let e =
+    match D.add_group d ~group:"g" ~persistent:false ~first_holder:"s1" with
+    | `Ok e -> e
+    | `Exists -> assert false
+  in
+  ignore (D.join d ~group:"g" ~member:"a" ~role:T.Principal ~notify:false ~server:"s1");
+  ignore (D.join d ~group:"g" ~member:"b" ~role:T.Principal ~notify:false ~server:"s2");
+  let lost, need_copy = D.remove_server d "s2" in
+  Alcotest.(check (list (pair string (list string)))) "lost members"
+    [ ("g", [ "b" ]) ] lost;
+  (* s1 survives alone: a new copy is needed, sourced from s1. *)
+  Alcotest.(check (list (pair string (option string)))) "needs backup"
+    [ ("g", Some "s1") ] need_copy;
+  Alcotest.(check (list string)) "holder left" [ "s1" ] (D.holders e);
+  (* Killing the last holder reports a lost state. *)
+  let _, need2 = D.remove_server d "s1" in
+  Alcotest.(check (list (pair string (option string)))) "state lost"
+    [ ("g", None) ] need2
+
+let test_directory_rebuild_union () =
+  let d = D.create () in
+  let report server group next members =
+    ( server,
+      {
+        Replication.Smsg.dr_group = group;
+        dr_persistent = false;
+        dr_next_seqno = next;
+        dr_members =
+          List.map (fun m -> ({ T.member = m; role = T.Principal }, true)) members;
+      } )
+  in
+  D.rebuild d [ report "s1" "g" 5 [ "a" ]; report "s2" "g" 9 [ "b" ] ];
+  let e = Option.get (D.find d "g") in
+  Alcotest.(check int) "max seqno wins" 9 (D.next_seqno e);
+  Alcotest.(check (list string)) "holders unioned" [ "s1"; "s2" ] (D.holders e);
+  Alcotest.(check (list string)) "members unioned" [ "a"; "b" ]
+    (List.map (fun (m : T.member) -> m.member) (D.members e))
+
+(* --- election algorithms -------------------------------------------------- *)
+
+(* Simulated transport: 1 ms links, messages to dead peers vanish. *)
+let run_algorithm (module A : E.ALGORITHM) ~n ~dead () =
+  let engine = Sim.Engine.create ~seed:13L () in
+  let all = List.init n (Printf.sprintf "s%02d") in
+  let is_alive s = not (List.mem s dead) in
+  let outcomes : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let instances : (string, A.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun self ->
+      if is_alive self then
+        let env =
+          {
+            E.self;
+            all;
+            is_alive;
+            send =
+              (fun ~dst msg ->
+                if is_alive dst then
+                  ignore
+                    (Sim.Engine.schedule engine ~delay:0.001 (fun () ->
+                         match Hashtbl.find_opt instances dst with
+                         | Some i -> A.handle i ~from:self msg
+                         | None -> ())));
+            schedule = (fun ~delay f -> ignore (Sim.Engine.schedule engine ~delay f));
+            on_elected =
+              (fun w ->
+                if not (Hashtbl.mem outcomes self) then Hashtbl.replace outcomes self w);
+          }
+        in
+        Hashtbl.replace instances self (A.create env))
+    all;
+  Hashtbl.iter (fun _ i -> A.start i) instances;
+  Sim.Engine.run ~until:30.0 engine;
+  Hashtbl.fold (fun s w acc -> (s, w) :: acc) outcomes [] |> List.sort compare
+
+let check_unanimous name results ~expected_winner ~voters =
+  Alcotest.(check int) (name ^ ": everyone decided") voters (List.length results);
+  List.iter
+    (fun (_, w) -> Alcotest.(check string) (name ^ ": winner") expected_winner w)
+    results
+
+let test_elections_coordinator_dead () =
+  List.iter
+    (fun (algo : (module E.ALGORITHM)) ->
+      let (module A) = algo in
+      let r = run_algorithm algo ~n:5 ~dead:[ "s00" ] () in
+      check_unanimous A.name r ~expected_winner:"s01" ~voters:4)
+    [ (module E.List_order); (module E.Bully); (module E.Ring) ]
+
+let test_elections_two_simultaneous_deaths () =
+  (* The paper's k-crash tolerance: coordinator and the first server die
+     together; the second in line must win. *)
+  List.iter
+    (fun (algo : (module E.ALGORITHM)) ->
+      let (module A) = algo in
+      let r = run_algorithm algo ~n:6 ~dead:[ "s00"; "s01" ] () in
+      check_unanimous A.name r ~expected_winner:"s02" ~voters:4)
+    [ (module E.List_order); (module E.Bully); (module E.Ring) ]
+
+let test_election_lone_survivor () =
+  let r = run_algorithm (module E.List_order) ~n:3 ~dead:[ "s00"; "s01" ] () in
+  check_unanimous "list-order lone" r ~expected_winner:"s02" ~voters:1
+
+(* --- reconcile --------------------------------------------------------------- *)
+
+let upd seqno data =
+  { T.seqno; group = "g"; kind = T.Append_update; obj = "o"; data; sender = "s";
+    timestamp = 0.0 }
+
+let test_divergence_detection () =
+  let common = [ upd 0 "x" ] in
+  let a = common @ [ upd 1 "a1"; upd 2 "a2" ] in
+  let b = common @ [ upd 1 "b1" ] in
+  let d = R.find_divergence ~group:"g" ~a ~b in
+  Alcotest.(check int) "common point" 1 d.R.d_common_seqno;
+  Alcotest.(check int) "a suffix" 2 (List.length d.R.d_a_suffix);
+  Alcotest.(check int) "b suffix" 1 (List.length d.R.d_b_suffix);
+  Alcotest.(check bool) "not consistent" false (R.is_consistent d)
+
+let test_prefix_is_consistent_divergence () =
+  let a = [ upd 0 "x" ] in
+  let b = [ upd 0 "x"; upd 1 "y" ] in
+  let d = R.find_divergence ~group:"g" ~a ~b in
+  (* One side simply lags: the divergence point is the shorter log's end and
+     only the longer side has a suffix. *)
+  Alcotest.(check int) "common" 1 d.R.d_common_seqno;
+  Alcotest.(check int) "a suffix empty" 0 (List.length d.R.d_a_suffix);
+  Alcotest.(check int) "b suffix" 1 (List.length d.R.d_b_suffix)
+
+let side updates = { R.s_base_objects = [ ("o", "base:") ]; s_base_seqno = 0; s_updates = updates }
+
+let test_resolutions () =
+  let a = [ upd 0 "pre;"; upd 1 "A1;" ] and b = [ upd 0 "pre;"; upd 1 "B1;"; upd 2 "B2;" ] in
+  let d = R.find_divergence ~group:"g" ~a ~b in
+  let get1 o = match o.R.o_groups with [ g ] -> g | _ -> Alcotest.fail "one group" in
+  let _, objs, at = get1 (R.resolve ~side_a:(side a) ~side_b:(side b) d R.Rollback) in
+  Alcotest.(check (list (pair string string))) "rollback state"
+    [ ("o", "base:pre;") ] objs;
+  Alcotest.(check int) "rollback position" 1 at;
+  let _, objs, at = get1 (R.resolve ~side_a:(side a) ~side_b:(side b) d R.Adopt_a) in
+  Alcotest.(check (list (pair string string))) "adopt a" [ ("o", "base:pre;A1;") ] objs;
+  Alcotest.(check int) "adopt a position" 2 at;
+  let _, objs, _ = get1 (R.resolve ~side_a:(side a) ~side_b:(side b) d R.Adopt_b) in
+  Alcotest.(check (list (pair string string))) "adopt b" [ ("o", "base:pre;B1;B2;") ] objs;
+  match
+    (R.resolve ~side_a:(side a) ~side_b:(side b) d
+       (R.Fork { suffix_a = "@a"; suffix_b = "@b" }))
+      .R.o_groups
+  with
+  | [ ("g@a", _, _); ("g@b", _, _) ] -> ()
+  | _ -> Alcotest.fail "fork names"
+
+let prop_rollback_prefix_of_both =
+  QCheck.Test.make ~name:"rollback state is a prefix state of both sides" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 0 6) printable_string)
+              (pair (list_of_size Gen.(int_range 0 4) printable_string)
+                 (list_of_size Gen.(int_range 0 4) printable_string)))
+    (fun (common, (sa, sb)) ->
+      let number l ~from = List.mapi (fun i d -> upd (from + i) d) l in
+      let c = number common ~from:0 in
+      let a = c @ number sa ~from:(List.length common) in
+      let b = c @ number sb ~from:(List.length common) in
+      let d = R.find_divergence ~group:"g" ~a ~b in
+      let o = R.resolve ~side_a:(side a) ~side_b:(side b) d R.Rollback in
+      match o.R.o_groups with
+      | [ (_, objs, at) ] ->
+          let expected = "base:" ^ String.concat "" common in
+          (* When one suffix is empty and the other merely extends it, the
+             "rollback" point is the shorter end, which still includes all
+             common updates. *)
+          at >= List.length common
+          && (List.assoc_opt "o" objs = Some expected
+             || String.length (Option.value (List.assoc_opt "o" objs) ~default:"")
+                >= String.length expected)
+      | _ -> false)
+
+(* --- smsg sizes ------------------------------------------------------------- *)
+
+let test_smsg_sizes_scale () =
+  let mk data =
+    Replication.Smsg.wire_size
+      (Replication.Smsg.Fwd_bcast
+         {
+           origin = { Replication.Smsg.og_server = "s"; og_seq = 1 };
+           group = "g";
+           sender = "m";
+           kind = T.Set_state;
+           obj = "o";
+           data;
+           mode = T.Sender_inclusive;
+         })
+  in
+  Alcotest.(check int) "payload bytes dominate" 5000 (mk (String.make 5000 'x') - mk "")
+
+let () =
+  let tc = Alcotest.test_case in
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "replication-units"
+    [
+      ( "directory",
+        [
+          tc "lifecycle" `Quick test_directory_lifecycle;
+          tc "remove server" `Quick test_directory_remove_server;
+          tc "rebuild unions reports" `Quick test_directory_rebuild_union;
+        ] );
+      ( "election",
+        [
+          tc "coordinator dead: all three algorithms" `Quick
+            test_elections_coordinator_dead;
+          tc "two simultaneous deaths" `Quick test_elections_two_simultaneous_deaths;
+          tc "lone survivor" `Quick test_election_lone_survivor;
+        ] );
+      ( "reconcile",
+        [
+          tc "divergence detection" `Quick test_divergence_detection;
+          tc "prefix counts as lag, not conflict" `Quick
+            test_prefix_is_consistent_divergence;
+          tc "all four resolutions" `Quick test_resolutions;
+          q prop_rollback_prefix_of_both;
+        ] );
+      ("smsg", [ tc "wire sizes scale with payload" `Quick test_smsg_sizes_scale ]);
+    ]

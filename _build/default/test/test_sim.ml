@@ -1,0 +1,285 @@
+(* Unit and property tests for the discrete-event engine, RNG, statistics
+   and trace recorder. *)
+
+let test_clock_starts_at_zero () =
+  let e = Sim.Engine.create () in
+  Alcotest.(check (float 0.0)) "t=0" 0.0 (Sim.Engine.now e)
+
+let test_events_fire_in_time_order () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  ignore (Sim.Engine.schedule e ~delay:3.0 (record "c"));
+  ignore (Sim.Engine.schedule e ~delay:1.0 (record "a"));
+  ignore (Sim.Engine.schedule e ~delay:2.0 (record "b"));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order);
+  Alcotest.(check (float 0.0)) "clock at last event" 3.0 (Sim.Engine.now e)
+
+let test_ties_fire_in_schedule_order () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> order := i :: !order))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" (List.init 10 Fun.id) (List.rev !order)
+
+let test_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let id = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel e id;
+  Alcotest.(check int) "nothing pending" 0 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_cancel_twice_is_safe () =
+  let e = Sim.Engine.create () in
+  let a = Sim.Engine.schedule e ~delay:1.0 ignore in
+  let b = Sim.Engine.schedule e ~delay:2.0 ignore in
+  Sim.Engine.cancel e a;
+  Sim.Engine.cancel e a;
+  Alcotest.(check int) "one left" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel e b;
+  Alcotest.(check int) "none left" 0 (Sim.Engine.pending e)
+
+let test_schedule_from_callback () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.0 (fun () ->
+         times := Sim.Engine.now e :: !times;
+         ignore
+           (Sim.Engine.schedule e ~delay:0.5 (fun () ->
+                times := Sim.Engine.now e :: !times))));
+  Sim.Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "nested schedule" [ 1.0; 1.5 ] (List.rev !times)
+
+let test_run_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> ignore (Sim.Engine.schedule e ~delay:d (fun () -> fired := d :: !fired)))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Sim.Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 0.0))) "only <= 2.5 fired" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock advanced to until" 2.5 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "rest fired later" 4 (List.length !fired)
+
+let test_negative_delay_clamped () =
+  let e = Sim.Engine.create () in
+  let at = ref nan in
+  ignore (Sim.Engine.schedule e ~delay:5.0 (fun () ->
+      ignore (Sim.Engine.schedule e ~delay:(-3.0) (fun () -> at := Sim.Engine.now e))));
+  Sim.Engine.run e;
+  Alcotest.(check (float 0.0)) "clamped to now" 5.0 !at
+
+let test_periodic_stops_when_false () =
+  let e = Sim.Engine.create () in
+  let n = ref 0 in
+  Sim.Engine.periodic e ~every:1.0 (fun () ->
+      incr n;
+      !n < 5);
+  Sim.Engine.run e;
+  Alcotest.(check int) "ran 5 times" 5 !n;
+  Alcotest.(check (float 0.0)) "stopped at 5s" 5.0 (Sim.Engine.now e)
+
+let test_determinism () =
+  let run_once () =
+    let e = Sim.Engine.create ~seed:99L () in
+    let rng = Sim.Engine.rng e in
+    let acc = ref [] in
+    for _ = 1 to 5 do
+      let d = Sim.Rng.float rng 10.0 in
+      ignore (Sim.Engine.schedule e ~delay:d (fun () -> acc := Sim.Engine.now e :: !acc))
+    done;
+    Sim.Engine.run e;
+    !acc
+  in
+  Alcotest.(check (list (float 0.0))) "identical runs" (run_once ()) (run_once ())
+
+let prop_events_fire_in_nondecreasing_time =
+  QCheck.Test.make ~name:"random schedules fire in nondecreasing time order"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (float_range 0.0 100.0))
+    (fun delays ->
+      let e = Sim.Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Sim.Engine.schedule e ~delay:d (fun () ->
+                 fired := Sim.Engine.now e :: !fired)))
+        delays;
+      Sim.Engine.run e;
+      let times = List.rev !fired in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | [ _ ] | [] -> true
+      in
+      List.length times = List.length delays && sorted times)
+
+(* --- rng --------------------------------------------------------------- *)
+
+let test_rng_reproducible () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 7L in
+  let child = Sim.Rng.split a in
+  (* The child stream differs from the parent's continuation. *)
+  let c1 = Sim.Rng.int64 child and p1 = Sim.Rng.int64 a in
+  Alcotest.(check bool) "streams differ" true (c1 <> p1)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Rng.int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_in_range =
+  QCheck.Test.make ~name:"Rng.float within bounds" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let v = Sim.Rng.float rng 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"Rng.shuffle permutes" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let a = Array.of_list l in
+      Sim.Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"Rng.exponential positive" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      Sim.Rng.exponential rng ~mean:2.0 > 0.0)
+
+(* --- stats ------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Sim.Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Sim.Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Sim.Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Sim.Stats.max_value s);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 (Sim.Stats.stddev s)
+
+let test_stats_percentiles () =
+  let s = Sim.Stats.create () in
+  for i = 1 to 100 do
+    Sim.Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 0.0)) "p50" 50.0 (Sim.Stats.percentile s 50.0);
+  Alcotest.(check (float 0.0)) "p95" 95.0 (Sim.Stats.percentile s 95.0);
+  Alcotest.(check (float 0.0)) "p100" 100.0 (Sim.Stats.percentile s 100.0);
+  Alcotest.(check (float 0.0)) "p0 -> min" 1.0 (Sim.Stats.percentile s 0.0)
+
+let test_stats_empty () =
+  let s = Sim.Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Sim.Stats.mean s));
+  Alcotest.(check (float 0.0)) "stddev 0" 0.0 (Sim.Stats.stddev s)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"Stats.mean within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+    (fun l ->
+      let s = Sim.Stats.create () in
+      List.iter (Sim.Stats.add s) l;
+      let m = Sim.Stats.mean s in
+      m >= Sim.Stats.min_value s -. 1e-9 && m <= Sim.Stats.max_value s +. 1e-9)
+
+let prop_merge_counts =
+  QCheck.Test.make ~name:"Stats.merge sums counts and totals" ~count:200
+    QCheck.(pair (list (float_range 0. 100.)) (list (float_range 0. 100.)))
+    (fun (la, lb) ->
+      let a = Sim.Stats.create () and b = Sim.Stats.create () in
+      List.iter (Sim.Stats.add a) la;
+      List.iter (Sim.Stats.add b) lb;
+      let m = Sim.Stats.merge a b in
+      Sim.Stats.count m = List.length la + List.length lb
+      && abs_float (Sim.Stats.total m -. (Sim.Stats.total a +. Sim.Stats.total b))
+         < 1e-6)
+
+let test_histogram () =
+  let h = Sim.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  List.iter (Sim.Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -5.0; 50.0 ];
+  let counts = Sim.Stats.Histogram.counts h in
+  Alcotest.(check int) "bucket 0 (incl. underflow)" 2 counts.(0);
+  Alcotest.(check int) "bucket 1" 2 counts.(1);
+  Alcotest.(check int) "bucket 9 (incl. overflow)" 2 counts.(9);
+  let lo, hi = Sim.Stats.Histogram.bucket_bounds h 3 in
+  Alcotest.(check (float 1e-9)) "bound lo" 3.0 lo;
+  Alcotest.(check (float 1e-9)) "bound hi" 4.0 hi
+
+(* --- trace ------------------------------------------------------------- *)
+
+let test_trace () =
+  let e = Sim.Engine.create () in
+  let tr = Sim.Trace.create e in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.5 (fun () ->
+         Sim.Trace.record tr ~component:"net" "packet sent"));
+  Sim.Trace.record tr ~component:"app" "started";
+  Sim.Engine.run e;
+  Alcotest.(check int) "two records" 2 (List.length (Sim.Trace.records tr));
+  (match Sim.Trace.find tr ~component:"net" "packet" with
+  | Some r -> Alcotest.(check (float 0.0)) "timestamped" 1.5 r.Sim.Trace.at
+  | None -> Alcotest.fail "record not found");
+  Alcotest.(check int) "count matching" 1
+    (Sim.Trace.count_matching tr ~component:"app" "start");
+  Sim.Trace.set_enabled tr false;
+  Sim.Trace.record tr ~component:"app" "ignored";
+  Alcotest.(check int) "disabled drops" 2 (List.length (Sim.Trace.records tr))
+
+let () =
+  let tc = Alcotest.test_case in
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          tc "clock starts at zero" `Quick test_clock_starts_at_zero;
+          tc "events fire in time order" `Quick test_events_fire_in_time_order;
+          tc "ties fire in schedule order" `Quick test_ties_fire_in_schedule_order;
+          tc "cancel" `Quick test_cancel;
+          tc "cancel twice is safe" `Quick test_cancel_twice_is_safe;
+          tc "schedule from callback" `Quick test_schedule_from_callback;
+          tc "run ~until" `Quick test_run_until;
+          tc "negative delay clamped" `Quick test_negative_delay_clamped;
+          tc "periodic stops when false" `Quick test_periodic_stops_when_false;
+          tc "deterministic runs" `Quick test_determinism;
+          q prop_events_fire_in_nondecreasing_time;
+        ] );
+      ( "rng",
+        [
+          tc "reproducible" `Quick test_rng_reproducible;
+          tc "split independence" `Quick test_rng_split_independent;
+          q prop_int_in_range;
+          q prop_float_in_range;
+          q prop_shuffle_is_permutation;
+          q prop_exponential_positive;
+        ] );
+      ( "stats",
+        [
+          tc "basic moments" `Quick test_stats_basic;
+          tc "percentiles" `Quick test_stats_percentiles;
+          tc "empty collector" `Quick test_stats_empty;
+          tc "histogram" `Quick test_histogram;
+          q prop_mean_between_min_max;
+          q prop_merge_counts;
+        ] );
+      ("trace", [ tc "record, find, disable" `Quick test_trace ]);
+    ]

@@ -1,0 +1,183 @@
+(* Tests for the stable-storage substrate: disk timing model, WAL
+   durability/crash semantics/truncation, ephemeral logs, snapshots. *)
+
+let make_host () =
+  let engine = Sim.Engine.create ~seed:9L () in
+  let fabric = Net.Fabric.create engine in
+  let host = Net.Fabric.add_host fabric ~name:"h" () in
+  (engine, host)
+
+(* --- disk ----------------------------------------------------------------- *)
+
+let test_disk_write_timing () =
+  let engine, host = make_host () in
+  let disk = Storage.Disk.create host ~transfer_rate:1e6 ~seek_time:0.001 () in
+  let at = ref nan in
+  (* 1 ms seek + 10_000 / 1e6 = 11 ms. *)
+  Storage.Disk.write disk ~size:10_000 ~on_durable:(fun () -> at := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "11 ms" 0.011 !at;
+  Alcotest.(check int) "odometer" 10_000 (Storage.Disk.bytes_written disk)
+
+let test_disk_fifo_queue () =
+  let engine, host = make_host () in
+  let disk = Storage.Disk.create host ~transfer_rate:1e6 ~seek_time:0.0 () in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Storage.Disk.write disk ~size:1000 ~on_durable:(fun () ->
+        done_at := Sim.Engine.now engine :: !done_at)
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "serialized" [ 0.001; 0.002; 0.003 ]
+    (List.rev !done_at)
+
+let test_disk_crash_loses_queued_writes () =
+  let engine, host = make_host () in
+  let disk = Storage.Disk.create host ~transfer_rate:1e4 ~seek_time:0.0 () in
+  let durable = ref 0 in
+  Storage.Disk.write disk ~size:1000 ~on_durable:(fun () -> incr durable);
+  Storage.Disk.write disk ~size:1000 ~on_durable:(fun () -> incr durable);
+  (* First finishes at 0.1 s, second at 0.2 s; crash in between. *)
+  ignore (Sim.Engine.schedule engine ~delay:0.15 (fun () -> Net.Host.crash host));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "only the first write survived" 1 !durable
+
+(* --- wal ------------------------------------------------------------------- *)
+
+let make_wal () =
+  let engine, host = make_host () in
+  let disk = Storage.Disk.create host () in
+  (engine, host, Storage.Wal.create disk ~name:"log")
+
+let test_wal_append_and_read () =
+  let engine, _, wal = make_wal () in
+  let i0 = Storage.Wal.append wal ~size:10 "a" in
+  let i1 = Storage.Wal.append wal ~size:10 "b" in
+  Alcotest.(check (pair int int)) "indices" (0, 1) (i0, i1);
+  Alcotest.(check (option string)) "get 0" (Some "a") (Storage.Wal.get wal 0);
+  Alcotest.(check int) "length" 2 (Storage.Wal.length wal);
+  Alcotest.(check int) "not yet durable" 0 (Storage.Wal.durable_upto wal);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "durable after run" 2 (Storage.Wal.durable_upto wal)
+
+let test_wal_iter_order () =
+  let _, _, wal = make_wal () in
+  for i = 0 to 9 do
+    ignore (Storage.Wal.append wal ~size:1 (string_of_int i))
+  done;
+  let acc = ref [] in
+  Storage.Wal.iter_from wal 5 (fun i v -> acc := (i, v) :: !acc);
+  Alcotest.(check int) "five records" 5 (List.length !acc);
+  Alcotest.(check (pair int string)) "first is index 5" (5, "5")
+    (List.nth (List.rev !acc) 0)
+
+let test_wal_truncate_prefix () =
+  let _, _, wal = make_wal () in
+  for i = 0 to 9 do
+    ignore (Storage.Wal.append wal ~size:100 (string_of_int i))
+  done;
+  Storage.Wal.truncate_prefix wal ~upto:6;
+  Alcotest.(check int) "first index" 6 (Storage.Wal.first_index wal);
+  Alcotest.(check int) "length" 4 (Storage.Wal.length wal);
+  Alcotest.(check int) "bytes" 400 (Storage.Wal.bytes_retained wal);
+  Alcotest.(check (option string)) "truncated gone" None (Storage.Wal.get wal 3);
+  (* Indices keep counting after truncation. *)
+  Alcotest.(check int) "next index unchanged" 10 (Storage.Wal.next_index wal)
+
+let test_wal_crash_recover_drops_tail () =
+  let engine, host, wal = make_wal () in
+  for i = 0 to 4 do
+    ignore (Storage.Wal.append wal ~size:1_000_000 (string_of_int i))
+  done;
+  (* At 4 MB/s each 1 MB write takes ~0.25 s; crash at 0.6 s -> 2 durable. *)
+  ignore (Sim.Engine.schedule engine ~delay:0.6 (fun () -> Net.Host.crash host));
+  Sim.Engine.run engine;
+  Net.Host.restart host;
+  Storage.Wal.crash_recover wal;
+  Alcotest.(check int) "two durable records survive" 2 (Storage.Wal.length wal);
+  Alcotest.(check int) "next rewinds" 2 (Storage.Wal.next_index wal)
+
+let test_wal_ephemeral () =
+  let _, _ = make_host () in
+  let wal = Storage.Wal.create_ephemeral ~name:"mem" in
+  let durable_called = ref false in
+  Storage.Wal.append_sync wal ~size:10 "x" ~on_durable:(fun _ -> durable_called := true);
+  Alcotest.(check bool) "completion reported immediately" true !durable_called;
+  Alcotest.(check int) "never actually durable" 0 (Storage.Wal.durable_upto wal);
+  Storage.Wal.crash_recover wal;
+  Alcotest.(check int) "everything lost" 0 (Storage.Wal.length wal)
+
+let prop_wal_retains_suffix =
+  QCheck.Test.make ~name:"Wal.truncate keeps exactly the suffix" ~count:200
+    QCheck.(pair (int_range 0 50) (int_range 0 60))
+    (fun (n, upto) ->
+      let _, _, wal = make_wal () in
+      for i = 0 to n - 1 do
+        ignore (Storage.Wal.append wal ~size:1 (string_of_int i))
+      done;
+      Storage.Wal.truncate_prefix wal ~upto;
+      let expected = max 0 (n - max 0 (min upto n)) in
+      Storage.Wal.length wal = expected)
+
+(* --- snapshot ----------------------------------------------------------------- *)
+
+let test_snapshot_save_load () =
+  let engine, _, wal = make_wal () in
+  let disk = Storage.Wal.disk wal in
+  let snaps = Storage.Snapshot.create disk ~name:"snaps" in
+  let durable = ref false in
+  Storage.Snapshot.save snaps ~key:"g" ~size:100 "v1" ~on_durable:(fun () ->
+      durable := true);
+  Alcotest.(check (option string)) "not visible before durable" None
+    (Storage.Snapshot.load snaps ~key:"g");
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "durable" true !durable;
+  Alcotest.(check (option string)) "loaded" (Some "v1")
+    (Storage.Snapshot.load snaps ~key:"g");
+  Storage.Snapshot.save snaps ~key:"g" ~size:100 "v2" ~on_durable:(fun () -> ());
+  Sim.Engine.run engine;
+  Alcotest.(check (option string)) "latest wins" (Some "v2")
+    (Storage.Snapshot.load snaps ~key:"g");
+  Storage.Snapshot.delete snaps ~key:"g";
+  Alcotest.(check (option string)) "deleted" None (Storage.Snapshot.load snaps ~key:"g")
+
+let test_snapshot_crash_keeps_previous () =
+  let engine, host, wal = make_wal () in
+  let disk = Storage.Wal.disk wal in
+  let snaps = Storage.Snapshot.create disk ~name:"snaps" in
+  Storage.Snapshot.save snaps ~key:"g" ~size:100 "old" ~on_durable:(fun () -> ());
+  Sim.Engine.run engine;
+  (* A big save that will not complete before the crash. *)
+  Storage.Snapshot.save snaps ~key:"g" ~size:100_000_000 "new" ~on_durable:(fun () ->
+      Alcotest.fail "must not become durable");
+  ignore (Sim.Engine.schedule engine ~delay:0.5 (fun () -> Net.Host.crash host));
+  Sim.Engine.run engine;
+  Alcotest.(check (option string)) "previous snapshot preserved" (Some "old")
+    (Storage.Snapshot.load snaps ~key:"g")
+
+let () =
+  let tc = Alcotest.test_case in
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "storage"
+    [
+      ( "disk",
+        [
+          tc "write timing" `Quick test_disk_write_timing;
+          tc "fifo queue" `Quick test_disk_fifo_queue;
+          tc "crash loses queued writes" `Quick test_disk_crash_loses_queued_writes;
+        ] );
+      ( "wal",
+        [
+          tc "append and read" `Quick test_wal_append_and_read;
+          tc "iter order" `Quick test_wal_iter_order;
+          tc "truncate prefix" `Quick test_wal_truncate_prefix;
+          tc "crash recovery drops tail" `Quick test_wal_crash_recover_drops_tail;
+          tc "ephemeral log" `Quick test_wal_ephemeral;
+          q prop_wal_retains_suffix;
+        ] );
+      ( "snapshot",
+        [
+          tc "save, load, overwrite, delete" `Quick test_snapshot_save_load;
+          tc "crash keeps previous" `Quick test_snapshot_crash_keeps_previous;
+        ] );
+    ]

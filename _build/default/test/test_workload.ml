@@ -1,0 +1,175 @@
+(* Tests for the experiment harness itself: report formatting, testbed
+   helpers, and tiny-scale sanity runs of each experiment's measurement
+   function (these guard the bench harness against regressions without
+   paying full sweep costs). *)
+
+module T = Proto.Types
+
+(* --- report -------------------------------------------------------------- *)
+
+let capture f =
+  let buf = Buffer.create 256 in
+  let old = Format.get_formatter_output_functions () in
+  Format.set_formatter_output_functions (Buffer.add_substring buf) (fun () -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Format.print_flush ();
+      let out, flush = old in
+      Format.set_formatter_output_functions out flush)
+    f;
+  Buffer.contents buf
+
+let test_report_table_alignment () =
+  let out =
+    capture (fun () ->
+        Workload.Report.table ~header:[ "name"; "value" ]
+          [ [ "a"; "1" ]; [ "long-name"; "22" ] ])
+  in
+  let lines = String.split_on_char '\n' out in
+  (* All non-empty lines are equally indented and at least as wide as the
+     longest cell. *)
+  List.iter
+    (fun l ->
+      if l <> "" then
+        Alcotest.(check bool) "indented" true (String.length l > 2 && l.[0] = ' '))
+    lines;
+  Alcotest.(check bool) "has underline" true
+    (List.exists (fun l -> String.length l > 0 && String.contains l '-') lines)
+
+let test_report_units () =
+  Alcotest.(check string) "ms" "12.3" (Workload.Report.ms 0.01234);
+  Alcotest.(check string) "kbs" "600" (Workload.Report.kbs 600_000.);
+  Alcotest.(check string) "bytes" "512 B" (Workload.Report.fbytes 512);
+  Alcotest.(check string) "kbytes" "2.0 kB" (Workload.Report.fbytes 2_000);
+  Alcotest.(check string) "mbytes" "1.5 MB" (Workload.Report.fbytes 1_500_000)
+
+(* --- testbed -------------------------------------------------------------- *)
+
+let test_spawn_and_join_order () =
+  let tb = Workload.Testbed.single_server () in
+  let joined = ref [] in
+  Workload.Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:5 ~prefix:"m"
+    (fun cls ->
+      Alcotest.(check int) "all connected" 5 (Array.length cls);
+      Corona.Client.create_group cls.(0) ~group:"g" ~k:(fun _ -> ()) ();
+      Workload.Testbed.join_all cls ~group:"g" (fun () ->
+          joined := List.map Corona.Client.member (Array.to_list cls)));
+  Sim.Engine.run tb.s_engine;
+  Alcotest.(check (list string)) "joined strictly in order"
+    [ "m0"; "m1"; "m2"; "m3"; "m4" ] !joined;
+  (* Fan-out order = join order: the probe (last joiner) is served last. *)
+  Alcotest.(check (list string)) "server membership order"
+    [ "m0"; "m1"; "m2"; "m3"; "m4" ]
+    (List.map (fun (m : T.member) -> m.member)
+       (Corona.Server.group_members tb.s_server "g"))
+
+let test_paced_probe_counts () =
+  let tb = Workload.Testbed.single_server () in
+  let stats = ref None in
+  Workload.Testbed.spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:2
+    (fun cls ->
+      Corona.Client.create_group cls.(0) ~group:"g" ~k:(fun _ -> ()) ();
+      Workload.Testbed.join_all cls ~group:"g" (fun () ->
+          Workload.Testbed.paced_probe tb.s_engine ~probe:cls.(1) ~group:"g"
+            ~size:500 ~period:0.05 ~count:25
+            ~on_done:(fun s -> stats := Some s)));
+  Sim.Engine.run tb.s_engine;
+  let s = Option.get !stats in
+  Alcotest.(check int) "25 samples" 25 (Sim.Stats.count s);
+  Alcotest.(check bool) "positive rtts" true (Sim.Stats.min_value s > 0.0)
+
+(* --- experiment sanity (tiny scale) ----------------------------------------- *)
+
+let test_fig3_shape () =
+  let p10 = Workload.Exp_fig3.measure ~stateful:true ~clients:10 ~size:1000 ~count:20 () in
+  let p40 = Workload.Exp_fig3.measure ~stateful:true ~clients:40 ~size:1000 ~count:20 () in
+  let sless = Workload.Exp_fig3.measure ~stateful:false ~clients:40 ~size:1000 ~count:20 () in
+  let m40 = p40.Workload.Exp_fig3.rtt.Sim.Stats.mean in
+  let m10 = p10.Workload.Exp_fig3.rtt.Sim.Stats.mean in
+  Alcotest.(check bool) "rtt grows ~linearly with clients" true
+    (m40 /. m10 > 2.0 && m40 /. m10 < 5.0);
+  Alcotest.(check bool) "stateful within 5% of stateless" true
+    (abs_float (m40 -. sless.Workload.Exp_fig3.rtt.Sim.Stats.mean) /. m40 < 0.05)
+
+let test_fig3_multicast_flatter () =
+  let tcp = Workload.Exp_fig3.measure ~stateful:true ~clients:40 ~size:1000 ~count:20 () in
+  let mc =
+    Workload.Exp_fig3.measure ~multicast:true ~stateful:true ~clients:40 ~size:1000
+      ~count:20 ()
+  in
+  Alcotest.(check bool) "multicast at least 3x faster at 40 clients" true
+    (tcp.Workload.Exp_fig3.rtt.Sim.Stats.mean
+    > 3.0 *. mc.Workload.Exp_fig3.rtt.Sim.Stats.mean)
+
+let test_table1_network_bound () =
+  let p =
+    Workload.Exp_table1.measure ~server_cpu:Net.Host.ultrasparc ~size:1000 ~clients:6
+      ~duration:3.0 ()
+  in
+  (* 10 Mbps NIC = 1.25 MB/s ceiling for fan-out payload. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "close to the wire ceiling (%.0f kB/s)" (p.delivered_kbs /. 1e3))
+    true
+    (p.Workload.Exp_table1.delivered_kbs > 0.8e6
+    && p.Workload.Exp_table1.delivered_kbs < 1.25e6)
+
+let test_table2_replicated_wins () =
+  let s = Workload.Exp_table2.measure_single ~clients:80 ~size:1000 ~count:10 () in
+  let r = Workload.Exp_table2.measure_replicated ~clients:80 ~size:1000 ~count:10 () in
+  Alcotest.(check bool) "replicated faster" true
+    (r.Sim.Stats.mean < s.Sim.Stats.mean)
+
+let test_join_ordering () =
+  let corona = Workload.Exp_join.corona_join ~busy_group:false () in
+  let healthy = Workload.Exp_join.isis_join ~scenario:`Healthy () in
+  let slow = Workload.Exp_join.isis_join ~scenario:`Slow_member () in
+  let crashed = Workload.Exp_join.isis_join ~scenario:`Crashed_donor () in
+  Alcotest.(check bool) "corona <= isis healthy" true (corona <= healthy);
+  Alcotest.(check bool) "slow member dominates healthy" true (slow > healthy +. 1.0);
+  Alcotest.(check bool) "crashed donor pays the timeout" true (crashed > 3.0)
+
+let test_disk_regimes () =
+  let _, async_backlog =
+    Workload.Exp_disk.flood ~logging:Corona.Server.Async_logging ~disk_rate:0.1e6
+      ~size:1000 ~duration:3.0 ()
+  in
+  let sync_kbs, _ =
+    Workload.Exp_disk.flood ~logging:Corona.Server.Sync_logging ~disk_rate:0.1e6
+      ~size:1000 ~duration:3.0 ()
+  in
+  let nolog_kbs, _ =
+    Workload.Exp_disk.flood ~logging:Corona.Server.No_logging ~disk_rate:0.1e6
+      ~size:1000 ~duration:3.0 ()
+  in
+  Alcotest.(check bool) "async piles up an unflushed tail" true (async_backlog > 100);
+  Alcotest.(check bool) "sync is disk-bound below no-logging" true
+    (sync_kbs < 0.6 *. nolog_kbs)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "workload"
+    [
+      ( "report",
+        [
+          tc "table alignment" `Quick test_report_table_alignment;
+          tc "unit renderers" `Quick test_report_units;
+        ] );
+      ( "testbed",
+        [
+          tc "spawn and join order" `Quick test_spawn_and_join_order;
+          tc "paced probe counts" `Quick test_paced_probe_counts;
+        ] );
+      ( "experiments",
+        [
+          tc "fig3 shape: linear, stateful=stateless" `Quick test_fig3_shape;
+          tc "fig3 multicast flatter" `Quick test_fig3_multicast_flatter;
+          tc "table1 network-bound" `Quick test_table1_network_bound;
+          tc "table2 replicated wins" `Quick test_table2_replicated_wins;
+          tc "join ordering corona < slow < crashed" `Quick test_join_ordering;
+          tc "disk regimes" `Quick test_disk_regimes;
+        ] );
+    ]
