@@ -9,6 +9,53 @@
 
 module T = Proto.Types
 
+(* --- machine-readable results (BENCH_micro.json) ------------------------ *)
+
+(* Rows accumulate as experiments run; if any were produced, the harness
+   writes them to BENCH_micro.json on exit so successive PRs can track the
+   perf trajectory. *)
+let json_rows : (string * string) list ref = ref []
+
+let json_num v =
+  if Float.is_finite v then Printf.sprintf "%.1f" v else "null"
+
+let json_add section fields =
+  let obj =
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+    ^ "}"
+  in
+  json_rows := !json_rows @ [ (section, obj) ]
+
+let write_json_results () =
+  match !json_rows with
+  | [] -> ()
+  | rows ->
+      let sections =
+        List.fold_left
+          (fun acc (s, _) -> if List.mem s acc then acc else acc @ [ s ])
+          [] rows
+      in
+      let oc = open_out "BENCH_micro.json" in
+      output_string oc "{\n";
+      List.iteri
+        (fun i s ->
+          if i > 0 then output_string oc ",\n";
+          Printf.fprintf oc "  %S: [\n" s;
+          let objs = List.filter_map (fun (s', o) -> if s' = s then Some o else None) rows in
+          List.iteri
+            (fun j o ->
+              if j > 0 then output_string oc ",\n";
+              Printf.fprintf oc "    %s" o)
+            objs;
+          output_string oc "\n  ]")
+        sections;
+      output_string oc "\n}\n";
+      close_out oc;
+      Format.printf "@.wrote BENCH_micro.json@."
+
+let quick = ref false
+
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
 let sample_update =
@@ -117,18 +164,155 @@ let run_micro () =
             let est = Analyze.one ols instance m in
             let ns =
               match Analyze.OLS.estimates est with
-              | Some [ v ] -> Printf.sprintf "%.0f" v
-              | Some _ | None -> "n/a"
+              | Some [ v ] -> Some v
+              | Some _ | None -> None
             in
-            [ Test.Elt.name tst; ns ])
+            let name = Test.Elt.name tst in
+            json_add "micro"
+              [
+                ("name", Printf.sprintf "%S" name);
+                ("ns_per_run", match ns with Some v -> json_num v | None -> "null");
+              ];
+            [ name; (match ns with Some v -> Printf.sprintf "%.0f" v | None -> "n/a") ])
           (Test.elements t))
       tests
   in
   Workload.Report.table ~header:[ "benchmark"; "ns/run" ] rows
 
-(* --- experiment registry ------------------------------------------------ *)
+(* --- fan-out macro-benchmark -------------------------------------------- *)
 
-let quick = ref false
+(* One sequencer, [members] clients in one group, [bcasts] 1kB broadcasts
+   from the first member. The encode counter proves the encode-once
+   invariant: each logical broadcast costs one request encode on the sending
+   client plus exactly one Deliver encode on the server, however many
+   recipients the fan-out reaches. *)
+let fanout_world ~members ~bcasts ~multicast =
+  let config = { Corona.Server.default_config with use_ip_multicast = multicast } in
+  let tb = Workload.Testbed.single_server ~net:Net.Fabric.lan ~config () in
+  let open Workload.Testbed in
+  let group = "fan" in
+  let the_clients = ref [||] in
+  spawn_clients tb.s_fabric ~hosts:tb.s_client_hosts
+    ~server_for:(fun _ -> tb.s_server_host)
+    ~n:members
+    (fun clients ->
+      Corona.Client.create_group clients.(0) ~group ~persistent:false
+        ~k:(fun _ ->
+          join_all clients ~group ~transfer:T.No_state (fun () ->
+            the_clients := clients))
+        ());
+  run_until tb.s_engine (fun () -> false);
+  let clients = !the_clients in
+  assert (Array.length clients = members);
+  let encodes_before = Proto.Message.encode_count () in
+  let wall0 = Unix.gettimeofday () in
+  for i = 0 to bcasts - 1 do
+    ignore
+      (Sim.Engine.schedule tb.s_engine
+         ~delay:(0.01 *. float_of_int i)
+         (fun () ->
+           Corona.Client.bcast_update clients.(0) ~group ~obj:"o"
+             ~data:(String.make 1000 'x') ~mode:T.Sender_inclusive ()))
+  done;
+  run_until tb.s_engine (fun () -> false);
+  let wall = Unix.gettimeofday () -. wall0 in
+  let encodes = Proto.Message.encode_count () - encodes_before in
+  (* Subtract the [bcasts] client-side request encodes; what remains is the
+     server's fan-out cost per logical broadcast. *)
+  let fanout_encodes_per_bcast = float_of_int (encodes - bcasts) /. float_of_int bcasts in
+  let st = Corona.Server.stats tb.s_server in
+  ( wall /. float_of_int bcasts *. 1e9,
+    fanout_encodes_per_bcast,
+    st.Corona.Server.deliveries_sent,
+    st.Corona.Server.responses_sent )
+
+(* The codec work alone, out of the simulator: what the seed server did per
+   300-member broadcast (a [wire_size] encode for stats plus a fresh encode
+   in [send], per recipient) against the encode-once discipline (one
+   [pre_encode], recipients reuse the bytes and the memoized size). *)
+let codec_path_pair ~members =
+  let deliver = Proto.Message.Response (Proto.Message.Deliver sample_update) in
+  let seed_path () =
+    let bytes = ref 0 in
+    for _ = 1 to members do
+      bytes := !bytes + Proto.Message.wire_size deliver;
+      let w = Proto.Codec.Writer.create () in
+      Proto.Message.encode w deliver;
+      ignore (Proto.Codec.Writer.size w)
+    done;
+    !bytes
+  in
+  let encode_once () =
+    let e = Proto.Message.pre_encode deliver in
+    let bytes = ref 0 in
+    for _ = 1 to members do
+      bytes := !bytes + Proto.Message.encoded_wire_size e
+    done;
+    !bytes
+  in
+  assert (seed_path () = encode_once ());
+  (* Minimum over batches: immune to GC pauses and to whatever heap shape a
+     preceding experiment left behind. *)
+  let time f =
+    Gc.compact ();
+    for _ = 1 to 5 do ignore (f ()) done;
+    let best = ref infinity in
+    for _ = 1 to 30 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 10 do ignore (f ()) done;
+      let per_call = (Unix.gettimeofday () -. t0) /. 10.0 in
+      if per_call < !best then best := per_call
+    done;
+    !best *. 1e9
+  in
+  (time seed_path, time encode_once)
+
+let run_fanout () =
+  Workload.Report.section
+    "Fan-out macro-benchmark — 300-member group, 1kB broadcasts, encode-once";
+  let members = 300 in
+  let bcasts = if !quick then 30 else 100 in
+  let seed_ns, once_ns = codec_path_pair ~members in
+  Workload.Report.note
+    "codec path per broadcast (x%d recipients): seed discipline %.0f ns, encode-once %.0f ns (%.1fx)"
+    members seed_ns once_ns (seed_ns /. once_ns);
+  json_add "fanout"
+    [
+      ("name", "\"codec-path x300\"");
+      ("seed_ns_per_bcast", json_num seed_ns);
+      ("encode_once_ns_per_bcast", json_num once_ns);
+      ("speedup", Printf.sprintf "%.1f" (seed_ns /. once_ns));
+    ];
+  let rows =
+    List.map
+      (fun (label, multicast) ->
+        let ns, enc, deliveries, responses = fanout_world ~members ~bcasts ~multicast in
+        json_add "fanout"
+          [
+            ("name", Printf.sprintf "%S" label);
+            ("members", string_of_int members);
+            ("bcasts", string_of_int bcasts);
+            ("ns_per_bcast", json_num ns);
+            ("fanout_encodes_per_bcast", Printf.sprintf "%.2f" enc);
+            ("deliveries_sent", string_of_int deliveries);
+            ("responses_sent", string_of_int responses);
+          ];
+        [
+          label;
+          Printf.sprintf "%.0f" ns;
+          Printf.sprintf "%.2f" enc;
+          string_of_int deliveries;
+          string_of_int responses;
+        ])
+      [ ("p2p", false); ("multicast", true) ]
+  in
+  Workload.Report.table
+    ~header:[ "delivery"; "ns/bcast"; "fan-out encodes/bcast"; "deliveries"; "responses" ]
+    rows;
+  Workload.Report.note
+    "fan-out encodes/bcast must be 1.00: one pre-encoded Deliver shared by all recipients."
+
+(* --- experiment registry ------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -175,6 +359,7 @@ let experiments : (string * string * (unit -> unit)) list =
         if !quick then Workload.Exp_churn.run ~duration:6.0 ()
         else Workload.Exp_churn.run () );
     ("micro", "Bechamel micro-benchmarks", run_micro);
+    ("fanout", "300-member fan-out macro-benchmark (encode-once)", run_fanout);
   ]
 
 let () =
@@ -205,4 +390,5 @@ let () =
             experiments;
           exit 1)
     selected;
+  write_json_results ();
   Format.printf "@.done: %d experiment group(s).@." (List.length selected)

@@ -5,38 +5,84 @@ type entry = {
   joined_at : float;
 }
 
-type t = { mutable entries : entry list (* join order *) }
+(* Hashtable-indexed membership: O(1) mem/find/role_of/remove, with join
+   order preserved through a monotone per-member sequence number. The
+   ordered views ([entries] / [members]) are caches rebuilt lazily after a
+   membership change, so steady-state fan-out (many broadcasts between
+   joins/leaves) pays no sorting or list construction at all. *)
+type slot = { s_entry : entry; s_seq : int }
 
-let create () = { entries = [] }
+type t = {
+  index : (Proto.Types.member_id, slot) Hashtbl.t;
+  mutable next_seq : int;
+  mutable entries_cache : entry list option; (* join order *)
+  mutable members_cache : Proto.Types.member list option;
+}
 
-let mem t member = List.exists (fun e -> e.member = member) t.entries
+let create () =
+  { index = Hashtbl.create 16; next_seq = 0; entries_cache = None; members_cache = None }
+
+let invalidate t =
+  t.entries_cache <- None;
+  t.members_cache <- None
+
+let mem t member = Hashtbl.mem t.index member
 
 let add t ~member ~role ~notify ~joined_at =
   let entry = { member; role; notify; joined_at } in
-  if mem t member then
-    t.entries <-
-      List.map (fun e -> if e.member = member then entry else e) t.entries
-  else t.entries <- t.entries @ [ entry ]
+  let seq =
+    (* A rejoin replaces the entry but keeps its position in join order. *)
+    match Hashtbl.find_opt t.index member with
+    | Some s -> s.s_seq
+    | None ->
+        let s = t.next_seq in
+        t.next_seq <- s + 1;
+        s
+  in
+  Hashtbl.replace t.index member { s_entry = entry; s_seq = seq };
+  invalidate t
 
 let remove t member =
-  let present = mem t member in
-  if present then t.entries <- List.filter (fun e -> e.member <> member) t.entries;
-  present
+  if Hashtbl.mem t.index member then begin
+    Hashtbl.remove t.index member;
+    invalidate t;
+    true
+  end
+  else false
 
-let find t member = List.find_opt (fun e -> e.member = member) t.entries
+let find t member =
+  Option.map (fun s -> s.s_entry) (Hashtbl.find_opt t.index member)
 
-let role_of t member = Option.map (fun e -> e.role) (find t member)
+let role_of t member =
+  Option.map (fun s -> s.s_entry.role) (Hashtbl.find_opt t.index member)
 
-let count t = List.length t.entries
+let count t = Hashtbl.length t.index
 
-let is_empty t = t.entries = []
+let is_empty t = Hashtbl.length t.index = 0
 
-let entries t = t.entries
+let entries t =
+  match t.entries_cache with
+  | Some l -> l
+  | None ->
+      let slots = Hashtbl.fold (fun _ s acc -> s :: acc) t.index [] in
+      let l =
+        List.sort (fun a b -> compare a.s_seq b.s_seq) slots
+        |> List.map (fun s -> s.s_entry)
+      in
+      t.entries_cache <- Some l;
+      l
 
 let members t =
-  List.map
-    (fun e -> { Proto.Types.member = e.member; role = e.role })
-    t.entries
+  match t.members_cache with
+  | Some l -> l
+  | None ->
+      let l =
+        List.map
+          (fun e -> { Proto.Types.member = e.member; role = e.role })
+          (entries t)
+      in
+      t.members_cache <- Some l;
+      l
 
 let notify_targets t =
-  List.filter_map (fun e -> if e.notify then Some e.member else None) t.entries
+  List.filter_map (fun e -> if e.notify then Some e.member else None) (entries t)

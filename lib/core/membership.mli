@@ -5,7 +5,11 @@
     reproducible), their roles, and whether they asked for membership-change
     notifications (§3.2: "existing members ... are not aware that a new
     client is joining, unless they request explicitly membership change
-    notifications"). *)
+    notifications").
+
+    The table is hashtable-indexed: [mem] / [find] / [role_of] / [remove]
+    are O(1); the join-ordered views ([entries], [members]) are cached and
+    rebuilt lazily after a membership change. *)
 
 type entry = {
   member : Proto.Types.member_id;

@@ -32,6 +32,7 @@ type stats = {
   bcasts_sequenced : int;
   deliveries_sent : int;
   bytes_delivered : int;
+  responses_sent : int;
   joins_served : int;
   state_transfer_bytes : int;
 }
@@ -57,6 +58,12 @@ type t = {
   storage : Server_storage.t;
   groups : (T.group_id, group) Hashtbl.t;
   conn_of_member : (T.member_id, Net.Tcp.conn) Hashtbl.t;
+  (* reverse index of [conn_of_member], keyed by connection id, so a
+     disconnect touches only the members of that connection *)
+  members_of_conn : (int, (T.member_id, unit) Hashtbl.t) Hashtbl.t;
+  (* which groups a member currently belongs to, so a disconnect touches
+     only those instead of scanning every group *)
+  groups_of_member : (T.member_id, (T.group_id, unit) Hashtbl.t) Hashtbl.t;
   (* joins paused on §6 sender-assisted recovery: completed when that
      member's Resend arrives *)
   pending_recovery : (T.group_id * T.member_id, Net.Tcp.conn * T.transfer_spec) Hashtbl.t;
@@ -110,40 +117,65 @@ let lock_holder t group lock =
   | Some g -> Locks.holder g.g_locks lock
   | None -> None
 
-(* --- sending --------------------------------------------------------- *)
+(* --- sending ---------------------------------------------------------
+
+   Encode-once invariant: every path that sends one logical message to
+   several recipients serializes it exactly once ([M.pre_encode]) and
+   shares the immutable encoding; the wire size comes from the cached
+   bytes. Control replies ([responses_sent]) are tallied separately from
+   sequenced-update deliveries ([deliveries_sent] / [bytes_delivered]). *)
+
+let send_encoded_response t conn e =
+  t.st <- { t.st with responses_sent = t.st.responses_sent + 1 };
+  M.send_encoded conn e
 
 let send_to_conn t conn response =
-  let msg = M.Response response in
-  t.st <-
-    {
-      t.st with
-      deliveries_sent = t.st.deliveries_sent + 1;
-      bytes_delivered = t.st.bytes_delivered + M.wire_size msg;
-    };
-  M.send conn msg
+  send_encoded_response t conn (M.pre_encode (M.Response response))
 
-let send_to_member t member response =
+let send_encoded_to_member t member e =
   match Hashtbl.find_opt t.conn_of_member member with
-  | Some conn when Net.Tcp.is_open conn -> send_to_conn t conn response
+  | Some conn when Net.Tcp.is_open conn -> send_encoded_response t conn e
   | Some _ | None -> ()
 
-(* Fan out to group members in join order, optionally skipping one. *)
+let send_to_member t member response =
+  send_encoded_to_member t member (M.pre_encode (M.Response response))
+
+let deliver_encoded_to_member t member e =
+  match Hashtbl.find_opt t.conn_of_member member with
+  | Some conn when Net.Tcp.is_open conn ->
+      t.st <-
+        {
+          t.st with
+          deliveries_sent = t.st.deliveries_sent + 1;
+          bytes_delivered = t.st.bytes_delivered + M.encoded_wire_size e;
+        };
+      M.send_encoded conn e
+  | Some _ | None -> ()
+
+(* Fan out to group members in join order, optionally skipping one:
+   one encode shared by all recipients. *)
 let fan_out t g ?exclude response =
+  let e = M.pre_encode (M.Response response) in
   List.iter
     (fun (m : Membership.entry) ->
       match exclude with
       | Some skip when skip = m.member -> ()
-      | Some _ | None -> send_to_member t m.member response)
+      | Some _ | None -> send_encoded_to_member t m.member e)
     (Membership.entries g.g_members)
 
 let notify_membership_change t g change =
-  let members = Membership.members g.g_members in
-  let changed = T.changed_member change in
-  List.iter
-    (fun m ->
-      if m <> changed then
-        send_to_member t m (M.Membership_changed { group = g.g_id; change; members }))
-    (Membership.notify_targets g.g_members)
+  match Membership.notify_targets g.g_members with
+  | [] -> ()
+  | targets ->
+      let members = Membership.members g.g_members in
+      let changed = T.changed_member change in
+      let e =
+        M.pre_encode
+          (M.Response (M.Membership_changed { group = g.g_id; change; members }))
+      in
+      List.iter
+        (fun m -> if m <> changed then send_encoded_to_member t m e)
+        targets
 
 (* --- group lifecycle ------------------------------------------------- *)
 
@@ -161,10 +193,52 @@ let make_keeper t ~group ~persistent ~initial =
   end
   else Stateless { next_seqno = 0 }
 
+(* --- member / connection indexes -------------------------------------- *)
+
+let bind_member_conn t member conn =
+  (match Hashtbl.find_opt t.conn_of_member member with
+  | Some old when Net.Tcp.id old <> Net.Tcp.id conn -> (
+      (* rejoin over a new connection: unhook from the old one's set *)
+      match Hashtbl.find_opt t.members_of_conn (Net.Tcp.id old) with
+      | Some set -> Hashtbl.remove set member
+      | None -> ())
+  | Some _ | None -> ());
+  Hashtbl.replace t.conn_of_member member conn;
+  let set =
+    match Hashtbl.find_opt t.members_of_conn (Net.Tcp.id conn) with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace t.members_of_conn (Net.Tcp.id conn) s;
+        s
+  in
+  Hashtbl.replace set member ()
+
+let index_member_group t member group =
+  let set =
+    match Hashtbl.find_opt t.groups_of_member member with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace t.groups_of_member member s;
+        s
+  in
+  Hashtbl.replace set group ()
+
+let unindex_member_group t member group =
+  match Hashtbl.find_opt t.groups_of_member member with
+  | Some set ->
+      Hashtbl.remove set group;
+      if Hashtbl.length set = 0 then Hashtbl.remove t.groups_of_member member
+  | None -> ()
+
 let drop_group t g =
   (match g.g_keeper with
   | Stateful log -> State_log.delete_durable log
   | Stateless _ -> ());
+  List.iter
+    (fun (m : Membership.entry) -> unindex_member_group t m.member g.g_id)
+    (Membership.entries g.g_members);
   Server_storage.drop_group t.storage g.g_id;
   Hashtbl.remove t.groups g.g_id
 
@@ -177,6 +251,7 @@ let handle_empty_group t g =
 let remove_member t g member ~change =
   Hashtbl.remove g.g_mcast_members member;
   if Membership.remove g.g_members member then begin
+    unindex_member_group t member g.g_id;
     List.iter
       (fun (lock, next) ->
         match next with
@@ -289,51 +364,63 @@ let handle_delete t conn ~group ~requester =
           drop_group t g;
           send_to_conn t conn (M.Group_deleted { group }))
 
+(* Outcome of the §6 recovery check inside a join. An explicit result
+   rather than a [raise Exit] escape, so an unrelated [Exit] from deeper in
+   the call tree can never be silently swallowed by the caller. *)
+type join_outcome = Join_done | Join_deferred
+
 let handle_join t conn ~group ~member ~role ~transfer ~notify =
   with_access t conn group (t.cfg.access.can_join member group role) (fun () ->
       match Hashtbl.find_opt t.groups group with
       | None -> fail t conn group "no such group"
-      | Some g ->
-          Hashtbl.replace t.conn_of_member member conn;
+      | Some g -> (
+          bind_member_conn t member conn;
           Membership.add g.g_members ~member ~role ~notify ~joined_at:(now t);
-          (match (g.g_keeper, transfer) with
-          | Stateful log, T.Updates_since n when n > State_log.next_seqno log ->
-              (* The client is ahead of our recovered log: our crash lost a
-                 suffix it still holds. Retrieve it from the original
-                 sender (§6) before completing the join. *)
-              Hashtbl.replace t.pending_recovery (group, member)
-                (conn, T.Full_state);
-              send_to_conn t conn
-                (M.Resend_request { group; from_seqno = State_log.next_seqno log });
-              notify_membership_change t g (T.Member_joined member);
-              raise Exit
-          | (Stateful _ | Stateless _), _ -> ());
-          let multicast =
-            t.cfg.use_ip_multicast
-            && Net.Host.multicast_capable (Net.Tcp.peer_host conn)
+          index_member_group t member group;
+          let outcome =
+            match (g.g_keeper, transfer) with
+            | Stateful log, T.Updates_since n when n > State_log.next_seqno log ->
+                (* The client is ahead of our recovered log: our crash lost
+                   a suffix it still holds. Retrieve it from the original
+                   sender (§6) before completing the join. *)
+                Hashtbl.replace t.pending_recovery (group, member)
+                  (conn, T.Full_state);
+                send_to_conn t conn
+                  (M.Resend_request { group; from_seqno = State_log.next_seqno log });
+                notify_membership_change t g (T.Member_joined member);
+                Join_deferred
+            | (Stateful _ | Stateless _), _ -> Join_done
           in
-          if multicast then Hashtbl.replace g.g_mcast_members member ()
-          else Hashtbl.remove g.g_mcast_members member;
-          let state, at_seqno = join_state_for g.g_keeper transfer in
-          t.st <-
-            {
-              t.st with
-              joins_served = t.st.joins_served + 1;
-              state_transfer_bytes = t.st.state_transfer_bytes + join_state_bytes state;
-            };
-          let members = Membership.members g.g_members in
-          let accept state =
-            send_to_conn t conn
-              (M.Join_accepted { group; at_seqno; state; members; multicast })
-          in
-          (match (t.cfg.transfer_chunk_bytes, state) with
-          | Some chunk, M.Snapshot { objects; log_tail }
-            when join_state_bytes state > chunk ->
-              send_chunked t conn ~group ~chunks:(slice_objects objects ~chunk)
-                ~finish:(fun () ->
-                  accept (M.Snapshot { objects = []; log_tail }))
-          | (Some _ | None), _ -> accept state);
-          notify_membership_change t g (T.Member_joined member))
+          match outcome with
+          | Join_deferred -> ()
+          | Join_done ->
+              let multicast =
+                t.cfg.use_ip_multicast
+                && Net.Host.multicast_capable (Net.Tcp.peer_host conn)
+              in
+              if multicast then Hashtbl.replace g.g_mcast_members member ()
+              else Hashtbl.remove g.g_mcast_members member;
+              let state, at_seqno = join_state_for g.g_keeper transfer in
+              t.st <-
+                {
+                  t.st with
+                  joins_served = t.st.joins_served + 1;
+                  state_transfer_bytes =
+                    t.st.state_transfer_bytes + join_state_bytes state;
+                };
+              let members = Membership.members g.g_members in
+              let accept state =
+                send_to_conn t conn
+                  (M.Join_accepted { group; at_seqno; state; members; multicast })
+              in
+              (match (t.cfg.transfer_chunk_bytes, state) with
+              | Some chunk, M.Snapshot { objects; log_tail }
+                when join_state_bytes state > chunk ->
+                  send_chunked t conn ~group ~chunks:(slice_objects objects ~chunk)
+                    ~finish:(fun () ->
+                      accept (M.Snapshot { objects = []; log_tail }))
+              | (Some _ | None), _ -> accept state);
+              notify_membership_change t g (T.Member_joined member)))
 
 let handle_leave t conn ~group ~member =
   match Hashtbl.find_opt t.groups group with
@@ -358,34 +445,35 @@ let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
                 | T.Sender_inclusive -> None
               in
               let deliver (u : T.update) =
-                let resp = M.Deliver u in
-                let mcast_subscribers =
-                  Hashtbl.fold (fun m () acc -> m :: acc) g.g_mcast_members []
-                in
-                if mcast_subscribers <> [] then begin
+                (* One serialization per logical broadcast, shared by the
+                   multicast channel and every point-to-point recipient. *)
+                let e = M.pre_encode (M.Response (M.Deliver u)) in
+                let wire = M.encoded_wire_size e in
+                let mcast_reached = Hashtbl.length g.g_mcast_members in
+                if mcast_reached > 0 then begin
                   (* One NIC transmission covers every subscribed member;
                      sender exclusion for subscribed senders happens at the
-                     client. *)
-                  let msg = M.Response resp in
+                     client. Deliveries count per subscriber reached. *)
                   let chan =
                     Net.Multicast.channel t.fabric ~name:(mcast_channel_name g.g_id)
                   in
                   t.st <-
                     {
                       t.st with
-                      deliveries_sent = t.st.deliveries_sent + 1;
-                      bytes_delivered = t.st.bytes_delivered + M.wire_size msg;
+                      deliveries_sent = t.st.deliveries_sent + mcast_reached;
+                      bytes_delivered =
+                        t.st.bytes_delivered + (mcast_reached * wire);
                     };
-                  Net.Multicast.send chan ~src:t.server_host ~size:(M.wire_size msg)
-                    (M.Corona msg)
+                  Net.Multicast.send chan ~src:t.server_host ~size:wire
+                    (M.Corona (M.encoded_message e))
                 end;
                 List.iter
                   (fun (m : Membership.entry) ->
                     let skip =
                       Hashtbl.mem g.g_mcast_members m.member
-                      || match exclude with Some e -> e = m.member | None -> false
+                      || match exclude with Some x -> x = m.member | None -> false
                     in
-                    if not skip then send_to_member t m.member resp)
+                    if not skip then deliver_encoded_to_member t m.member e)
                   (Membership.entries g.g_members)
               in
               (match g.g_keeper with
@@ -459,9 +547,8 @@ let handle_request t conn (req : M.request) =
   | M.Create_group { group; creator; persistent; initial } ->
       handle_create t conn ~group ~persistent ~initial ~requester:creator
   | M.Delete_group { group; requester } -> handle_delete t conn ~group ~requester
-  | M.Join { group; member; role; transfer; notify } -> (
-      try handle_join t conn ~group ~member ~role ~transfer ~notify
-      with Exit -> () (* join deferred to sender-assisted recovery *))
+  | M.Join { group; member; role; transfer; notify } ->
+      handle_join t conn ~group ~member ~role ~transfer ~notify
   | M.Leave { group; member } -> handle_leave t conn ~group ~member
   | M.Get_membership { group } -> (
       match Hashtbl.find_opt t.groups group with
@@ -515,14 +602,16 @@ let handle_request t conn (req : M.request) =
 
 (* A client connection died: clean up every group its member(s) joined.
    Graceful closes count as leaves; broken ones as crashes (§3.2 membership
-   awareness distinguishes the two). *)
+   awareness distinguishes the two). The reverse indexes make this
+   proportional to the member's own groups, not members × groups. *)
 let handle_disconnect t conn reason =
   t.client_conns <- List.filter (fun c -> Net.Tcp.id c <> Net.Tcp.id conn) t.client_conns;
   let members_on_conn =
-    Hashtbl.fold
-      (fun member c acc -> if Net.Tcp.id c = Net.Tcp.id conn then member :: acc else acc)
-      t.conn_of_member []
+    match Hashtbl.find_opt t.members_of_conn (Net.Tcp.id conn) with
+    | Some set -> Hashtbl.fold (fun member () acc -> member :: acc) set []
+    | None -> []
   in
+  Hashtbl.remove t.members_of_conn (Net.Tcp.id conn);
   List.iter
     (fun member ->
       Hashtbl.remove t.conn_of_member member;
@@ -531,8 +620,18 @@ let handle_disconnect t conn reason =
         | Net.Tcp.Graceful -> T.Member_left member
         | Net.Tcp.Peer_crashed | Net.Tcp.Rejected -> T.Member_crashed member
       in
-      let groups = Hashtbl.fold (fun _ g acc -> g :: acc) t.groups [] in
-      List.iter (fun g -> remove_member t g member ~change) groups)
+      let member_groups =
+        match Hashtbl.find_opt t.groups_of_member member with
+        | Some set ->
+            Hashtbl.fold
+              (fun gid () acc ->
+                match Hashtbl.find_opt t.groups gid with
+                | Some g -> g :: acc
+                | None -> acc)
+              set []
+        | None -> []
+      in
+      List.iter (fun g -> remove_member t g member ~change) member_groups)
     members_on_conn
 
 let accept t conn =
@@ -572,6 +671,8 @@ let create fabric server_host ?(config = default_config) ~storage () =
       storage;
       groups = Hashtbl.create 16;
       conn_of_member = Hashtbl.create 64;
+      members_of_conn = Hashtbl.create 64;
+      groups_of_member = Hashtbl.create 64;
       pending_recovery = Hashtbl.create 4;
       client_conns = [];
       listener = ref None;
@@ -581,6 +682,7 @@ let create fabric server_host ?(config = default_config) ~storage () =
           bcasts_sequenced = 0;
           deliveries_sent = 0;
           bytes_delivered = 0;
+          responses_sent = 0;
           joins_served = 0;
           state_transfer_bytes = 0;
         };

@@ -48,7 +48,12 @@ type stats = {
   requests_handled : int;
   bcasts_sequenced : int;
   deliveries_sent : int;
-  bytes_delivered : int;
+      (** sequenced-update deliveries ([Deliver]) fanned out, counted per
+          recipient reached — multicast counts each subscriber *)
+  bytes_delivered : int;  (** wire bytes of those deliveries *)
+  responses_sent : int;
+      (** every other response: control replies, membership notifications,
+          join/state-transfer traffic *)
   joins_served : int;
   state_transfer_bytes : int;
 }

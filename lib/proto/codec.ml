@@ -1,26 +1,49 @@
+(* Writer: an amortized-O(1) byte sink over a growable [Bytes.t] with direct
+   big-endian stores — no per-char closures, no intermediate [Buffer]
+   chunks. The emitted byte sequence is identical to the historical
+   [Buffer]-based writer (the golden-bytes tests in test_proto pin it). *)
 module Writer = struct
-  type t = Buffer.t
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
-  let create ?(initial_capacity = 256) () = Buffer.create initial_capacity
+  let create ?(initial_capacity = 256) () =
+    { buf = Bytes.create (max 16 initial_capacity); len = 0 }
+
+  let ensure t extra =
+    let needed = t.len + extra in
+    let cap = Bytes.length t.buf in
+    if needed > cap then begin
+      let cap' = ref (cap * 2) in
+      while needed > !cap' do
+        cap' := !cap' * 2
+      done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit t.buf 0 buf' 0 t.len;
+      t.buf <- buf'
+    end
 
   let u8 t v =
     if v < 0 || v > 0xFF then invalid_arg "Codec.Writer.u8: out of range";
-    Buffer.add_char t (Char.chr v)
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr v);
+    t.len <- t.len + 1
 
   let u16 t v =
     if v < 0 || v > 0xFFFF then invalid_arg "Codec.Writer.u16: out of range";
-    u8 t (v lsr 8);
-    u8 t (v land 0xFF)
+    ensure t 2;
+    Bytes.set_uint16_be t.buf t.len v;
+    t.len <- t.len + 2
 
   let u32 t v =
     if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.Writer.u32: out of range";
-    u16 t (v lsr 16);
-    u16 t (v land 0xFFFF)
+    ensure t 4;
+    Bytes.set_uint16_be t.buf t.len (v lsr 16);
+    Bytes.set_uint16_be t.buf (t.len + 2) (v land 0xFFFF);
+    t.len <- t.len + 4
 
   let i64 t v =
-    for shift = 7 downto 0 do
-      u8 t (Int64.to_int (Int64.logand (Int64.shift_right_logical v (shift * 8)) 0xFFL))
-    done
+    ensure t 8;
+    Bytes.set_int64_be t.buf t.len v;
+    t.len <- t.len + 8
 
   let int_as_i64 t v = i64 t (Int64.of_int v)
 
@@ -29,8 +52,11 @@ module Writer = struct
   let bool t v = u8 t (if v then 1 else 0)
 
   let string t s =
-    u32 t (String.length s);
-    Buffer.add_string t s
+    let n = String.length s in
+    u32 t n;
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
 
   let list t enc xs =
     u32 t (List.length xs);
@@ -42,9 +68,9 @@ module Writer = struct
         u8 t 1;
         enc t v
 
-  let size t = Buffer.length t
+  let size t = t.len
 
-  let contents t = Buffer.contents t
+  let contents t = Bytes.sub_string t.buf 0 t.len
 end
 
 module Reader = struct
@@ -56,28 +82,32 @@ module Reader = struct
 
   let of_string data = { data; pos = 0 }
 
+  let need t n = if t.pos + n > String.length t.data then raise Truncated
+
   let u8 t =
-    if t.pos >= String.length t.data then raise Truncated;
-    let v = Char.code t.data.[t.pos] in
+    need t 1;
+    let v = Char.code (String.unsafe_get t.data t.pos) in
     t.pos <- t.pos + 1;
     v
 
   let u16 t =
-    let hi = u8 t in
-    let lo = u8 t in
-    (hi lsl 8) lor lo
+    need t 2;
+    let v = String.get_uint16_be t.data t.pos in
+    t.pos <- t.pos + 2;
+    v
 
   let u32 t =
-    let hi = u16 t in
-    let lo = u16 t in
+    need t 4;
+    let hi = String.get_uint16_be t.data t.pos in
+    let lo = String.get_uint16_be t.data (t.pos + 2) in
+    t.pos <- t.pos + 4;
     (hi lsl 16) lor lo
 
   let i64 t =
-    let v = ref 0L in
-    for _ = 1 to 8 do
-      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 t))
-    done;
-    !v
+    need t 8;
+    let v = String.get_int64_be t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
 
   let int_as_i64 t = Int64.to_int (i64 t)
 
@@ -91,14 +121,15 @@ module Reader = struct
 
   let string t =
     let len = u32 t in
-    if t.pos + len > String.length t.data then raise Truncated;
+    need t len;
     let s = String.sub t.data t.pos len in
     t.pos <- t.pos + len;
     s
 
   let list t dec =
     let n = u32 t in
-    List.init n (fun _ -> dec t)
+    let rec go acc k = if k = 0 then List.rev acc else go (dec t :: acc) (k - 1) in
+    go [] n
 
   let option t dec =
     match u8 t with

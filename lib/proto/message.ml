@@ -450,7 +450,18 @@ let dec_response r =
       Resend_request { group; from_seqno }
   | n -> raise (R.Malformed (Printf.sprintf "response tag %d" n))
 
-let encode w = function
+(* Serializations of whole messages, for the bench's encodes-per-bcast
+   counter: an encode-once fan-out performs exactly one regardless of how
+   many recipients the message reaches. *)
+let encodes = ref 0
+
+let encode_count () = !encodes
+
+let reset_encode_count () = encodes := 0
+
+let encode w t =
+  incr encodes;
+  match t with
   | Request req ->
       W.u8 w 0;
       enc_request w req
@@ -466,9 +477,27 @@ let decode r =
 
 let frame_header_size = 8
 
+(* A message serialized exactly once. The bytes are immutable and
+   [encoded_wire_size] is derived from them, never recomputed — every
+   fan-out path shares one [encoded] value across all recipients. *)
+type encoded = { e_msg : t; e_bytes : string }
+
+let pre_encode msg =
+  let w = Codec.Writer.create () in
+  encode w msg;
+  { e_msg = msg; e_bytes = Codec.Writer.contents w }
+
+let encoded_message e = e.e_msg
+
+let encoded_bytes e = e.e_bytes
+
+let encoded_wire_size e = frame_header_size + String.length e.e_bytes
+
 let wire_size t = frame_header_size + Codec.encoded_size encode t
 
 let send conn t = Net.Tcp.send conn ~size:(wire_size t) (Corona t)
+
+let send_encoded conn e = Net.Tcp.send conn ~size:(encoded_wire_size e) (Corona e.e_msg)
 
 let pp ppf t =
   match t with

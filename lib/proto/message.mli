@@ -116,11 +116,41 @@ val encode : Codec.Writer.t -> t -> unit
 val decode : Codec.Reader.t -> t
 (** @raise Codec.Reader.Malformed on unknown tags. *)
 
+type encoded
+(** A message serialized exactly once: immutable bytes plus the original
+    message. The encode-once invariant: fan-out paths build one [encoded]
+    per logical message and share it across every recipient; its wire size
+    is derived from the cached bytes and never recomputed. *)
+
+val pre_encode : t -> encoded
+(** Serialize now (one encode). *)
+
+val encoded_message : encoded -> t
+
+val encoded_bytes : encoded -> string
+(** The cached body bytes (no frame header). *)
+
+val encoded_wire_size : encoded -> int
+(** Framed size, from the cached bytes — no re-encode. *)
+
+val send_encoded : Net.Tcp.conn -> encoded -> unit
+(** Send a pre-encoded message, charging its cached wire size. *)
+
 val wire_size : t -> int
-(** Framed size in bytes: 8-byte frame header + encoded body. *)
+(** Framed size in bytes: 8-byte frame header + encoded body. Performs a
+    fresh serialization — on repeated-send paths use {!pre_encode} +
+    {!encoded_wire_size} instead. *)
 
 val send : Net.Tcp.conn -> t -> unit
-(** Send over a simulated connection, charging {!wire_size} bytes. *)
+(** Send over a simulated connection, charging {!wire_size} bytes (one
+    serialization). For one-shot messages only; fan-outs use
+    {!send_encoded}. *)
+
+val encode_count : unit -> int
+(** Number of whole-message serializations performed since start (or the
+    last {!reset_encode_count}) — the bench's encodes-per-bcast counter. *)
+
+val reset_encode_count : unit -> unit
 
 val pp : Format.formatter -> t -> unit
 (** One-line human-readable rendering (for traces and tests). *)

@@ -174,36 +174,58 @@ and send_srv t dst msg =
         Hashtbl.replace t.outbox dst (msg :: q)
   end
 
+(* Same, with the wire size computed once by the caller. *)
+and send_srv_sized t dst s =
+  if dst = t.self then handle_smsg t ~from:t.self (Smsg.sized_msg s)
+  else begin
+    match Hashtbl.find_opt t.peers dst with
+    | Some conn when Net.Tcp.is_open conn -> Smsg.send_sized conn s
+    | Some _ -> ()
+    | None ->
+        let q = Option.value (Hashtbl.find_opt t.outbox dst) ~default:[] in
+        Hashtbl.replace t.outbox dst (Smsg.sized_msg s :: q)
+  end
+
 (* --- client sending ---------------------------------------------------- *)
 
-and send_client t conn resp =
+and send_client_encoded t conn e =
   t.st <- { t.st with deliveries_sent = t.st.deliveries_sent + 1 };
-  M.send conn (M.Response resp)
+  M.send_encoded conn e
+
+and send_client t conn resp = send_client_encoded t conn (M.pre_encode (M.Response resp))
+
+and send_member_encoded t member e =
+  match Hashtbl.find_opt t.conn_of_member member with
+  | Some conn when Net.Tcp.is_open conn -> send_client_encoded t conn e
+  | Some _ | None -> ()
 
 and send_member t member resp =
-  match Hashtbl.find_opt t.conn_of_member member with
-  | Some conn when Net.Tcp.is_open conn -> send_client t conn resp
-  | Some _ | None -> ()
+  send_member_encoded t member (M.pre_encode (M.Response resp))
 
 and fail_client t conn group reason =
   send_client t conn (M.Request_failed { group; reason })
 
-(* Fan a response to the local members of a group, in join order. *)
+(* Fan a response to the local members of a group, in join order: one
+   serialization shared by every recipient. *)
 and fan_local t rg ?exclude resp =
+  let e = M.pre_encode (M.Response resp) in
   List.iter
     (fun (m : Corona.Membership.entry) ->
       match exclude with
       | Some skip when skip = m.member -> ()
-      | Some _ | None -> send_member t m.member resp)
+      | Some _ | None -> send_member_encoded t m.member e)
     (Corona.Membership.entries rg.rg_local)
 
 and notify_local_membership t rg change members =
-  let changed = T.changed_member change in
-  List.iter
-    (fun m ->
-      if m <> changed then
-        send_member t m (M.Membership_changed { group = rg.rg_id; change; members }))
-    (Corona.Membership.notify_targets rg.rg_local)
+  match Corona.Membership.notify_targets rg.rg_local with
+  | [] -> ()
+  | targets ->
+      let changed = T.changed_member change in
+      let e =
+        M.pre_encode
+          (M.Response (M.Membership_changed { group = rg.rg_id; change; members }))
+      in
+      List.iter (fun m -> if m <> changed then send_member_encoded t m e) targets
 
 (* --- rgroup lifecycle --------------------------------------------------- *)
 
@@ -334,11 +356,13 @@ and coord_fan_group t entry ?except msg =
       if List.mem t.self (Directory.replicas_of entry) then
         handle_smsg t ~from:t.self msg
   | _ ->
+      (* Size the message once for the whole star fan-out. *)
+      let s = Smsg.pre msg in
       List.iter
         (fun srv ->
           match except with
           | Some skip when skip = srv -> ()
-          | Some _ | None -> send_srv t srv msg)
+          | Some _ | None -> send_srv_sized t srv s)
         (Directory.replicas_of entry)
 
 and coord_handle t ~from msg =

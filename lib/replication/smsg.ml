@@ -173,6 +173,19 @@ let wire_size t =
 
 let send conn t = Net.Tcp.send conn ~size:(wire_size t) (Srv t)
 
+(* A message whose wire size was computed once; fan-out paths (the
+   coordinator's star multicast of [Sequenced] updates in particular) share
+   it across all recipients instead of re-walking the message per peer. *)
+type sized = { s_msg : t; s_size : int }
+
+let pre msg = { s_msg = msg; s_size = wire_size msg }
+
+let sized_msg s = s.s_msg
+
+let sized_size s = s.s_size
+
+let send_sized conn s = Net.Tcp.send conn ~size:s.s_size (Srv s.s_msg)
+
 let pp ppf = function
   | Heartbeat { from } -> Format.fprintf ppf "heartbeat from=%s" from
   | Heartbeat_ack { from } -> Format.fprintf ppf "heartbeat_ack from=%s" from

@@ -141,5 +141,17 @@ val wire_size : t -> int
 
 val send : Net.Tcp.conn -> t -> unit
 
+type sized
+(** A message paired with its wire size, computed once — fan-out paths
+    share one [sized] value across all recipient servers. *)
+
+val pre : t -> sized
+
+val sized_msg : sized -> t
+
+val sized_size : sized -> int
+
+val send_sized : Net.Tcp.conn -> sized -> unit
+
 val pp : Format.formatter -> t -> unit
 (** Constructor name plus key fields, for traces. *)

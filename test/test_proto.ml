@@ -117,6 +117,197 @@ let test_all_constructors_roundtrip () =
   List.iter (fun r -> roundtrip (M.Request r)) all_request_samples;
   List.iter (fun r -> roundtrip (M.Response r)) all_response_samples
 
+(* --- golden bytes ---------------------------------------------------------
+   The hex below was captured from the original Buffer-based codec and pins
+   the wire format of every constructor byte-for-byte: any writer or message
+   layout change that alters the frames on the wire fails here. *)
+
+let hex_of_string s =
+  String.concat ""
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let golden_frames : (string * M.t * string) list =
+  [
+    ( "create_group",
+      M.Request
+        (M.Create_group
+           { group = "g"; creator = "c"; persistent = true;
+             initial = [ ("a", "1"); ("b", "") ] }),
+      "000000000001670000000163010000000200000001610000000131000000016200000000" );
+    ( "delete_group",
+      M.Request (M.Delete_group { group = "g"; requester = "r" }),
+      "000100000001670000000172" );
+    ( "join_latest",
+      M.Request
+        (M.Join { group = "g"; member = "m"; role = T.Observer;
+                  transfer = T.Latest_updates 12; notify = false }),
+      "00020000000167000000016d01010000000c00" );
+    ( "join_objects",
+      M.Request
+        (M.Join { group = "g"; member = "m"; role = T.Principal;
+                  transfer = T.Objects [ "x"; "y" ]; notify = true }),
+      "00020000000167000000016d0002000000020000000178000000017901" );
+    ( "join_full",
+      M.Request
+        (M.Join { group = "g"; member = "m"; role = T.Principal;
+                  transfer = T.Full_state; notify = true }),
+      "00020000000167000000016d000001" );
+    ( "join_nostate",
+      M.Request
+        (M.Join { group = "g"; member = "m"; role = T.Principal;
+                  transfer = T.No_state; notify = true }),
+      "00020000000167000000016d000301" );
+    ( "join_since",
+      M.Request
+        (M.Join { group = "g"; member = "m"; role = T.Principal;
+                  transfer = T.Updates_since 44; notify = true }),
+      "00020000000167000000016d0004000000000000002c01" );
+    ( "leave",
+      M.Request (M.Leave { group = "g"; member = "m" }),
+      "00030000000167000000016d" );
+    ("get_membership", M.Request (M.Get_membership { group = "g" }), "00040000000167");
+    ( "bcast",
+      M.Request
+        (M.Bcast { group = "g"; sender = "s"; kind = T.Append_update; obj = "o";
+                   data = "zzzz"; mode = T.Sender_exclusive }),
+      "00050000000167000000017301000000016f000000047a7a7a7a01" );
+    ( "acquire_lock",
+      M.Request (M.Acquire_lock { group = "g"; lock = "l"; member = "m" }),
+      "00060000000167000000016c000000016d" );
+    ( "release_lock",
+      M.Request (M.Release_lock { group = "g"; lock = "l"; member = "m" }),
+      "00070000000167000000016c000000016d" );
+    ( "reduce_log",
+      M.Request (M.Reduce_log { group = "g"; member = "m" }),
+      "00080000000167000000016d" );
+    ( "resend",
+      M.Request (M.Resend { group = "g"; member = "m"; updates = [ sample_update ] }),
+      "000a0000000167000000016d000000010000000000000009000000016700000000016f0000\
+       00077061796c6f616400000005616c6963654031400000000000" );
+    ("ping", M.Request (M.Ping { nonce = 424242 }), "00090000000000067932");
+    ("group_created", M.Response (M.Group_created { group = "g" }), "01000000000167");
+    ( "state_chunk",
+      M.Response
+        (M.State_chunk { group = "g"; objects = [ ("o", "vvv") ]; index = 3; more = true }),
+      "010d000000016700000001000000016f00000003767676000000000000000301" );
+    ("group_deleted", M.Response (M.Group_deleted { group = "g" }), "01010000000167");
+    ( "join_accepted_snap",
+      M.Response
+        (M.Join_accepted
+           { group = "g"; at_seqno = 5;
+             state = M.Snapshot { objects = [ ("o", "v") ]; log_tail = [ sample_update ] };
+             members = [ { T.member = "a"; role = T.Principal } ]; multicast = true }),
+      "0102000000016700000000000000050000000001000000016f000000017600000001000000\
+       0000000009000000016700000000016f000000077061796c6f616400000005616c69636540\
+       314000000000000000000100000001610001" );
+    ( "join_accepted_hist",
+      M.Response
+        (M.Join_accepted
+           { group = "g"; at_seqno = 0; state = M.Update_history [ sample_update ];
+             members = []; multicast = false }),
+      "0102000000016700000000000000000100000001000000000000000900000001670000000\
+       0016f000000077061796c6f616400000005616c69636540314000000000000000000000" );
+    ("left", M.Response (M.Left { group = "g" }), "01030000000167");
+    ( "membership_info",
+      M.Response
+        (M.Membership_info { group = "g"; members = [ { T.member = "a"; role = T.Observer } ] }),
+      "0104000000016700000001000000016101" );
+    ( "membership_changed",
+      M.Response
+        (M.Membership_changed
+           { group = "g"; change = T.Member_crashed "b";
+             members = [ { T.member = "a"; role = T.Principal } ] }),
+      "0105000000016702000000016200000001000000016100" );
+    ( "deliver",
+      M.Response (M.Deliver sample_update),
+      "01060000000000000009000000016700000000016f000000077061796c6f61640000000561\
+       6c6963654031400000000000" );
+    ( "lock_granted",
+      M.Response (M.Lock_granted { group = "g"; lock = "l" }),
+      "01070000000167000000016c" );
+    ( "lock_busy",
+      M.Response (M.Lock_busy { group = "g"; lock = "l"; holder = "h" }),
+      "01080000000167000000016c0000000168" );
+    ( "lock_released",
+      M.Response (M.Lock_released { group = "g"; lock = "l" }),
+      "01090000000167000000016c" );
+    ( "log_reduced",
+      M.Response (M.Log_reduced { group = "g"; upto = 77 }),
+      "010a0000000167000000000000004d" );
+    ( "request_failed",
+      M.Response (M.Request_failed { group = "g"; reason = "nope" }),
+      "010b0000000167000000046e6f7065" );
+    ( "resend_request",
+      M.Response (M.Resend_request { group = "g"; from_seqno = 123 }),
+      "010e0000000167000000000000007b" );
+    ("pong", M.Response (M.Pong { nonce = 1 }), "010c0000000000000001");
+  ]
+
+let test_golden_bytes () =
+  List.iter
+    (fun (name, msg, expect) ->
+      let w = W.create () in
+      M.encode w msg;
+      Alcotest.(check string) name expect (hex_of_string (W.contents w));
+      Alcotest.(check bool) (name ^ " decodes back") true
+        (M.decode (R.of_string (W.contents w)) = msg))
+    golden_frames
+
+(* --- integer boundary roundtrips ------------------------------------------ *)
+
+let test_integer_boundaries () =
+  let check_rt name write read v =
+    let w = W.create () in
+    write w v;
+    Alcotest.(check int) name v (read (R.of_string (W.contents w)))
+  in
+  List.iter (fun v -> check_rt (Printf.sprintf "u8 %d" v) W.u8 R.u8 v) [ 0; 1; 0xFF ];
+  List.iter
+    (fun v -> check_rt (Printf.sprintf "u16 %d" v) W.u16 R.u16 v)
+    [ 0; 1; 0xFF; 0x100; 0xFFFF ];
+  List.iter
+    (fun v -> check_rt (Printf.sprintf "u32 %d" v) W.u32 R.u32 v)
+    [ 0; 1; 0xFF; 0x100; 0xFFFF; 0x10000; 0xFFFFFFFF ];
+  List.iter
+    (fun v ->
+      let w = W.create () in
+      W.i64 w v;
+      Alcotest.(check int64) (Printf.sprintf "i64 %Ld" v) v (R.i64 (R.of_string (W.contents w))))
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int ];
+  (* out-of-range writes are rejected, and never silently wrap *)
+  List.iter
+    (fun (name, f) ->
+      Alcotest.check_raises name (Invalid_argument ("Codec.Writer." ^ name ^ ": out of range")) f)
+    [
+      ("u8", fun () -> W.u8 (W.create ()) 0x100);
+      ("u8", fun () -> W.u8 (W.create ()) (-1));
+      ("u16", fun () -> W.u16 (W.create ()) 0x10000);
+      ("u16", fun () -> W.u16 (W.create ()) (-1));
+      ("u32", fun () -> W.u32 (W.create ()) 0x100000000);
+      ("u32", fun () -> W.u32 (W.create ()) (-1));
+    ]
+
+(* --- encode-once ---------------------------------------------------------- *)
+
+let test_pre_encode_consistency () =
+  let msg = M.Response (M.Deliver sample_update) in
+  let fresh () =
+    let w = W.create () in
+    M.encode w msg;
+    W.contents w
+  in
+  let e = M.pre_encode msg in
+  Alcotest.(check string) "pre_encode bytes = fresh encode" (fresh ()) (M.encoded_bytes e);
+  Alcotest.(check int) "memoized wire size" (M.wire_size msg) (M.encoded_wire_size e);
+  Alcotest.(check bool) "carries the message" true (M.encoded_message e = msg);
+  (* the whole point: re-reading size or bytes must not re-encode *)
+  let base = M.encode_count () in
+  for _ = 1 to 50 do
+    ignore (M.encoded_wire_size e);
+    ignore (M.encoded_bytes e)
+  done;
+  Alcotest.(check int) "no re-encode on reuse" base (M.encode_count ())
+
 (* --- property-based roundtrips over random messages ---------------------- *)
 
 let gen_string = QCheck.Gen.(string_size ~gen:printable (int_range 0 30))
@@ -275,10 +466,13 @@ let () =
           tc "truncated raises" `Quick test_truncated_raises;
           tc "bad tag raises" `Quick test_bad_tag_raises;
           tc "writer bounds" `Quick test_writer_bounds;
+          tc "integer boundaries" `Quick test_integer_boundaries;
         ] );
       ( "message",
         [
           tc "all constructors roundtrip" `Quick test_all_constructors_roundtrip;
+          tc "golden bytes (wire format pinned)" `Quick test_golden_bytes;
+          tc "pre-encode consistency" `Quick test_pre_encode_consistency;
           tc "wire size scales with payload" `Quick test_wire_size_scales_with_payload;
           q prop_roundtrip;
           q prop_wire_size_consistent;
