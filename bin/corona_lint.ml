@@ -1,0 +1,23 @@
+(* corona-lint: AST-based determinism & protocol-invariant linter.
+
+   Usage: corona_lint [--allowlist FILE] [DIR ...]
+
+   Parses every .ml under the given roots (default: lib) and reports
+   violations of the repo's determinism and protocol invariants as
+   `file:line: [RULE-ID] message` lines on stdout. Exits 1 when any
+   error-severity finding remains after suppressions. *)
+
+let () =
+  let allowlist = ref None in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--allowlist",
+        Arg.String (fun f -> allowlist := Some f),
+        "FILE checked-in suppression file (RULE-ID path-suffix [ident] per line)" );
+    ]
+  in
+  let usage = "corona_lint [--allowlist FILE] [DIR ...]" in
+  Arg.parse spec (fun d -> roots := d :: !roots) usage;
+  let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
+  exit (Lint.Driver.run ?allowlist:!allowlist ~roots ())

@@ -66,7 +66,7 @@ type t = {
 
 let member_id t = Net.Host.name t.host
 
-let members t = List.sort compare t.view_members
+let members t = List.sort String.compare t.view_members
 
 let view_number t = t.view
 

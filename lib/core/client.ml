@@ -225,13 +225,13 @@ let is_lock_release lock = function E_lock_release l -> l = lock | _ -> false
 
 let handle_response t (resp : M.response) =
   match resp with
-  | M.Group_created { group } -> ignore (resolve t group (( = ) E_create) R_ok)
+  | M.Group_created { group } -> ignore (resolve t group (fun e -> e = E_create) R_ok)
   | M.State_chunk { group; objects; index = _; more = _ } ->
       let sofar = Option.value (Hashtbl.find_opt t.chunks group) ~default:[] in
       Hashtbl.replace t.chunks group (List.rev_append objects sofar)
   | M.Group_deleted { group } ->
       unsubscribe_mcast t group;
-      if not (resolve t group (( = ) E_delete) R_ok) then begin
+      if not (resolve t group (fun e -> e = E_delete) R_ok) then begin
         Hashtbl.remove t.replicas group;
         emit t (Group_was_deleted group)
       end
@@ -241,13 +241,13 @@ let handle_response t (resp : M.response) =
       | Some r -> r.gr_via_mcast <- multicast
       | None -> ());
       if not multicast then unsubscribe_mcast t group;
-      ignore (resolve t group (( = ) E_join) (R_join { at_seqno; members }))
+      ignore (resolve t group (fun e -> e = E_join) (R_join { at_seqno; members }))
   | M.Left { group } ->
       unsubscribe_mcast t group;
       Hashtbl.remove t.replicas group;
-      ignore (resolve t group (( = ) E_leave) R_ok)
+      ignore (resolve t group (fun e -> e = E_leave) R_ok)
   | M.Membership_info { group; members } ->
-      ignore (resolve t group (( = ) E_membership) (R_membership members))
+      ignore (resolve t group (fun e -> e = E_membership) (R_membership members))
   | M.Membership_changed { group; change; members } ->
       emit t (Membership_changed { group; change; members })
   | M.Deliver u -> handle_delivery t u
@@ -259,7 +259,7 @@ let handle_response t (resp : M.response) =
   | M.Lock_released { group; lock } ->
       ignore (resolve t group (is_lock_release lock) (R_lock `Released))
   | M.Log_reduced { group; upto } ->
-      ignore (resolve t group (( = ) E_reduce) (R_reduced upto))
+      ignore (resolve t group (fun e -> e = E_reduce) (R_reduced upto))
   | M.Resend_request { group; from_seqno } ->
       (* §6 sender-assisted recovery: return whatever we still hold with the
          original sequence numbers; always answer, even empty, so the server
@@ -269,7 +269,7 @@ let handle_response t (resp : M.response) =
         | Some r ->
             List.filter (fun (u : T.update) -> u.seqno >= from_seqno) r.gr_recent
             |> List.sort (fun (a : T.update) (b : T.update) ->
-                   compare a.seqno b.seqno)
+                   Int.compare a.seqno b.seqno)
         | None -> []
       in
       if is_connected t then
@@ -422,7 +422,7 @@ let replica t group =
   Option.map (fun r -> r.gr_state) (Hashtbl.find_opt t.replicas group)
 
 let joined_groups t =
-  Hashtbl.fold (fun g _ acc -> g :: acc) t.replicas [] |> List.sort compare
+  Hashtbl.fold (fun g _ acc -> g :: acc) t.replicas [] |> List.sort String.compare
 
 let last_seqno t group =
   Option.map (fun r -> r.gr_last_seqno) (Hashtbl.find_opt t.replicas group)

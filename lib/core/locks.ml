@@ -1,31 +1,53 @@
+(* Wait queues are FIFO with O(1) amortized enqueue/dequeue: the Queue holds
+   (member, ticket) entries and [queued] maps each waiting member to its
+   currently-valid ticket. Removing a waiter (leave/crash) or re-enqueueing
+   after removal just invalidates the old ticket; stale queue entries are
+   skipped lazily on grant, so grant order is exactly enqueue order of the
+   live tickets. The seed implementation paid O(n) per enqueue ([List.mem] +
+   list append) — O(n²) to fill a queue. *)
+
 type lock_state = {
   mutable holder : Proto.Types.member_id;
-  mutable queue : Proto.Types.member_id list; (* FIFO *)
+  waiting : (Proto.Types.member_id * int) Queue.t;
+  queued : (Proto.Types.member_id, int) Hashtbl.t; (* member -> live ticket *)
+  mutable next_ticket : int;
 }
 
 type t = { locks : (Proto.Types.lock_id, lock_state) Hashtbl.t }
 
 let create () = { locks = Hashtbl.create 8 }
 
+let enqueue s member =
+  if not (Hashtbl.mem s.queued member) then begin
+    let ticket = s.next_ticket in
+    s.next_ticket <- ticket + 1;
+    Hashtbl.replace s.queued member ticket;
+    Queue.add (member, ticket) s.waiting
+  end
+
 let acquire t ~lock ~member =
   match Hashtbl.find_opt t.locks lock with
   | None ->
-      Hashtbl.replace t.locks lock { holder = member; queue = [] };
+      Hashtbl.replace t.locks lock
+        { holder = member; waiting = Queue.create (); queued = Hashtbl.create 4; next_ticket = 0 };
       `Granted
   | Some s when s.holder = member -> `Granted
   | Some s ->
-      if not (List.mem member s.queue) then s.queue <- s.queue @ [ member ];
+      enqueue s member;
       `Busy s.holder
 
-let grant_next t lock s =
-  match s.queue with
-  | [] ->
+let rec grant_next t lock s =
+  match Queue.take_opt s.waiting with
+  | None ->
       Hashtbl.remove t.locks lock;
       None
-  | next :: rest ->
-      s.holder <- next;
-      s.queue <- rest;
-      Some next
+  | Some (next, ticket) -> (
+      match Hashtbl.find_opt s.queued next with
+      | Some live when live = ticket ->
+          Hashtbl.remove s.queued next;
+          s.holder <- next;
+          Some next
+      | Some _ | None -> grant_next t lock s (* stale entry: waiter left or re-queued *))
 
 let release t ~lock ~member =
   match Hashtbl.find_opt t.locks lock with
@@ -37,18 +59,27 @@ let release_all t ~member =
   let locks = Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.locks [] in
   List.iter
     (fun (lock, s) ->
-      s.queue <- List.filter (fun m -> m <> member) s.queue;
+      Hashtbl.remove s.queued member;
       if s.holder = member then
         released := (lock, grant_next t lock s) :: !released)
     locks;
-  List.sort compare !released
+  List.sort (fun (la, _) (lb, _) -> String.compare la lb) !released
 
 let holder t lock =
   Option.map (fun s -> s.holder) (Hashtbl.find_opt t.locks lock)
 
 let waiters t lock =
-  match Hashtbl.find_opt t.locks lock with Some s -> s.queue | None -> []
+  match Hashtbl.find_opt t.locks lock with
+  | None -> []
+  | Some s ->
+      Queue.fold
+        (fun acc (m, ticket) ->
+          match Hashtbl.find_opt s.queued m with
+          | Some live when live = ticket -> m :: acc
+          | Some _ | None -> acc)
+        [] s.waiting
+      |> List.rev
 
 let held t =
   Hashtbl.fold (fun k s acc -> (k, s.holder) :: acc) t.locks []
-  |> List.sort compare
+  |> List.sort (fun (la, _) (lb, _) -> String.compare la lb)

@@ -66,7 +66,7 @@ let entries t =
   | None ->
       let slots = Hashtbl.fold (fun _ s acc -> s :: acc) t.index [] in
       let l =
-        List.sort (fun a b -> compare a.s_seq b.s_seq) slots
+        List.sort (fun a b -> Int.compare a.s_seq b.s_seq) slots
         |> List.map (fun s -> s.s_entry)
       in
       t.entries_cache <- Some l;

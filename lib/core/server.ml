@@ -87,7 +87,7 @@ let connected_clients t = List.length (List.filter Net.Tcp.is_open t.client_conn
 (* --- queries --------------------------------------------------------- *)
 
 let group_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.groups [] |> List.sort compare
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.groups [] |> List.sort String.compare
 
 let group_exists t id = Hashtbl.mem t.groups id
 

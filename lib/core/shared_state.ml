@@ -43,7 +43,7 @@ let get t obj = Option.map materialize (Hashtbl.find_opt t.objects obj)
 let mem t obj = Hashtbl.mem t.objects obj
 
 let object_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.objects [] |> List.sort compare
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.objects [] |> List.sort String.compare
 
 let objects t =
   List.map (fun id -> (id, Option.get (get t id))) (object_ids t)

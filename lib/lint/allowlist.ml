@@ -1,0 +1,85 @@
+(* Checked-in allowlist: one entry per line,
+
+     RULE-ID  path-suffix  [enclosing-binding]
+
+   Blank lines and [#] comments are skipped. An entry matches a finding when
+   the rule ids are equal, the finding's file ends with the path suffix on a
+   path-component boundary, and (when given) the enclosing binding names are
+   equal. Entries that match nothing are themselves reported, so the file
+   cannot rot. *)
+
+type entry = {
+  a_rule : string;
+  a_path : string;
+  a_ident : string option;
+  a_line : int;
+  mutable a_used : bool;
+}
+
+type t = { src : string; entries : entry list }
+
+let empty = { src = "<none>"; entries = [] }
+
+let parse_line ~line n =
+  let n = match String.index_opt n '#' with Some i -> String.sub n 0 i | None -> n in
+  match String.split_on_char ' ' n |> List.filter (fun s -> s <> "") with
+  | [] -> Ok None
+  | [ rule; path ] -> Ok (Some { a_rule = rule; a_path = path; a_ident = None; a_line = line; a_used = false })
+  | [ rule; path; ident ] ->
+      Ok (Some { a_rule = rule; a_path = path; a_ident = Some ident; a_line = line; a_used = false })
+  | _ -> Error (Printf.sprintf "line %d: expected RULE-ID PATH [IDENT]" line)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go line acc errs =
+        match input_line ic with
+        | exception End_of_file -> (List.rev acc, List.rev errs)
+        | raw -> (
+            match parse_line ~line (String.map (function '\t' -> ' ' | c -> c) raw) with
+            | Ok None -> go (line + 1) acc errs
+            | Ok (Some e) -> go (line + 1) (e :: acc) errs
+            | Error msg -> go (line + 1) acc (msg :: errs))
+      in
+      let entries, errs = go 1 [] [] in
+      ({ src = path; entries }, errs))
+
+(* [file] ends with [suffix], and the match starts at a '/' boundary. *)
+let suffix_matches ~file suffix =
+  let lf = String.length file and ls = String.length suffix in
+  if ls > lf then false
+  else if not (String.sub file (lf - ls) ls = suffix) then false
+  else lf = ls || file.[lf - ls - 1] = '/'
+
+let entry_matches e (f : Finding.t) =
+  e.a_rule = f.rule
+  && suffix_matches ~file:f.file e.a_path
+  && match e.a_ident with None -> true | Some id -> id = f.ident
+
+(* Drop allowlisted findings, marking the entries that fired. *)
+let filter t findings =
+  List.filter
+    (fun f ->
+      match List.find_opt (fun e -> entry_matches e f) t.entries with
+      | Some e ->
+          e.a_used <- true;
+          false
+      | None -> true)
+    findings
+
+(* Entries that matched no finding are errors: a stale suppression means the
+   violation it documented is gone (or the entry is wrong). *)
+let stale t =
+  List.filter_map
+    (fun e ->
+      if e.a_used then None
+      else
+        Some
+          (Finding.make ~file:t.src ~line:e.a_line ~col:0 ~rule:"ALLOWLIST"
+             ~ident:(Option.value e.a_ident ~default:"")
+             (Printf.sprintf "stale entry `%s %s%s` matches no finding — remove it"
+                e.a_rule e.a_path
+                (match e.a_ident with Some i -> " " ^ i | None -> ""))))
+    t.entries

@@ -1,0 +1,17 @@
+(** The checked-in suppression file: [RULE-ID path-suffix [ident]] per line,
+    [#] comments. Every entry must match at least one finding or it is
+    reported as stale, so suppressions stay reviewable. *)
+
+type t
+
+val empty : t
+
+val load : string -> t * string list
+(** [load path] returns the parsed allowlist and any malformed-line
+    diagnostics. *)
+
+val filter : t -> Finding.t list -> Finding.t list
+(** Drop findings covered by an entry, marking those entries as used. *)
+
+val stale : t -> Finding.t list
+(** Call after {!filter}: one [ALLOWLIST] error per entry that never fired. *)

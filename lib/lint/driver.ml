@@ -1,0 +1,48 @@
+(* Walks source roots, parses each .ml with compiler-libs and runs the rule
+   pass, then applies the allowlist and prints sorted findings. *)
+
+let norm path = String.concat "/" (String.split_on_char '\\' path)
+
+let skip_dir name =
+  name = "_build" || name = "_opam" || (String.length name > 0 && name.[0] = '.')
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun n -> not (skip_dir n))
+    |> List.sort String.compare
+    |> List.fold_left (fun acc n -> walk acc (Filename.concat path n)) acc
+  else if Filename.check_suffix path ".ml" then norm path :: acc
+  else acc
+
+let source_files roots = List.rev (List.fold_left walk [] roots)
+
+let parse_error ~file exn =
+  let loc_line loc = loc.Location.loc_start.pos_lnum in
+  let line, msg =
+    match exn with
+    | Syntaxerr.Error e -> (loc_line (Syntaxerr.location_of_error e), "syntax error")
+    | Lexer.Error (_, loc) -> (loc_line loc, "lexer error")
+    | exn -> (1, Printexc.to_string exn)
+  in
+  Finding.make ~file ~line ~col:0 ~rule:"PARSE" msg
+
+let lint_file file =
+  match Pparse.parse_implementation ~tool_name:"corona-lint" file with
+  | ast -> Rules.check ~file ast
+  | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) -> [ parse_error ~file exn ]
+
+let run ?allowlist ~roots () =
+  let allow, allow_errs =
+    match allowlist with None -> (Allowlist.empty, []) | Some path -> Allowlist.load path
+  in
+  List.iter (fun e -> prerr_endline ("corona-lint: allowlist: " ^ e)) allow_errs;
+  let files = source_files roots in
+  let findings = List.concat_map lint_file files in
+  let findings = Allowlist.filter allow findings in
+  let findings = findings @ Allowlist.stale allow in
+  let findings = List.sort Finding.order findings in
+  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  Printf.eprintf "corona-lint: %d file(s), %d finding(s)\n%!" (List.length files)
+    (List.length findings);
+  if allow_errs <> [] || List.exists Finding.is_error findings then 1 else 0

@@ -1,0 +1,14 @@
+(** Linter entry point: walk roots, parse with compiler-libs, run the rules,
+    apply the allowlist, print findings to stdout sorted by location. *)
+
+val source_files : string list -> string list
+(** Every [.ml] under the given roots (depth-first, lexicographic), skipping
+    [_build] and dot-directories. *)
+
+val lint_file : string -> Finding.t list
+(** Parse and lint one file. A file that does not parse yields a single
+    [PARSE] error finding. *)
+
+val run : ?allowlist:string -> roots:string list -> unit -> int
+(** Returns the process exit code: 0 when clean, 1 when any error-severity
+    finding (or stale allowlist entry) remains. *)

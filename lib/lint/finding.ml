@@ -1,0 +1,30 @@
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  ident : string; (* enclosing top-level binding, or the flagged name *)
+  message : string;
+}
+
+let make ~file ~line ~col ~rule ?(severity = Error) ?(ident = "") message =
+  { file; line; col; rule; severity; ident; message }
+
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let is_error f = f.severity = Error
+
+let pp ppf f = Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,33 @@
+(** A single linter finding: location, rule id, severity and message. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  ident : string;  (** enclosing top-level binding, or the flagged name *)
+  message : string;
+}
+
+val make :
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  ?severity:severity ->
+  ?ident:string ->
+  string ->
+  t
+
+val order : t -> t -> int
+(** Sort key: file, then line, then column, then rule id. *)
+
+val is_error : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [file:line: [RULE-ID] message]. *)
+
+val to_string : t -> string

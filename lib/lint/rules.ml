@@ -1,0 +1,265 @@
+(* The corona-lint rule set, implemented as one [Ast_iterator] pass over the
+   Parsetree of each file. The rules are deliberately syntactic: they run on
+   un-typechecked sources (the fixture corpus never typechecks), so module
+   paths are resolved only through same-file [module M = Path] aliases.
+
+   R1  nondeterminism sources: Unix.*, Sys.time, Random.* (Sim.Rng is the
+       sanctioned randomness source and the only exemption).
+   R2  process-global mutable state: module-toplevel [ref]/[Hashtbl.create]/
+       [Queue.create]/[Stack.create]/[Buffer.create] bindings leak state
+       across simulations in one process.
+   R3  polymorphic compare on protocol state: bare [compare], first-class
+       [(=)]/[(<>)] and [Hashtbl.hash] in the protocol-state layers
+       (lib/proto, lib/core, lib/replication).
+   R4  [try ... with _ ->] and [Obj.magic].
+   R5  encode-once: direct [Message.encode] outside the codec internals must
+       go through [Message.pre_encode] so fan-out shares one serialization.
+   R6  [failwith] / [assert false] inside protocol message handlers
+       (handler-named functions in the protocol layers). *)
+
+module I = Ast_iterator
+open Parsetree
+
+(* --- path scoping ------------------------------------------------------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let has_suffix file suffix =
+  let lf = String.length file and ls = String.length suffix in
+  lf >= ls && String.sub file (lf - ls) ls = suffix
+
+(* A file under lib/<dir>/ for any [dirs] member. Files outside lib/ (the
+   fixture corpus) are never "under" anything, so scoped rules stay active
+   there. *)
+let under_lib file dirs =
+  List.exists (fun d -> contains file ("lib/" ^ d ^ "/")) dirs
+
+let r1_random_exempt file = has_suffix file "sim/rng.ml"
+
+let r3_active file =
+  not (under_lib file [ "sim"; "net"; "storage"; "ordering"; "workload"; "baseline"; "lint" ])
+
+let r5_exempt file = has_suffix file "proto/message.ml" || has_suffix file "proto/codec.ml"
+
+let r6_active file = not (under_lib file [ "sim"; "net"; "storage"; "ordering"; "workload"; "lint" ])
+
+(* --- helpers ------------------------------------------------------------ *)
+
+let rec flatten : Longident.t -> string list = function
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply _ -> []
+
+let rec last2 = function
+  | [ a; b ] -> Some (a, b)
+  | _ :: tl -> last2 tl
+  | [] -> None
+
+let pat_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+let handler_name name =
+  let starts p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
+  starts "on_" || starts "recv" || contains name "handle" || contains name "dispatch"
+  || contains name "deliver" || contains name "process"
+
+(* --- the pass ----------------------------------------------------------- *)
+
+type ctx = {
+  file : string;
+  mutable findings : Finding.t list;
+  mutable suppressions : (string * int * int) list; (* rule, first line, last line *)
+  mutable bindings : string list; (* enclosing value bindings, innermost first *)
+  aliases : (string, string list) Hashtbl.t; (* module M = Path, same file *)
+}
+
+let report ctx ~loc ~rule ?ident message =
+  let pos = loc.Location.loc_start in
+  let ident =
+    match ident with
+    | Some i -> i
+    | None -> ( match List.rev ctx.bindings with outer :: _ -> outer | [] -> "")
+  in
+  ctx.findings <-
+    Finding.make ~file:ctx.file ~line:pos.pos_lnum
+      ~col:(pos.pos_cnum - pos.pos_bol)
+      ~rule ~ident message
+    :: ctx.findings
+
+let attr_rule (a : attribute) =
+  if a.attr_name.txt <> "corona.allow" then None
+  else
+    match a.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (rule, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+        Some (Ok rule)
+    | _ -> Some (Error a.attr_loc)
+
+let record_allows ctx attrs (span : Location.t) =
+  List.iter
+    (fun a ->
+      match attr_rule a with
+      | None -> ()
+      | Some (Ok rule) ->
+          ctx.suppressions <-
+            (rule, span.loc_start.pos_lnum, span.loc_end.pos_lnum) :: ctx.suppressions
+      | Some (Error loc) ->
+          report ctx ~loc ~rule:"LINT" "malformed [@corona.allow]: payload must be a rule-id string")
+    attrs
+
+let expand ctx = function
+  | c0 :: rest as path -> (
+      match Hashtbl.find_opt ctx.aliases c0 with Some base -> base @ rest | None -> path)
+  | [] -> []
+
+(* A file that defines its own toplevel [compare] (a typed comparator) may
+   use it bare without tripping R3. *)
+let defines_compare str =
+  List.exists
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) -> List.exists (fun vb -> pat_name vb.pvb_pat = Some "compare") vbs
+      | _ -> false)
+    str
+
+(* [fn_args]: Some n when the ident is the function of an application with n
+   arguments, None when it appears as a value. *)
+let check_ident ctx ~fn_args lid loc =
+  let path = expand ctx (flatten lid) in
+  let dotted = String.concat "." path in
+  (match path with
+  | "Unix" :: _ ->
+      report ctx ~loc ~rule:"R1"
+        (Printf.sprintf "nondeterminism source %s (use the simulation clock / Sim.Rng)" dotted)
+  | [ "Sys"; "time" ] ->
+      report ctx ~loc ~rule:"R1" "nondeterminism source Sys.time (use the simulation clock)"
+  | "Random" :: _ when not (r1_random_exempt ctx.file) ->
+      report ctx ~loc ~rule:"R1"
+        (Printf.sprintf "nondeterminism source %s (draw from Sim.Rng instead)" dotted)
+  | [ "Obj"; "magic" ] -> report ctx ~loc ~rule:"R4" "Obj.magic defeats the type system"
+  | _ -> ());
+  (match last2 path with
+  | Some ("Message", "encode") when not (r5_exempt ctx.file) ->
+      report ctx ~loc ~rule:"R5"
+        (Printf.sprintf
+           "direct %s breaks encode-once: serialize via Message.pre_encode and share the encoding"
+           dotted)
+  | _ -> ());
+  (if r3_active ctx.file then
+     match path with
+     | [ "compare" ] | [ "Stdlib"; "compare" ] ->
+         report ctx ~loc ~rule:"R3"
+           "polymorphic compare on protocol state (use a typed comparator)"
+     | [ "Hashtbl"; "hash" ] ->
+         report ctx ~loc ~rule:"R3"
+           "polymorphic Hashtbl.hash on protocol state (hash a typed key instead)"
+     | ([ "=" ] | [ "<>" ] | [ "Stdlib"; "=" ] | [ "Stdlib"; "<>" ])
+       when (match fn_args with Some n -> n < 2 | None -> true) ->
+         report ctx ~loc ~rule:"R3"
+           (Printf.sprintf "first-class polymorphic (%s) on protocol state (use a typed equality)"
+              (List.nth path (List.length path - 1)))
+     | _ -> ());
+  match path with
+  | ([ "failwith" ] | [ "Stdlib"; "failwith" ])
+    when r6_active ctx.file && List.exists handler_name ctx.bindings ->
+      report ctx ~loc ~rule:"R6"
+        (Printf.sprintf "failwith reachable from protocol handler `%s` (return a protocol error)"
+           (List.find handler_name ctx.bindings))
+  | _ -> ()
+
+let global_makers =
+  [ [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Queue"; "create" ]; [ "Stack"; "create" ];
+    [ "Buffer"; "create" ] ]
+
+let rec strip_constraint e =
+  match e.pexp_desc with Pexp_constraint (e, _) -> strip_constraint e | _ -> e
+
+let check_global ctx vb =
+  match (strip_constraint vb.pvb_expr).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+    when List.mem (expand ctx (flatten txt)) global_makers ->
+      let name = Option.value (pat_name vb.pvb_pat) ~default:"_" in
+      report ctx ~loc:vb.pvb_loc ~rule:"R2" ~ident:name
+        (Printf.sprintf
+           "process-global mutable state `%s` at module top level (move it into an instance \
+            record)"
+           name)
+  | _ -> ()
+
+let iterator ctx =
+  let structure_item iter si =
+    (match si.pstr_desc with
+    | Pstr_attribute a -> record_allows ctx [ a ] { si.pstr_loc with loc_end = { si.pstr_loc.loc_end with pos_lnum = max_int } }
+    | Pstr_value (_, vbs) when ctx.bindings = [] -> List.iter (check_global ctx) vbs
+    | _ -> ());
+    I.default_iterator.structure_item iter si
+  in
+  let value_binding iter vb =
+    record_allows ctx vb.pvb_attributes vb.pvb_loc;
+    match pat_name vb.pvb_pat with
+    | Some name ->
+        ctx.bindings <- name :: ctx.bindings;
+        I.default_iterator.value_binding iter vb;
+        ctx.bindings <- List.tl ctx.bindings
+    | None -> I.default_iterator.value_binding iter vb
+  in
+  let module_binding iter mb =
+    (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+    | Some name, Pmod_ident { txt; _ } -> Hashtbl.replace ctx.aliases name (flatten txt)
+    | _ -> ());
+    I.default_iterator.module_binding iter mb
+  in
+  let expr iter e =
+    record_allows ctx e.pexp_attributes e.pexp_loc;
+    match e.pexp_desc with
+    | Pexp_ident lid -> check_ident ctx ~fn_args:None lid.txt lid.loc
+    | Pexp_apply (({ pexp_desc = Pexp_ident lid; _ } as fn), args) ->
+        record_allows ctx fn.pexp_attributes fn.pexp_loc;
+        check_ident ctx ~fn_args:(Some (List.length args)) lid.txt lid.loc;
+        List.iter (fun (_, a) -> iter.I.expr iter a) args
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_any ->
+                report ctx ~loc:c.pc_lhs.ppat_loc ~rule:"R4"
+                  "catch-all `try ... with _ ->` swallows unexpected exceptions (match them \
+                   explicitly)"
+            | _ -> ())
+          cases;
+        I.default_iterator.expr iter e
+    | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+      when r6_active ctx.file && List.exists handler_name ctx.bindings ->
+        report ctx ~loc:e.pexp_loc ~rule:"R6"
+          (Printf.sprintf
+             "assert false reachable from protocol handler `%s` (return a protocol error)"
+             (List.find handler_name ctx.bindings))
+    | _ -> I.default_iterator.expr iter e
+  in
+  { I.default_iterator with structure_item; value_binding; module_binding; expr }
+
+let suppressed ctx (f : Finding.t) =
+  List.exists
+    (fun (rule, l0, l1) -> rule = f.rule && l0 <= f.line && f.line <= l1)
+    ctx.suppressions
+
+let check ~file (str : structure) =
+  let ctx =
+    { file; findings = []; suppressions = []; bindings = []; aliases = Hashtbl.create 8 }
+  in
+  if defines_compare str then Hashtbl.replace ctx.aliases "compare" [ "Self"; "compare" ];
+  let it = iterator ctx in
+  it.I.structure it str;
+  List.filter (fun f -> not (suppressed ctx f)) (List.rev ctx.findings)

@@ -1,0 +1,20 @@
+(** The corona-lint rule set (R1–R6), one [Ast_iterator] pass per file.
+
+    - R1: nondeterminism sources ([Unix.*], [Sys.time], [Random.*] outside
+      [Sim.Rng]).
+    - R2: process-global mutable state at module top level.
+    - R3: polymorphic [compare] / first-class [(=)] / [Hashtbl.hash] in the
+      protocol-state layers (lib/proto, lib/core, lib/replication).
+    - R4: catch-all [try ... with _ ->] and [Obj.magic].
+    - R5: direct [Message.encode] outside the codec internals (encode-once).
+    - R6: [failwith] / [assert false] inside protocol message handlers.
+
+    Suppression: attach [[@corona.allow "RULE-ID"]] to the offending
+    expression (or [[@@corona.allow "RULE-ID"]] to its binding); a floating
+    [[@@@corona.allow "RULE-ID"]] suppresses the rule for the rest of the
+    file. *)
+
+val check : file:string -> Parsetree.structure -> Finding.t list
+(** Run every rule over one parsed implementation. Returned findings are in
+    source order and already honour in-source [@corona.allow] suppressions;
+    allowlist filtering is the caller's job. *)

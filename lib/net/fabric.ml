@@ -6,8 +6,14 @@ let campus = { base_latency = 1.5e-3; jitter = 0.2e-3; loss_rate = 0.0 }
 
 let wan = { base_latency = 40e-3; jitter = 5e-3; loss_rate = 0.0 }
 
+(* Transport-private state (TCP listener tables, multicast channel
+   registries, ...) hangs off the fabric instance instead of living in
+   process-global tables: two simulations in one process must never share
+   listeners or channels. Each transport declares its own [ext] constructor
+   and claims a slot by name. *)
+type ext = ..
+
 type t = {
-  id : int;
   engine : Sim.Engine.t;
   config : config;
   rng : Sim.Rng.t;
@@ -17,14 +23,11 @@ type t = {
   mutable component_of : (string, int) Hashtbl.t option; (* None = no partition *)
   mutable packets : int;
   mutable bytes : int;
+  mutable extensions : (string * ext) list;
 }
 
-let next_fabric_id = ref 0
-
 let create ?(config = lan) engine =
-  incr next_fabric_id;
   {
-    id = !next_fabric_id;
     engine;
     config;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
@@ -34,9 +37,13 @@ let create ?(config = lan) engine =
     component_of = None;
     packets = 0;
     bytes = 0;
+    extensions = [];
   }
 
-let id t = t.id
+let find_ext t name = List.assoc_opt name t.extensions
+
+let set_ext t name e =
+  t.extensions <- (name, e) :: List.remove_assoc name t.extensions
 
 let engine t = t.engine
 

@@ -23,10 +23,19 @@ val wan : config
 
 type t
 
+type ext = ..
+(** Transport-private per-fabric state. A transport built on the fabric
+    (e.g. {!Tcp}, {!Multicast}) declares its own constructor and stores its
+    instance tables here via {!set_ext}, so two simulations in one process
+    never share listener or channel registries. *)
+
 val create : ?config:config -> Sim.Engine.t -> t
 
-val id : t -> int
-(** Unique per-fabric identifier (distinguishes fabrics in global tables). *)
+val find_ext : t -> string -> ext option
+(** Look up a transport's state slot by its registered name. *)
+
+val set_ext : t -> string -> ext -> unit
+(** Claim (or replace) a transport's state slot. *)
 
 val engine : t -> Sim.Engine.t
 

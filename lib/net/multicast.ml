@@ -12,16 +12,25 @@ type t = {
 }
 
 (* Channels are named per fabric so server and clients meet on the same
-   object. *)
-let registry : (int * string, t) Hashtbl.t = Hashtbl.create 16
+   object; the registry is fabric-instance state so concurrent simulations
+   in one process cannot share a channel. *)
+type Fabric.ext += Channels of (string, t) Hashtbl.t
+
+let registry fabric =
+  match Fabric.find_ext fabric "multicast" with
+  | Some (Channels r) -> r
+  | Some _ | None ->
+      let r = Hashtbl.create 16 in
+      Fabric.set_ext fabric "multicast" (Channels r);
+      r
 
 let channel fabric ~name =
-  let key = (Fabric.id fabric, name) in
-  match Hashtbl.find_opt registry key with
+  let registry = registry fabric in
+  match Hashtbl.find_opt registry name with
   | Some t -> t
   | None ->
       let t = { fabric; name; subs = [] } in
-      Hashtbl.replace registry key t;
+      Hashtbl.replace registry name t;
       t
 
 let name t = t.name

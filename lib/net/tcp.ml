@@ -29,11 +29,37 @@ let retransmit_timeout = 0.5
 
 let crash_notify_delay = 0.2
 
-let next_conn_id = ref 0
+type listener = {
+  l_fabric : Fabric.t;
+  l_host : Host.t;
+  l_port : int;
+  mutable l_open : bool;
+  l_on_accept : conn -> unit;
+}
 
-let fresh_id () =
-  incr next_conn_id;
-  !next_conn_id
+(* Per-fabric transport state: the listener table — (host name, port) ->
+   listener — and the connection-id counter live on the fabric instance, so
+   concurrent simulations in one process cannot observe each other's
+   endpoints. *)
+type tcp_state = {
+  listeners : (string * int, listener) Hashtbl.t;
+  mutable next_conn_id : int;
+}
+
+type Fabric.ext += Tcp_state of tcp_state
+
+let state fabric =
+  match Fabric.find_ext fabric "tcp" with
+  | Some (Tcp_state s) -> s
+  | Some _ | None ->
+      let s = { listeners = Hashtbl.create 16; next_conn_id = 0 } in
+      Fabric.set_ext fabric "tcp" (Tcp_state s);
+      s
+
+let fresh_id fabric =
+  let s = state fabric in
+  s.next_conn_id <- s.next_conn_id + 1;
+  s.next_conn_id
 
 let engine_of c = Fabric.engine c.fabric
 
@@ -154,19 +180,9 @@ let make_endpoint fabric host id =
   watch_crash c;
   c
 
-type listener = {
-  l_fabric : Fabric.t;
-  l_host : Host.t;
-  l_port : int;
-  mutable l_open : bool;
-  l_on_accept : conn -> unit;
-}
-
-(* Global listener table: (fabric id, host name, port) -> listener. *)
-let listeners : (int * string * int, listener) Hashtbl.t = Hashtbl.create 64
-
 let listen fabric host ~port ~on_accept =
-  let key = (Fabric.id fabric, Host.name host, port) in
+  let listeners = (state fabric).listeners in
+  let key = (Host.name host, port) in
   (match Hashtbl.find_opt listeners key with
   | Some l when l.l_open ->
       invalid_arg
@@ -182,7 +198,7 @@ let listen fabric host ~port ~on_accept =
 
 let close_listener l =
   l.l_open <- false;
-  Hashtbl.remove listeners (Fabric.id l.l_fabric, Host.name l.l_host, l.l_port)
+  Hashtbl.remove (state l.l_fabric).listeners (Host.name l.l_host, l.l_port)
 
 let syn_size = 64
 
@@ -198,9 +214,9 @@ let connect fabric ~src ~dst ~port ?(timeout = 5.0) ~on_connected ~on_failed () 
   ignore (Sim.Engine.schedule engine ~delay:timeout fail);
   (* SYN *)
   Fabric.transmit fabric ~src ~dst ~size:syn_size ~on_dropped:fail (fun () ->
-      match Hashtbl.find_opt listeners (Fabric.id fabric, Host.name dst, port) with
+      match Hashtbl.find_opt (state fabric).listeners (Host.name dst, port) with
       | Some l when l.l_open && Host.is_alive dst ->
-          let id = fresh_id () in
+          let id = fresh_id fabric in
           let client_end = make_endpoint fabric src id in
           let server_end = make_endpoint fabric dst id in
           client_end.peer <- Some server_end;

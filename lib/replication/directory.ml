@@ -19,7 +19,7 @@ type t = { entries : (Proto.Types.group_id, entry) Hashtbl.t }
 let create () = { entries = Hashtbl.create 16 }
 
 let group_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.entries [] |> List.sort compare
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.entries [] |> List.sort String.compare
 
 let find t group = Hashtbl.find_opt t.entries group
 
@@ -99,10 +99,10 @@ let servers_with_members e =
   Hashtbl.fold
     (fun _ info acc -> if List.mem info.mi_server acc then acc else info.mi_server :: acc)
     e.e_members []
-  |> List.sort compare
+  |> List.sort String.compare
 
 let replicas_of e =
-  List.sort_uniq compare (e.e_holders @ servers_with_members e)
+  List.sort_uniq String.compare (e.e_holders @ servers_with_members e)
 
 let add_holder e server =
   if not (List.mem server e.e_holders) then e.e_holders <- e.e_holders @ [ server ]

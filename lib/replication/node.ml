@@ -128,7 +128,7 @@ let groups_held t =
   Hashtbl.fold
     (fun g rg acc -> if rg.rg_log <> None then g :: acc else acc)
     t.rgroups []
-  |> List.sort compare
+  |> List.sort String.compare
 
 let group_state t g =
   match Hashtbl.find_opt t.rgroups g with
@@ -956,7 +956,7 @@ and on_new_coordinator t coord =
 and resend_pending t =
   let bcasts =
     Hashtbl.fold (fun seq msg acc -> (seq, msg) :: acc) t.pending_bcast []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   List.iter (fun (_, msg) -> send_srv t t.coord msg) bcasts;
   Hashtbl.iter

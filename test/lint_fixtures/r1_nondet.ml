@@ -1,0 +1,7 @@
+(* Seeded R1 violations: wall-clock and process-global randomness. *)
+
+let now () = Unix.gettimeofday ()
+
+let cpu_seconds () = Sys.time ()
+
+let roll () = Random.int 6

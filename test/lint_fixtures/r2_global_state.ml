@@ -1,0 +1,11 @@
+(* Seeded R2 violations: process-global mutable state at module top level. *)
+
+let counter = ref 0
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* Not a violation: the table is created per call, inside a function. *)
+let fresh () = Hashtbl.create 8
+
+(* Not a violation: immutable toplevel value. *)
+let limit = 64

@@ -1,0 +1,18 @@
+(* Seeded R3 violations: polymorphic compare / equality / hash applied to
+   structured values. *)
+
+type pair = { a : int; b : string }
+
+let sort_pairs ps = List.sort compare ps
+
+let dedupe xs = List.sort_uniq compare xs
+
+let hash_pair p = Hashtbl.hash p
+
+let find_matching x xs = List.filter (( = ) x) xs
+
+(* Not a violation: typed comparator. *)
+let sort_names ns = List.sort String.compare ns
+
+(* Not a violation: two-argument (=) comparison. *)
+let is_zero n = n = 0

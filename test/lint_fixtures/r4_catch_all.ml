@@ -1,0 +1,8 @@
+(* Seeded R4 violations: catch-all exception handler and Obj.magic. *)
+
+let parse_or_zero s = try int_of_string s with _ -> 0
+
+let unsafe_cast x = Obj.magic x
+
+(* Not a violation: the exception is matched explicitly. *)
+let parse_opt s = try Some (int_of_string s) with Failure _ -> None

@@ -1,0 +1,11 @@
+(* Seeded R5 violations: direct Message.encode outside the codec internals
+   re-serializes per recipient instead of sharing one encoding. *)
+
+module M = Proto.Message
+
+let send_one w msg = M.encode w msg
+
+let send_fanout w msgs = List.iter (Proto.Message.encode w) msgs
+
+(* Not a violation: encode-once via pre_encode. *)
+let send_shared conn msg = Proto.Message.send_encoded conn (Proto.Message.pre_encode msg)

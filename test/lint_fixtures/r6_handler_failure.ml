@@ -1,0 +1,13 @@
+(* Seeded R6 violations: aborts reachable from protocol message handlers. *)
+
+let handle_request _t msg =
+  match msg with
+  | `Ping -> ()
+  | `Other -> failwith "unhandled message"
+
+let on_deliver _update = assert false
+
+(* Not a violation: setup code outside any handler may abort. *)
+let configure_or_die = function
+  | Some cfg -> cfg
+  | None -> failwith "missing configuration"
