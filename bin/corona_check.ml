@@ -1,0 +1,100 @@
+(* corona-check: randomized fault-schedule exploration with
+   protocol-invariant oracles.
+
+   Generates randomized schedules (server crashes and restarts, partitions
+   and heals, client churn, message bursts, lock traffic) against
+   single-server and replicated deployments, runs each to quiescence inside
+   the simulator, and checks the invariant oracles. On a violation the
+   failing schedule is shrunk to a minimal reproducer and printed as a
+   copy-pasteable OCaml scenario together with its seed. *)
+
+let usage = "corona_check [--seeds N] [--seed S] [--smoke] [--inject BUG] [--no-shrink] [--verbose]"
+
+let kind_label (s : Check.Schedule.t) =
+  match s.Check.Schedule.kind with
+  | Check.Schedule.Single { sync_log } ->
+      if sync_log then "single/sync" else "single/async"
+  | Check.Schedule.Replicated { replicas } -> Printf.sprintf "replicated/%d" replicas
+
+let () =
+  let seeds = ref 10 in
+  let smoke = ref false in
+  let one_seed = ref None in
+  let inject = ref "" in
+  let no_shrink = ref false in
+  let verbose = ref false in
+  let specs =
+    [
+      ("--seeds", Arg.Set_int seeds, "N  number of seeds to explore (default 10)");
+      ("--seed", Arg.String (fun s -> one_seed := Some (Int64.of_string s)),
+       "S  run exactly this seed");
+      ("--smoke", Arg.Set smoke, "  small schedules (CI profile)");
+      ("--inject", Arg.Set_string inject,
+       "BUG  deliberately break the runner: skip-reconcile | skip-rejoin");
+      ("--no-shrink", Arg.Set no_shrink, "  print the failing schedule unshrunk");
+      ("--verbose", Arg.Set verbose, "  print every client's event trace");
+    ]
+  in
+  Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let bug =
+    match !inject with
+    | "" -> Check.Runner.no_bug
+    | "skip-reconcile" -> { Check.Runner.skip_reconcile = true; skip_rejoin = false }
+    | "skip-rejoin" -> { Check.Runner.skip_reconcile = false; skip_rejoin = true }
+    | other ->
+        Printf.eprintf "corona_check: unknown --inject %s\n" other;
+        exit 2
+  in
+  let seed_list =
+    match !one_seed with
+    | Some s -> [ s ]
+    | None -> List.init !seeds (fun i -> Int64.of_int (i + 1))
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let sched = Check.Schedule.generate ~smoke:!smoke rng in
+      let r = Check.Runner.execute ~bug ~seed sched in
+      if !verbose then
+        List.iter print_endline r.Check.Runner.r_trace;
+      match r.Check.Runner.r_violations with
+      | [] ->
+          Printf.printf "seed %Ld: ok  (%s, %d events, %d deliveries)\n%!" seed
+            (kind_label sched)
+            (List.length sched.Check.Schedule.events)
+            r.Check.Runner.r_deliveries
+      | violations ->
+          incr failures;
+          Printf.printf "seed %Ld: FAILED  (%s, %d events)\n%!" seed (kind_label sched)
+            (List.length sched.Check.Schedule.events);
+          List.iter
+            (fun v -> Printf.printf "  %s\n" (Check.Oracles.violation_line v))
+            violations;
+          let final =
+            if !no_shrink then sched
+            else begin
+              let still_fails candidate =
+                (Check.Runner.execute ~bug ~seed candidate).Check.Runner.r_violations
+                <> []
+              in
+              let shrunk, stats = Check.Shrink.shrink ~still_fails sched in
+              Printf.printf
+                "  shrunk to %d events (dropped %d) in %d re-runs; violations now:\n"
+                stats.Check.Shrink.sh_kept stats.Check.Shrink.sh_dropped
+                stats.Check.Shrink.sh_attempts;
+              List.iter
+                (fun v -> Printf.printf "  %s\n" (Check.Oracles.violation_line v))
+                (Check.Runner.execute ~bug ~seed shrunk).Check.Runner.r_violations;
+              shrunk
+            end
+          in
+          Printf.printf "  minimal reproducer (seed %Ld):\n" seed;
+          Format.printf "%a@." (Check.Schedule.pp_ocaml ~seed) final)
+    seed_list;
+  if !failures > 0 then begin
+    Printf.printf "corona_check: %d/%d seed(s) FAILED\n" !failures
+      (List.length seed_list);
+    exit 1
+  end
+  else Printf.printf "corona_check: %d seed(s) ok\n" (List.length seed_list)

@@ -1,0 +1,281 @@
+(* Deployment builder: turns a [Schedule.kind] into a running service and
+   gives the runner one vocabulary of operations (crash / restart /
+   partition / heal / reconcile) plus the state extraction the oracles need
+   (per-group copies with digests and retained logs, lock journals across
+   server incarnations, restart-era boundaries). *)
+
+module Sched = Schedule
+
+type copy = {
+  c_owner : string; (* which server/incarnation holds this copy *)
+  c_digest : string;
+  c_next : int; (* next sequence number the copy expects *)
+  c_base : ((Proto.Types.object_id * string) list * int) option;
+  c_updates : Proto.Types.update list; (* retained log from the base *)
+}
+
+type single = {
+  s_host : Net.Host.t;
+  s_storage : Corona.Server_storage.t;
+  s_config : Corona.Server.config;
+  mutable s_server : Corona.Server.t;
+  mutable s_incarnation : int;
+  mutable s_retired : (string * (Proto.Types.group_id * Corona.Locks.event list) list) list;
+      (* lock journals snapshotted from crashed incarnations, oldest first *)
+  mutable s_restarts : float list; (* era boundaries, oldest first *)
+}
+
+type backend = B_single of single | B_repl of Replication.Cluster.t
+
+type t = { fabric : Net.Fabric.t; backend : backend }
+
+let fabric t = t.fabric
+
+let single_config ~sync_log =
+  {
+    Corona.Server.default_config with
+    logging = (if sync_log then Corona.Server.Sync_logging else Corona.Server.Async_logging);
+    record_lock_journal = true;
+  }
+
+let repl_config = { Replication.Node.default_config with record_lock_journal = true }
+
+let create fabric (kind : Sched.kind) =
+  match kind with
+  | Sched.Single { sync_log } ->
+      let host = Net.Fabric.add_host fabric ~name:"srv-0" () in
+      let storage = Corona.Server_storage.create host () in
+      let config = single_config ~sync_log in
+      let server = Corona.Server.create fabric host ~config ~storage () in
+      {
+        fabric;
+        backend =
+          B_single
+            {
+              s_host = host;
+              s_storage = storage;
+              s_config = config;
+              s_server = server;
+              s_incarnation = 0;
+              s_retired = [];
+              s_restarts = [];
+            };
+      }
+  | Sched.Replicated { replicas } ->
+      let cluster =
+        Replication.Cluster.create fabric ~config:repl_config ~replicas ()
+      in
+      { fabric; backend = B_repl cluster }
+
+let node_at cluster idx = List.nth (Replication.Cluster.nodes cluster) idx
+
+let server_host t idx =
+  match t.backend with
+  | B_single s -> s.s_host
+  | B_repl c -> Replication.Node.host (node_at c idx)
+
+(* Where agent [i] should (re)connect right now. Replicated assignments
+   follow [Cluster.replica_for], so after a serving replica dies its agents
+   land on a live one. *)
+let client_target t i =
+  match t.backend with
+  | B_single s -> s.s_host
+  | B_repl c -> Replication.Node.host (Replication.Cluster.replica_for c i)
+
+let snapshot_journals server label =
+  List.filter_map
+    (fun g ->
+      match Corona.Server.lock_journal server g with
+      | [] -> None
+      | events -> Some (g, events))
+    (Corona.Server.group_ids server)
+  |> fun js -> (label, js)
+
+let crash_server t idx =
+  match t.backend with
+  | B_single s ->
+      let label = Printf.sprintf "srv-0#%d" s.s_incarnation in
+      s.s_retired <- s.s_retired @ [ snapshot_journals s.s_server label ];
+      Net.Host.crash s.s_host
+  | B_repl c -> Net.Host.crash (Replication.Node.host (node_at c idx))
+
+(* Single deployment only: bring the host back and start a fresh server
+   incarnation over the same stable storage (§6 recovery). *)
+let restart_server t =
+  match t.backend with
+  | B_repl _ -> ()
+  | B_single s ->
+      Net.Host.restart s.s_host;
+      s.s_incarnation <- s.s_incarnation + 1;
+      s.s_restarts <- s.s_restarts @ [ Sim.Engine.now (Net.Fabric.engine t.fabric) ];
+      s.s_server <-
+        Corona.Server.create t.fabric s.s_host ~config:s.s_config ~storage:s.s_storage ()
+
+let restart_times t =
+  match t.backend with B_single s -> s.s_restarts | B_repl _ -> []
+
+let partition t ~isolated =
+  let isolated_names =
+    List.map (fun idx -> Net.Host.name (server_host t idx)) isolated
+  in
+  let kept =
+    List.filter_map
+      (fun h ->
+        let n = Net.Host.name h in
+        if List.mem n isolated_names then None else Some n)
+      (Net.Fabric.hosts t.fabric)
+  in
+  Net.Fabric.partition t.fabric [ kept; isolated_names ]
+
+let heal t = Net.Fabric.heal t.fabric
+
+let live_nodes t =
+  match t.backend with B_single _ -> [] | B_repl c -> Replication.Cluster.live_nodes c
+
+let group_ids t =
+  match t.backend with
+  | B_single s ->
+      if Net.Host.is_alive s.s_host then Corona.Server.group_ids s.s_server else []
+  | B_repl c ->
+      List.concat_map Replication.Node.groups_held (Replication.Cluster.live_nodes c)
+      |> List.sort_uniq String.compare
+
+let copies t group =
+  match t.backend with
+  | B_single s ->
+      if not (Net.Host.is_alive s.s_host) then []
+      else begin
+        match
+          ( Corona.Server.group_state s.s_server group,
+            Corona.Server.group_next_seqno s.s_server group )
+        with
+        | Some state, Some next ->
+            [
+              {
+                c_owner = Printf.sprintf "srv-0#%d" s.s_incarnation;
+                c_digest = Corona.Shared_state.digest state;
+                c_next = next;
+                c_base = Corona.Server.group_base s.s_server group;
+                c_updates =
+                  (match Corona.Server.group_base s.s_server group with
+                  | Some (_, base_seqno) ->
+                      Corona.Server.group_updates_from s.s_server group base_seqno
+                  | None -> []);
+              };
+            ]
+        | _ -> []
+      end
+  | B_repl c ->
+      List.filter_map
+        (fun node ->
+          match
+            ( Replication.Node.group_state node group,
+              Replication.Node.group_next_seqno node group )
+          with
+          | Some state, Some next ->
+              Some
+                {
+                  c_owner = Replication.Node.id node;
+                  c_digest = Corona.Shared_state.digest state;
+                  c_next = next;
+                  c_base = Replication.Node.group_base node group;
+                  c_updates =
+                    (match Replication.Node.group_base node group with
+                    | Some (_, base_seqno) ->
+                        Replication.Node.group_updates_from node group base_seqno
+                    | None -> []);
+                }
+          | _ -> None)
+        (Replication.Cluster.live_nodes c)
+
+(* The servers' view of a group's membership (replicated: union of the
+   members each live node serves). *)
+let members t group =
+  match t.backend with
+  | B_single s ->
+      if not (Net.Host.is_alive s.s_host) then []
+      else
+        List.map
+          (fun (m : Proto.Types.member) -> m.member)
+          (Corona.Server.group_members s.s_server group)
+  | B_repl c ->
+      List.concat_map
+        (fun node ->
+          List.map
+            (fun (m : Proto.Types.member) -> m.member)
+            (Replication.Node.group_local_members node group))
+        (Replication.Cluster.live_nodes c)
+      |> List.sort_uniq String.compare
+
+let lock_journals t =
+  match t.backend with
+  | B_single s ->
+      let live =
+        if Net.Host.is_alive s.s_host then
+          [ snapshot_journals s.s_server (Printf.sprintf "srv-0#%d" s.s_incarnation) ]
+        else []
+      in
+      List.concat_map
+        (fun (owner, js) -> List.map (fun (g, evs) -> (owner, g, evs)) js)
+        (s.s_retired @ live)
+  | B_repl c ->
+      List.concat_map
+        (fun node ->
+          List.map
+            (fun (g, evs) -> (Replication.Node.id node, g, evs))
+            (Replication.Node.lock_journal node))
+        (Replication.Cluster.live_nodes c)
+
+(* After a heal: compare every group's live copies; when two disagree, run
+   the §4.2 reconciliation adopting the freshest side, otherwise just
+   re-unify the cluster under the earliest live server. *)
+let reconcile_after_heal t =
+  match t.backend with
+  | B_single _ -> ()
+  | B_repl c ->
+      let live = Replication.Cluster.live_nodes c in
+      let reconciled = ref false in
+      List.iter
+        (fun group ->
+          let holders =
+            List.filter_map
+              (fun n ->
+                match
+                  ( Replication.Node.group_next_seqno n group,
+                    Replication.Node.group_state n group )
+                with
+                | Some next, Some state ->
+                    Some (n, next, Corona.Shared_state.digest state)
+                | _ -> None)
+              live
+          in
+          match holders with
+          | [] | [ _ ] -> ()
+          | holders -> (
+              let (best, best_next, best_digest) =
+                List.fold_left
+                  (fun (bn, bx, bd) (n, next, d) ->
+                    if next > bx then (n, next, d) else (bn, bx, bd))
+                  (List.hd holders) (List.tl holders)
+              in
+              match
+                List.find_opt
+                  (fun (n, next, d) ->
+                    Replication.Node.id n <> Replication.Node.id best
+                    && (next <> best_next || d <> best_digest))
+                  holders
+              with
+              | None -> ()
+              | Some (other, _, _) ->
+                  reconciled := true;
+                  ignore
+                    (Replication.Cluster.reconcile c ~group ~side_a:best ~side_b:other
+                       ~resolution:Replication.Reconcile.Adopt_a)))
+        (group_ids t);
+      if not !reconciled then begin
+        match live with
+        | [] -> ()
+        | first :: _ ->
+            let coord = Replication.Node.id first in
+            List.iter (fun n -> Replication.Node.admin_heal n ~coordinator:coord) live
+      end

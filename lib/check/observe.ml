@@ -1,0 +1,87 @@
+(* Per-agent observation logs. Everything an oracle judges comes from here:
+   each client agent appends timestamped entries as its callbacks fire, and
+   the determinism regression compares two runs' logs byte-for-byte. *)
+
+type entry =
+  | Connected of { incarnation : int }
+  | Conn_lost of { reason : string }
+  | Crashed
+  | Restarted
+  | Joined of { group : string; next : int }
+      (* successful join/rejoin; [next] is the first sequence number this
+         agent will be shown after the join (at_seqno of the reply) *)
+  | Join_failed of { group : string; why : string }
+  | Delivered of { group : string; seqno : int; sender : string; kind : string; obj : string; data : string }
+  | View of { group : string; change : string; members : string list }
+  | Lock_granted of { group : string; lock : string }
+  | Lock_released of { group : string; lock : string }
+  | Note of string
+
+type t = {
+  o_agent : string;
+  mutable o_entries : (float * entry) list; (* newest first *)
+}
+
+let create agent = { o_agent = agent; o_entries = [] }
+
+let agent t = t.o_agent
+
+let record t ~now entry = t.o_entries <- (now, entry) :: t.o_entries
+
+let entries t = List.rev t.o_entries
+
+let entry_line = function
+  | Connected { incarnation } -> Printf.sprintf "connected inc=%d" incarnation
+  | Conn_lost { reason } -> Printf.sprintf "conn-lost %s" reason
+  | Crashed -> "crashed"
+  | Restarted -> "restarted"
+  | Joined { group; next } -> Printf.sprintf "joined %s next=%d" group next
+  | Join_failed { group; why } -> Printf.sprintf "join-failed %s: %s" group why
+  | Delivered { group; seqno; sender; kind; obj; data } ->
+      Printf.sprintf "delivered %s #%d from=%s kind=%s obj=%s data=%s" group seqno sender
+        kind obj data
+  | View { group; change; members } ->
+      Printf.sprintf "view %s %s [%s]" group change (String.concat "," members)
+  | Lock_granted { group; lock } -> Printf.sprintf "lock-granted %s/%s" group lock
+  | Lock_released { group; lock } -> Printf.sprintf "lock-released %s/%s" group lock
+  | Note s -> Printf.sprintf "note %s" s
+
+(* One line per entry, "agent @ time entry" — the unit of byte-for-byte
+   trace comparison in the determinism regression. *)
+let lines t =
+  List.map
+    (fun (at, e) -> Printf.sprintf "%s @%.3f %s" t.o_agent at (entry_line e))
+    (entries t)
+
+(* The per-group update stream this agent observed, with the join markers
+   that tell the total-order oracle where the stream may legitimately
+   (re)start. *)
+type stream_item =
+  | S_start of { at : float; next : int } (* Joined: expect this seqno next *)
+  | S_update of {
+      at : float;
+      seqno : int;
+      sender : string;
+      kind : string;
+      obj : string;
+      data : string;
+    }
+
+let stream t ~group =
+  List.filter_map
+    (fun (at, e) ->
+      match e with
+      | Joined { group = g; next } when g = group -> Some (S_start { at; next })
+      | Delivered { group = g; seqno; sender; kind; obj; data } when g = group ->
+          Some (S_update { at; seqno; sender; kind; obj; data })
+      | _ -> None)
+    (entries t)
+
+let groups_seen t =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun (_, e) ->
+         match e with
+         | Joined { group; _ } | Delivered { group; _ } -> Some group
+         | _ -> None)
+       (entries t))

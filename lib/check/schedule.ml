@@ -1,0 +1,266 @@
+(* Randomized fault schedules. A schedule is pure data: deployment shape
+   plus a time-ordered list of fault / traffic events, all times in integer
+   milliseconds of virtual time so schedules print exactly and replay
+   bit-for-bit. Every draw comes from [Sim.Rng] — never wall-clock. *)
+
+type kind =
+  | Single of { sync_log : bool }
+  | Replicated of { replicas : int }
+
+type event =
+  | Crash_server of { server : int; at_ms : int; down_ms : int }
+      (* single deployment: restart (same storage, §6 recovery) after
+         [down_ms]; replicated: [down_ms = 0] and the crash is permanent
+         (failover, not restart, is the recovery path of §4.2) *)
+  | Client_churn of { client : int; at_ms : int; down_ms : int; crash : bool }
+      (* [crash = false]: graceful disconnect, reconnect + rejoin after
+         [down_ms]; [crash = true]: host crash, restart then rejoin *)
+  | Partition_servers of { servers : int list; at_ms : int; dur_ms : int }
+      (* isolate these (client-free) server indexes from everyone else,
+         heal after [dur_ms] and reconcile *)
+  | Burst of { client : int; group : int; at_ms : int; count : int; size : int }
+  | Lock_cycle of { client : int; group : int; lock : int; at_ms : int; hold_ms : int }
+  | Reduce of { client : int; group : int; at_ms : int }
+
+type t = {
+  kind : kind;
+  clients : int;
+  groups : int;
+  horizon_ms : int;
+  events : event list; (* sorted by start time *)
+}
+
+let event_at = function
+  | Crash_server { at_ms; _ }
+  | Client_churn { at_ms; _ }
+  | Partition_servers { at_ms; _ }
+  | Burst { at_ms; _ }
+  | Lock_cycle { at_ms; _ }
+  | Reduce { at_ms; _ } ->
+      at_ms
+
+(* Closed interval of virtual time an event influences, with slack for the
+   reconnect/rejoin tail. *)
+let event_span = function
+  | Crash_server { at_ms; down_ms; _ } -> (at_ms, at_ms + down_ms)
+  | Client_churn { at_ms; down_ms; _ } -> (at_ms, at_ms + down_ms + 1_500)
+  | Partition_servers { at_ms; dur_ms; _ } -> (at_ms, at_ms + dur_ms)
+  | Lock_cycle { at_ms; hold_ms; _ } -> (at_ms, at_ms + hold_ms + 500)
+  | Burst { at_ms; _ } | Reduce { at_ms; _ } -> (at_ms, at_ms)
+
+let sort_events evs =
+  List.stable_sort (fun a b -> Int.compare (event_at a) (event_at b)) evs
+
+let servers_of kind =
+  match kind with Single _ -> 1 | Replicated { replicas } -> replicas + 1
+
+(* Server indexes that never serve a client: agents are pinned round-robin
+   to nodes 1..replicas (the initial coordinator srv-0 "manages only a
+   reduced number of connections", §4.1), so partitions that isolate only
+   these indexes cannot split a client from the sequencing majority. *)
+let client_free_servers kind ~clients =
+  match kind with
+  | Single _ -> []
+  | Replicated { replicas } ->
+      let serving = List.init clients (fun i -> 1 + (i mod replicas)) in
+      List.filter
+        (fun s -> not (List.mem s serving))
+        (List.init (replicas + 1) (fun s -> s))
+
+(* --- generation --------------------------------------------------------- *)
+
+type profile = {
+  p_clients : int * int;
+  p_groups : int * int;
+  p_events : int * int;
+  p_horizon_ms : int;
+}
+
+let smoke_profile =
+  { p_clients = (2, 3); p_groups = (1, 2); p_events = (4, 8); p_horizon_ms = 12_000 }
+
+let full_profile =
+  { p_clients = (3, 5); p_groups = (1, 3); p_events = (8, 16); p_horizon_ms = 20_000 }
+
+let range rng (lo, hi) = lo + Sim.Rng.int rng (hi - lo + 1)
+
+(* §6 single-server crash recovery reuses sequence numbers for updates that
+   never reached the disk. That loss is accepted by the paper, so the
+   oracles must not observe traffic racing a crash window: give every
+   server-crash event an exclusive guard interval and drop whatever lands
+   inside it (clients reconnect, rejoin and resend well within the guard). *)
+let crash_guard_ms = 4_000
+
+let spans_intersect (a0, a1) (b0, b1) = a0 <= b1 && b0 <= a1
+
+let enforce_guards events =
+  let events = sort_events events in
+  let crash_spans = ref [] in
+  let crashes, rest =
+    List.partition (function Crash_server _ -> true | _ -> false) events
+  in
+  let kept_crashes =
+    List.filter
+      (fun ev ->
+        let s0, s1 = event_span ev in
+        let guarded = (s0 - crash_guard_ms, s1 + crash_guard_ms) in
+        if List.exists (spans_intersect guarded) !crash_spans then false
+        else begin
+          crash_spans := guarded :: !crash_spans;
+          true
+        end)
+      crashes
+  in
+  let kept_rest =
+    List.filter
+      (fun ev -> not (List.exists (spans_intersect (event_span ev)) !crash_spans))
+      rest
+  in
+  sort_events (kept_crashes @ kept_rest)
+
+let generate ?(smoke = false) rng =
+  let p = if smoke then smoke_profile else full_profile in
+  let clients = range rng p.p_clients in
+  let groups = range rng p.p_groups in
+  let kind =
+    match Sim.Rng.int rng 5 with
+    | 0 | 1 -> Single { sync_log = false }
+    | 2 -> Single { sync_log = true }
+    | _ -> Replicated { replicas = 2 + Sim.Rng.int rng 2 }
+  in
+  let horizon_ms = p.p_horizon_ms in
+  let n_events = range rng p.p_events in
+  let first_at = 2_000 in
+  let draw_at () = range rng (first_at, horizon_ms - 1_000) in
+  let single = match kind with Single _ -> true | Replicated _ -> false in
+  let crash_budget = ref (if single then 2 else 1) in
+  let partition_budget =
+    ref (match client_free_servers kind ~clients with [] -> 0 | _ -> 1)
+  in
+  let draw_event () =
+    match Sim.Rng.int rng 100 with
+    | n when n < 35 ->
+        Some
+          (Burst
+             {
+               client = Sim.Rng.int rng clients;
+               group = Sim.Rng.int rng groups;
+               at_ms = draw_at ();
+               count = 1 + Sim.Rng.int rng 6;
+               size = 8 + Sim.Rng.int rng 57;
+             })
+    | n when n < 55 ->
+        Some
+          (Lock_cycle
+             {
+               client = Sim.Rng.int rng clients;
+               group = Sim.Rng.int rng groups;
+               lock = Sim.Rng.int rng 2;
+               at_ms = draw_at ();
+               hold_ms = 200 + Sim.Rng.int rng 1_300;
+             })
+    | n when n < 72 ->
+        Some
+          (Client_churn
+             {
+               client = Sim.Rng.int rng clients;
+               at_ms = range rng (first_at, horizon_ms - 4_000);
+               down_ms = 800 + Sim.Rng.int rng 2_200;
+               crash = Sim.Rng.bool rng;
+             })
+    | n when n < 84 ->
+        if !crash_budget = 0 || !partition_budget = 0 && not single then None
+        else begin
+          decr crash_budget;
+          if not single then partition_budget := 0;
+          let servers = servers_of kind in
+          Some
+            (Crash_server
+               {
+                 server = Sim.Rng.int rng servers;
+                 at_ms = range rng (first_at, horizon_ms - 8_000);
+                 down_ms = (if single then 1_500 + Sim.Rng.int rng 2_000 else 0);
+               })
+        end
+    | n when n < 92 ->
+        if !partition_budget = 0 then None
+        else begin
+          decr partition_budget;
+          crash_budget := 0;
+          (* a failover racing a partition heal is a different experiment *)
+          match client_free_servers kind ~clients with
+          | [] -> None
+          | free ->
+              let isolated =
+                List.filteri (fun i _ -> i = 0 || Sim.Rng.bool rng) free
+              in
+              let at_ms = range rng (first_at, horizon_ms - 8_000) in
+              Some
+                (Partition_servers
+                   { servers = isolated; at_ms; dur_ms = 3_000 + Sim.Rng.int rng 3_000 })
+        end
+    | _ ->
+        Some
+          (Reduce
+             {
+               client = Sim.Rng.int rng clients;
+               group = Sim.Rng.int rng groups;
+               at_ms = draw_at ();
+             })
+  in
+  let events = ref [] in
+  for _ = 1 to n_events do
+    match draw_event () with Some ev -> events := ev :: !events | None -> ()
+  done;
+  { kind; clients; groups; horizon_ms; events = enforce_guards !events }
+
+(* --- printing ----------------------------------------------------------- *)
+
+let pp_kind fmt = function
+  | Single { sync_log } ->
+      Format.fprintf fmt "Check.Schedule.Single { sync_log = %b }" sync_log
+  | Replicated { replicas } ->
+      Format.fprintf fmt "Check.Schedule.Replicated { replicas = %d }" replicas
+
+let pp_event fmt = function
+  | Crash_server { server; at_ms; down_ms } ->
+      Format.fprintf fmt "Crash_server { server = %d; at_ms = %d; down_ms = %d }" server
+        at_ms down_ms
+  | Client_churn { client; at_ms; down_ms; crash } ->
+      Format.fprintf fmt
+        "Client_churn { client = %d; at_ms = %d; down_ms = %d; crash = %b }" client at_ms
+        down_ms crash
+  | Partition_servers { servers; at_ms; dur_ms } ->
+      Format.fprintf fmt "Partition_servers { servers = [%s]; at_ms = %d; dur_ms = %d }"
+        (String.concat "; " (List.map string_of_int servers))
+        at_ms dur_ms
+  | Burst { client; group; at_ms; count; size } ->
+      Format.fprintf fmt
+        "Burst { client = %d; group = %d; at_ms = %d; count = %d; size = %d }" client
+        group at_ms count size
+  | Lock_cycle { client; group; lock; at_ms; hold_ms } ->
+      Format.fprintf fmt
+        "Lock_cycle { client = %d; group = %d; lock = %d; at_ms = %d; hold_ms = %d }"
+        client group lock at_ms hold_ms
+  | Reduce { client; group; at_ms } ->
+      Format.fprintf fmt "Reduce { client = %d; group = %d; at_ms = %d }" client group
+        at_ms
+
+(* A copy-pasteable OCaml scenario: feed it back through
+   [Check.Runner.execute] to replay the exact run. *)
+let pp_ocaml ~seed fmt t =
+  Format.fprintf fmt "@[<v>let schedule : Check.Schedule.t =@;<1 2>@[<v 2>{@ ";
+  Format.fprintf fmt "kind = %a;@ " pp_kind t.kind;
+  Format.fprintf fmt "clients = %d;@ groups = %d;@ horizon_ms = %d;@ " t.clients t.groups
+    t.horizon_ms;
+  Format.fprintf fmt "@[<v 2>events =@ [@[<v 3>";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Format.fprintf fmt "@ ";
+      Format.fprintf fmt "Check.Schedule.%a;" pp_event ev)
+    t.events;
+  Format.fprintf fmt "@]@ ];@]@]@ }@ ";
+  Format.fprintf fmt "let () =@;<1 2>@[<v>let r = Check.Runner.execute ~seed:%LdL schedule in@ "
+    seed;
+  Format.fprintf fmt
+    "List.iter (fun v -> print_endline (Check.Oracles.violation_line v))@;<1 2>r.Check.Runner.r_violations@]@]"

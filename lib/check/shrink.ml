@@ -1,0 +1,126 @@
+(* Fault-schedule minimization. Given a failing schedule and a predicate
+   that re-runs it, shrink to a schedule that still fails but carries as
+   few events, and as small parameters, as we can manage:
+
+   1. ddmin over the event list — binary-search-flavoured chunk removal
+      with granularity doubling;
+   2. a one-event-at-a-time removal pass (1-minimality);
+   3. parameter halving — durations, burst sizes and counts are halved
+      while the failure persists.
+
+   Every candidate re-executes the schedule, so the whole search is bounded
+   by [max_attempts] runs. *)
+
+type stats = { sh_attempts : int; sh_kept : int; sh_dropped : int }
+
+let with_events (s : Schedule.t) events = { s with Schedule.events }
+
+(* indexes [0, len) minus the chunk [i*size, (i+1)*size) *)
+let complement events ~chunk ~size =
+  List.filteri (fun i _ -> i < chunk * size || i >= (chunk + 1) * size) events
+
+let ddmin ~check (s : Schedule.t) =
+  let rec go events n =
+    let len = List.length events in
+    if len <= 1 || n > len then events
+    else begin
+      let size = max 1 ((len + n - 1) / n) in
+      let chunks = (len + size - 1) / size in
+      let rec try_chunk i =
+        if i >= chunks then None
+        else begin
+          let candidate = complement events ~chunk:i ~size in
+          if candidate <> [] && check (with_events s candidate) then Some candidate
+          else try_chunk (i + 1)
+        end
+      in
+      match try_chunk 0 with
+      | Some smaller -> go smaller (max 2 (n - 1))
+      | None -> if n < len then go events (min len (2 * n)) else events
+    end
+  in
+  go s.Schedule.events 2
+
+let one_minimal ~check (s : Schedule.t) events =
+  let rec go i events =
+    if i >= List.length events then events
+    else begin
+      let candidate = List.filteri (fun j _ -> j <> i) events in
+      if candidate <> [] && check (with_events s candidate) then go i candidate
+      else go (i + 1) events
+    end
+  in
+  go 0 events
+
+(* Smaller variants of one event, best first. *)
+let smaller_variants (ev : Schedule.event) =
+  match ev with
+  | Schedule.Crash_server { server; at_ms; down_ms } ->
+      if down_ms > 1_000 then
+        [ Schedule.Crash_server { server; at_ms; down_ms = max 500 (down_ms / 2) } ]
+      else []
+  | Schedule.Client_churn { client; at_ms; down_ms; crash } ->
+      (if crash then [ Schedule.Client_churn { client; at_ms; down_ms; crash = false } ]
+       else [])
+      @
+      if down_ms > 800 then
+        [ Schedule.Client_churn { client; at_ms; down_ms = max 400 (down_ms / 2); crash } ]
+      else []
+  | Schedule.Partition_servers { servers; at_ms; dur_ms } ->
+      if dur_ms > 2_000 then
+        [ Schedule.Partition_servers { servers; at_ms; dur_ms = max 1_000 (dur_ms / 2) } ]
+      else []
+  | Schedule.Burst { client; group; at_ms; count; size } ->
+      (if count > 1 then
+         [ Schedule.Burst { client; group; at_ms; count = max 1 (count / 2); size } ]
+       else [])
+      @
+      if size > 8 then
+        [ Schedule.Burst { client; group; at_ms; count; size = max 8 (size / 2) } ]
+      else []
+  | Schedule.Lock_cycle { client; group; lock; at_ms; hold_ms } ->
+      if hold_ms > 200 then
+        [ Schedule.Lock_cycle { client; group; lock; at_ms; hold_ms = max 100 (hold_ms / 2) } ]
+      else []
+  | Schedule.Reduce _ -> []
+
+let shrink_params ~check (s : Schedule.t) events =
+  let events = ref events in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iteri
+      (fun i ev ->
+        List.iter
+          (fun variant ->
+            let candidate =
+              List.mapi (fun j e -> if j = i then variant else e) !events
+            in
+            if (not !progress) && check (with_events s candidate) then begin
+              events := candidate;
+              progress := true
+            end)
+          (smaller_variants ev))
+      !events
+  done;
+  !events
+
+let shrink ?(max_attempts = 220) ~still_fails (s : Schedule.t) =
+  let attempts = ref 0 in
+  let check candidate =
+    !attempts < max_attempts
+    && begin
+         incr attempts;
+         still_fails candidate
+       end
+  in
+  let events = ddmin ~check s in
+  let events = one_minimal ~check s events in
+  let events = shrink_params ~check s events in
+  let shrunk = with_events s events in
+  ( shrunk,
+    {
+      sh_attempts = !attempts;
+      sh_kept = List.length events;
+      sh_dropped = List.length s.Schedule.events - List.length events;
+    } )

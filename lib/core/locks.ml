@@ -6,6 +6,12 @@
    live tickets. The seed implementation paid O(n) per enqueue ([List.mem] +
    list append) — O(n²) to fill a queue. *)
 
+type event =
+  | Granted of Proto.Types.lock_id * Proto.Types.member_id
+  | Queued of Proto.Types.lock_id * Proto.Types.member_id
+  | Unqueued of Proto.Types.lock_id * Proto.Types.member_id
+  | Released of Proto.Types.lock_id * Proto.Types.member_id
+
 type lock_state = {
   mutable holder : Proto.Types.member_id;
   waiting : (Proto.Types.member_id * int) Queue.t;
@@ -13,16 +19,31 @@ type lock_state = {
   mutable next_ticket : int;
 }
 
-type t = { locks : (Proto.Types.lock_id, lock_state) Hashtbl.t }
+type t = {
+  locks : (Proto.Types.lock_id, lock_state) Hashtbl.t;
+  journal : event Queue.t option; (* oldest first, when recording *)
+}
 
-let create () = { locks = Hashtbl.create 8 }
+let create ?(record_journal = false) () =
+  {
+    locks = Hashtbl.create 8;
+    journal = (if record_journal then Some (Queue.create ()) else None);
+  }
 
-let enqueue s member =
+let record t ev = match t.journal with Some q -> Queue.add ev q | None -> ()
+
+let journal t =
+  match t.journal with
+  | Some q -> List.rev (Queue.fold (fun acc ev -> ev :: acc) [] q)
+  | None -> []
+
+let enqueue t s lock member =
   if not (Hashtbl.mem s.queued member) then begin
     let ticket = s.next_ticket in
     s.next_ticket <- ticket + 1;
     Hashtbl.replace s.queued member ticket;
-    Queue.add (member, ticket) s.waiting
+    Queue.add (member, ticket) s.waiting;
+    record t (Queued (lock, member))
   end
 
 let acquire t ~lock ~member =
@@ -30,10 +51,11 @@ let acquire t ~lock ~member =
   | None ->
       Hashtbl.replace t.locks lock
         { holder = member; waiting = Queue.create (); queued = Hashtbl.create 4; next_ticket = 0 };
+      record t (Granted (lock, member));
       `Granted
   | Some s when s.holder = member -> `Granted
   | Some s ->
-      enqueue s member;
+      enqueue t s lock member;
       `Busy s.holder
 
 let rec grant_next t lock s =
@@ -46,12 +68,15 @@ let rec grant_next t lock s =
       | Some live when live = ticket ->
           Hashtbl.remove s.queued next;
           s.holder <- next;
+          record t (Granted (lock, next));
           Some next
       | Some _ | None -> grant_next t lock s (* stale entry: waiter left or re-queued *))
 
 let release t ~lock ~member =
   match Hashtbl.find_opt t.locks lock with
-  | Some s when s.holder = member -> `Released (grant_next t lock s)
+  | Some s when s.holder = member ->
+      record t (Released (lock, member));
+      `Released (grant_next t lock s)
   | Some _ | None -> `Not_holder
 
 let release_all t ~member =
@@ -59,9 +84,14 @@ let release_all t ~member =
   let locks = Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.locks [] in
   List.iter
     (fun (lock, s) ->
-      Hashtbl.remove s.queued member;
-      if s.holder = member then
-        released := (lock, grant_next t lock s) :: !released)
+      if Hashtbl.mem s.queued member then begin
+        Hashtbl.remove s.queued member;
+        record t (Unqueued (lock, member))
+      end;
+      if s.holder = member then begin
+        record t (Released (lock, member));
+        released := (lock, grant_next t lock s) :: !released
+      end)
     locks;
   List.sort (fun (la, _) (lb, _) -> String.compare la lb) !released
 

@@ -7,7 +7,25 @@
 
 type t
 
-val create : unit -> t
+(** One entry of the optional grant journal, in execution order. [Granted]
+    is emitted both for immediate grants and for grants inherited from the
+    wait queue on release; [Released] covers voluntary release and the
+    force-release on leave/crash; [Unqueued] marks a waiter dropped from a
+    queue before ever holding the lock. Replaying the journal against a
+    model checks holder exclusivity and FIFO grant order — the lock-safety
+    oracle of [Check.Oracles]. *)
+type event =
+  | Granted of Proto.Types.lock_id * Proto.Types.member_id
+  | Queued of Proto.Types.lock_id * Proto.Types.member_id
+  | Unqueued of Proto.Types.lock_id * Proto.Types.member_id
+  | Released of Proto.Types.lock_id * Proto.Types.member_id
+
+val create : ?record_journal:bool -> unit -> t
+(** [record_journal] (default [false]) keeps the full event journal in
+    memory; leave it off outside checking harnesses. *)
+
+val journal : t -> event list
+(** Recorded events, oldest first ([] when recording is off). *)
 
 val acquire :
   t ->

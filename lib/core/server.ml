@@ -14,6 +14,8 @@ type config = {
          channel for capable clients, point-to-point TCP for the rest *)
   transfer_chunk_bytes : int option;
       (* QoS-adaptive transfer pacing ([11], §5.3) *)
+  record_lock_journal : bool;
+      (* keep per-group lock grant journals for invariant checking *)
 }
 
 let default_config =
@@ -25,6 +27,7 @@ let default_config =
     access = Access_control.allow_all;
     use_ip_multicast = false;
     transfer_chunk_bytes = None;
+    record_lock_journal = false;
   }
 
 type stats = {
@@ -116,6 +119,21 @@ let lock_holder t group lock =
   match Hashtbl.find_opt t.groups group with
   | Some g -> Locks.holder g.g_locks lock
   | None -> None
+
+let lock_journal t id =
+  match Hashtbl.find_opt t.groups id with
+  | Some g -> Locks.journal g.g_locks
+  | None -> []
+
+let group_updates_from t id from =
+  match Hashtbl.find_opt t.groups id with
+  | Some { g_keeper = Stateful log; _ } -> State_log.updates_from log from
+  | Some { g_keeper = Stateless _; _ } | None -> []
+
+let group_base t id =
+  match Hashtbl.find_opt t.groups id with
+  | Some { g_keeper = Stateful log; _ } -> Some (State_log.base log)
+  | Some { g_keeper = Stateless _; _ } | None -> None
 
 (* --- sending ---------------------------------------------------------
 
@@ -347,7 +365,7 @@ let handle_create t conn ~group ~persistent ~initial ~requester =
             g_persistent = persistent;
             g_keeper = make_keeper t ~group ~persistent ~initial;
             g_members = Membership.create ();
-            g_locks = Locks.create ();
+            g_locks = Locks.create ~record_journal:t.cfg.record_lock_journal ();
             g_mcast_members = Hashtbl.create 8;
           }
         in
@@ -657,7 +675,7 @@ let recover_groups t =
           g_persistent = ck.ck_persistent;
           g_keeper = Stateful log;
           g_members = Membership.create ();
-          g_locks = Locks.create ();
+          g_locks = Locks.create ~record_journal:t.cfg.record_lock_journal ();
           g_mcast_members = Hashtbl.create 8;
         })
     (Server_storage.recoverable_groups t.storage)

@@ -38,6 +38,9 @@ type config = {
           (at roughly half the NIC rate) so concurrent interactive
           multicasts are not head-of-line blocked behind a bulk transfer;
           [None] sends the whole state in one message *)
+  record_lock_journal : bool;
+      (** keep per-group {!Locks} grant journals in memory so invariant
+          checkers ({!Check}) can replay them; off by default *)
 }
 
 val default_config : config
@@ -94,6 +97,19 @@ val group_log_length : t -> Proto.Types.group_id -> int option
 
 val lock_holder :
   t -> Proto.Types.group_id -> Proto.Types.lock_id -> Proto.Types.member_id option
+
+val lock_journal : t -> Proto.Types.group_id -> Locks.event list
+(** The group's lock grant journal (empty unless
+    [config.record_lock_journal] is on, or the group is unknown). *)
+
+val group_updates_from : t -> Proto.Types.group_id -> int -> Proto.Types.update list
+(** Retained updates of the group's log with seqno ≥ the argument (stateful
+    mode only). *)
+
+val group_base : t -> Proto.Types.group_id -> ((Proto.Types.object_id * string) list * int) option
+(** The state at the start of the retained log and the sequence number it
+    reflects: [state = base + retained updates], the replay property the
+    log-reduction fidelity oracle checks. *)
 
 val stats : t -> stats
 

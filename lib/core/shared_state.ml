@@ -60,6 +60,24 @@ let total_bytes t =
       + List.fold_left (fun n s -> n + String.length s) 0 e.segments)
     t.objects 0
 
+(* FNV-1a 64 over the sorted (id, data) pairs, with a terminator byte after
+   each string so concatenation ambiguities ("ab"+"c" vs "a"+"bc") cannot
+   collide. Structural (not physical): two states with equal materialized
+   objects digest equally regardless of segment layout. *)
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte = h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L in
+  let mix_string s =
+    String.iter (fun c -> mix (Char.code c)) s;
+    mix 0xff
+  in
+  List.iter
+    (fun (id, data) ->
+      mix_string id;
+      mix_string data)
+    (objects t);
+  Printf.sprintf "%016Lx" !h
+
 let copy t = of_objects (objects t)
 
 let equal a b = objects a = objects b

@@ -44,4 +44,10 @@ val copy : t -> t
 val equal : t -> t -> bool
 (** Same objects with identical streams. *)
 
+val digest : t -> string
+(** Deterministic 16-hex-digit digest (FNV-1a 64) of the materialized
+    objects in sorted order. Structural: states with equal [objects] digest
+    equally, whatever the internal segment layout — the comparison the
+    convergence oracles rely on. *)
+
 val clear : t -> unit

@@ -14,9 +14,13 @@ type entry = {
   e_locks : Corona.Locks.t;
 }
 
-type t = { entries : (Proto.Types.group_id, entry) Hashtbl.t }
+type t = {
+  entries : (Proto.Types.group_id, entry) Hashtbl.t;
+  record_lock_journal : bool;
+}
 
-let create () = { entries = Hashtbl.create 16 }
+let create ?(record_lock_journal = false) () =
+  { entries = Hashtbl.create 16; record_lock_journal }
 
 let group_ids t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.entries [] |> List.sort String.compare
@@ -54,7 +58,7 @@ let add_group t ~group ~persistent ~first_holder =
         e_members = Hashtbl.create 8;
         e_order = [];
         e_holders = [ first_holder ];
-        e_locks = Corona.Locks.create ();
+        e_locks = Corona.Locks.create ~record_journal:t.record_lock_journal ();
       }
     in
     Hashtbl.replace t.entries group e;

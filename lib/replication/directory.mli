@@ -17,7 +17,10 @@ type entry
 
 type t
 
-val create : unit -> t
+val create : ?record_lock_journal:bool -> unit -> t
+(** [record_lock_journal] (default [false]) makes every group's lock table
+    keep its grant journal ({!Corona.Locks.journal}) for invariant
+    checking. *)
 
 val group_ids : t -> Proto.Types.group_id list
 

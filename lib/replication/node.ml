@@ -12,6 +12,7 @@ type config = {
   access : Corona.Access_control.t;
   relaxed_membership : bool;
   server_multicast : bool;
+  record_lock_journal : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     access = Corona.Access_control.allow_all;
     relaxed_membership = false;
     server_multicast = false;
+    record_lock_journal = false;
   }
 
 type role = Coordinator | Replica
@@ -156,6 +158,17 @@ let group_local_members t g =
   | None -> []
 
 let directory_groups t = if t.node_role = Coordinator then Directory.group_ids t.dir else []
+
+let lock_journal t =
+  List.filter_map
+    (fun g ->
+      match Directory.find t.dir g with
+      | Some entry -> (
+          match Corona.Locks.journal (Directory.locks entry) with
+          | [] -> None
+          | events -> Some (g, events))
+      | None -> None)
+    (Directory.group_ids t.dir)
 
 (* --- server mesh ------------------------------------------------------- *)
 
@@ -366,7 +379,16 @@ and coord_fan_group t entry ?except msg =
         (Directory.replicas_of entry)
 
 and coord_handle t ~from msg =
-  if not t.dir_ready then t.coord_buffer <- (from, msg) :: t.coord_buffer
+  (* Directory reports and liveness must never wait behind the recovery
+     buffer: a [Dir_reply] IS the recovery input — deferring it would let a
+     buffered forward be sequenced against a directory that has not yet
+     absorbed the other replicas' holdings, fanning the update past them
+     with no later seqno to trigger gap repair. *)
+  let defer =
+    (not t.dir_ready)
+    && (match msg with Smsg.Dir_reply _ | Smsg.Heartbeat _ -> false | _ -> true)
+  in
+  if defer then t.coord_buffer <- (from, msg) :: t.coord_buffer
   else begin
     match msg with
     | Smsg.Fwd_create { origin; group; creator; persistent; initial } ->
@@ -1233,7 +1255,7 @@ let create fabric node_host ?(config = default_config) ~storage ~server_list
       alive = server_list;
       coord = coordinator;
       node_role = (if self = coordinator then Coordinator else Replica);
-      dir = Directory.create ();
+      dir = Directory.create ~record_lock_journal:config.record_lock_journal ();
       dir_ready = true;
       dir_waiting_on = [];
       recovery_reports = [];

@@ -35,6 +35,9 @@ type config = {
           connections" — when on, the coordinator fans [Sequenced] updates
           out on one inter-server channel; control traffic and recovery stay
           on the TCP mesh *)
+  record_lock_journal : bool;
+      (** keep the directory's per-group lock grant journals in memory for
+          invariant checking ({!Check}); off by default *)
 }
 
 val default_config : config
@@ -96,6 +99,11 @@ val group_local_members : t -> Proto.Types.group_id -> Proto.Types.member list
 
 val directory_groups : t -> Proto.Types.group_id list
 (** Coordinator only: groups in the directory ([] on replicas). *)
+
+val lock_journal : t -> (Proto.Types.group_id * Corona.Locks.event list) list
+(** Non-empty lock grant journals of this node's directory (a node that was
+    ever coordinator carries the journals accumulated during its tenure;
+    requires [config.record_lock_journal]). *)
 
 val adopt_group_state :
   t ->

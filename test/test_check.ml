@@ -1,0 +1,318 @@
+(* Tests for the corona-check harness: schedule generation, determinism of
+   the runner, the seeded-bug acceptance path (an injected bug must trip an
+   oracle and the shrinker must keep a failing, replayable schedule), and
+   the oracle replay models in isolation. *)
+
+module S = Check.Schedule
+module O = Check.Oracles
+
+let tc = Alcotest.test_case
+
+(* --- generation ---------------------------------------------------------- *)
+
+let test_generation_shape () =
+  for seed = 1 to 40 do
+    let rng = Sim.Rng.create (Int64.of_int seed) in
+    let s = S.generate rng in
+    Alcotest.(check bool) "clients" true (s.S.clients >= 3 && s.S.clients <= 5);
+    Alcotest.(check bool) "groups" true (s.S.groups >= 1 && s.S.groups <= 3);
+    (* events sorted by start time *)
+    let rec sorted = function
+      | a :: (b :: _ as tl) -> S.event_at a <= S.event_at b && sorted tl
+      | _ -> true
+    in
+    Alcotest.(check bool) "sorted" true (sorted s.S.events);
+    (* no non-crash event inside a server-crash guard window *)
+    let crash_spans =
+      List.filter_map
+        (function
+          | S.Crash_server { at_ms; down_ms; _ } ->
+              Some (at_ms - S.crash_guard_ms, at_ms + down_ms + S.crash_guard_ms)
+          | _ -> None)
+        s.S.events
+    in
+    List.iter
+      (fun ev ->
+        match ev with
+        | S.Crash_server _ -> ()
+        | ev ->
+            let e0, e1 = S.event_span ev in
+            List.iter
+              (fun (g0, g1) ->
+                Alcotest.(check bool) "guarded" false (e0 <= g1 && g0 <= e1))
+              crash_spans)
+      s.S.events
+  done
+
+let test_generation_deterministic () =
+  let gen seed =
+    let rng = Sim.Rng.create seed in
+    S.generate rng
+  in
+  let a = gen 9L and b = gen 9L in
+  Alcotest.(check bool) "same schedule" true (a = b)
+
+(* --- determinism regression ---------------------------------------------- *)
+
+(* The same (seed, schedule) pair must produce byte-for-byte identical event
+   traces when executed twice in one process: any divergence means some
+   state leaked between runs or nondeterminism crept into the stack. *)
+let test_runner_deterministic () =
+  List.iter
+    (fun seed ->
+      let sched =
+        let rng = Sim.Rng.create seed in
+        S.generate ~smoke:true rng
+      in
+      let r1 = Check.Runner.execute ~seed sched in
+      let r2 = Check.Runner.execute ~seed sched in
+      Alcotest.(check (list string))
+        (Printf.sprintf "trace of seed %Ld" seed)
+        r1.Check.Runner.r_trace r2.Check.Runner.r_trace;
+      Alcotest.(check int)
+        (Printf.sprintf "deliveries of seed %Ld" seed)
+        r1.Check.Runner.r_deliveries r2.Check.Runner.r_deliveries)
+    [ 2L; 3L; 6L; 37L ]
+
+(* --- clean runs ----------------------------------------------------------- *)
+
+let test_trunk_passes_smoke () =
+  for seed = 1 to 12 do
+    let seed = Int64.of_int seed in
+    let sched =
+      let rng = Sim.Rng.create seed in
+      S.generate ~smoke:true rng
+    in
+    let r = Check.Runner.execute ~seed sched in
+    List.iter
+      (fun v -> Alcotest.failf "seed %Ld: %s" seed (O.violation_line v))
+      r.Check.Runner.r_violations
+  done
+
+(* Regression for the coordinator-failover bug corona-check caught on its
+   first full sweep: [coord_handle] buffered [Dir_reply] behind the
+   directory-recovery gate it was supposed to feed, so a resent broadcast
+   could be sequenced against an incomplete directory and silently skip
+   replicas (fixed in lib/replication/node.ml). Generation is deterministic,
+   so full-profile seed 37 replays the exact schedule that exposed it. *)
+let test_seed_37_failover_regression () =
+  let sched = S.generate (Sim.Rng.create 37L) in
+  (match sched.S.kind with
+  | S.Replicated _ -> ()
+  | S.Single _ -> Alcotest.fail "seed 37 must generate a replicated deployment");
+  Alcotest.(check bool)
+    "partitions a server" true
+    (List.exists (function S.Partition_servers _ -> true | _ -> false) sched.S.events);
+  let r = Check.Runner.execute ~seed:37L sched in
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map O.violation_line r.Check.Runner.r_violations)
+
+(* --- seeded bug + shrinking ----------------------------------------------- *)
+
+(* A client that reconnects after churn but "forgets" to rejoin its groups
+   keeps a stale replica: the convergence (or membership) oracle must fire,
+   and the shrinker must cut the schedule down while keeping it failing. *)
+let seeded_bug_schedule =
+  {
+    S.kind = S.Single { sync_log = false };
+    clients = 3;
+    groups = 1;
+    horizon_ms = 12_000;
+    events =
+      [
+        S.Client_churn { client = 1; at_ms = 3_000; down_ms = 1_000; crash = false };
+        S.Burst { client = 0; group = 0; at_ms = 6_000; count = 3; size = 16 };
+        S.Burst { client = 2; group = 0; at_ms = 7_000; count = 2; size = 16 };
+        S.Lock_cycle { client = 2; group = 0; lock = 0; at_ms = 8_000; hold_ms = 400 };
+      ];
+  }
+
+let bug = { Check.Runner.skip_reconcile = false; skip_rejoin = true }
+
+let test_seeded_bug_detected () =
+  let r = Check.Runner.execute ~bug ~seed:5L seeded_bug_schedule in
+  Alcotest.(check bool) "oracle fired" true (r.Check.Runner.r_violations <> []);
+  let clean = Check.Runner.execute ~seed:5L seeded_bug_schedule in
+  Alcotest.(check (list string))
+    "clean run passes" []
+    (List.map O.violation_line clean.Check.Runner.r_violations)
+
+let test_shrinker_keeps_failure () =
+  let still_fails s =
+    (Check.Runner.execute ~bug ~seed:5L s).Check.Runner.r_violations <> []
+  in
+  let shrunk, stats = Check.Shrink.shrink ~still_fails seeded_bug_schedule in
+  Alcotest.(check bool) "still fails" true (still_fails shrunk);
+  Alcotest.(check bool)
+    "strictly smaller" true
+    (List.length shrunk.S.events < List.length seeded_bug_schedule.S.events);
+  Alcotest.(check int) "kept" (List.length shrunk.S.events) stats.Check.Shrink.sh_kept;
+  (* the churn event is the trigger: it must survive shrinking *)
+  Alcotest.(check bool)
+    "churn kept" true
+    (List.exists (function S.Client_churn _ -> true | _ -> false) shrunk.S.events)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_reproducer_prints () =
+  let s = Format.asprintf "%a" (S.pp_ocaml ~seed:5L) seeded_bug_schedule in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~needle s))
+    [ "Check.Schedule.Single"; "Client_churn"; "~seed:5L"; "Check.Runner.execute" ]
+
+(* --- oracle replay models ------------------------------------------------- *)
+
+let empty_input =
+  {
+    O.i_copies = [];
+    i_journals = [];
+    i_clients = [];
+    i_client_states = [];
+    i_members = [];
+    i_expected_members = [];
+    i_eras = [];
+  }
+
+let test_lock_oracle_model () =
+  let j events = { empty_input with O.i_journals = [ ("srv", "g", events) ] } in
+  let ok events = Alcotest.(check int) "clean" 0 (List.length (O.locks (j events))) in
+  let bad events =
+    Alcotest.(check bool) "flagged" true (O.locks (j events) <> [])
+  in
+  ok
+    [
+      Corona.Locks.Granted ("l", "a");
+      Corona.Locks.Queued ("l", "b");
+      Corona.Locks.Released ("l", "a");
+      Corona.Locks.Granted ("l", "b");
+      Corona.Locks.Released ("l", "b");
+    ];
+  (* double grant without release *)
+  bad [ Corona.Locks.Granted ("l", "a"); Corona.Locks.Granted ("l", "b") ];
+  (* grant out of queue order *)
+  bad
+    [
+      Corona.Locks.Granted ("l", "a");
+      Corona.Locks.Queued ("l", "b");
+      Corona.Locks.Queued ("l", "c");
+      Corona.Locks.Released ("l", "a");
+      Corona.Locks.Granted ("l", "c");
+    ];
+  (* release by non-holder *)
+  bad [ Corona.Locks.Granted ("l", "a"); Corona.Locks.Released ("l", "b") ];
+  (* lazy removal makes the queue jump legal *)
+  ok
+    [
+      Corona.Locks.Granted ("l", "a");
+      Corona.Locks.Queued ("l", "b");
+      Corona.Locks.Queued ("l", "c");
+      Corona.Locks.Unqueued ("l", "b");
+      Corona.Locks.Released ("l", "a");
+      Corona.Locks.Granted ("l", "c");
+    ]
+
+let test_total_order_oracle () =
+  let obs = Check.Observe.create "c0" in
+  Check.Observe.record obs ~now:1.0 (Check.Observe.Joined { group = "g"; next = 0 });
+  let deliver ~now seqno data =
+    Check.Observe.record obs ~now
+      (Check.Observe.Delivered
+         { group = "g"; seqno; sender = "c1"; kind = "append"; obj = "o"; data })
+  in
+  deliver ~now:2.0 0 "x";
+  deliver ~now:2.1 1 "y";
+  let clean = { empty_input with O.i_clients = [ obs ] } in
+  Alcotest.(check int) "contiguous ok" 0 (List.length (O.total_order clean));
+  deliver ~now:2.2 3 "z" (* gap: #2 skipped *);
+  Alcotest.(check bool) "gap flagged" true (O.total_order clean <> []);
+  (* two clients disagreeing on the content of one seqno *)
+  let a = Check.Observe.create "a" and b = Check.Observe.create "b" in
+  List.iter
+    (fun (o, data) ->
+      Check.Observe.record o ~now:1.0 (Check.Observe.Joined { group = "g"; next = 0 });
+      Check.Observe.record o ~now:2.0
+        (Check.Observe.Delivered
+           { group = "g"; seqno = 0; sender = "s"; kind = "append"; obj = "o"; data }))
+    [ (a, "one"); (b, "two") ];
+  let input = { empty_input with O.i_clients = [ a; b ] } in
+  Alcotest.(check bool) "divergent content flagged" true (O.total_order input <> [])
+
+let test_era_scoping () =
+  (* same seqno, different content, but separated by a server restart: the
+     §6 seqno reuse after a crash must NOT be flagged *)
+  let a = Check.Observe.create "a" and b = Check.Observe.create "b" in
+  List.iter
+    (fun (o, now, data) ->
+      Check.Observe.record o ~now:(now -. 0.5)
+        (Check.Observe.Joined { group = "g"; next = 7 });
+      Check.Observe.record o ~now
+        (Check.Observe.Delivered
+           { group = "g"; seqno = 7; sender = "s"; kind = "append"; obj = "o"; data }))
+    [ (a, 2.0, "before-crash"); (b, 9.0, "after-recovery") ];
+  let input = { empty_input with O.i_clients = [ a; b ]; i_eras = [ 5.0 ] } in
+  Alcotest.(check int) "era-scoped" 0 (List.length (O.total_order input));
+  let no_eras = { input with O.i_eras = [] } in
+  Alcotest.(check bool) "without eras it would flag" true (O.total_order no_eras <> [])
+
+let test_fidelity_oracle () =
+  let base = [ ("o", "seed") ] in
+  let u seqno data =
+    {
+      Proto.Types.seqno;
+      group = "g";
+      kind = Proto.Types.Append_update;
+      obj = "o";
+      data;
+      sender = "s";
+      timestamp = 0.0;
+    }
+  in
+  let live = Corona.Shared_state.of_objects base in
+  Corona.Shared_state.apply live (u 3 "x");
+  Corona.Shared_state.apply live (u 4 "y");
+  let copy =
+    {
+      Check.Deploy.c_owner = "srv";
+      c_digest = Corona.Shared_state.digest live;
+      c_next = 5;
+      c_base = Some (base, 3);
+      c_updates = [ u 3 "x"; u 4 "y" ];
+    }
+  in
+  let input g c = { empty_input with O.i_copies = [ (g, [ c ]) ] } in
+  Alcotest.(check int) "replay ok" 0 (List.length (O.fidelity (input "g" copy)));
+  let holey = { copy with Check.Deploy.c_updates = [ u 3 "x" ] } in
+  Alcotest.(check bool) "missing tail flagged" true (O.fidelity (input "g" holey) <> [])
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "schedule",
+        [
+          tc "generation shape and guards" `Quick test_generation_shape;
+          tc "generation deterministic" `Quick test_generation_deterministic;
+          tc "reproducer prints" `Quick test_reproducer_prints;
+        ] );
+      ( "runner",
+        [
+          tc "determinism regression" `Quick test_runner_deterministic;
+          tc "trunk passes smoke seeds" `Quick test_trunk_passes_smoke;
+          tc "seed 37 failover regression" `Quick test_seed_37_failover_regression;
+        ] );
+      ( "seeded-bug",
+        [
+          tc "injected bug trips an oracle" `Quick test_seeded_bug_detected;
+          tc "shrinker keeps the failure" `Quick test_shrinker_keeps_failure;
+        ] );
+      ( "oracles",
+        [
+          tc "lock replay model" `Quick test_lock_oracle_model;
+          tc "total order" `Quick test_total_order_oracle;
+          tc "era scoping (§6 seqno reuse)" `Quick test_era_scoping;
+          tc "log-reduction fidelity" `Quick test_fidelity_oracle;
+        ] );
+    ]

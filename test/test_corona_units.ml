@@ -218,6 +218,71 @@ let test_lock_release_all () =
   ignore (Corona.Locks.release_all l ~member:"b");
   Alcotest.(check (option string)) "x free after b gone" None (Corona.Locks.holder l "x")
 
+let test_lock_waiter_crash_mid_queue () =
+  (* a holds; b, c, d wait. b crashes while queued: the grant chain must
+     skip it and the journal must record the drop as Unqueued, never
+     Granted. *)
+  let l = Corona.Locks.create ~record_journal:true () in
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"a");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"b");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"c");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"d");
+  Alcotest.(check (list (pair string (option string))))
+    "crashed waiter held nothing" [] (Corona.Locks.release_all l ~member:"b");
+  Alcotest.(check (list string)) "queue skips b" [ "c"; "d" ]
+    (Corona.Locks.waiters l "x");
+  (match Corona.Locks.release l ~lock:"x" ~member:"a" with
+  | `Released (Some "c") -> ()
+  | _ -> Alcotest.fail "expected handoff to c, not the crashed b");
+  (match Corona.Locks.release l ~lock:"x" ~member:"c" with
+  | `Released (Some "d") -> ()
+  | _ -> Alcotest.fail "expected handoff to d");
+  Alcotest.(check bool) "b never granted" false
+    (List.mem (Corona.Locks.Granted ("x", "b")) (Corona.Locks.journal l));
+  Alcotest.(check bool) "drop journaled" true
+    (List.mem (Corona.Locks.Unqueued ("x", "b")) (Corona.Locks.journal l))
+
+let test_lock_grant_order_interleaved () =
+  (* Enqueues interleaved with releases: grants must follow enqueue order
+     (b, c, d, e) no matter when each release happens. *)
+  let l = Corona.Locks.create () in
+  let next_holder m =
+    match Corona.Locks.release l ~lock:"x" ~member:m with
+    | `Released next -> next
+    | `Not_holder -> Alcotest.failf "%s should hold the lock" m
+  in
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"a");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"b");
+  Alcotest.(check (option string)) "a -> b" (Some "b") (next_holder "a");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"c");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"d");
+  Alcotest.(check (option string)) "b -> c" (Some "c") (next_holder "b");
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"e");
+  Alcotest.(check (option string)) "c -> d" (Some "d") (next_holder "c");
+  Alcotest.(check (list string)) "e still waiting" [ "e" ]
+    (Corona.Locks.waiters l "x");
+  Alcotest.(check (option string)) "d -> e" (Some "e") (next_holder "d");
+  Alcotest.(check (option string)) "e -> free" None (next_holder "e")
+
+let test_lock_double_release () =
+  let l = Corona.Locks.create () in
+  ignore (Corona.Locks.acquire l ~lock:"x" ~member:"a");
+  Alcotest.(check bool) "first release" true
+    (Corona.Locks.release l ~lock:"x" ~member:"a" = `Released None);
+  Alcotest.(check bool) "second release rejected" true
+    (Corona.Locks.release l ~lock:"x" ~member:"a" = `Not_holder);
+  (* same after a handoff: the old holder cannot release the new holder's
+     lock with a stale second release *)
+  ignore (Corona.Locks.acquire l ~lock:"y" ~member:"a");
+  ignore (Corona.Locks.acquire l ~lock:"y" ~member:"b");
+  (match Corona.Locks.release l ~lock:"y" ~member:"a" with
+  | `Released (Some "b") -> ()
+  | _ -> Alcotest.fail "expected handoff to b");
+  Alcotest.(check bool) "stale release rejected" true
+    (Corona.Locks.release l ~lock:"y" ~member:"a" = `Not_holder);
+  Alcotest.(check (option string)) "b still holds" (Some "b")
+    (Corona.Locks.holder l "y")
+
 let prop_lock_single_holder =
   (* Random acquire/release traffic never yields two holders and never
      grants to someone who did not ask. *)
@@ -328,6 +393,9 @@ let () =
           tc "grant, queue, release" `Quick test_lock_grant_queue_release;
           tc "release by non-holder" `Quick test_lock_release_not_holder;
           tc "release all on leave" `Quick test_lock_release_all;
+          tc "waiter crash mid-queue" `Quick test_lock_waiter_crash_mid_queue;
+          tc "grant order, interleaved enqueue" `Quick test_lock_grant_order_interleaved;
+          tc "double release rejected" `Quick test_lock_double_release;
           q prop_lock_single_holder;
         ] );
       ("membership", [ tc "join order and rejoin" `Quick test_membership_join_order_and_rejoin ]);

@@ -323,6 +323,49 @@ let test_crash_for () =
   Sim.Engine.run ~until:3.5 engine;
   Alcotest.(check bool) "back after window" true (Net.Host.is_alive h)
 
+let test_flaky_host () =
+  let engine, fabric = make_world () in
+  let f = Net.Fabric.add_host fabric ~name:"f" () in
+  let obs = Net.Fabric.add_host fabric ~name:"obs" () in
+  (* a live connection into the flaky host: its first crash must surface as
+     [Peer_crashed] on the surviving peer *)
+  let close_reason = ref None in
+  let client = ref None in
+  ignore
+    (Net.Tcp.listen fabric f ~port:80 ~on_accept:(fun _ -> ()));
+  Net.Tcp.connect fabric ~src:obs ~dst:f ~port:80
+    ~on_connected:(fun conn ->
+      client := Some conn;
+      Net.Tcp.set_on_close conn (fun r -> close_reason := Some r))
+    ~on_failed:(fun () -> Alcotest.fail "connect failed")
+    ();
+  Net.Fault.flaky_host fabric f ~mean_uptime:1.0 ~mean_downtime:0.5;
+  (* sample the incarnation epoch as the host cycles *)
+  let epochs = ref [ Net.Host.epoch f ] in
+  let transitions = ref 0 in
+  Sim.Engine.periodic engine ~every:0.005 (fun () ->
+      let e = Net.Host.epoch f in
+      if e <> List.hd !epochs then begin
+        epochs := e :: !epochs;
+        incr transitions
+      end;
+      Sim.Engine.now engine < 30.0);
+  Sim.Engine.run ~until:30.0 engine;
+  let rec strictly_increasing = function
+    | a :: (b :: _ as tl) -> b < a && strictly_increasing tl (* newest first *)
+    | _ -> true
+  in
+  Alcotest.(check bool) "epoch strictly increases" true (strictly_increasing !epochs);
+  Alcotest.(check bool)
+    (Printf.sprintf "several cycles in 30 s (saw %d transitions)" !transitions)
+    true (!transitions >= 5);
+  (match !close_reason with
+  | Some Net.Tcp.Peer_crashed -> ()
+  | Some r -> Alcotest.failf "expected Peer_crashed, got %a" Net.Tcp.pp_close_reason r
+  | None -> Alcotest.fail "connection never observed the crash");
+  Alcotest.(check bool) "no half-open surviving side" false
+    (Net.Tcp.is_open (Option.get !client))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "net"
@@ -362,5 +405,9 @@ let () =
             test_multicast_multiple_subscribers_per_host;
           tc "registry shares channels" `Quick test_multicast_registry_shared;
         ] );
-      ("fault", [ tc "crash_for window" `Quick test_crash_for ]);
+      ( "fault",
+        [
+          tc "crash_for window" `Quick test_crash_for;
+          tc "flaky_host cycles epochs, crashes connections" `Quick test_flaky_host;
+        ] );
     ]

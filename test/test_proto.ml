@@ -62,6 +62,10 @@ let sample_update =
   { T.seqno = 9; group = "g"; kind = T.Set_state; obj = "o"; data = "payload";
     sender = "alice"; timestamp = 17.25 }
 
+let append_update =
+  { T.seqno = 10; group = "g"; kind = T.Append_update; obj = "q"; data = "+d";
+    sender = "bob"; timestamp = 17.5 }
+
 let all_request_samples =
   [
     M.Create_group { group = "g"; creator = "c"; persistent = true;
@@ -184,6 +188,17 @@ let golden_frames : (string * M.t * string) list =
       M.Request (M.Resend { group = "g"; member = "m"; updates = [ sample_update ] }),
       "000a0000000167000000016d000000010000000000000009000000016700000000016f0000\
        00077061796c6f616400000005616c6963654031400000000000" );
+    (* §6 resend edge payloads: a reconnect with nothing pending, and a
+       multi-update backlog mixing Set_state with Append_update *)
+    ( "resend_empty",
+      M.Request (M.Resend { group = "g"; member = "m"; updates = [] }),
+      "000a0000000167000000016d00000000" );
+    ( "resend_multi",
+      M.Request
+        (M.Resend { group = "g"; member = "m"; updates = [ sample_update; append_update ] }),
+      "000a0000000167000000016d000000020000000000000009000000016700000000016f0000\
+       00077061796c6f616400000005616c6963654031400000000000000000000000000a000000\
+       0167010000000171000000022b6400000003626f624031800000000000" );
     ("ping", M.Request (M.Ping { nonce = 424242 }), "00090000000000067932");
     ("group_created", M.Response (M.Group_created { group = "g" }), "01000000000167");
     ( "state_chunk",
@@ -218,6 +233,20 @@ let golden_frames : (string * M.t * string) list =
            { group = "g"; change = T.Member_crashed "b";
              members = [ { T.member = "a"; role = T.Principal } ] }),
       "0105000000016702000000016200000001000000016100" );
+    (* the other two membership-change notifications, with a mixed-role view
+       and an empty (last-member-left) view *)
+    ( "membership_changed_joined",
+      M.Response
+        (M.Membership_changed
+           { group = "g"; change = T.Member_joined "b";
+             members =
+               [ { T.member = "a"; role = T.Principal };
+                 { T.member = "b"; role = T.Observer } ] }),
+      "0105000000016700000000016200000002000000016100000000016201" );
+    ( "membership_changed_left",
+      M.Response
+        (M.Membership_changed { group = "g"; change = T.Member_left "b"; members = [] }),
+      "0105000000016701000000016200000000" );
     ( "deliver",
       M.Response (M.Deliver sample_update),
       "01060000000000000009000000016700000000016f000000077061796c6f61640000000561\
