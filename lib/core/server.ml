@@ -158,28 +158,34 @@ let send_encoded_to_member t member e =
 let send_to_member t member response =
   send_encoded_to_member t member (M.pre_encode (M.Response response))
 
-let deliver_encoded_to_member t member e =
-  match Hashtbl.find_opt t.conn_of_member member with
-  | Some conn when Net.Tcp.is_open conn ->
-      t.st <-
-        {
-          t.st with
-          deliveries_sent = t.st.deliveries_sent + 1;
-          bytes_delivered = t.st.bytes_delivered + M.encoded_wire_size e;
-        };
-      M.send_encoded conn e
-  | Some _ | None -> ()
+(* The open connections of a group's members in join order, minus [exclude]
+   and anything [skip] rejects: the recipient list handed to the batched
+   transmit, in the same order the per-member send loop used to walk. *)
+let batch_conns t g ?exclude ?(skip = fun _ -> false) () =
+  List.rev
+    (List.fold_left
+       (fun acc (m : Membership.entry) ->
+         let excluded =
+           match exclude with Some x -> x = m.member | None -> false
+         in
+         if excluded || skip m.member then acc
+         else
+           match Hashtbl.find_opt t.conn_of_member m.member with
+           | Some conn when Net.Tcp.is_open conn -> conn :: acc
+           | Some _ | None -> acc)
+       []
+       (Membership.entries g.g_members))
 
 (* Fan out to group members in join order, optionally skipping one:
-   one encode shared by all recipients. *)
+   one encode and one batched transmit shared by all recipients. *)
 let fan_out t g ?exclude response =
-  let e = M.pre_encode (M.Response response) in
-  List.iter
-    (fun (m : Membership.entry) ->
-      match exclude with
-      | Some skip when skip = m.member -> ()
-      | Some _ | None -> send_encoded_to_member t m.member e)
-    (Membership.entries g.g_members)
+  match batch_conns t g ?exclude () with
+  | [] -> ()
+  | conns ->
+      let e = M.pre_encode (M.Response response) in
+      t.st <-
+        { t.st with responses_sent = t.st.responses_sent + List.length conns };
+      M.send_batch_encoded conns e
 
 let notify_membership_change t g change =
   match Membership.notify_targets g.g_members with
@@ -187,13 +193,26 @@ let notify_membership_change t g change =
   | targets ->
       let members = Membership.members g.g_members in
       let changed = T.changed_member change in
-      let e =
-        M.pre_encode
-          (M.Response (M.Membership_changed { group = g.g_id; change; members }))
+      let conns =
+        List.filter_map
+          (fun m ->
+            if m = changed then None
+            else
+              match Hashtbl.find_opt t.conn_of_member m with
+              | Some conn when Net.Tcp.is_open conn -> Some conn
+              | Some _ | None -> None)
+          targets
       in
-      List.iter
-        (fun m -> if m <> changed then send_encoded_to_member t m e)
-        targets
+      match conns with
+      | [] -> ()
+      | conns ->
+          let e =
+            M.pre_encode
+              (M.Response (M.Membership_changed { group = g.g_id; change; members }))
+          in
+          t.st <-
+            { t.st with responses_sent = t.st.responses_sent + List.length conns };
+          M.send_batch_encoded conns e
 
 (* --- group lifecycle ------------------------------------------------- *)
 
@@ -485,14 +504,21 @@ let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
                   Net.Multicast.send chan ~src:t.server_host ~size:wire
                     (M.Corona (M.encoded_message e))
                 end;
-                List.iter
-                  (fun (m : Membership.entry) ->
-                    let skip =
-                      Hashtbl.mem g.g_mcast_members m.member
-                      || match exclude with Some x -> x = m.member | None -> false
-                    in
-                    if not skip then deliver_encoded_to_member t m.member e)
-                  (Membership.entries g.g_members)
+                match
+                  batch_conns t g ?exclude
+                    ~skip:(fun m -> Hashtbl.mem g.g_mcast_members m)
+                    ()
+                with
+                | [] -> ()
+                | conns ->
+                    let n = List.length conns in
+                    t.st <-
+                      {
+                        t.st with
+                        deliveries_sent = t.st.deliveries_sent + n;
+                        bytes_delivered = t.st.bytes_delivered + (n * wire);
+                      };
+                    M.send_batch_encoded conns e
               in
               (match g.g_keeper with
               | Stateful log -> (

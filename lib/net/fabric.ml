@@ -23,6 +23,7 @@ type t = {
   mutable component_of : (string, int) Hashtbl.t option; (* None = no partition *)
   mutable packets : int;
   mutable bytes : int;
+  mutable batches : int;
   mutable extensions : (string * ext) list;
 }
 
@@ -37,6 +38,7 @@ let create ?(config = lan) engine =
     component_of = None;
     packets = 0;
     bytes = 0;
+    batches = 0;
     extensions = [];
   }
 
@@ -66,9 +68,13 @@ let hosts t = List.rev t.host_order
 let set_latency t ~src ~dst l = Hashtbl.replace t.latency_overrides (src, dst) l
 
 let latency t src dst =
-  match Hashtbl.find_opt t.latency_overrides (Host.name src, Host.name dst) with
-  | Some l -> l
-  | None -> t.config.base_latency
+  (* Fast path: no overrides configured — skip the tuple-key allocation that
+     would otherwise happen on every packet. *)
+  if Hashtbl.length t.latency_overrides = 0 then t.config.base_latency
+  else
+    match Hashtbl.find_opt t.latency_overrides (Host.name src, Host.name dst) with
+    | Some l -> l
+    | None -> t.config.base_latency
 
 let partition t components =
   let table = Hashtbl.create 64 in
@@ -129,6 +135,90 @@ let transmit t ~src ~dst ~size ?(on_dropped = ignore) k =
               ignore (Sim.Engine.schedule t.engine ~delay deliver)
             end))
 
+(* Batched fan-out: one scheduled delivery event per recipient instead of the
+   three chained events ([exec] -> [nic_send] -> propagation) that [transmit]
+   pays. Correctness hinges on the accumulator model being closed-form: a
+   same-instant fan-out through [transmit] reserves every recipient's
+   serialize slice synchronously at issue time (recipient order), then each
+   exec-finish event reserves the NIC in heap order — i.e. stable-sorted by
+   exec finish time. We replay exactly those reservations inline, so delivery
+   timestamps are byte-identical to the chained path. Deliberate divergences
+   (documented in DESIGN.md): packet/byte counters are charged and loss /
+   jitter randomness is drawn at issue time rather than at NIC-finish time,
+   and the partition check moves to issue time; a sender crash between issue
+   and NIC-finish is detected via the host's epoch-transition history and
+   silences the affected deliveries just like the chained epoch guard. *)
+let transmit_many t ~src ~size ?(on_dropped = fun _ -> ()) ~dsts k =
+  let n = Array.length dsts in
+  if n > 0 && Host.is_alive src then begin
+    t.batches <- t.batches + 1;
+    let issued_at = Sim.Engine.now t.engine in
+    let cpu_src = Host.cpu src in
+    let serialize_cost =
+      cpu_src.Host.send_overhead +. (float_of_int size *. cpu_src.Host.per_byte_cost)
+    in
+    let exec_fin = Array.map (fun _ -> Host.reserve_cpu src ~cost:serialize_cost) dsts in
+    let order = Array.init n (fun i -> i) in
+    (* With one worker the finish times are already increasing in recipient
+       order; with several, NIC reservation order is heap order over the
+       exec-finish events: stable sort on (finish time, recipient index). *)
+    if cpu_src.Host.workers > 1 then
+      Array.sort
+        (fun a b ->
+          let c = Float.compare exec_fin.(a) exec_fin.(b) in
+          if c <> 0 then c else Int.compare a b)
+        order;
+    Array.iter
+      (fun i ->
+        let dst = dsts.(i) in
+        let cpu_dst = Host.cpu dst in
+        let deserialize_cost =
+          cpu_dst.Host.recv_overhead +. (float_of_int size *. cpu_dst.Host.per_byte_cost)
+        in
+        let fin = exec_fin.(i) in
+        if Host.name src = Host.name dst then
+          (* Loopback: skip NIC and network, deliver at serialize finish. *)
+          ignore
+            (Sim.Engine.schedule_at t.engine fin (fun () ->
+                 if not (Host.epoch_changed_within src ~after:issued_at ~until:fin)
+                 then
+                   if Host.is_alive dst then Host.exec dst ~cost:deserialize_cost (fun () -> k i)
+                   else on_dropped i))
+        else begin
+          let nic_fin = Host.reserve_nic_from src ~from:fin ~size in
+          t.packets <- t.packets + 1;
+          t.bytes <- t.bytes + size;
+          let partitioned = not (same_component t src dst) in
+          let lost =
+            (not partitioned)
+            && t.config.loss_rate > 0.0
+            && Sim.Rng.float t.rng 1.0 < t.config.loss_rate
+          in
+          if partitioned || lost then
+            (* The chained path reports partition/loss drops at NIC-finish
+               time; keep that so retransmit timers fire identically. *)
+            ignore
+              (Sim.Engine.schedule_at t.engine nic_fin (fun () ->
+                   if not (Host.epoch_changed_within src ~after:issued_at ~until:nic_fin)
+                   then on_dropped i))
+          else begin
+            let delay =
+              latency t src dst
+              +.
+              if t.config.jitter > 0.0 then Sim.Rng.float t.rng t.config.jitter else 0.0
+            in
+            ignore
+              (Sim.Engine.schedule_at t.engine (nic_fin +. delay) (fun () ->
+                   if not (Host.epoch_changed_within src ~after:issued_at ~until:nic_fin)
+                   then
+                     if Host.is_alive dst then
+                       Host.exec dst ~cost:deserialize_cost (fun () -> k i)
+                     else on_dropped i))
+          end
+        end)
+      order
+  end
+
 let record_packet t ~size =
   t.packets <- t.packets + 1;
   t.bytes <- t.bytes + size
@@ -136,3 +226,5 @@ let record_packet t ~size =
 let packets_sent t = t.packets
 
 let bytes_sent t = t.bytes
+
+let batches_sent t = t.batches

@@ -94,6 +94,27 @@ val transmit :
     is dead at delivery time, or by random loss. Loopback transmissions skip
     the NIC and network stages. *)
 
+val transmit_many :
+  t ->
+  src:Host.t ->
+  size:int ->
+  ?on_dropped:(int -> unit) ->
+  dsts:Host.t array ->
+  (int -> unit) ->
+  unit
+(** [transmit_many t ~src ~size ~dsts k] fans one [size]-byte message out to
+    every host in [dsts], running [k i] on [dsts.(i)] when it is fully
+    received (or [on_dropped i] at the point of loss). Delivery timestamps
+    are identical to issuing [Array.length dsts] chained {!transmit} calls at
+    the same instant: the sender's CPU-worker and NIC FIFO finish times are
+    computed in closed form at issue time, collapsing the three chained heap
+    events per recipient into a single scheduled delivery each. Divergences
+    from the chained path (all invisible to protocol logic in the common
+    case): packet counters are charged and loss/jitter randomness is drawn at
+    issue time rather than NIC-finish time, and the partition check happens
+    at issue time. A sender crash between issue and NIC-finish silences the
+    affected deliveries, exactly like the chained epoch guard. *)
+
 val record_packet : t -> size:int -> unit
 (** Transports built beside {!transmit} (e.g. {!Multicast}) report their NIC
     transmissions here so the fabric counters stay meaningful. *)
@@ -101,3 +122,7 @@ val record_packet : t -> size:int -> unit
 val packets_sent : t -> int
 
 val bytes_sent : t -> int
+
+val batches_sent : t -> int
+(** Number of {!transmit_many} calls issued — lets tests and smoke benches
+    assert the batched fan-out path is actually exercised. *)

@@ -57,6 +57,7 @@ type t = {
   mutable nic_free : float;
   mutable alive : bool;
   mutable epoch : int;
+  mutable transitions : float list; (* crash/restart instants, newest first *)
   mutable crash_hooks : (unit -> unit) list;
   mutable cpu_seconds : float;
   multicast_capable : bool;
@@ -75,6 +76,7 @@ let create engine ~name ?(cpu = ultrasparc) ?(nic_bandwidth = default_bandwidth)
     nic_free = 0.0;
     alive = true;
     epoch = 0;
+    transitions = [];
     crash_hooks = [];
     cpu_seconds = 0.0;
     multicast_capable;
@@ -102,30 +104,40 @@ let guarded_at t at f =
     (Sim.Engine.schedule_at t.engine at (fun () ->
          if t.alive && t.epoch = epoch_at_schedule then f ()))
 
-let exec t ~cost f =
-  if t.alive then begin
-    let cost = if cost < 0.0 then 0.0 else cost in
-    let now = Sim.Engine.now t.engine in
-    (* Assign to the earliest-free worker (non-preemptive FIFO). *)
-    let best = ref 0 in
-    for i = 1 to Array.length t.worker_free - 1 do
-      if t.worker_free.(i) < t.worker_free.(!best) then best := i
-    done;
-    let start = if t.worker_free.(!best) > now then t.worker_free.(!best) else now in
-    let finish = start +. cost in
-    t.worker_free.(!best) <- finish;
-    t.cpu_seconds <- t.cpu_seconds +. cost;
-    guarded_at t finish f
-  end
+(* The CPU and NIC are pure accumulators over virtual time, so a batch
+   caller can reserve many slots inline (closed form) instead of chaining
+   one event per stage; [exec] and [nic_send] are the single-slot users of
+   the same primitives, which keeps the accounting byte-identical between
+   the chained and batched paths. *)
+
+let reserve_cpu t ~cost =
+  let cost = if cost < 0.0 then 0.0 else cost in
+  let now = Sim.Engine.now t.engine in
+  (* Assign to the earliest-free worker (non-preemptive FIFO). *)
+  let best = ref 0 in
+  for i = 1 to Array.length t.worker_free - 1 do
+    if t.worker_free.(i) < t.worker_free.(!best) then best := i
+  done;
+  let start = if t.worker_free.(!best) > now then t.worker_free.(!best) else now in
+  let finish = start +. cost in
+  t.worker_free.(!best) <- finish;
+  t.cpu_seconds <- t.cpu_seconds +. cost;
+  finish
+
+let reserve_nic_from t ~from ~size =
+  let start = if t.nic_free > from then t.nic_free else from in
+  let finish = start +. (float_of_int (max 0 size) /. t.nic_bandwidth) in
+  t.nic_free <- finish;
+  finish
+
+let exec t ~cost f = if t.alive then guarded_at t (reserve_cpu t ~cost) f
 
 let nic_send t ~size f =
-  if t.alive then begin
-    let now = Sim.Engine.now t.engine in
-    let start = if t.nic_free > now then t.nic_free else now in
-    let finish = start +. (float_of_int (max 0 size) /. t.nic_bandwidth) in
-    t.nic_free <- finish;
-    guarded_at t finish f
-  end
+  if t.alive then
+    guarded_at t (reserve_nic_from t ~from:(Sim.Engine.now t.engine) ~size) f
+
+let epoch_changed_within t ~after ~until =
+  List.exists (fun at -> at > after && at <= until) t.transitions
 
 let cpu_busy_until t =
   let now = Sim.Engine.now t.engine in
@@ -137,6 +149,7 @@ let crash t =
     t.epoch <- t.epoch + 1;
     (* Queued work is implicitly dropped by the epoch guard. *)
     let now = Sim.Engine.now t.engine in
+    t.transitions <- now :: t.transitions;
     t.worker_free <- Array.map (fun _ -> now) t.worker_free;
     t.nic_free <- now;
     List.iter (fun hook -> hook ()) (List.rev t.crash_hooks)
@@ -147,6 +160,7 @@ let restart t =
     t.alive <- true;
     t.epoch <- t.epoch + 1;
     let now = Sim.Engine.now t.engine in
+    t.transitions <- now :: t.transitions;
     t.worker_free <- Array.map (fun _ -> now) t.worker_free;
     t.nic_free <- now
   end

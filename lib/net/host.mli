@@ -67,6 +67,22 @@ val nic_send : t -> size:int -> (unit -> unit) -> unit
 (** [nic_send h ~size f] serializes a [size]-byte transmission on the host's
     NIC and calls [f] when the last byte has left. Dropped on crash. *)
 
+val reserve_cpu : t -> cost:float -> float
+(** [reserve_cpu h ~cost] books [cost] seconds on the earliest-free CPU
+    worker and returns the finish time, without scheduling anything. This is
+    the closed-form accumulator behind {!exec}; {!Fabric.transmit_many} uses
+    it to compute a whole fan-out's serialize finish times inline. *)
+
+val reserve_nic_from : t -> from:float -> size:int -> float
+(** [reserve_nic_from h ~from ~size] books a [size]-byte transmission on the
+    NIC starting no earlier than [from] and returns the finish time. The
+    accumulator behind {!nic_send} (which passes [from = now]). *)
+
+val epoch_changed_within : t -> after:float -> until:float -> bool
+(** Whether the host crashed or restarted in the window [(after, until]].
+    Lets a batch caller apply the same epoch guard that {!exec}/{!nic_send}
+    events carry, without scheduling intermediate events. *)
+
 val cpu_busy_until : t -> float
 (** Virtual time at which the earliest CPU worker frees up (≥ now). *)
 

@@ -128,6 +128,46 @@ let send c ~size payload =
     transmit_seq c seq size payload
   end
 
+(* Fan one payload out over many connections with a single batched fabric
+   transmit per sending host. Sequence numbers are assigned up front in list
+   order (identical to a [send] loop); retransmits after a drop fall back to
+   the chained single-connection path, which is fine — they are rare and not
+   on the fan-out hot path. *)
+let rec send_batch conns ~size payload =
+  match List.filter (fun c -> c.open_) conns with
+  | [] -> ()
+  | c0 :: _ as live ->
+      let mine, rest =
+        List.partition (fun c -> Host.name c.host = Host.name c0.host) live
+      in
+      let arr = Array.of_list mine in
+      let seqs =
+        Array.map
+          (fun c ->
+            let s = c.send_seq in
+            c.send_seq <- s + 1;
+            s)
+          arr
+      in
+      let dsts = Array.map (fun c -> (peer_exn c).host) arr in
+      Fabric.transmit_many c0.fabric ~src:c0.host ~size ~dsts
+        ~on_dropped:(fun i ->
+          let c = arr.(i) in
+          if c.open_ then
+            ignore
+              (Sim.Engine.schedule (engine_of c) ~delay:retransmit_timeout
+                 (fun () -> if c.open_ then transmit_seq c seqs.(i) size payload)))
+        (fun i ->
+          let c = arr.(i) in
+          let dst = peer_exn c in
+          let seq = seqs.(i) in
+          if dst.open_ && seq >= dst.recv_next && not (Hashtbl.mem dst.holdback seq)
+          then begin
+            Hashtbl.replace dst.holdback seq (size, payload);
+            flush_ready dst
+          end);
+      if rest <> [] then send_batch rest ~size payload
+
 let close c =
   if c.open_ then begin
     let p = peer_exn c in

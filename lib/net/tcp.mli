@@ -50,6 +50,14 @@ val send : conn -> size:int -> Payload.t -> unit
     closed connection is a silent no-op (like writing to a broken socket
     whose error you ignore). *)
 
+val send_batch : conn list -> size:int -> Payload.t -> unit
+(** [send_batch conns ~size payload] sends one message on every open
+    connection in [conns], equivalent to a [send] loop (sequence numbers are
+    assigned in list order) but issued through {!Fabric.transmit_many}: one
+    batched fabric transmit per distinct sending host, so a fan-out costs one
+    scheduled delivery event per recipient instead of three. Closed
+    connections are skipped; retransmits after drops use the chained path. *)
+
 val close : conn -> unit
 (** Graceful close; the peer's [on_close Graceful] fires after one latency. *)
 

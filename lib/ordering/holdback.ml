@@ -1,6 +1,16 @@
-type 'a t = { mutable next : int; buffer : (int, 'a) Hashtbl.t }
+type 'a t = {
+  mutable next : int;
+  buffer : (int, 'a) Hashtbl.t;
+  (* Lower bound on the smallest buffered seqno; [max_int] when empty. Kept
+     lazily: inserts tighten it in O(1), drains may leave it stale (below
+     every buffered seqno), and [gap] recomputes only when staleness is
+     observable — so gap probes on a steady stream are O(1) instead of the
+     O(n) fold over the whole buffer they used to pay. *)
+  mutable min_buffered : int;
+}
 
-let create ?(next = 0) () = { next; buffer = Hashtbl.create 16 }
+let create ?(next = 0) () =
+  { next; buffer = Hashtbl.create 16; min_buffered = max_int }
 
 let next_expected t = t.next
 
@@ -8,6 +18,7 @@ let offer t ~seqno value =
   if seqno < t.next || Hashtbl.mem t.buffer seqno then []
   else begin
     Hashtbl.replace t.buffer seqno value;
+    if seqno < t.min_buffered then t.min_buffered <- seqno;
     let rec drain acc =
       match Hashtbl.find_opt t.buffer t.next with
       | None -> List.rev acc
@@ -16,7 +27,9 @@ let offer t ~seqno value =
           t.next <- t.next + 1;
           drain (v :: acc)
     in
-    drain []
+    let drained = drain [] in
+    if Hashtbl.length t.buffer = 0 then t.min_buffered <- max_int;
+    drained
   end
 
 let pending t = Hashtbl.length t.buffer
@@ -24,12 +37,14 @@ let pending t = Hashtbl.length t.buffer
 let gap t =
   if Hashtbl.length t.buffer = 0 then None
   else begin
-    let min_buffered =
-      Hashtbl.fold (fun k _ acc -> min k acc) t.buffer max_int
-    in
-    if min_buffered > t.next then Some (t.next, min_buffered - 1) else None
+    if t.min_buffered < t.next then
+      (* Stale bound (a drain consumed the old minimum): recompute. Amortized
+         against the drain that invalidated it. *)
+      t.min_buffered <- Hashtbl.fold (fun k _ acc -> min k acc) t.buffer max_int;
+    if t.min_buffered > t.next then Some (t.next, t.min_buffered - 1) else None
   end
 
 let reset t ~next =
   Hashtbl.reset t.buffer;
+  t.min_buffered <- max_int;
   t.next <- next

@@ -499,6 +499,9 @@ let send conn t = Net.Tcp.send conn ~size:(wire_size t) (Corona t)
 
 let send_encoded conn e = Net.Tcp.send conn ~size:(encoded_wire_size e) (Corona e.e_msg)
 
+let send_batch_encoded conns e =
+  Net.Tcp.send_batch conns ~size:(encoded_wire_size e) (Corona e.e_msg)
+
 let pp ppf t =
   match t with
   | Request (Create_group { group; creator; persistent; initial }) ->

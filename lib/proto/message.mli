@@ -136,6 +136,11 @@ val encoded_wire_size : encoded -> int
 val send_encoded : Net.Tcp.conn -> encoded -> unit
 (** Send a pre-encoded message, charging its cached wire size. *)
 
+val send_batch_encoded : Net.Tcp.conn list -> encoded -> unit
+(** Fan a pre-encoded message out over many connections via
+    {!Net.Tcp.send_batch}: one batched fabric transmit, one delivery event
+    per recipient. *)
+
 val wire_size : t -> int
 (** Framed size in bytes: 8-byte frame header + encoded body. Performs a
     fresh serialization — on repeated-send paths use {!pre_encode} +

@@ -187,18 +187,6 @@ and send_srv t dst msg =
         Hashtbl.replace t.outbox dst (msg :: q)
   end
 
-(* Same, with the wire size computed once by the caller. *)
-and send_srv_sized t dst s =
-  if dst = t.self then handle_smsg t ~from:t.self (Smsg.sized_msg s)
-  else begin
-    match Hashtbl.find_opt t.peers dst with
-    | Some conn when Net.Tcp.is_open conn -> Smsg.send_sized conn s
-    | Some _ -> ()
-    | None ->
-        let q = Option.value (Hashtbl.find_opt t.outbox dst) ~default:[] in
-        Hashtbl.replace t.outbox dst (Smsg.sized_msg s :: q)
-  end
-
 (* --- client sending ---------------------------------------------------- *)
 
 and send_client_encoded t conn e =
@@ -219,26 +207,56 @@ and fail_client t conn group reason =
   send_client t conn (M.Request_failed { group; reason })
 
 (* Fan a response to the local members of a group, in join order: one
-   serialization shared by every recipient. *)
+   serialization and one batched transmit shared by every recipient. *)
 and fan_local t rg ?exclude resp =
-  let e = M.pre_encode (M.Response resp) in
-  List.iter
-    (fun (m : Corona.Membership.entry) ->
-      match exclude with
-      | Some skip when skip = m.member -> ()
-      | Some _ | None -> send_member_encoded t m.member e)
-    (Corona.Membership.entries rg.rg_local)
+  let conns =
+    List.rev
+      (List.fold_left
+         (fun acc (m : Corona.Membership.entry) ->
+           let excluded =
+             match exclude with Some skip -> skip = m.member | None -> false
+           in
+           if excluded then acc
+           else
+             match Hashtbl.find_opt t.conn_of_member m.member with
+             | Some conn when Net.Tcp.is_open conn -> conn :: acc
+             | Some _ | None -> acc)
+         []
+         (Corona.Membership.entries rg.rg_local))
+  in
+  match conns with
+  | [] -> ()
+  | conns ->
+      let e = M.pre_encode (M.Response resp) in
+      t.st <-
+        { t.st with deliveries_sent = t.st.deliveries_sent + List.length conns };
+      M.send_batch_encoded conns e
 
 and notify_local_membership t rg change members =
   match Corona.Membership.notify_targets rg.rg_local with
   | [] -> ()
   | targets ->
       let changed = T.changed_member change in
-      let e =
-        M.pre_encode
-          (M.Response (M.Membership_changed { group = rg.rg_id; change; members }))
+      let conns =
+        List.filter_map
+          (fun m ->
+            if m = changed then None
+            else
+              match Hashtbl.find_opt t.conn_of_member m with
+              | Some conn when Net.Tcp.is_open conn -> Some conn
+              | Some _ | None -> None)
+          targets
       in
-      List.iter (fun m -> if m <> changed then send_member_encoded t m e) targets
+      match conns with
+      | [] -> ()
+      | conns ->
+          let e =
+            M.pre_encode
+              (M.Response (M.Membership_changed { group = rg.rg_id; change; members }))
+          in
+          t.st <-
+            { t.st with deliveries_sent = t.st.deliveries_sent + List.length conns };
+          M.send_batch_encoded conns e
 
 (* --- rgroup lifecycle --------------------------------------------------- *)
 
@@ -369,14 +387,40 @@ and coord_fan_group t entry ?except msg =
       if List.mem t.self (Directory.replicas_of entry) then
         handle_smsg t ~from:t.self msg
   | _ ->
-      (* Size the message once for the whole star fan-out. *)
+      (* Size the message once and issue one batched transmit for the whole
+         star fan-out. Self-delivery (synchronous [handle_smsg]) happens
+         after the peer sends are issued — a deterministic, uniform order
+         regardless of where [t.self] sits in the replica list. *)
       let s = Smsg.pre msg in
-      List.iter
-        (fun srv ->
-          match except with
-          | Some skip when skip = srv -> ()
-          | Some _ | None -> send_srv_sized t srv s)
-        (Directory.replicas_of entry)
+      let deliver_self = ref false in
+      let conns =
+        List.rev
+          (List.fold_left
+             (fun acc srv ->
+               let skipped =
+                 match except with Some skip -> skip = srv | None -> false
+               in
+               if skipped then acc
+               else if srv = t.self then begin
+                 deliver_self := true;
+                 acc
+               end
+               else
+                 match Hashtbl.find_opt t.peers srv with
+                 | Some conn when Net.Tcp.is_open conn -> conn :: acc
+                 | Some _ -> acc (* peer died; higher-level retries cover it *)
+                 | None ->
+                     (* Mesh handshake not complete: park the message. *)
+                     let q =
+                       Option.value (Hashtbl.find_opt t.outbox srv) ~default:[]
+                     in
+                     Hashtbl.replace t.outbox srv (Smsg.sized_msg s :: q);
+                     acc)
+             []
+             (Directory.replicas_of entry))
+      in
+      if conns <> [] then Smsg.send_sized_batch conns s;
+      if !deliver_self then handle_smsg t ~from:t.self msg
 
 and coord_handle t ~from msg =
   (* Directory reports and liveness must never wait behind the recovery

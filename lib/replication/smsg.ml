@@ -186,6 +186,8 @@ let sized_size s = s.s_size
 
 let send_sized conn s = Net.Tcp.send conn ~size:s.s_size (Srv s.s_msg)
 
+let send_sized_batch conns s = Net.Tcp.send_batch conns ~size:s.s_size (Srv s.s_msg)
+
 let pp ppf = function
   | Heartbeat { from } -> Format.fprintf ppf "heartbeat from=%s" from
   | Heartbeat_ack { from } -> Format.fprintf ppf "heartbeat_ack from=%s" from

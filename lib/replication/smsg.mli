@@ -153,5 +153,9 @@ val sized_size : sized -> int
 
 val send_sized : Net.Tcp.conn -> sized -> unit
 
+val send_sized_batch : Net.Tcp.conn list -> sized -> unit
+(** Fan a pre-sized message out over many connections via
+    {!Net.Tcp.send_batch} (one batched fabric transmit). *)
+
 val pp : Format.formatter -> t -> unit
 (** Constructor name plus key fields, for traces. *)

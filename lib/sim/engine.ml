@@ -1,19 +1,29 @@
 type time = float
 
-type event_id = int
+(* An event record doubles as its own cancellation handle: [cancel] flips
+   the in-event state in O(1) and [step] skips tombstones as they surface at
+   the heap top. No side table, no per-pop hashtable lookup — the hot loop
+   of large fan-out simulations is a heap pop plus a tag check. The state
+   tag also makes cancellation idempotent against every ordering of
+   cancel/fire: only a Pending -> Cancelled transition touches the live
+   counter, so cancelling twice, or cancelling an event that already ran,
+   cannot corrupt [pending]. *)
+type state = Pending | Cancelled | Fired
 
 type event = {
   at : time;
   seq : int; (* tie-break: schedule order *)
-  id : event_id;
   run : unit -> unit;
+  mutable st : state;
 }
+
+type event_id = event
 
 (* Array-based binary min-heap on (at, seq). *)
 module Heap = struct
   type t = { mutable a : event array; mutable len : int }
 
-  let dummy = { at = 0.0; seq = 0; id = -1; run = ignore }
+  let dummy = { at = 0.0; seq = 0; run = ignore; st = Fired }
 
   let create () = { a = Array.make 64 dummy; len = 0 }
 
@@ -69,22 +79,20 @@ end
 
 type t = {
   heap : Heap.t;
-  cancelled : (event_id, unit) Hashtbl.t;
   mutable clock : time;
   mutable next_seq : int;
-  mutable next_id : event_id;
   mutable live : int; (* scheduled and not cancelled *)
+  mutable fired : int; (* events executed since creation *)
   root_rng : Rng.t;
 }
 
 let create ?(seed = 1L) () =
   {
     heap = Heap.create ();
-    cancelled = Hashtbl.create 64;
     clock = 0.0;
     next_seq = 0;
-    next_id = 0;
     live = 0;
+    fired = 0;
     root_rng = Rng.create seed;
   }
 
@@ -94,23 +102,24 @@ let rng t = t.root_rng
 
 let schedule_at t at run =
   let at = if at < t.clock then t.clock else at in
-  let id = t.next_id in
-  t.next_id <- id + 1;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.heap { at; seq; id; run };
+  let e = { at; seq; run; st = Pending } in
+  Heap.push t.heap e;
   t.live <- t.live + 1;
-  id
+  e
 
 let schedule t ~delay run =
   let delay = if delay < 0.0 then 0.0 else delay in
   schedule_at t (t.clock +. delay) run
 
-let cancel t id =
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.replace t.cancelled id ();
-    t.live <- t.live - 1
-  end
+let cancel _t e =
+  match e.st with
+  | Pending ->
+      e.st <- Cancelled;
+      (* The tombstone stays in the heap and is discarded when popped. *)
+      _t.live <- _t.live - 1
+  | Cancelled | Fired -> ()
 
 let periodic t ~every f =
   let rec tick () = if f () then ignore (schedule t ~delay:every tick) in
@@ -119,17 +128,17 @@ let periodic t ~every f =
 let rec step t =
   match Heap.pop t.heap with
   | None -> false
-  | Some e ->
-      if Hashtbl.mem t.cancelled e.id then begin
-        Hashtbl.remove t.cancelled e.id;
-        step t
-      end
-      else begin
-        t.live <- t.live - 1;
-        t.clock <- e.at;
-        e.run ();
-        true
-      end
+  | Some e -> (
+      match e.st with
+      | Cancelled -> step t
+      | Fired -> step t (* unreachable: a fired event is never re-pushed *)
+      | Pending ->
+          e.st <- Fired;
+          t.live <- t.live - 1;
+          t.fired <- t.fired + 1;
+          t.clock <- e.at;
+          e.run ();
+          true)
 
 let run ?until t =
   match until with
@@ -138,9 +147,7 @@ let run ?until t =
       let continue = ref true in
       while !continue do
         match Heap.peek t.heap with
-        | Some e when Hashtbl.mem t.cancelled e.id ->
-            ignore (Heap.pop t.heap);
-            Hashtbl.remove t.cancelled e.id
+        | Some e when e.st <> Pending -> ignore (Heap.pop t.heap)
         | Some e when e.at <= limit -> ignore (step t)
         | Some _ | None ->
             continue := false;
@@ -148,3 +155,5 @@ let run ?until t =
       done
 
 let pending t = t.live
+
+let events_fired t = t.fired

@@ -10,7 +10,9 @@ type time = float
 (** Simulated time, in seconds. *)
 
 type event_id
-(** Handle of a scheduled event, usable with {!cancel}. *)
+(** Handle of a scheduled event, usable with {!cancel}. Cancellation is
+    O(1): the handle carries its own state flag, so there is no side table
+    and no lookup on the engine's hot pop path. *)
 
 val create : ?seed:int64 -> unit -> t
 (** [create ?seed ()] returns an engine whose clock is at [0.0]. [seed]
@@ -30,7 +32,9 @@ val schedule_at : t -> time -> (unit -> unit) -> event_id
 (** [schedule_at t at f] runs [f] at absolute time [at] (clamped to [now]). *)
 
 val cancel : t -> event_id -> unit
-(** Cancel a pending event; cancelling a fired or unknown event is a no-op. *)
+(** Cancel a pending event in O(1). Cancelling an event that already fired,
+    or cancelling the same event twice, is a no-op — in particular it never
+    double-decrements the {!pending} count. *)
 
 val periodic : t -> every:time -> (unit -> bool) -> unit
 (** [periodic t ~every f] calls [f] every [every] seconds, starting after one
@@ -47,3 +51,7 @@ val run : ?until:time -> t -> unit
 
 val pending : t -> int
 (** Number of scheduled, uncancelled events. *)
+
+val events_fired : t -> int
+(** Number of events executed since creation — the denominator for
+    wall-clock events/second reporting in scaling benchmarks. *)

@@ -167,6 +167,41 @@ let test_holdback_reset () =
   Alcotest.(check (list string)) "resumes at new position" [ "y" ]
     (Ordering.Holdback.offer hb ~seqno:10 "y")
 
+let test_holdback_gap_after_drain () =
+  (* Exercises the lazily-tracked minimum: draining the old minimum leaves
+     the cached bound stale, and the next [gap] probe must recompute it
+     rather than report a gap that has already closed. *)
+  let hb = Ordering.Holdback.create () in
+  ignore (Ordering.Holdback.offer hb ~seqno:5 "e");
+  ignore (Ordering.Holdback.offer hb ~seqno:9 "i");
+  Alcotest.(check (option (pair int int))) "initial gap" (Some (0, 4))
+    (Ordering.Holdback.gap hb);
+  List.iter
+    (fun s -> ignore (Ordering.Holdback.offer hb ~seqno:s (string_of_int s)))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check (list string)) "drain through the old minimum" [ "4"; "e" ]
+    (Ordering.Holdback.offer hb ~seqno:4 "4");
+  Alcotest.(check (option (pair int int))) "gap recomputed after drain"
+    (Some (6, 8))
+    (Ordering.Holdback.gap hb);
+  Alcotest.(check (list string)) "rest drains" [ "6"; "7"; "8"; "i" ]
+    (List.concat_map
+       (fun s -> Ordering.Holdback.offer hb ~seqno:s (string_of_int s))
+       [ 8; 7; 6 ]);
+  Alcotest.(check (option (pair int int))) "empty buffer, no gap" None
+    (Ordering.Holdback.gap hb)
+
+let test_holdback_gap_after_reset () =
+  let hb = Ordering.Holdback.create () in
+  ignore (Ordering.Holdback.offer hb ~seqno:3 "x");
+  Ordering.Holdback.reset hb ~next:10;
+  Alcotest.(check (option (pair int int))) "reset clears gap" None
+    (Ordering.Holdback.gap hb);
+  ignore (Ordering.Holdback.offer hb ~seqno:12 "z");
+  Alcotest.(check (option (pair int int)))
+    "gap relative to the reset position" (Some (10, 11))
+    (Ordering.Holdback.gap hb)
+
 let prop_holdback_releases_in_sequence =
   QCheck.Test.make ~name:"any permutation is released 0..n-1 in order" ~count:200
     QCheck.(pair (int_range 1 30) (int_range 0 10_000))
@@ -215,6 +250,8 @@ let () =
           tc "gap then run" `Quick test_holdback_gap_then_run;
           tc "duplicates and stale" `Quick test_holdback_duplicates_and_stale;
           tc "reset" `Quick test_holdback_reset;
+          tc "gap after drain" `Quick test_holdback_gap_after_drain;
+          tc "gap after reset" `Quick test_holdback_gap_after_reset;
           q prop_holdback_releases_in_sequence;
         ] );
     ]

@@ -44,6 +44,35 @@ let test_cancel_twice_is_safe () =
   Sim.Engine.cancel e b;
   Alcotest.(check int) "none left" 0 (Sim.Engine.pending e)
 
+let test_cancel_after_fire_keeps_pending_accurate () =
+  (* Regression: cancelling an event that already ran (or cancelling twice)
+     used to decrement [pending] again, driving the count negative and
+     leaking the tombstone in the old side-table scheme. *)
+  let e = Sim.Engine.create () in
+  let a = Sim.Engine.schedule e ~delay:1.0 ignore in
+  let b = Sim.Engine.schedule e ~delay:2.0 ignore in
+  Alcotest.(check bool) "first event fired" true (Sim.Engine.step e);
+  Alcotest.(check int) "one pending after step" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel e a;
+  Sim.Engine.cancel e a;
+  Alcotest.(check int) "cancel-after-fire is a no-op" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel e b;
+  Sim.Engine.cancel e b;
+  Alcotest.(check int) "double cancel decrements once" 0 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "queue drained" 0 (Sim.Engine.pending e)
+
+let test_events_fired_counter () =
+  let e = Sim.Engine.create () in
+  Alcotest.(check int) "starts at zero" 0 (Sim.Engine.events_fired e);
+  for _ = 1 to 3 do
+    ignore (Sim.Engine.schedule e ~delay:1.0 ignore)
+  done;
+  let cancelled = Sim.Engine.schedule e ~delay:2.0 ignore in
+  Sim.Engine.cancel e cancelled;
+  Sim.Engine.run e;
+  Alcotest.(check int) "counts executed events only" 3 (Sim.Engine.events_fired e)
+
 let test_schedule_from_callback () =
   let e = Sim.Engine.create () in
   let times = ref [] in
@@ -256,6 +285,9 @@ let () =
           tc "ties fire in schedule order" `Quick test_ties_fire_in_schedule_order;
           tc "cancel" `Quick test_cancel;
           tc "cancel twice is safe" `Quick test_cancel_twice_is_safe;
+          tc "cancel after fire keeps pending accurate" `Quick
+            test_cancel_after_fire_keeps_pending_accurate;
+          tc "events_fired counter" `Quick test_events_fired_counter;
           tc "schedule from callback" `Quick test_schedule_from_callback;
           tc "run ~until" `Quick test_run_until;
           tc "negative delay clamped" `Quick test_negative_delay_clamped;
