@@ -66,9 +66,21 @@ let write_json_file path rows =
       close_out oc;
       Format.printf "@.wrote %s@." path
 
+(* The state-transfer / durability sweep likewise owns its file. *)
+let transfer_rows : (string * string) list ref = ref []
+
+let transfer_add section fields =
+  let obj =
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+    ^ "}"
+  in
+  transfer_rows := !transfer_rows @ [ (section, obj) ]
+
 let write_json_results () =
   write_json_file "BENCH_micro.json" !json_rows;
-  write_json_file "BENCH_scale.json" !scale_rows
+  write_json_file "BENCH_scale.json" !scale_rows;
+  write_json_file "BENCH_transfer.json" !transfer_rows
 
 let quick = ref false
 
@@ -501,6 +513,103 @@ let run_scale () =
   Workload.Report.note
     "batches > 0 proves the batched fan-out transmit is on the hot path."
 
+(* --- join-storm + durable-multicast sweep (BENCH_transfer.json) --------- *)
+
+(* The PR-5 perf claims, measured: a join storm must amortize snapshot
+   encodes through the transfer cache (hits >> misses), and small-record
+   durable multicast must group-commit (few seeks for many records). Both
+   are asserted, in smoke and full runs alike. *)
+let run_transfer_sweep () =
+  Workload.Report.section
+    "Join-storm snapshot cache + WAL group commit (BENCH_transfer.json)";
+  let sizes =
+    if !smoke then [ 100 ]
+    else if !quick then [ 100; 500 ]
+    else [ 100; 500; 1000; 2000 ]
+  in
+  let storm_rows =
+    List.map
+      (fun members ->
+        let r = Workload.Exp_transfer.join_storm ~members () in
+        let open Workload.Exp_transfer in
+        let ratio = float_of_int r.st_members /. float_of_int (max 1 r.st_misses) in
+        if r.st_hits = 0 then
+          failwith (Printf.sprintf "storm %d: no cache hit during join storm" members);
+        if ratio < 2.0 then
+          failwith
+            (Printf.sprintf "storm %d: encode-work ratio %.1f < 2 (misses %d)" members
+               ratio r.st_misses);
+        if not !smoke then
+          transfer_add "join_storm"
+            [
+              ("members", string_of_int r.st_members);
+              ("cache_hits", string_of_int r.st_hits);
+              ("cache_misses", string_of_int r.st_misses);
+              ("encode_work_ratio", Printf.sprintf "%.1f" ratio);
+              ("storm_virtual_s", Printf.sprintf "%.4f" r.st_span);
+              ("state_bytes", string_of_int r.st_bytes);
+            ];
+        [
+          string_of_int r.st_members;
+          string_of_int r.st_hits;
+          string_of_int r.st_misses;
+          Printf.sprintf "%.0fx" ratio;
+          Printf.sprintf "%.0f ms" (r.st_span *. 1e3);
+          Workload.Report.fbytes r.st_bytes;
+        ])
+      sizes
+  in
+  Workload.Report.table
+    ~header:[ "joiners"; "cache hits"; "misses"; "encode work saved"; "storm span"; "bytes" ]
+    storm_rows;
+  Workload.Report.note
+    "misses track state versions the mid-storm writer produces, not joiner count.";
+  let records = if !smoke then 80 else 200 in
+  let durable_rows =
+    List.map
+      (fun size ->
+        let open Workload.Exp_transfer in
+        let off = durable_multicast ~size ~records ~batching:None () in
+        let on_ =
+          durable_multicast ~size ~records ~batching:(Some Storage.Wal.default_batch) ()
+        in
+        let speedup = on_.du_rps /. off.du_rps in
+        if on_.du_max_batch < 2 then
+          failwith
+            (Printf.sprintf "durable %dB: no multi-record batch committed" size);
+        if speedup < 3.0 then
+          failwith
+            (Printf.sprintf "durable %dB: group-commit speedup %.1fx < 3x" size speedup);
+        if not !smoke then
+          transfer_add "durable_multicast"
+            [
+              ("record_bytes", string_of_int size);
+              ("records", string_of_int records);
+              ("rps_per_record_seek", Printf.sprintf "%.1f" off.du_rps);
+              ("rps_group_commit", Printf.sprintf "%.1f" on_.du_rps);
+              ("speedup", Printf.sprintf "%.1f" speedup);
+              ("physical_writes", string_of_int on_.du_physical_writes);
+              ("records_committed", string_of_int on_.du_records_committed);
+              ("max_batch_records", string_of_int on_.du_max_batch);
+            ];
+        [
+          string_of_int size;
+          Printf.sprintf "%.0f" off.du_rps;
+          Printf.sprintf "%.0f" on_.du_rps;
+          Printf.sprintf "%.1fx" speedup;
+          Printf.sprintf "%d/%d" on_.du_physical_writes on_.du_records_committed;
+          string_of_int on_.du_max_batch;
+        ])
+      [ 64; 256 ]
+  in
+  Workload.Report.table
+    ~header:
+      [ "record B"; "rec/s (seek each)"; "rec/s (batched)"; "speedup"; "writes/records";
+        "max batch" ]
+    durable_rows;
+  Workload.Report.note
+    "Sync_logging fan-out waits for durability: throughput is seeks, not bytes."
+
 (* --- experiment registry ------------------------------------------------ *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -532,7 +641,11 @@ let experiments : (string * string * (unit -> unit)) list =
         if !quick then Workload.Exp_table2.run ~count:20 ~client_counts:[ 100; 200 ] ()
         else Workload.Exp_table2.run () );
     ("join", "Join latency: Corona vs ISIS-style baseline", Workload.Exp_join.run);
-    ("transfer", "State-transfer policies", Workload.Exp_transfer.run);
+    ( "transfer",
+      "State-transfer policies + join-storm cache + WAL group commit",
+      fun () ->
+        if not !smoke then Workload.Exp_transfer.run ();
+        run_transfer_sweep () );
     ("logreduction", "State-log reduction", Workload.Exp_logreduction.run);
     ( "disk",
       "Disk-logging ablation",

@@ -36,6 +36,9 @@ let single_config ~sync_log =
     Corona.Server.default_config with
     logging = (if sync_log then Corona.Server.Sync_logging else Corona.Server.Async_logging);
     record_lock_journal = true;
+    (* Exercise WAL group commit under randomized fault schedules: a crash
+       mid-batch must still satisfy the durability and replay oracles. *)
+    wal_batching = Some Storage.Wal.default_batch;
   }
 
 let repl_config = { Replication.Node.default_config with record_lock_journal = true }

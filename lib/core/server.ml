@@ -16,6 +16,9 @@ type config = {
       (* QoS-adaptive transfer pacing ([11], §5.3) *)
   record_lock_journal : bool;
       (* keep per-group lock grant journals for invariant checking *)
+  wal_batching : Storage.Wal.batch_config option;
+      (* group commit: coalesce log appends into one physical write per
+         seek; None = one write per record *)
 }
 
 let default_config =
@@ -28,6 +31,7 @@ let default_config =
     use_ip_multicast = false;
     transfer_chunk_bytes = None;
     record_lock_journal = false;
+    wal_batching = None;
   }
 
 type stats = {
@@ -72,6 +76,7 @@ type t = {
   pending_recovery : (T.group_id * T.member_id, Net.Tcp.conn * T.transfer_spec) Hashtbl.t;
   mutable client_conns : Net.Tcp.conn list;
   listener : Net.Tcp.listener option ref;
+  transfer_cache : Transfer.cache;
   mutable st : stats;
 }
 
@@ -221,7 +226,8 @@ let make_keeper t ~group ~persistent ~initial =
     let wal =
       match t.cfg.logging with
       | No_logging -> Storage.Wal.create_ephemeral ~name:group
-      | Async_logging | Sync_logging -> Server_storage.wal_for t.storage group
+      | Async_logging | Sync_logging ->
+          Server_storage.wal_for t.storage ?batching:t.cfg.wal_batching group
     in
     Stateful
       (State_log.create ~group ~persistent ~wal
@@ -270,6 +276,7 @@ let unindex_member_group t member group =
   | None -> ()
 
 let drop_group t g =
+  Transfer.invalidate t.transfer_cache g.g_id;
   (match g.g_keeper with
   | Stateful log -> State_log.delete_durable log
   | Stateless _ -> ());
@@ -302,68 +309,47 @@ let remove_member t g member ~change =
 
 (* --- state transfer (§3.2: customized per client) --------------------- *)
 
-(* Slice a snapshot's objects into fragments of at most [chunk] bytes; a
-   fragment is (id, byte slice), and a large object spans several fragments
-   (the client reassembles by appending). *)
-let slice_objects objects ~chunk =
-  let fragments = ref [] in
-  List.iter
-    (fun (id, data) ->
-      let len = String.length data in
-      if len = 0 then fragments := (id, data) :: !fragments
-      else begin
-        let pos = ref 0 in
-        while !pos < len do
-          let n = min chunk (len - !pos) in
-          fragments := (id, String.sub data !pos n) :: !fragments;
-          pos := !pos + n
-        done
-      end)
-    objects;
-  (* Pack fragments into chunks of ~[chunk] bytes. *)
-  let chunks = ref [] and current = ref [] and current_bytes = ref 0 in
-  List.iter
-    (fun (id, data) ->
-      if !current_bytes > 0 && !current_bytes + String.length data > chunk then begin
-        chunks := List.rev !current :: !chunks;
-        current := [];
-        current_bytes := 0
-      end;
-      current := (id, data) :: !current;
-      current_bytes := !current_bytes + String.length data)
-    (List.rev !fragments);
-  if !current <> [] then chunks := List.rev !current :: !chunks;
-  List.rev !chunks
-
-(* Pace the slices at ~half the NIC rate so interactive traffic interleaves
-   — the QoS scheduler of [11] in its simplest form. *)
-let send_chunked t conn ~group ~chunks ~finish =
+(* Pace pre-encoded [State_chunk] frames at ~half the NIC rate so
+   interactive traffic interleaves — the QoS scheduler of [11] in its
+   simplest form. The frames themselves are shared: for full-snapshot
+   transfers they come out of the join-state cache, sliced and serialized
+   once per state version rather than per joiner per chunk. *)
+let send_chunked t conn ~frames ~finish =
   let engine = Net.Fabric.engine t.fabric in
   let pace chunk_bytes =
     2.0 *. float_of_int chunk_bytes /. Net.Host.nic_bandwidth t.server_host
   in
-  let rec send index = function
+  let rec send = function
     | [] -> finish ()
-    | objects :: rest ->
+    | { Transfer.cf_frame; cf_bytes } :: rest ->
         if Net.Tcp.is_open conn then begin
-          let bytes =
-            List.fold_left (fun acc (_, d) -> acc + String.length d) 0 objects
-          in
-          send_to_conn t conn
-            (M.State_chunk { group; objects; index; more = true });
+          send_encoded_response t conn cf_frame;
           ignore
-            (Sim.Engine.schedule engine ~delay:(pace bytes) (fun () ->
-                 send (index + 1) rest))
+            (Sim.Engine.schedule engine ~delay:(pace cf_bytes) (fun () -> send rest))
         end
   in
-  send 0 chunks
+  send frames
 
-let join_state_for keeper (transfer : T.transfer_spec) : M.join_state * int =
+let join_state_for t keeper (transfer : T.transfer_spec) : Transfer.prepared =
   match keeper with
-  | Stateless s -> (M.Update_history [], s.next_seqno)
-  | Stateful log -> Transfer.join_state log transfer
+  | Stateless s -> Transfer.no_state ~at:s.next_seqno
+  | Stateful log -> Transfer.prepare ~cache:t.transfer_cache log transfer
 
-let join_state_bytes = Transfer.bytes
+(* One Join_accepted frame. Cache-served payloads splice the shared
+   encoding between the per-joiner fields; everything else pre-encodes the
+   whole frame. *)
+let join_accepted_frame ~group ~members ~multicast (p : Transfer.prepared) =
+  match p.p_enc with
+  | Some state_enc ->
+      M.pre_encode_join_accepted ~group ~at_seqno:p.p_at ~state:p.p_state
+        ~state_enc ~members ~multicast
+  | None ->
+      M.pre_encode
+        (M.Response
+           (M.Join_accepted
+              { group; at_seqno = p.p_at; state = p.p_state; members; multicast }))
+
+let transfer_cache_stats t = Transfer.cache_stats t.transfer_cache
 
 (* --- request handling -------------------------------------------------- *)
 
@@ -437,26 +423,36 @@ let handle_join t conn ~group ~member ~role ~transfer ~notify =
               in
               if multicast then Hashtbl.replace g.g_mcast_members member ()
               else Hashtbl.remove g.g_mcast_members member;
-              let state, at_seqno = join_state_for g.g_keeper transfer in
+              let p = join_state_for t g.g_keeper transfer in
               t.st <-
                 {
                   t.st with
                   joins_served = t.st.joins_served + 1;
-                  state_transfer_bytes =
-                    t.st.state_transfer_bytes + join_state_bytes state;
+                  state_transfer_bytes = t.st.state_transfer_bytes + p.p_bytes;
                 };
               let members = Membership.members g.g_members in
-              let accept state =
-                send_to_conn t conn
-                  (M.Join_accepted { group; at_seqno; state; members; multicast })
+              let accept p =
+                send_encoded_response t conn
+                  (join_accepted_frame ~group ~members ~multicast p)
               in
-              (match (t.cfg.transfer_chunk_bytes, state) with
+              (match (t.cfg.transfer_chunk_bytes, p.p_state) with
               | Some chunk, M.Snapshot { objects; log_tail }
-                when join_state_bytes state > chunk ->
-                  send_chunked t conn ~group ~chunks:(slice_objects objects ~chunk)
-                    ~finish:(fun () ->
-                      accept (M.Snapshot { objects = []; log_tail }))
-              | (Some _ | None), _ -> accept state);
+                when p.p_bytes > chunk ->
+                  let frames =
+                    match g.g_keeper with
+                    | Stateful log when p.p_full_snapshot ->
+                        Transfer.cached_chunk_frames t.transfer_cache log ~chunk
+                    | Stateful _ | Stateless _ ->
+                        Transfer.chunk_frames_of ~group ~objects ~chunk
+                  in
+                  send_chunked t conn ~frames ~finish:(fun () ->
+                      accept
+                        {
+                          p with
+                          p_state = M.Snapshot { objects = []; log_tail };
+                          p_enc = None;
+                        })
+              | (Some _ | None), _ -> accept p);
               notify_membership_change t g (T.Member_joined member)))
 
 let handle_leave t conn ~group ~member =
@@ -622,23 +618,18 @@ let handle_request t conn (req : M.request) =
           | Some (conn', transfer) ->
               Hashtbl.remove t.pending_recovery (group, member);
               if Net.Tcp.is_open conn' then begin
-                let state, at_seqno = join_state_for g.g_keeper transfer in
+                let p = join_state_for t g.g_keeper transfer in
                 t.st <-
                   {
                     t.st with
                     joins_served = t.st.joins_served + 1;
-                    state_transfer_bytes =
-                      t.st.state_transfer_bytes + join_state_bytes state;
+                    state_transfer_bytes = t.st.state_transfer_bytes + p.p_bytes;
                   };
-                send_to_conn t conn'
-                  (M.Join_accepted
-                     {
-                       group;
-                       at_seqno;
-                       state;
-                       members = Membership.members g.g_members;
-                       multicast = Hashtbl.mem g.g_mcast_members member;
-                     })
+                send_encoded_response t conn'
+                  (join_accepted_frame ~group
+                     ~members:(Membership.members g.g_members)
+                     ~multicast:(Hashtbl.mem g.g_mcast_members member)
+                     p)
               end
           | None -> ())
       | Some { g_keeper = Stateless _; _ } | None -> ())
@@ -689,7 +680,9 @@ let accept t conn =
 let recover_groups t =
   List.iter
     (fun (ck : State_log.checkpoint) ->
-      let wal = Server_storage.wal_for t.storage ck.ck_group in
+      let wal =
+        Server_storage.wal_for t.storage ?batching:t.cfg.wal_batching ck.ck_group
+      in
       let log =
         State_log.recover ck ~wal
           ~checkpoints:(Server_storage.checkpoints t.storage)
@@ -720,6 +713,7 @@ let create fabric server_host ?(config = default_config) ~storage () =
       pending_recovery = Hashtbl.create 4;
       client_conns = [];
       listener = ref None;
+      transfer_cache = Transfer.create_cache ();
       st =
         {
           requests_handled = 0;

@@ -41,11 +41,16 @@ type config = {
   record_lock_journal : bool;
       (** keep per-group {!Locks} grant journals in memory so invariant
           checkers ({!Check}) can replay them; off by default *)
+  wal_batching : Storage.Wal.batch_config option;
+      (** WAL group commit: log appends arriving while the disk is busy
+          coalesce into one physical write paying a single seek, making
+          small-record durable multicast throughput CPU-bound instead of
+          seek-bound. [None] (default) issues one write per record. *)
 }
 
 val default_config : config
 (** Port 7000, stateful, async logging, no automatic reduction, allow-all,
-    multicast off, unchunked transfers. *)
+    multicast off, unchunked transfers, no WAL batching. *)
 
 type stats = {
   requests_handled : int;
@@ -112,5 +117,10 @@ val group_base : t -> Proto.Types.group_id -> ((Proto.Types.object_id * string) 
     log-reduction fidelity oracle checks. *)
 
 val stats : t -> stats
+
+val transfer_cache_stats : t -> int * int
+(** [(hits, misses)] of the join-state snapshot cache: a miss pays one full
+    materialize+encode of a group's state, a hit shares it — the join-storm
+    amortization counter the transfer bench asserts on. *)
 
 val connected_clients : t -> int

@@ -16,11 +16,11 @@ let disk t = t.disk
 
 let checkpoints t = t.checkpoints
 
-let wal_for t group =
+let wal_for t ?batching group =
   match Hashtbl.find_opt t.wals group with
   | Some wal -> wal
   | None ->
-      let wal = Storage.Wal.create t.disk ~name:group in
+      let wal = Storage.Wal.create ?batching t.disk ~name:group in
       Hashtbl.replace t.wals group wal;
       wal
 

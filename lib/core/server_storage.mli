@@ -14,9 +14,14 @@ val disk : t -> Storage.Disk.t
 
 val checkpoints : t -> State_log.checkpoint Storage.Snapshot.t
 
-val wal_for : t -> Proto.Types.group_id -> Proto.Types.update Storage.Wal.t
+val wal_for :
+  t ->
+  ?batching:Storage.Wal.batch_config ->
+  Proto.Types.group_id ->
+  Proto.Types.update Storage.Wal.t
 (** The group's write-ahead log, created on first use and shared by every
-    server incarnation. *)
+    server incarnation. [batching] (group commit) applies only when this
+    call creates the log; later calls return the existing one as-is. *)
 
 val drop_group : t -> Proto.Types.group_id -> unit
 (** Erase a group's durable remains (checkpoint and log). *)

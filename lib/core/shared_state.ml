@@ -3,11 +3,20 @@
 
 type entry = { mutable base : string; mutable segments : string list (* newest first *) }
 
-type t = { objects : (Proto.Types.object_id, entry) Hashtbl.t }
+type t = {
+  objects : (Proto.Types.object_id, entry) Hashtbl.t;
+  mutable version : int;
+      (* bumped on every applied mutation — the join-state cache key.
+         Materialization is not a mutation: it rewrites the segment layout
+         without changing the materialized value. *)
+}
 
-let create () = { objects = Hashtbl.create 16 }
+let create () = { objects = Hashtbl.create 16; version = 0 }
+
+let version t = t.version
 
 let set_object t obj data =
+  t.version <- t.version + 1;
   Hashtbl.replace t.objects obj { base = data; segments = [] }
 
 let of_objects pairs =
@@ -16,6 +25,7 @@ let of_objects pairs =
   t
 
 let append_object t obj data =
+  t.version <- t.version + 1;
   match Hashtbl.find_opt t.objects obj with
   | Some e -> e.segments <- data :: e.segments
   | None -> Hashtbl.replace t.objects obj { base = ""; segments = [ data ] }
@@ -42,11 +52,15 @@ let get t obj = Option.map materialize (Hashtbl.find_opt t.objects obj)
 
 let mem t obj = Hashtbl.mem t.objects obj
 
-let object_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.objects [] |> List.sort String.compare
+(* One sorted snapshot of the entries, shared by every traversal below so
+   none of them pays a per-id re-lookup. *)
+let sorted_entries t =
+  Hashtbl.fold (fun id e acc -> (id, e) :: acc) t.objects []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let objects t =
-  List.map (fun id -> (id, Option.get (get t id))) (object_ids t)
+let object_ids t = List.map fst (sorted_entries t)
+
+let objects t = List.map (fun (id, e) -> (id, materialize e)) (sorted_entries t)
 
 let restrict t ids =
   List.filter_map (fun id -> Option.map (fun s -> (id, s)) (get t id)) ids
@@ -63,7 +77,8 @@ let total_bytes t =
 (* FNV-1a 64 over the sorted (id, data) pairs, with a terminator byte after
    each string so concatenation ambiguities ("ab"+"c" vs "a"+"bc") cannot
    collide. Structural (not physical): two states with equal materialized
-   objects digest equally regardless of segment layout. *)
+   objects digest equally regardless of segment layout. Streams the sorted
+   entries directly — no intermediate [(id, data) list]. *)
 let digest t =
   let h = ref 0xcbf29ce484222325L in
   let mix byte = h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L in
@@ -72,14 +87,16 @@ let digest t =
     mix 0xff
   in
   List.iter
-    (fun (id, data) ->
+    (fun (id, e) ->
       mix_string id;
-      mix_string data)
-    (objects t);
+      mix_string (materialize e))
+    (sorted_entries t);
   Printf.sprintf "%016Lx" !h
 
 let copy t = of_objects (objects t)
 
 let equal a b = objects a = objects b
 
-let clear t = Hashtbl.reset t.objects
+let clear t =
+  t.version <- t.version + 1;
+  Hashtbl.reset t.objects

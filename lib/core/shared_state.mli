@@ -9,6 +9,13 @@ type t
 
 val create : unit -> t
 
+val version : t -> int
+(** Monotonic mutation counter: bumped by every {!set_object},
+    {!append_object}, {!apply} and {!clear}. Two reads of the same [t] with
+    equal versions are guaranteed to see identical materialized objects —
+    the key the join-state transfer cache is built on. Materialization
+    (a layout rewrite, not a value change) does not bump it. *)
+
 val of_objects : (Proto.Types.object_id * string) list -> t
 
 val set_object : t -> Proto.Types.object_id -> string -> unit

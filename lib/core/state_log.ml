@@ -27,6 +27,16 @@ type t = {
   mutable last_seqno : int; (* highest applied sequence number; -1 initially *)
   mutable base_objects : (Proto.Types.object_id * string) list;
   mutable base_seqno : int; (* the retained log starts here; base = state then *)
+  (* O(1) byte accounting for Update_history transfers: cumulative data
+     bytes keyed by seqno, mirroring the retained log. Valid only while the
+     retained seqnos stay contiguous ([cum_exact]); a log re-seeded over a
+     stale WAL falls back to folding. *)
+  cum : (int, int) Hashtbl.t; (* seqno -> cum_total through that seqno *)
+  mutable cum_total : int; (* data bytes of every update ever summed *)
+  mutable cum_base_seqno : int; (* seqnos < this are summarized in cum_base *)
+  mutable cum_base : int;
+  mutable cum_next : int; (* the only seqno that keeps prefix sums exact *)
+  mutable cum_exact : bool;
 }
 
 let update_wire_bytes (u : Proto.Types.update) =
@@ -46,20 +56,56 @@ let write_checkpoint t ~on_durable =
   Storage.Snapshot.save t.checkpoints ~key:t.group ~size:(checkpoint_size ck) ck
     ~on_durable:(fun () -> on_durable ck)
 
-let create ~group ~persistent ~wal ~checkpoints ~policy ?(at_seqno = 0) ~initial () =
+(* Rebuild the prefix sums from whatever the WAL retains. The retained
+   records are in append (= seqno) order; any gap or duplicate marks the
+   sums inexact and byte queries fall back to folding. *)
+let seed_cum_from_wal t =
+  Hashtbl.reset t.cum;
+  t.cum_total <- 0;
+  t.cum_base <- 0;
+  t.cum_exact <- true;
+  let started = ref false in
+  Storage.Wal.iter_from t.wal (Storage.Wal.first_index t.wal)
+    (fun _ (u : Proto.Types.update) ->
+      if not !started then begin
+        started := true;
+        t.cum_base_seqno <- u.seqno;
+        t.cum_next <- u.seqno
+      end;
+      if u.seqno <> t.cum_next then t.cum_exact <- false;
+      t.cum_total <- t.cum_total + String.length u.data;
+      Hashtbl.replace t.cum u.seqno t.cum_total;
+      t.cum_next <- u.seqno + 1)
+
+let make ~group ~persistent ~state ~wal ~checkpoints ~policy ~at_seqno ~base_objects =
   let t =
     {
       group;
       persistent;
-      state = Shared_state.of_objects initial;
+      state;
       wal;
       checkpoints;
       policy;
       reduction_in_flight = false;
       last_seqno = at_seqno - 1;
-      base_objects = initial;
+      base_objects;
       base_seqno = at_seqno;
+      cum = Hashtbl.create 64;
+      cum_total = 0;
+      cum_base_seqno = at_seqno;
+      cum_base = 0;
+      cum_next = at_seqno;
+      cum_exact = true;
     }
+  in
+  if Storage.Wal.length wal > 0 then seed_cum_from_wal t;
+  t
+
+let create ~group ~persistent ~wal ~checkpoints ~policy ?(at_seqno = 0) ~initial () =
+  let t =
+    make ~group ~persistent
+      ~state:(Shared_state.of_objects initial)
+      ~wal ~checkpoints ~policy ~at_seqno ~base_objects:initial
   in
   if persistent then write_checkpoint t ~on_durable:(fun _ -> ());
   t
@@ -67,18 +113,10 @@ let create ~group ~persistent ~wal ~checkpoints ~policy ?(at_seqno = 0) ~initial
 let recover ck ~wal ~checkpoints ~policy =
   Storage.Wal.crash_recover wal;
   let t =
-    {
-      group = ck.ck_group;
-      persistent = ck.ck_persistent;
-      state = Shared_state.of_objects ck.ck_objects;
-      wal;
-      checkpoints;
-      policy;
-      reduction_in_flight = false;
-      last_seqno = ck.ck_at_seqno - 1;
-      base_objects = ck.ck_objects;
-      base_seqno = ck.ck_at_seqno;
-    }
+    make ~group:ck.ck_group ~persistent:ck.ck_persistent
+      ~state:(Shared_state.of_objects ck.ck_objects)
+      ~wal ~checkpoints ~policy ~at_seqno:ck.ck_at_seqno
+      ~base_objects:ck.ck_objects
   in
   (* Replay the durable suffix past the checkpoint (records are in seqno
      order but, in replicated mode, WAL indices need not equal seqnos). *)
@@ -103,6 +141,38 @@ let log_length t = Storage.Wal.length t.wal
 
 let log_bytes t = Storage.Wal.bytes_retained t.wal
 
+(* Prefix sums through seqno [s]. *)
+let cum_through t s =
+  if s < t.cum_base_seqno then t.cum_base
+  else if s >= t.cum_next then t.cum_total
+  else match Hashtbl.find_opt t.cum s with Some v -> v | None -> t.cum_base
+
+(* Drop prefix-sum entries for truncated seqnos, folding their total into
+   the base. *)
+let prune_cum t ~upto =
+  if upto > t.cum_base_seqno then begin
+    let base = cum_through t (upto - 1) in
+    for s = t.cum_base_seqno to upto - 1 do
+      Hashtbl.remove t.cum s
+    done;
+    t.cum_base <- base;
+    t.cum_base_seqno <- upto;
+    if t.cum_next < upto then t.cum_next <- upto
+  end
+
+let update_bytes_from t from =
+  if not t.cum_exact then None
+  else
+    let from = max from t.cum_base_seqno in
+    Some (t.cum_total - cum_through t (from - 1))
+
+let latest_updates_bytes t n =
+  if not t.cum_exact then None
+  else if n <= 0 then Some 0
+  else
+    let from = max t.cum_base_seqno (t.cum_next - n) in
+    Some (t.cum_total - cum_through t (from - 1))
+
 let do_reduce t ~on_done =
   if (not t.reduction_in_flight) && Storage.Wal.length t.wal > 0 then begin
     t.reduction_in_flight <- true;
@@ -111,6 +181,7 @@ let do_reduce t ~on_done =
     let wal_upto = Storage.Wal.next_index t.wal in
     write_checkpoint t ~on_durable:(fun ck ->
         Storage.Wal.truncate_prefix t.wal ~upto:wal_upto;
+        prune_cum t ~upto:ck.ck_at_seqno;
         t.reduction_in_flight <- false;
         t.base_objects <- ck.ck_objects;
         t.base_seqno <- ck.ck_at_seqno;
@@ -129,6 +200,12 @@ let maybe_auto_reduce t =
 let log_update t (u : Proto.Types.update) ~on_durable =
   Shared_state.apply t.state u;
   t.last_seqno <- max t.last_seqno u.seqno;
+  if t.cum_exact && u.seqno = t.cum_next then begin
+    t.cum_total <- t.cum_total + String.length u.data;
+    Hashtbl.replace t.cum u.seqno t.cum_total;
+    t.cum_next <- u.seqno + 1
+  end
+  else t.cum_exact <- false;
   Storage.Wal.append_sync t.wal ~size:(update_wire_bytes u) u
     ~on_durable:(fun _ -> on_durable u);
   maybe_auto_reduce t

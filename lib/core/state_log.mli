@@ -93,6 +93,15 @@ val updates_from : t -> int -> Proto.Types.update list
 val latest_updates : t -> int -> Proto.Types.update list
 (** The last [n] retained updates, in order. *)
 
+val update_bytes_from : t -> int -> int option
+(** O(1) total of [String.length u.data] over what {!updates_from} would
+    return, from seqno-keyed prefix sums maintained alongside the log.
+    [None] when the retained history is not contiguous (a log seeded over a
+    stale WAL after reconciliation) — callers fold the list instead. *)
+
+val latest_updates_bytes : t -> int -> int option
+(** Same accounting for {!latest_updates}. *)
+
 val reduce : t -> on_done:(upto:int -> unit) -> unit
 (** Client- or service-requested reduction: checkpoint now, truncate the
     log prefix once the checkpoint is durable. No-op when the log is

@@ -15,7 +15,11 @@
    R5  encode-once: direct [Message.encode] outside the codec internals must
        go through [Message.pre_encode] so fan-out shares one serialization.
    R6  [failwith] / [assert false] inside protocol message handlers
-       (handler-named functions in the protocol layers). *)
+       (handler-named functions in the protocol layers).
+   R7  snapshot-cache bypass: direct [Shared_state.objects] in the join /
+       state-transfer hot paths (lib/core/server.ml, lib/replication) pays a
+       full materialize per call — go through [Transfer] and its snapshot
+       cache. *)
 
 module I = Ast_iterator
 open Parsetree
@@ -45,6 +49,12 @@ let r3_active file =
 let r5_exempt file = has_suffix file "proto/message.ml" || has_suffix file "proto/codec.ml"
 
 let r6_active file = not (under_lib file [ "sim"; "net"; "storage"; "ordering"; "workload"; "lint" ])
+
+(* Hot paths that must go through the Transfer snapshot cache; the trailing
+   disjunct keeps the rule active on the fixture corpus outside lib/. *)
+let r7_active file =
+  has_suffix file "core/server.ml" || under_lib file [ "replication" ]
+  || not (contains file "lib/")
 
 (* --- helpers ------------------------------------------------------------ *)
 
@@ -155,6 +165,14 @@ let check_ident ctx ~fn_args lid loc =
       report ctx ~loc ~rule:"R5"
         (Printf.sprintf
            "direct %s breaks encode-once: serialize via Message.pre_encode and share the encoding"
+           dotted)
+  | _ -> ());
+  (match last2 path with
+  | Some ("Shared_state", "objects") when r7_active ctx.file ->
+      report ctx ~loc ~rule:"R7"
+        (Printf.sprintf
+           "direct %s in a transfer hot path pays a full materialize per call: go through \
+            Transfer and its snapshot cache"
            dotted)
   | _ -> ());
   (if r3_active ctx.file then

@@ -58,6 +58,16 @@ module Writer = struct
     Bytes.blit_string s 0 t.buf t.len n;
     t.len <- t.len + n
 
+  (* Append pre-serialized bytes verbatim — no length prefix. The splice
+     primitive the cached join-state encoding relies on: a fragment produced
+     by running an encoder into a fresh writer can be re-embedded where that
+     encoder would have run. *)
+  let raw t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
   let list t enc xs =
     u32 t (List.length xs);
     List.iter (enc t) xs

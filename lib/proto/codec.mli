@@ -30,6 +30,11 @@ module Writer : sig
   val string : t -> string -> unit
   (** u32 length prefix + bytes. *)
 
+  val raw : t -> string -> unit
+  (** Append pre-serialized bytes verbatim, without a length prefix:
+      splices a fragment produced by running an encoder into a fresh
+      writer back into a larger encoding, byte-identically. *)
+
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
   (** u32 count prefix + elements. *)
 

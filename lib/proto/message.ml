@@ -487,6 +487,32 @@ let pre_encode msg =
   encode w msg;
   { e_msg = msg; e_bytes = Codec.Writer.contents w }
 
+(* Join-state splicing: a server caching one snapshot encoding across a
+   join storm serializes the [join_state] fragment once and re-embeds it in
+   each per-joiner [Join_accepted] frame (members and at_seqno differ per
+   joiner, the state payload does not). [pre_encode_join_accepted] must stay
+   byte-identical to [pre_encode (Response (Join_accepted ...))] — pinned by
+   a golden test. *)
+let encode_join_state state =
+  let w = Codec.Writer.create () in
+  enc_join_state w state;
+  Codec.Writer.contents w
+
+let pre_encode_join_accepted ~group ~at_seqno ~state ~state_enc ~members ~multicast =
+  incr encodes;
+  let w = Codec.Writer.create () in
+  W.u8 w 1 (* Response *);
+  W.u8 w 2 (* Join_accepted *);
+  W.string w group;
+  W.int_as_i64 w at_seqno;
+  W.raw w state_enc;
+  W.list w enc_member members;
+  W.bool w multicast;
+  {
+    e_msg = Response (Join_accepted { group; at_seqno; state; members; multicast });
+    e_bytes = Codec.Writer.contents w;
+  }
+
 let encoded_message e = e.e_msg
 
 let encoded_bytes e = e.e_bytes

@@ -125,6 +125,26 @@ type encoded
 val pre_encode : t -> encoded
 (** Serialize now (one encode). *)
 
+val encode_join_state : join_state -> string
+(** The bytes [enc_join_state] would contribute to a containing frame — the
+    shareable fragment of a [Join_accepted]. A server caches this across a
+    join storm and splices it into each per-joiner reply. *)
+
+val pre_encode_join_accepted :
+  group:Types.group_id ->
+  at_seqno:int ->
+  state:join_state ->
+  state_enc:string ->
+  members:Types.member list ->
+  multicast:bool ->
+  encoded
+(** Build a [Join_accepted] frame by splicing a cached {!encode_join_state}
+    fragment ([state_enc], which must be the encoding of [state]) between
+    the per-joiner fields. Byte-identical to
+    [pre_encode (Response (Join_accepted ...))] (golden-pinned) but performs
+    no per-joiner serialization of the state payload. Counts as one encode
+    in {!encode_count}. *)
+
 val encoded_message : encoded -> t
 
 val encoded_bytes : encoded -> string

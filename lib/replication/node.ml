@@ -13,6 +13,7 @@ type config = {
   relaxed_membership : bool;
   server_multicast : bool;
   record_lock_journal : bool;
+  wal_batching : Storage.Wal.batch_config option;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     relaxed_membership = false;
     server_multicast = false;
     record_lock_journal = false;
+    wal_batching = None;
   }
 
 type role = Coordinator | Replica
@@ -100,6 +102,7 @@ type t = {
   mutable acked_candidate : Smsg.server_id option; (* earliest claim seen *)
   mutable stopped : bool;
   node_epoch : int; (* host epoch at creation; a crash orphans this node *)
+  transfer_cache : Corona.Transfer.cache;
   mutable st : stats;
 }
 
@@ -118,6 +121,8 @@ let coordinator_id t = t.coord
 let believes_alive t = t.alive
 
 let stats t = t.st
+
+let transfer_cache_stats t = Corona.Transfer.cache_stats t.transfer_cache
 
 let is_current t =
   (not t.stopped)
@@ -282,7 +287,9 @@ and rgroup_of t group =
   | None -> make_rgroup t group
 
 and seed_rgroup t rg ~persistent ~at_seqno ~objects =
-  let wal = Corona.Server_storage.wal_for t.storage rg.rg_id in
+  let wal =
+    Corona.Server_storage.wal_for t.storage ?batching:t.cfg.wal_batching rg.rg_id
+  in
   let log =
     SL.create ~group:rg.rg_id ~persistent ~wal
       ~checkpoints:(Corona.Server_storage.checkpoints t.storage)
@@ -317,11 +324,29 @@ and complete_join t rg key (pj : pending_join) =
         ~notify:true (* notify flag is tracked globally; local copy notifies all *)
         ~joined_at:(now t);
       rg.rg_global <- members;
-      let state, at_seqno = Corona.Transfer.join_state log pj.pj_transfer in
-      if Net.Tcp.is_open pj.pj_conn then
-        send_client t pj.pj_conn
-          (M.Join_accepted
-             { group = rg.rg_id; at_seqno; state; members; multicast = false })
+      let p = Corona.Transfer.prepare ~cache:t.transfer_cache log pj.pj_transfer in
+      if Net.Tcp.is_open pj.pj_conn then begin
+        let e =
+          match p.p_enc with
+          | Some state_enc ->
+              (* Join-storm path: splice the snapshot encoding shared by
+                 every concurrent joiner at this state version. *)
+              M.pre_encode_join_accepted ~group:rg.rg_id ~at_seqno:p.p_at
+                ~state:p.p_state ~state_enc ~members ~multicast:false
+          | None ->
+              M.pre_encode
+                (M.Response
+                   (M.Join_accepted
+                      {
+                        group = rg.rg_id;
+                        at_seqno = p.p_at;
+                        state = p.p_state;
+                        members;
+                        multicast = false;
+                      }))
+        in
+        send_client_encoded t pj.pj_conn e
+      end
   | _ -> ()
 
 and complete_ready_joins t rg =
@@ -686,7 +711,10 @@ and replica_handle t ~from msg =
                {
                  group;
                  at_seqno = SL.next_seqno log;
-                 objects = Corona.Shared_state.objects (SL.state log);
+                 (* State copy for re-replication: share the materialized
+                    objects with the join-state cache instead of paying a
+                    fresh materialize per fetch. *)
+                 objects = Corona.Transfer.snapshot_objects ~cache:t.transfer_cache log;
                  error = None;
                })
       | Some { rg_log = None; _ } | None ->
@@ -1322,6 +1350,7 @@ let create fabric node_host ?(config = default_config) ~storage ~server_list
       acked_candidate = None;
       stopped = false;
       node_epoch = Net.Host.epoch node_host;
+      transfer_cache = Corona.Transfer.create_cache ();
       st =
         {
           fwd_bcasts = 0;

@@ -38,6 +38,10 @@ type config = {
   record_lock_journal : bool;
       (** keep the directory's per-group lock grant journals in memory for
           invariant checking ({!Check}); off by default *)
+  wal_batching : Storage.Wal.batch_config option;
+      (** WAL group commit for the per-group logs (see {!Corona.Server}):
+          appends arriving while the disk is busy coalesce into one physical
+          write. [None] (default) issues one write per record. *)
 }
 
 val default_config : config
@@ -131,5 +135,10 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val transfer_cache_stats : t -> int * int
+(** [(hits, misses)] of this node's join-state snapshot cache (join storms
+    and state-copy fetches share one materialize+encode per state
+    version). *)
 
 val shutdown : t -> unit

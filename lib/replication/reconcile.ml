@@ -48,7 +48,9 @@ let is_consistent d = d.d_a_suffix = [] && d.d_b_suffix = []
 let materialize base updates =
   let state = Corona.Shared_state.of_objects base in
   List.iter (Corona.Shared_state.apply state) updates;
-  Corona.Shared_state.objects state
+  (* Cold reconciliation path over a throwaway state instance: there is no
+     cache this could share with. *)
+  (Corona.Shared_state.objects state [@corona.allow "R7"])
 
 let side_state_upto side upto =
   materialize side.s_base_objects

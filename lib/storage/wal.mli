@@ -11,7 +11,30 @@
 
 type 'a t
 
-val create : Disk.t -> name:string -> 'a t
+(** Group commit: appends that arrive while the disk is busy coalesce into
+    one physical write paying a single seek. [max_batch_bytes] bounds the
+    bytes of one physical write (a batch always takes at least one record);
+    [max_delay] bounds the extra latency an append accepts waiting for
+    company when the disk is idle ([0.] = write idle-disk appends
+    immediately; bursts still coalesce behind the in-flight write). *)
+type batch_config = { max_batch_bytes : int; max_delay : float }
+
+val default_batch : batch_config
+(** 64 KiB / 1 ms. *)
+
+(** Cumulative physical-write accounting (both batched and unbatched logs):
+    [records_committed / physical_writes] is the measured group-commit
+    amortization factor; [max_batch_records] the largest single batch. *)
+type commit_stats = {
+  physical_writes : int;
+  records_committed : int;
+  max_batch_records : int;
+}
+
+val create : ?batching:batch_config -> Disk.t -> name:string -> 'a t
+(** Without [batching] (the default), every append issues its own disk
+    write — one seek per record, the behavior the group-commit bench
+    baselines against. *)
 
 val create_ephemeral : name:string -> 'a t
 (** A memory-only log: appends cost no disk time and report completion
@@ -30,7 +53,13 @@ val append : 'a t -> size:int -> 'a -> int
 
 val append_sync : 'a t -> size:int -> 'a -> on_durable:(int -> unit) -> unit
 (** Append and call back (with the index) once durable. The callback is lost
-    if the host crashes first. *)
+    if the host crashes first. Under group commit, callbacks of one batch
+    fire in index order when the batch's single write completes; a crash
+    before that loses the whole batch ({!crash_recover} drops it). *)
+
+val commit_stats : 'a t -> commit_stats
+(** Physical-write accounting since creation (crash-agnostic: completed
+    writes only). *)
 
 val first_index : 'a t -> int
 (** Index of the oldest retained record ([next_index] when empty). *)

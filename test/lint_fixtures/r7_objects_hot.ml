@@ -1,0 +1,11 @@
+(* Seeded R7 violations: direct Shared_state.objects in a transfer hot path
+   pays a full materialize per joiner instead of sharing the snapshot cache. *)
+
+module SS = Corona.Shared_state
+
+let join_payload state = SS.objects state
+
+let fetch_state state = Corona.Shared_state.objects state
+
+(* Not a violation: a cold path may opt out explicitly. *)
+let reconcile_once state = (Corona.Shared_state.objects state [@corona.allow "R7"])

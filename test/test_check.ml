@@ -108,6 +108,39 @@ let test_seed_37_failover_regression () =
     "no violations" []
     (List.map O.violation_line r.Check.Runner.r_violations)
 
+(* Regression for the PR-5 snapshot-cached state transfer: several clients
+   reconnect and rejoin in a tight window while another keeps writing, so
+   concurrent joins share one cached join-state encoding, the interleaved
+   bursts invalidate it between waves, and (sync_log, so [single_config]
+   turns WAL batching on) the rejoin-era traffic group-commits. A stale
+   cached snapshot being served, or a batch surviving partially, trips the
+   convergence / fidelity oracles. *)
+let join_storm_schedule =
+  {
+    S.kind = S.Single { sync_log = true };
+    clients = 4;
+    groups = 1;
+    horizon_ms = 14_000;
+    events =
+      [
+        S.Burst { client = 0; group = 0; at_ms = 2_500; count = 4; size = 32 };
+        S.Client_churn { client = 1; at_ms = 3_000; down_ms = 1_000; crash = false };
+        S.Client_churn { client = 2; at_ms = 3_100; down_ms = 1_000; crash = false };
+        S.Client_churn { client = 3; at_ms = 3_200; down_ms = 1_000; crash = true };
+        S.Burst { client = 0; group = 0; at_ms = 4_050; count = 3; size = 48 };
+        S.Client_churn { client = 2; at_ms = 6_000; down_ms = 800; crash = false };
+        S.Burst { client = 1; group = 0; at_ms = 7_500; count = 2; size = 16 };
+        S.Lock_cycle { client = 0; group = 0; lock = 0; at_ms = 8_500; hold_ms = 400 };
+      ];
+  }
+
+let test_join_storm_regression () =
+  let r = Check.Runner.execute ~seed:11L join_storm_schedule in
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map O.violation_line r.Check.Runner.r_violations);
+  Alcotest.(check bool) "traffic delivered" true (r.Check.Runner.r_deliveries > 0)
+
 (* --- seeded bug + shrinking ----------------------------------------------- *)
 
 (* A client that reconnects after churn but "forgets" to rejoin its groups
@@ -302,6 +335,7 @@ let () =
           tc "determinism regression" `Quick test_runner_deterministic;
           tc "trunk passes smoke seeds" `Quick test_trunk_passes_smoke;
           tc "seed 37 failover regression" `Quick test_seed_37_failover_regression;
+          tc "reconnect-during-join-storm regression" `Quick test_join_storm_regression;
         ] );
       ( "seeded-bug",
         [

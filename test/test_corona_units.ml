@@ -367,6 +367,116 @@ let test_transfer_policies () =
   check_bytes (T.Objects [ "a" ]) 1;
   check_bytes T.No_state 0
 
+(* The version counter is what keys the snapshot cache: every mutation
+   bumps it, reads never do. *)
+let test_state_version_semantics () =
+  let s = SS.create () in
+  let v0 = SS.version s in
+  SS.set_object s "a" "x";
+  SS.append_object s "a" "y";
+  SS.apply s (upd ~kind:T.Set_state "b" "z");
+  let v3 = SS.version s in
+  Alcotest.(check bool) "mutations bump the version" true (v3 > v0);
+  ignore (SS.objects s);
+  ignore (SS.get s "a");
+  ignore (SS.digest s);
+  ignore (SS.restrict s [ "a" ]);
+  Alcotest.(check int) "reads leave it alone" v3 (SS.version s);
+  SS.clear s;
+  Alcotest.(check bool) "clear bumps" true (SS.version s > v3)
+
+(* Two joiners at the same state version share one materialize+encode and
+   get byte-identical payloads; a write in between invalidates. *)
+let test_transfer_cache_reuse_and_invalidation () =
+  let _, _, _, log = make_log ~initial:[ ("a", "A"); ("b", "B") ] () in
+  for i = 0 to 4 do
+    ignore (append log (string_of_int i))
+  done;
+  let open Corona.Transfer in
+  let cache = create_cache () in
+  let p1 = prepare ~cache log T.Full_state in
+  let p2 = prepare ~cache log T.Full_state in
+  Alcotest.(check bool) "first prepare misses" false p1.p_cache_hit;
+  Alcotest.(check bool) "second prepare hits" true p2.p_cache_hit;
+  Alcotest.(check bool) "both are full snapshots" true
+    (p1.p_full_snapshot && p2.p_full_snapshot);
+  Alcotest.(check (pair int int)) "stats count one of each" (1, 1)
+    (cache_stats cache);
+  (* Golden frame: the cached fragment is byte-identical to encoding the
+     uncached reference payload. *)
+  let reference, at = join_state log T.Full_state in
+  Alcotest.(check int) "same position" at p1.p_at;
+  Alcotest.(check (option string)) "cached encoding = reference encoding"
+    (Some (Proto.Message.encode_join_state reference))
+    p2.p_enc;
+  Alcotest.(check (option string)) "hit shares the miss's encoding" p1.p_enc
+    p2.p_enc;
+  Alcotest.(check int) "p_bytes matches the reference fold"
+    (bytes reference) p2.p_bytes;
+  ignore (append log "5");
+  let p3 = prepare ~cache log T.Full_state in
+  Alcotest.(check bool) "write in between invalidates" false p3.p_cache_hit;
+  Alcotest.(check (pair int int)) "second miss recorded" (1, 2)
+    (cache_stats cache);
+  Alcotest.(check int) "fresh payload reflects the write" 6 p3.p_at
+
+(* An [Updates_since n] request folded past by log reduction degrades to a
+   full snapshot — and shares the cached one instead of re-encoding. *)
+let test_transfer_cache_reduction_fold () =
+  let engine, _, _, log = make_log () in
+  for i = 0 to 9 do
+    ignore (append log (string_of_int i))
+  done;
+  Corona.State_log.reduce log ~on_done:(fun ~upto:_ -> ());
+  Sim.Engine.run engine;
+  let open Corona.Transfer in
+  let cache = create_cache () in
+  let p1 = prepare ~cache log T.Full_state in
+  let p2 = prepare ~cache log (T.Updates_since 3) in
+  Alcotest.(check bool) "reduced-past resync is a full snapshot" true
+    p2.p_full_snapshot;
+  Alcotest.(check bool) "and shares the cached entry" true p2.p_cache_hit;
+  Alcotest.(check (option string)) "same encoding" p1.p_enc p2.p_enc;
+  Alcotest.(check (pair int int)) "one materialize for both" (1, 1)
+    (cache_stats cache)
+
+(* The O(1) prefix-sum byte accounting agrees with folding over the
+   retained updates, for every suffix and before/after reduction. *)
+let test_log_byte_accounting () =
+  let fold_bytes updates =
+    List.fold_left (fun acc u -> acc + String.length u.T.data) 0 updates
+  in
+  let engine, _, _, log = make_log () in
+  for i = 0 to 9 do
+    ignore (append log (String.make (i + 1) 'x'))
+  done;
+  for from = 0 to 11 do
+    match Corona.State_log.update_bytes_from log from with
+    | None -> Alcotest.fail "contiguous history must give an exact count"
+    | Some b ->
+        Alcotest.(check int)
+          (Printf.sprintf "bytes from %d" from)
+          (fold_bytes (Corona.State_log.updates_from log from))
+          b
+  done;
+  for n = 0 to 12 do
+    match Corona.State_log.latest_updates_bytes log n with
+    | None -> Alcotest.fail "latest-n must give an exact count"
+    | Some b ->
+        Alcotest.(check int)
+          (Printf.sprintf "latest %d bytes" n)
+          (fold_bytes (Corona.State_log.latest_updates log n))
+          b
+  done;
+  Corona.State_log.reduce log ~on_done:(fun ~upto:_ -> ());
+  Sim.Engine.run engine;
+  ignore (append log "post");
+  Alcotest.(check (option int)) "exact after reduction" (Some 4)
+    (Corona.State_log.update_bytes_from log 10);
+  Alcotest.(check (option int)) "latest-n clamps to the retained suffix"
+    (Some (fold_bytes (Corona.State_log.latest_updates log 5)))
+    (Corona.State_log.latest_updates_bytes log 5)
+
 let () =
   let tc = Alcotest.test_case in
   let q = QCheck_alcotest.to_alcotest in
@@ -400,5 +510,15 @@ let () =
         ] );
       ("membership", [ tc "join order and rejoin" `Quick test_membership_join_order_and_rejoin ]);
       ("access-control", [ tc "join allowlist" `Quick test_access_allowlist ]);
-      ("transfer", [ tc "policies" `Quick test_transfer_policies ]);
+      ( "transfer",
+        [
+          tc "policies" `Quick test_transfer_policies;
+          tc "state version semantics" `Quick test_state_version_semantics;
+          tc "cache reuse and invalidation" `Quick
+            test_transfer_cache_reuse_and_invalidation;
+          tc "reduction-folded resync shares cache" `Quick
+            test_transfer_cache_reduction_fold;
+          tc "O(1) byte accounting = reference fold" `Quick
+            test_log_byte_accounting;
+        ] );
     ]

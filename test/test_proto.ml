@@ -337,6 +337,40 @@ let test_pre_encode_consistency () =
   done;
   Alcotest.(check int) "no re-encode on reuse" base (M.encode_count ())
 
+(* The snapshot cache splices a pre-serialized join-state fragment into a
+   Join_accepted frame; the result must be byte-identical to encoding the
+   whole message from scratch, or cached and uncached joiners would see
+   different wire bytes. *)
+let test_join_accepted_splice () =
+  let members = [ { T.member = "a"; role = T.Principal }; { T.member = "b"; role = T.Observer } ] in
+  List.iter
+    (fun state ->
+      let msg =
+        M.Response
+          (M.Join_accepted { group = "g"; at_seqno = 7; state; members; multicast = true })
+      in
+      let whole = M.pre_encode msg in
+      let spliced =
+        M.pre_encode_join_accepted ~group:"g" ~at_seqno:7 ~state
+          ~state_enc:(M.encode_join_state state) ~members ~multicast:true
+      in
+      Alcotest.(check string)
+        "spliced frame = whole-message encode" (M.encoded_bytes whole)
+        (M.encoded_bytes spliced);
+      (* and it must decode back to the same message *)
+      let decoded =
+        M.decode (Proto.Codec.Reader.of_string (M.encoded_bytes spliced))
+      in
+      Alcotest.(check string)
+        "decodes identically" (Format.asprintf "%a" M.pp msg)
+        (Format.asprintf "%a" M.pp decoded))
+    [
+      M.Snapshot { objects = [ ("o1", "v1"); ("o2", String.make 300 'x') ];
+                   log_tail = [ sample_update ] };
+      M.Snapshot { objects = []; log_tail = [] };
+      M.Update_history [ sample_update; sample_update ];
+    ]
+
 (* --- property-based roundtrips over random messages ---------------------- *)
 
 let gen_string = QCheck.Gen.(string_size ~gen:printable (int_range 0 30))
@@ -502,6 +536,7 @@ let () =
           tc "all constructors roundtrip" `Quick test_all_constructors_roundtrip;
           tc "golden bytes (wire format pinned)" `Quick test_golden_bytes;
           tc "pre-encode consistency" `Quick test_pre_encode_consistency;
+          tc "join-accepted splice is byte-identical" `Quick test_join_accepted_splice;
           tc "wire size scales with payload" `Quick test_wire_size_scales_with_payload;
           q prop_roundtrip;
           q prop_wire_size_consistent;

@@ -119,6 +119,100 @@ let prop_wal_retains_suffix =
       let expected = max 0 (n - max 0 (min upto n)) in
       Storage.Wal.length wal = expected)
 
+(* --- wal group commit ------------------------------------------------------ *)
+
+(* 100-byte records carry [record_header_size] = 16 framing bytes, so one
+   record is a 116 B write and batch arithmetic below counts in 116s. *)
+let make_batched_wal ?(max_batch_bytes = 64 * 1024) ?(max_delay = 0.0) () =
+  let engine, host = make_host () in
+  let disk = Storage.Disk.create host ~transfer_rate:1e6 ~seek_time:0.001 () in
+  let wal =
+    Storage.Wal.create ~batching:{ Storage.Wal.max_batch_bytes; max_delay } disk
+      ~name:"log"
+  in
+  (engine, host, wal)
+
+let test_wal_group_commit_coalesces () =
+  let engine, _, wal = make_batched_wal () in
+  (* With max_delay = 0 the first append writes immediately; the other four
+     arrive while it is on the platter and coalesce into one batch. *)
+  let order = ref [] in
+  let upto_trace = ref [] in
+  for i = 0 to 4 do
+    Storage.Wal.append_sync wal ~size:100 (string_of_int i) ~on_durable:(fun idx ->
+        order := idx :: !order;
+        upto_trace := Storage.Wal.durable_upto wal :: !upto_trace)
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list int))
+    "per-record callbacks in index order" [ 0; 1; 2; 3; 4 ] (List.rev !order);
+  Alcotest.(check (list int))
+    "durable_upto monotone, covers each record at its callback" [ 1; 2; 3; 4; 5 ]
+    (List.rev !upto_trace);
+  let cs = Storage.Wal.commit_stats wal in
+  Alcotest.(check int) "two physical writes" 2 cs.Storage.Wal.physical_writes;
+  Alcotest.(check int) "five records committed" 5 cs.Storage.Wal.records_committed;
+  Alcotest.(check int) "largest batch is four" 4 cs.Storage.Wal.max_batch_records
+
+let test_wal_group_commit_idle_delay () =
+  let engine, _, wal = make_batched_wal ~max_delay:0.005 () in
+  (* Both appends find the disk idle: the first arms the max_delay timer,
+     the second joins it, and one write commits the pair. *)
+  let done_at = ref [] in
+  for i = 0 to 1 do
+    Storage.Wal.append_sync wal ~size:100 (string_of_int i) ~on_durable:(fun _ ->
+        done_at := Sim.Engine.now engine :: !done_at)
+  done;
+  Sim.Engine.run engine;
+  let cs = Storage.Wal.commit_stats wal in
+  Alcotest.(check int) "one physical write" 1 cs.Storage.Wal.physical_writes;
+  Alcotest.(check int) "batch of two" 2 cs.Storage.Wal.max_batch_records;
+  (* 5 ms delay + 1 ms seek + 232 B / 1 MB/s. *)
+  Alcotest.(check (list (float 1e-9))) "both durable together" [ 0.006232; 0.006232 ]
+    !done_at
+
+let test_wal_group_commit_crash_drops_batch () =
+  let engine, host = make_host () in
+  (* Slow disk: the first record's write (116 B at 10 kB/s, ~12.6 ms) is
+     still in flight when the crash lands at 5 ms. *)
+  let disk = Storage.Disk.create host ~transfer_rate:1e4 ~seek_time:0.001 () in
+  let wal =
+    Storage.Wal.create
+      ~batching:{ Storage.Wal.max_batch_bytes = 64 * 1024; max_delay = 0.0 }
+      disk ~name:"log"
+  in
+  for i = 0 to 2 do
+    Storage.Wal.append_sync wal ~size:100 (string_of_int i) ~on_durable:(fun _ ->
+        Alcotest.fail "nothing may become durable")
+  done;
+  ignore (Sim.Engine.schedule engine ~delay:0.005 (fun () -> Net.Host.crash host));
+  Sim.Engine.run engine;
+  Net.Host.restart host;
+  Storage.Wal.crash_recover wal;
+  Alcotest.(check int) "in-flight record and pending batch lost together" 0
+    (Storage.Wal.length wal);
+  Alcotest.(check int) "nothing durable" 0 (Storage.Wal.durable_upto wal);
+  (* The log keeps working after recovery. *)
+  let redone = ref None in
+  Storage.Wal.append_sync wal ~size:100 "again" ~on_durable:(fun i -> redone := Some i);
+  Sim.Engine.run engine;
+  Alcotest.(check (option int)) "post-recovery append durable at index 0" (Some 0)
+    !redone;
+  Alcotest.(check int) "durable after recovery" 1 (Storage.Wal.durable_upto wal)
+
+let test_wal_group_commit_byte_cap () =
+  let engine, _, wal = make_batched_wal ~max_batch_bytes:232 () in
+  for i = 0 to 4 do
+    Storage.Wal.append_sync wal ~size:100 (string_of_int i) ~on_durable:(fun _ -> ())
+  done;
+  Sim.Engine.run engine;
+  let cs = Storage.Wal.commit_stats wal in
+  Alcotest.(check int) "record 0 alone, then two capped batches" 3
+    cs.Storage.Wal.physical_writes;
+  Alcotest.(check int) "all committed" 5 cs.Storage.Wal.records_committed;
+  Alcotest.(check int) "cap at two records per write" 2 cs.Storage.Wal.max_batch_records;
+  Alcotest.(check int) "all durable" 5 (Storage.Wal.durable_upto wal)
+
 (* --- snapshot ----------------------------------------------------------------- *)
 
 let test_snapshot_save_load () =
@@ -174,6 +268,16 @@ let () =
           tc "crash recovery drops tail" `Quick test_wal_crash_recover_drops_tail;
           tc "ephemeral log" `Quick test_wal_ephemeral;
           q prop_wal_retains_suffix;
+        ] );
+      ( "wal-group-commit",
+        [
+          tc "busy-disk appends coalesce" `Quick test_wal_group_commit_coalesces;
+          tc "idle-disk appends wait max_delay for company" `Quick
+            test_wal_group_commit_idle_delay;
+          tc "crash mid-batch loses the whole batch" `Quick
+            test_wal_group_commit_crash_drops_batch;
+          tc "max_batch_bytes caps one physical write" `Quick
+            test_wal_group_commit_byte_cap;
         ] );
       ( "snapshot",
         [
