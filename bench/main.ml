@@ -49,21 +49,27 @@ let write_json_file path rows =
           [] rows
       in
       let oc = open_out path in
-      output_string oc "{\n";
-      List.iteri
-        (fun i s ->
-          if i > 0 then output_string oc ",\n";
-          Printf.fprintf oc "  %S: [\n" s;
-          let objs = List.filter_map (fun (s', o) -> if s' = s then Some o else None) rows in
+      (* Close on the exception edge too (R9): a failed write must not leak
+         the descriptor. *)
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc "{\n";
           List.iteri
-            (fun j o ->
-              if j > 0 then output_string oc ",\n";
-              Printf.fprintf oc "    %s" o)
-            objs;
-          output_string oc "\n  ]")
-        sections;
-      output_string oc "\n}\n";
-      close_out oc;
+            (fun i s ->
+              if i > 0 then output_string oc ",\n";
+              Printf.fprintf oc "  %S: [\n" s;
+              let objs =
+                List.filter_map (fun (s', o) -> if s' = s then Some o else None) rows
+              in
+              List.iteri
+                (fun j o ->
+                  if j > 0 then output_string oc ",\n";
+                  Printf.fprintf oc "    %s" o)
+                objs;
+              output_string oc "\n  ]")
+            sections;
+          output_string oc "\n}\n");
       Format.printf "@.wrote %s@." path
 
 (* The state-transfer / durability sweep likewise owns its file. *)

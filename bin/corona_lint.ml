@@ -1,23 +1,53 @@
 (* corona-lint: AST-based determinism & protocol-invariant linter.
 
-   Usage: corona_lint [--allowlist FILE] [DIR ...]
+   Usage: corona_lint [--allowlist FILE] [--format text|json]
+                      [--why RULE FN] [--budget SECONDS] [DIR|FILE ...]
 
    Parses every .ml under the given roots (default: lib) and reports
    violations of the repo's determinism and protocol invariants as
-   `file:line: [RULE-ID] message` lines on stdout. Exits 1 when any
-   error-severity finding remains after suppressions. *)
+   `file:line: [RULE-ID] message` lines on stdout (or a JSON array with
+   --format json). `--why R8 <fn>` prints the call chain from a fan-out hot
+   root to <fn> instead of linting. `--budget S` fails the run when it takes
+   longer than S seconds of wall time. Exits 1 when any error-severity
+   finding remains after suppressions. *)
 
 let () =
   let allowlist = ref None in
+  let format = ref Lint.Driver.Text in
+  let why_rule = ref "" in
+  let why_fn = ref "" in
+  let budget = ref None in
   let roots = ref [] in
   let spec =
     [
       ( "--allowlist",
         Arg.String (fun f -> allowlist := Some f),
         "FILE checked-in suppression file (RULE-ID path-suffix [ident] per line)" );
+      ( "--format",
+        Arg.Symbol
+          ( [ "text"; "json" ],
+            fun s -> format := if s = "json" then Lint.Driver.Json else Lint.Driver.Text ),
+        " output format (default text)" );
+      ( "--why",
+        Arg.Tuple [ Arg.Set_string why_rule; Arg.Set_string why_fn ],
+        "RULE FN print the call chain from a hot root to FN (RULE must be R8)" );
+      ( "--budget",
+        Arg.Float (fun s -> budget := Some s),
+        "SECONDS fail when the whole run exceeds this wall-time budget" );
     ]
   in
-  let usage = "corona_lint [--allowlist FILE] [DIR ...]" in
+  let usage =
+    "corona_lint [--allowlist FILE] [--format text|json] [--why RULE FN] [--budget SECONDS] \
+     [DIR|FILE ...]"
+  in
   Arg.parse spec (fun d -> roots := d :: !roots) usage;
   let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
-  exit (Lint.Driver.run ?allowlist:!allowlist ~roots ())
+  let why =
+    match (!why_rule, !why_fn) with
+    | "", _ -> None
+    | "R8", fn -> Some fn
+    | rule, _ ->
+        Printf.eprintf "corona-lint: --why supports only R8 (got %s)\n%!" rule;
+        exit 2
+  in
+  exit (Lint.Driver.run ?allowlist:!allowlist ~format:!format ?why ?budget:!budget ~roots ())

@@ -191,6 +191,7 @@ let fan_out t g ?exclude response =
       t.st <-
         { t.st with responses_sent = t.st.responses_sent + List.length conns };
       M.send_batch_encoded conns e
+[@@corona.hot]
 
 let notify_membership_change t g change =
   match Membership.notify_targets g.g_members with
@@ -218,6 +219,7 @@ let notify_membership_change t g change =
           t.st <-
             { t.st with responses_sent = t.st.responses_sent + List.length conns };
           M.send_batch_encoded conns e
+[@@corona.hot]
 
 (* --- group lifecycle ------------------------------------------------- *)
 
@@ -547,6 +549,7 @@ let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
                   in
                   s.next_seqno <- s.next_seqno + 1;
                   deliver u)))
+[@@corona.hot]
 
 let handle_lock_acquire t conn ~group ~lock ~member =
   match Hashtbl.find_opt t.groups group with

@@ -1,14 +1,31 @@
-(** Linter entry point: walk roots, parse with compiler-libs, run the rules,
-    apply the allowlist, print findings to stdout sorted by location. *)
+(** Linter entry point, as a two-phase pipeline: parse every root once and
+    run the per-file rules (R1–R7), then build the whole-corpus call graph
+    and run the interprocedural families (R8/R9/R10) over the retained
+    trees. Findings are deduped, allowlist-filtered, and printed sorted by
+    location in text or JSON. *)
 
 val source_files : string list -> string list
 (** Every [.ml] under the given roots (depth-first, lexicographic), skipping
-    [_build] and dot-directories. *)
+    [_build] and dot-directories. A root may also be a single [.ml] file. *)
 
 val lint_file : string -> Finding.t list
-(** Parse and lint one file. A file that does not parse yields a single
-    [PARSE] error finding. *)
+(** Parse and run the per-file rules over one file (no interprocedural
+    passes). A file that does not parse yields a single [PARSE] error
+    finding. *)
 
-val run : ?allowlist:string -> roots:string list -> unit -> int
+type format = Text | Json
+
+val run :
+  ?allowlist:string ->
+  ?format:format ->
+  ?why:string ->
+  ?budget:float ->
+  roots:string list ->
+  unit ->
+  int
 (** Returns the process exit code: 0 when clean, 1 when any error-severity
-    finding (or stale allowlist entry) remains. *)
+    finding (or stale allowlist entry) remains, or when [budget] seconds of
+    wall time were exceeded. A per-run tally
+    ([corona-lint: R1=0 ... R10=0 | N file(s), M finding(s) in 0.4s]) goes
+    to stderr. With [why], prints the R8 call chain from a hot root to the
+    named function instead of linting (0 when reachable, 1 otherwise). *)

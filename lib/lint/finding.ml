@@ -23,8 +23,43 @@ let order a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
+(* Total order over every field, so [List.sort_uniq compare_total] both sorts
+   by location and collapses findings emitted twice for the same loc (e.g. a
+   per-file rule and a call-graph rule reporting the identical defect). *)
+let compare_total a b =
+  let c = order a b in
+  if c <> 0 then c
+  else
+    let c = compare a.severity b.severity in
+    if c <> 0 then c
+    else
+      let c = String.compare a.ident b.ident in
+      if c <> 0 then c else String.compare a.message b.message
+
 let is_error f = f.severity = Error
 
 let pp ppf f = Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
 
 let to_string f = Format.asprintf "%a" pp f
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","ident":"%s","message":"%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.rule)
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    (json_escape f.ident) (json_escape f.message)

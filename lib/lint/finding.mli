@@ -25,9 +25,17 @@ val make :
 val order : t -> t -> int
 (** Sort key: file, then line, then column, then rule id. *)
 
+val compare_total : t -> t -> int
+(** {!order} refined over every field; use with [List.sort_uniq] to dedupe
+    findings emitted twice for the same location. *)
+
 val is_error : t -> bool
 
 val pp : Format.formatter -> t -> unit
 (** Renders as [file:line: [RULE-ID] message]. *)
 
 val to_string : t -> string
+
+val to_json : t -> string
+(** One finding as a JSON object with [file]/[line]/[col]/[rule]/[severity]/
+    [ident]/[message] keys. *)

@@ -1,7 +1,11 @@
-(* The corona-lint rule set, implemented as one [Ast_iterator] pass over the
-   Parsetree of each file. The rules are deliberately syntactic: they run on
-   un-typechecked sources (the fixture corpus never typechecks), so module
-   paths are resolved only through same-file [module M = Path] aliases.
+(* The per-file corona-lint rules (R1–R7), refactored into one module per
+   rule over the shared [Lint_ctx]. A single [Ast_iterator] pass drives every
+   rule; the interprocedural families (R8/R9/R10) live in Reach / Pairing /
+   Exhaustive and run after the whole corpus is parsed.
+
+   The rules are deliberately syntactic: they run on un-typechecked sources
+   (the fixture corpus never typechecks), so module paths are resolved only
+   through same-file [module M = Path] aliases.
 
    R1  nondeterminism sources: Unix.*, Sys.time, Random.* (Sim.Rng is the
        sanctioned randomness source and the only exemption).
@@ -22,117 +26,140 @@
        cache. *)
 
 module I = Ast_iterator
+module C = Lint_ctx
 open Parsetree
 
-(* --- path scoping ------------------------------------------------------- *)
+(* --- R1: nondeterminism sources ----------------------------------------- *)
 
-let contains hay needle =
-  let lh = String.length hay and ln = String.length needle in
-  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
-  ln = 0 || go 0
+module R1_nondet = struct
+  let on_path (ctx : C.t) ~dotted path loc =
+    match path with
+    | "Unix" :: _ ->
+        C.report ctx ~loc ~rule:"R1"
+          (Printf.sprintf "nondeterminism source %s (use the simulation clock / Sim.Rng)" dotted)
+    | [ "Sys"; "time" ] ->
+        C.report ctx ~loc ~rule:"R1" "nondeterminism source Sys.time (use the simulation clock)"
+    | "Random" :: _ when not ctx.random_exempt ->
+        C.report ctx ~loc ~rule:"R1"
+          (Printf.sprintf "nondeterminism source %s (draw from Sim.Rng instead)" dotted)
+    | _ -> ()
+end
 
-let has_suffix file suffix =
-  let lf = String.length file and ls = String.length suffix in
-  lf >= ls && String.sub file (lf - ls) ls = suffix
+(* --- R2: process-global mutable state ------------------------------------ *)
 
-(* A file under lib/<dir>/ for any [dirs] member. Files outside lib/ (the
-   fixture corpus) are never "under" anything, so scoped rules stay active
-   there. *)
-let under_lib file dirs =
-  List.exists (fun d -> contains file ("lib/" ^ d ^ "/")) dirs
+module R2_global_state = struct
+  let makers =
+    [ [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Queue"; "create" ]; [ "Stack"; "create" ];
+      [ "Buffer"; "create" ] ]
 
-let r1_random_exempt file = has_suffix file "sim/rng.ml"
+  let rec strip_constraint e =
+    match e.pexp_desc with Pexp_constraint (e, _) -> strip_constraint e | _ -> e
 
-let r3_active file =
-  not (under_lib file [ "sim"; "net"; "storage"; "ordering"; "workload"; "baseline"; "lint" ])
+  let on_toplevel_binding (ctx : C.t) vb =
+    match (strip_constraint vb.pvb_expr).pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+      when List.mem (C.expand ctx (C.flatten txt)) makers ->
+        let name = Option.value (C.pat_name vb.pvb_pat) ~default:"_" in
+        C.report ctx ~loc:vb.pvb_loc ~rule:"R2" ~ident:name
+          (Printf.sprintf
+             "process-global mutable state `%s` at module top level (move it into an instance \
+              record)"
+             name)
+    | _ -> ()
+end
 
-let r5_exempt file = has_suffix file "proto/message.ml" || has_suffix file "proto/codec.ml"
+(* --- R3: polymorphic compare on protocol state --------------------------- *)
 
-let r6_active file = not (under_lib file [ "sim"; "net"; "storage"; "ordering"; "workload"; "lint" ])
+module R3_poly_compare = struct
+  (* [fn_args]: Some n when the ident is the function of an application with
+     n arguments, None when it appears as a value. *)
+  let on_path (ctx : C.t) ~fn_args path loc =
+    if ctx.poly_active then
+      match path with
+      | [ "compare" ] | [ "Stdlib"; "compare" ] ->
+          C.report ctx ~loc ~rule:"R3"
+            "polymorphic compare on protocol state (use a typed comparator)"
+      | [ "Hashtbl"; "hash" ] ->
+          C.report ctx ~loc ~rule:"R3"
+            "polymorphic Hashtbl.hash on protocol state (hash a typed key instead)"
+      | ([ "=" ] | [ "<>" ] | [ "Stdlib"; "=" ] | [ "Stdlib"; "<>" ])
+        when (match fn_args with Some n -> n < 2 | None -> true) ->
+          C.report ctx ~loc ~rule:"R3"
+            (Printf.sprintf "first-class polymorphic (%s) on protocol state (use a typed equality)"
+               (List.nth path (List.length path - 1)))
+      | _ -> ()
+end
 
-(* Hot paths that must go through the Transfer snapshot cache; the trailing
-   disjunct keeps the rule active on the fixture corpus outside lib/. *)
-let r7_active file =
-  has_suffix file "core/server.ml" || under_lib file [ "replication" ]
-  || not (contains file "lib/")
+(* --- R4: escape hatches --------------------------------------------------- *)
 
-(* --- helpers ------------------------------------------------------------ *)
+module R4_escapes = struct
+  let on_path (ctx : C.t) path loc =
+    match path with
+    | [ "Obj"; "magic" ] -> C.report ctx ~loc ~rule:"R4" "Obj.magic defeats the type system"
+    | _ -> ()
 
-let rec flatten : Longident.t -> string list = function
-  | Lident s -> [ s ]
-  | Ldot (l, s) -> flatten l @ [ s ]
-  | Lapply _ -> []
+  let on_try (ctx : C.t) cases =
+    List.iter
+      (fun c ->
+        match c.pc_lhs.ppat_desc with
+        | Ppat_any ->
+            C.report ctx ~loc:c.pc_lhs.ppat_loc ~rule:"R4"
+              "catch-all `try ... with _ ->` swallows unexpected exceptions (match them \
+               explicitly)"
+        | _ -> ())
+      cases
+end
 
-let rec last2 = function
-  | [ a; b ] -> Some (a, b)
-  | _ :: tl -> last2 tl
-  | [] -> None
+(* --- R5: encode-once ------------------------------------------------------ *)
 
-let pat_name p =
-  match p.ppat_desc with
-  | Ppat_var { txt; _ } -> Some txt
-  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
-  | _ -> None
+module R5_encode_once = struct
+  let on_path (ctx : C.t) ~dotted path loc =
+    match C.last2 path with
+    | Some ("Message", "encode") when not ctx.codec_internal ->
+        C.report ctx ~loc ~rule:"R5"
+          (Printf.sprintf
+             "direct %s breaks encode-once: serialize via Message.pre_encode and share the \
+              encoding"
+             dotted)
+    | _ -> ()
+end
 
-let handler_name name =
-  let starts p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
-  starts "on_" || starts "recv" || contains name "handle" || contains name "dispatch"
-  || contains name "deliver" || contains name "process"
+(* --- R6: aborts inside protocol handlers ---------------------------------- *)
 
-(* --- the pass ----------------------------------------------------------- *)
+module R6_handler_abort = struct
+  let in_handler (ctx : C.t) = ctx.handler_active && List.exists C.handler_name ctx.bindings
 
-type ctx = {
-  file : string;
-  mutable findings : Finding.t list;
-  mutable suppressions : (string * int * int) list; (* rule, first line, last line *)
-  mutable bindings : string list; (* enclosing value bindings, innermost first *)
-  aliases : (string, string list) Hashtbl.t; (* module M = Path, same file *)
-}
+  let on_path (ctx : C.t) path loc =
+    match path with
+    | ([ "failwith" ] | [ "Stdlib"; "failwith" ]) when in_handler ctx ->
+        C.report ctx ~loc ~rule:"R6"
+          (Printf.sprintf "failwith reachable from protocol handler `%s` (return a protocol error)"
+             (List.find C.handler_name ctx.bindings))
+    | _ -> ()
 
-let report ctx ~loc ~rule ?ident message =
-  let pos = loc.Location.loc_start in
-  let ident =
-    match ident with
-    | Some i -> i
-    | None -> ( match List.rev ctx.bindings with outer :: _ -> outer | [] -> "")
-  in
-  ctx.findings <-
-    Finding.make ~file:ctx.file ~line:pos.pos_lnum
-      ~col:(pos.pos_cnum - pos.pos_bol)
-      ~rule ~ident message
-    :: ctx.findings
+  let on_assert_false (ctx : C.t) loc =
+    if in_handler ctx then
+      C.report ctx ~loc ~rule:"R6"
+        (Printf.sprintf "assert false reachable from protocol handler `%s` (return a protocol \
+                         error)"
+           (List.find C.handler_name ctx.bindings))
+end
 
-let attr_rule (a : attribute) =
-  if a.attr_name.txt <> "corona.allow" then None
-  else
-    match a.attr_payload with
-    | PStr
-        [
-          {
-            pstr_desc =
-              Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (rule, _, _)); _ }, _);
-            _;
-          };
-        ] ->
-        Some (Ok rule)
-    | _ -> Some (Error a.attr_loc)
+(* --- R7: snapshot-cache bypass -------------------------------------------- *)
 
-let record_allows ctx attrs (span : Location.t) =
-  List.iter
-    (fun a ->
-      match attr_rule a with
-      | None -> ()
-      | Some (Ok rule) ->
-          ctx.suppressions <-
-            (rule, span.loc_start.pos_lnum, span.loc_end.pos_lnum) :: ctx.suppressions
-      | Some (Error loc) ->
-          report ctx ~loc ~rule:"LINT" "malformed [@corona.allow]: payload must be a rule-id string")
-    attrs
+module R7_transfer_hot = struct
+  let on_path (ctx : C.t) ~dotted path loc =
+    match C.last2 path with
+    | Some ("Shared_state", "objects") when ctx.transfer_hot ->
+        C.report ctx ~loc ~rule:"R7"
+          (Printf.sprintf
+             "direct %s in a transfer hot path pays a full materialize per call: go through \
+              Transfer and its snapshot cache"
+             dotted)
+    | _ -> ()
+end
 
-let expand ctx = function
-  | c0 :: rest as path -> (
-      match Hashtbl.find_opt ctx.aliases c0 with Some base -> base @ rest | None -> path)
-  | [] -> []
+(* --- the pass ------------------------------------------------------------- *)
 
 (* A file that defines its own toplevel [compare] (a typed comparator) may
    use it bare without tripping R3. *)
@@ -140,93 +167,34 @@ let defines_compare str =
   List.exists
     (fun si ->
       match si.pstr_desc with
-      | Pstr_value (_, vbs) -> List.exists (fun vb -> pat_name vb.pvb_pat = Some "compare") vbs
+      | Pstr_value (_, vbs) -> List.exists (fun vb -> C.pat_name vb.pvb_pat = Some "compare") vbs
       | _ -> false)
     str
 
-(* [fn_args]: Some n when the ident is the function of an application with n
-   arguments, None when it appears as a value. *)
-let check_ident ctx ~fn_args lid loc =
-  let path = expand ctx (flatten lid) in
+let check_ident (ctx : C.t) ~fn_args lid loc =
+  let path = C.expand ctx (C.flatten lid) in
   let dotted = String.concat "." path in
-  (match path with
-  | "Unix" :: _ ->
-      report ctx ~loc ~rule:"R1"
-        (Printf.sprintf "nondeterminism source %s (use the simulation clock / Sim.Rng)" dotted)
-  | [ "Sys"; "time" ] ->
-      report ctx ~loc ~rule:"R1" "nondeterminism source Sys.time (use the simulation clock)"
-  | "Random" :: _ when not (r1_random_exempt ctx.file) ->
-      report ctx ~loc ~rule:"R1"
-        (Printf.sprintf "nondeterminism source %s (draw from Sim.Rng instead)" dotted)
-  | [ "Obj"; "magic" ] -> report ctx ~loc ~rule:"R4" "Obj.magic defeats the type system"
-  | _ -> ());
-  (match last2 path with
-  | Some ("Message", "encode") when not (r5_exempt ctx.file) ->
-      report ctx ~loc ~rule:"R5"
-        (Printf.sprintf
-           "direct %s breaks encode-once: serialize via Message.pre_encode and share the encoding"
-           dotted)
-  | _ -> ());
-  (match last2 path with
-  | Some ("Shared_state", "objects") when r7_active ctx.file ->
-      report ctx ~loc ~rule:"R7"
-        (Printf.sprintf
-           "direct %s in a transfer hot path pays a full materialize per call: go through \
-            Transfer and its snapshot cache"
-           dotted)
-  | _ -> ());
-  (if r3_active ctx.file then
-     match path with
-     | [ "compare" ] | [ "Stdlib"; "compare" ] ->
-         report ctx ~loc ~rule:"R3"
-           "polymorphic compare on protocol state (use a typed comparator)"
-     | [ "Hashtbl"; "hash" ] ->
-         report ctx ~loc ~rule:"R3"
-           "polymorphic Hashtbl.hash on protocol state (hash a typed key instead)"
-     | ([ "=" ] | [ "<>" ] | [ "Stdlib"; "=" ] | [ "Stdlib"; "<>" ])
-       when (match fn_args with Some n -> n < 2 | None -> true) ->
-         report ctx ~loc ~rule:"R3"
-           (Printf.sprintf "first-class polymorphic (%s) on protocol state (use a typed equality)"
-              (List.nth path (List.length path - 1)))
-     | _ -> ());
-  match path with
-  | ([ "failwith" ] | [ "Stdlib"; "failwith" ])
-    when r6_active ctx.file && List.exists handler_name ctx.bindings ->
-      report ctx ~loc ~rule:"R6"
-        (Printf.sprintf "failwith reachable from protocol handler `%s` (return a protocol error)"
-           (List.find handler_name ctx.bindings))
-  | _ -> ()
+  R1_nondet.on_path ctx ~dotted path loc;
+  R4_escapes.on_path ctx path loc;
+  R5_encode_once.on_path ctx ~dotted path loc;
+  R7_transfer_hot.on_path ctx ~dotted path loc;
+  R3_poly_compare.on_path ctx ~fn_args path loc;
+  R6_handler_abort.on_path ctx path loc
 
-let global_makers =
-  [ [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Queue"; "create" ]; [ "Stack"; "create" ];
-    [ "Buffer"; "create" ] ]
-
-let rec strip_constraint e =
-  match e.pexp_desc with Pexp_constraint (e, _) -> strip_constraint e | _ -> e
-
-let check_global ctx vb =
-  match (strip_constraint vb.pvb_expr).pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
-    when List.mem (expand ctx (flatten txt)) global_makers ->
-      let name = Option.value (pat_name vb.pvb_pat) ~default:"_" in
-      report ctx ~loc:vb.pvb_loc ~rule:"R2" ~ident:name
-        (Printf.sprintf
-           "process-global mutable state `%s` at module top level (move it into an instance \
-            record)"
-           name)
-  | _ -> ()
-
-let iterator ctx =
+let iterator (ctx : C.t) =
   let structure_item iter si =
     (match si.pstr_desc with
-    | Pstr_attribute a -> record_allows ctx [ a ] { si.pstr_loc with loc_end = { si.pstr_loc.loc_end with pos_lnum = max_int } }
-    | Pstr_value (_, vbs) when ctx.bindings = [] -> List.iter (check_global ctx) vbs
+    | Pstr_attribute a ->
+        C.record_allows ctx [ a ]
+          { si.pstr_loc with loc_end = { si.pstr_loc.loc_end with pos_lnum = max_int } }
+    | Pstr_value (_, vbs) when ctx.bindings = [] ->
+        List.iter (R2_global_state.on_toplevel_binding ctx) vbs
     | _ -> ());
     I.default_iterator.structure_item iter si
   in
   let value_binding iter vb =
-    record_allows ctx vb.pvb_attributes vb.pvb_loc;
-    match pat_name vb.pvb_pat with
+    C.record_allows ctx vb.pvb_attributes vb.pvb_loc;
+    match C.pat_name vb.pvb_pat with
     | Some name ->
         ctx.bindings <- name :: ctx.bindings;
         I.default_iterator.value_binding iter vb;
@@ -235,49 +203,39 @@ let iterator ctx =
   in
   let module_binding iter mb =
     (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
-    | Some name, Pmod_ident { txt; _ } -> Hashtbl.replace ctx.aliases name (flatten txt)
+    | Some name, Pmod_ident { txt; _ } -> Hashtbl.replace ctx.aliases name (C.flatten txt)
     | _ -> ());
     I.default_iterator.module_binding iter mb
   in
   let expr iter e =
-    record_allows ctx e.pexp_attributes e.pexp_loc;
+    C.record_allows ctx e.pexp_attributes e.pexp_loc;
     match e.pexp_desc with
     | Pexp_ident lid -> check_ident ctx ~fn_args:None lid.txt lid.loc
     | Pexp_apply (({ pexp_desc = Pexp_ident lid; _ } as fn), args) ->
-        record_allows ctx fn.pexp_attributes fn.pexp_loc;
+        C.record_allows ctx fn.pexp_attributes fn.pexp_loc;
         check_ident ctx ~fn_args:(Some (List.length args)) lid.txt lid.loc;
         List.iter (fun (_, a) -> iter.I.expr iter a) args
     | Pexp_try (_, cases) ->
-        List.iter
-          (fun c ->
-            match c.pc_lhs.ppat_desc with
-            | Ppat_any ->
-                report ctx ~loc:c.pc_lhs.ppat_loc ~rule:"R4"
-                  "catch-all `try ... with _ ->` swallows unexpected exceptions (match them \
-                   explicitly)"
-            | _ -> ())
-          cases;
+        R4_escapes.on_try ctx cases;
         I.default_iterator.expr iter e
-    | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
-      when r6_active ctx.file && List.exists handler_name ctx.bindings ->
-        report ctx ~loc:e.pexp_loc ~rule:"R6"
-          (Printf.sprintf
-             "assert false reachable from protocol handler `%s` (return a protocol error)"
-             (List.find handler_name ctx.bindings))
+    | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ } ->
+        R6_handler_abort.on_assert_false ctx e.pexp_loc
     | _ -> I.default_iterator.expr iter e
   in
   { I.default_iterator with structure_item; value_binding; module_binding; expr }
 
-let suppressed ctx (f : Finding.t) =
-  List.exists
-    (fun (rule, l0, l1) -> rule = f.rule && l0 <= f.line && f.line <= l1)
-    ctx.suppressions
-
-let check ~file (str : structure) =
-  let ctx =
-    { file; findings = []; suppressions = []; bindings = []; aliases = Hashtbl.create 8 }
-  in
+(* Run R1–R7 over one parsed implementation, reporting into [ctx]. Also fills
+   [ctx.aliases] and [ctx.suppressions] for the interprocedural passes that
+   run after the whole corpus is parsed. *)
+let run (ctx : C.t) (str : structure) =
   if defines_compare str then Hashtbl.replace ctx.aliases "compare" [ "Self"; "compare" ];
   let it = iterator ctx in
-  it.I.structure it str;
-  List.filter (fun f -> not (suppressed ctx f)) (List.rev ctx.findings)
+  it.I.structure it str
+
+(* Back-compat single-file entry point (used by unit-style callers): create a
+   context, run the per-file rules, and return suppression-filtered
+   findings. *)
+let check ~file (str : structure) =
+  let ctx = C.create ~file in
+  run ctx str;
+  C.harvest ctx

@@ -11,6 +11,10 @@ type entry = {
   e_members : (Proto.Types.member_id, member_info) Hashtbl.t;
   mutable e_order : Proto.Types.member_id list; (* join order *)
   mutable e_holders : Smsg.server_id list; (* first = oldest *)
+  mutable e_replicas : Smsg.server_id list;
+      (* holders + servers with members, sorted; maintained eagerly at every
+         membership/holder mutation so [replicas_of] — read once per
+         sequenced fan-out — is a field read, not a sort/append (R8). *)
   e_locks : Corona.Locks.t;
 }
 
@@ -47,6 +51,19 @@ let member_info e m = Hashtbl.find_opt e.e_members m
 
 let locks e = e.e_locks
 
+let servers_with_members e =
+  Hashtbl.fold
+    (fun _ info acc -> if List.mem info.mi_server acc then acc else info.mi_server :: acc)
+    e.e_members []
+  |> List.sort String.compare
+
+(* Mutation-time only: every caller runs on a membership/holder change
+   (join, leave, failover), never on the per-broadcast fan-out path. *)
+let recompute_replicas e =
+  e.e_replicas <- List.sort_uniq String.compare (e.e_holders @ servers_with_members e)
+
+let replicas_of e = e.e_replicas
+
 let add_group t ~group ~persistent ~first_holder =
   if Hashtbl.mem t.entries group then `Exists
   else begin
@@ -58,6 +75,7 @@ let add_group t ~group ~persistent ~first_holder =
         e_members = Hashtbl.create 8;
         e_order = [];
         e_holders = [ first_holder ];
+        e_replicas = [ first_holder ];
         e_locks = Corona.Locks.create ~record_journal:t.record_lock_journal ();
       }
     in
@@ -74,10 +92,14 @@ let join t ~group ~member ~role ~notify ~server =
       if not (Hashtbl.mem e.e_members member) then e.e_order <- e.e_order @ [ member ];
       Hashtbl.replace e.e_members member
         { mi_role = role; mi_notify = notify; mi_server = server };
-      if List.mem server e.e_holders then `Ok (e, None)
+      if List.mem server e.e_holders then begin
+        recompute_replicas e;
+        `Ok (e, None)
+      end
       else begin
         let source = match e.e_holders with h :: _ -> Some h | [] -> None in
         e.e_holders <- e.e_holders @ [ server ];
+        recompute_replicas e;
         `Ok (e, source)
       end
 
@@ -89,6 +111,7 @@ let leave t ~group ~member =
       else begin
         Hashtbl.remove e.e_members member;
         e.e_order <- List.filter (fun m -> m <> member) e.e_order;
+        recompute_replicas e;
         `Ok e
       end
 
@@ -99,17 +122,11 @@ let sequence e =
 
 let bump_seqno e n = if n > e.e_next_seqno then e.e_next_seqno <- n
 
-let servers_with_members e =
-  Hashtbl.fold
-    (fun _ info acc -> if List.mem info.mi_server acc then acc else info.mi_server :: acc)
-    e.e_members []
-  |> List.sort String.compare
-
-let replicas_of e =
-  List.sort_uniq String.compare (e.e_holders @ servers_with_members e)
-
 let add_holder e server =
-  if not (List.mem server e.e_holders) then e.e_holders <- e.e_holders @ [ server ]
+  if not (List.mem server e.e_holders) then begin
+    e.e_holders <- e.e_holders @ [ server ];
+    recompute_replicas e
+  end
 
 let remove_server t server =
   let lost_members = ref [] in
@@ -130,7 +147,8 @@ let remove_server t server =
           need_copy :=
             (group, (match e.e_holders with h :: _ -> Some h | [] -> None))
             :: !need_copy
-      end)
+      end;
+      recompute_replicas e)
     t.entries;
   (List.rev !lost_members, List.rev !need_copy)
 
@@ -164,5 +182,6 @@ let rebuild t reports =
             e.e_order <- e.e_order @ [ m.member ];
           Hashtbl.replace e.e_members m.member
             { mi_role = m.role; mi_notify = notify; mi_server = server })
-        r.dr_members)
+        r.dr_members;
+      recompute_replicas e)
     reports

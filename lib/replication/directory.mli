@@ -76,7 +76,9 @@ val bump_seqno : entry -> int -> unit
 
 val replicas_of : entry -> Smsg.server_id list
 (** Servers that must receive the group's sequenced updates and membership
-    changes: every holder plus every member-serving replica. *)
+    changes: every holder plus every member-serving replica. O(1): the list
+    is maintained eagerly at join/leave/holder mutations, so the
+    per-broadcast fan-out read allocates nothing. *)
 
 val servers_with_members : entry -> Smsg.server_id list
 

@@ -177,7 +177,12 @@ let lock_journal t =
 
 (* --- server mesh ------------------------------------------------------- *)
 
-let rec handle_smsg t ~from msg = dispatch_smsg t ~from msg
+(* [@@corona.cold] cuts R8 reachability here: self-delivery re-enters the
+   event loop through the full dispatch tree, and treating that edge as a
+   synchronous hot call would mark every handler in this module hot. The
+   genuinely hot continuation (sequenced delivery) is rooted separately at
+   [apply_sequenced]. *)
+let rec handle_smsg t ~from msg = dispatch_smsg t ~from msg [@@corona.cold]
 
 and send_srv t dst msg =
   if dst = t.self then handle_smsg t ~from:t.self msg
@@ -236,6 +241,7 @@ and fan_local t rg ?exclude resp =
       t.st <-
         { t.st with deliveries_sent = t.st.deliveries_sent + List.length conns };
       M.send_batch_encoded conns e
+[@@corona.hot]
 
 and notify_local_membership t rg change members =
   match Corona.Membership.notify_targets rg.rg_local with
@@ -384,6 +390,7 @@ and apply_sequenced t rg (u : T.update) mode (origin : Smsg.origin_tag) =
     in
     fan_local t rg ?exclude (M.Deliver u)
   end
+[@@corona.hot]
 
 and offer_sequenced t rg u mode origin =
   List.iter
@@ -446,6 +453,7 @@ and coord_fan_group t entry ?except msg =
       in
       if conns <> [] then Smsg.send_sized_batch conns s;
       if !deliver_self then handle_smsg t ~from:t.self msg
+[@@corona.hot]
 
 and coord_handle t ~from msg =
   (* Directory reports and liveness must never wait behind the recovery

@@ -1,0 +1,28 @@
+(* Seeded R10 violation: a near-exhaustive dispatch over a 5-constructor
+   variant hides [Status] behind a wildcard, silently dropping it. *)
+
+type command = Start | Stop | Pause | Resume | Status
+
+let dispatch_command = function
+  | Start -> "start"
+  | Stop -> "stop"
+  | Pause -> "pause"
+  | Resume -> "resume"
+  | _ -> "ignored"
+
+(* Not a violation: exhaustive dispatch. *)
+let rank = function Start -> 0 | Stop -> 1 | Pause -> 2 | Resume -> 3 | Status -> 4
+
+(* Not a violation: single-constructor projection stays below the dispatch
+   threshold. *)
+let is_stop = function Stop -> true | _ -> false
+
+(* Silenced: this catch-all is deliberate. *)
+let terse c =
+  (match c with
+  | Start -> "s"
+  | Stop -> "t"
+  | Pause -> "p"
+  | Resume -> "r"
+  | _ -> "?")
+  [@corona.allow "R10"]

@@ -1,0 +1,12 @@
+(* R8 corpus, root side. [fan_entry] is an explicit hot root; [transmit_all]
+   becomes one automatically because it calls Fabric.transmit_many. Try
+   `corona_lint --why R8 R8_deep.alloc_two_deep` for the cross-file chain. *)
+
+let fan_entry msgs = R8_deep.build_frames msgs [@@corona.hot]
+
+let reuse_pool msgs = R8_deep.pooled_frame (List.length msgs) [@@corona.hot]
+
+let transmit_all fabric conns payload =
+  let banner = Printf.sprintf "fan-out:%d" (List.length conns) in
+  ignore banner;
+  Net.Fabric.transmit_many fabric conns payload

@@ -1,0 +1,30 @@
+(* Seeded R9 violations: exception edges that escape while a resource is
+   held, so the pending release is skipped. *)
+
+(* Result-aware lock pairing: the lock is held only in the `Granted branch,
+   and the failwith there fires before the release. *)
+let apply_update locks key =
+  match Locks.acquire locks key with
+  | `Granted ->
+      if key = "" then failwith "empty key";
+      Locks.release locks key
+  | `Queued -> ()
+
+(* output_string can raise Sys_error while the out-channel is open. *)
+let checkpoint_to path rows =
+  let oc = open_out path in
+  List.iter (fun row -> output_string oc row) rows;
+  close_out oc
+
+(* Not a violation: Fun.protect ~finally releases on every exit. *)
+let safe_dump path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> List.iter (fun row -> output_string oc row) rows)
+
+(* Silenced: scratch output is best-effort by design. *)
+let scratch_file path =
+  let oc = open_out path in
+  (output_string oc "scratch" [@corona.allow "R9"]);
+  close_out oc
