@@ -519,6 +519,144 @@ let run_scale () =
   Workload.Report.note
     "batches > 0 proves the batched fan-out transmit is on the hot path."
 
+(* --- sharded sequencing sweep ------------------------------------------- *)
+
+(* Partition ordering, measured. [members] clients form groups of eight with
+   one writer each; the deterministic keyspace map spreads the groups'
+   seqno streams over the shard owners, so broadcast completion is bound by
+   the busiest sequencer CPU. [shards = 1] funnels every group through the
+   single classic sequencer — the baseline the speedup is against. The
+   clock is virtual: wall time measures this machine, virtual time measures
+   the deployment. *)
+let sharded_point ~members ~shards ~bcasts_per_writer =
+  let per_group = 8 in
+  let groups = members / per_group in
+  (* Same quiet failure detector as [scale_replicated], same reason. *)
+  let config =
+    {
+      Replication.Node.default_config with
+      Replication.Node.heartbeat_interval = 30.0;
+      failure_timeout = 1.0e6;
+      shards;
+    }
+  in
+  let tb =
+    Workload.Testbed.replicated ~net:Net.Fabric.lan ~config ~replicas:6
+      ~client_machines:12 ()
+  in
+  let open Workload.Testbed in
+  let engine = tb.r_engine in
+  let replica_host i =
+    Replication.Node.host (Replication.Cluster.replica_for tb.r_cluster i)
+  in
+  let gname g = Printf.sprintf "sg%d" g in
+  let ready = ref 0 in
+  let all = ref [||] in
+  spawn_clients_staggered engine tb.r_fabric ~hosts:tb.r_client_hosts
+    ~server_for:replica_host ~n:members (fun clients ->
+      all := clients;
+      for g = 0 to groups - 1 do
+        let slice = Array.sub clients (g * per_group) per_group in
+        Corona.Client.create_group slice.(0) ~group:(gname g) ~persistent:false
+          ~k:(fun _ ->
+            join_all slice ~group:(gname g) ~transfer:T.No_state (fun () ->
+                incr ready))
+          ()
+      done);
+  run_until engine (fun () -> !ready = groups);
+  let clients = !all in
+  let received = ref 0 in
+  for g = 0 to groups - 1 do
+    let probe = clients.((g * per_group) + per_group - 1) in
+    Corona.Client.set_on_event probe (fun _ ev ->
+        match ev with
+        | Corona.Client.Delivered _ | Corona.Client.Shard_delivered _ ->
+            incr received
+        | _ -> ())
+  done;
+  let total = groups * bcasts_per_writer in
+  let events0 = Sim.Engine.events_fired engine in
+  Gc.compact ();
+  let wall0 = Unix.gettimeofday () in
+  let t0 = Sim.Engine.now engine in
+  (* Every writer fires at once (2 ms between its own updates): the burst is
+     what exposes the sequencer bottleneck that pacing would mask. *)
+  for g = 0 to groups - 1 do
+    let writer = clients.(g * per_group) in
+    let group = gname g in
+    for b = 0 to bcasts_per_writer - 1 do
+      ignore
+        (Sim.Engine.schedule engine
+           ~delay:(0.002 *. float_of_int b)
+           (fun () ->
+             Corona.Client.bcast_update writer ~group ~obj:"o"
+               ~data:(String.make 1000 'x') ~mode:T.Sender_inclusive ()))
+    done
+  done;
+  run_until engine (fun () -> !received >= total);
+  let span = Sim.Engine.now engine -. t0 in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let events = Sim.Engine.events_fired engine - events0 in
+  let us_per_bcast = span /. float_of_int total *. 1e6 in
+  if not !smoke then
+    scale_add "sharded"
+      [
+        ("members", string_of_int members);
+        ("groups", string_of_int groups);
+        ("shards", string_of_int shards);
+        ("bcasts", string_of_int total);
+        ("us_per_bcast", json_num us_per_bcast);
+        ("virtual_span_s", Printf.sprintf "%.4f" span);
+        ("sim_events", string_of_int events);
+        ("wall_s", Printf.sprintf "%.2f" wall);
+      ];
+  (us_per_bcast, span, events)
+
+let run_sharded () =
+  Workload.Report.section
+    "Sharded sequencing sweep — per-shard owners vs the single sequencer";
+  let sizes =
+    if !smoke then [ 96 ]
+    else if !quick then [ 96; 1000 ]
+    else [ 96; 1000; 10_000 ]
+  in
+  let bcasts_per_writer = if !smoke || !quick then 2 else 4 in
+  let rows =
+    List.concat_map
+      (fun members ->
+        let baseline = ref nan in
+        List.map
+          (fun shards ->
+            Workload.Report.note "measuring %d members at %d shard(s)..." members
+              shards;
+            let us, span, events = sharded_point ~members ~shards ~bcasts_per_writer in
+            if shards = 1 then baseline := us;
+            let speedup = !baseline /. us in
+            (* The tentpole's acceptance bar: at 10k members, four or more
+               shards must at least halve the per-broadcast cost of the
+               single-sequencer replicated deployment. *)
+            if members >= 10_000 && shards >= 4 && speedup < 2.0 then
+              failwith
+                (Printf.sprintf
+                   "sharded %d/%d: %.1f us/bcast vs baseline %.1f — speedup %.2fx < 2x"
+                   members shards us !baseline speedup);
+            [
+              string_of_int members;
+              string_of_int shards;
+              Printf.sprintf "%.1f" us;
+              Printf.sprintf "%.3f s" span;
+              Printf.sprintf "%.2fx" speedup;
+              string_of_int events;
+            ])
+          [ 1; 2; 4; 8 ])
+      sizes
+  in
+  Workload.Report.table
+    ~header:[ "members"; "shards"; "us/bcast"; "virtual span"; "speedup"; "sim events" ]
+    rows;
+  Workload.Report.note
+    "speedup is virtual-time us/bcast relative to shards=1 at the same size."
+
 (* --- join-storm + durable-multicast sweep (BENCH_transfer.json) --------- *)
 
 (* The PR-5 perf claims, measured: a join storm must amortize snapshot
@@ -669,6 +807,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("micro", "Bechamel micro-benchmarks", run_micro);
     ("fanout", "300-member fan-out macro-benchmark (encode-once)", run_fanout);
     ("scale", "Scaling sweep: 100 -> 10k members, single + replicated", run_scale);
+    ( "sharded",
+      "Sharded sequencing sweep: shard owners vs single sequencer",
+      run_sharded );
   ]
 
 let () =

@@ -8,17 +8,20 @@
    failing schedule is shrunk to a minimal reproducer and printed as a
    copy-pasteable OCaml scenario together with its seed. *)
 
-let usage = "corona_check [--seeds N] [--seed S] [--smoke] [--inject BUG] [--no-shrink] [--verbose]"
+let usage = "corona_check [--seeds N] [--seed S] [--smoke] [--sharded] [--inject BUG] [--no-shrink] [--verbose]"
 
 let kind_label (s : Check.Schedule.t) =
   match s.Check.Schedule.kind with
   | Check.Schedule.Single { sync_log } ->
       if sync_log then "single/sync" else "single/async"
   | Check.Schedule.Replicated { replicas } -> Printf.sprintf "replicated/%d" replicas
+  | Check.Schedule.Sharded { replicas; shards } ->
+      Printf.sprintf "sharded/%dx%d" replicas shards
 
 let () =
   let seeds = ref 10 in
   let smoke = ref false in
+  let sharded = ref false in
   let one_seed = ref None in
   let inject = ref "" in
   let no_shrink = ref false in
@@ -29,8 +32,11 @@ let () =
       ("--seed", Arg.String (fun s -> one_seed := Some (Int64.of_string s)),
        "S  run exactly this seed");
       ("--smoke", Arg.Set smoke, "  small schedules (CI profile)");
-      ("--inject", Arg.Set_string inject,
-       "BUG  deliberately break the runner: skip-reconcile | skip-rejoin");
+      ("--sharded", Arg.Set sharded,
+       "  sharded deployments only (partitioned sequencing + barrier oracle)");
+      (* the help text comes from the injection registry, so it cannot drift
+         from what the parser below accepts (test_check pins the diff) *)
+      ("--inject", Arg.Set_string inject, Check.Inject.spec_doc ());
       ("--no-shrink", Arg.Set no_shrink, "  print the failing schedule unshrunk");
       ("--verbose", Arg.Set verbose, "  print every client's event trace");
     ]
@@ -39,11 +45,13 @@ let () =
   let bug =
     match !inject with
     | "" -> Check.Runner.no_bug
-    | "skip-reconcile" -> { Check.Runner.skip_reconcile = true; skip_rejoin = false }
-    | "skip-rejoin" -> { Check.Runner.skip_reconcile = false; skip_rejoin = true }
-    | other ->
-        Printf.eprintf "corona_check: unknown --inject %s\n" other;
-        exit 2
+    | name -> (
+        match Check.Inject.of_string name with
+        | Some b -> b
+        | None ->
+            Printf.eprintf "corona_check: unknown --inject %s (known: %s)\n" name
+              (String.concat ", " Check.Inject.names);
+            exit 2)
   in
   let seed_list =
     match !one_seed with
@@ -54,7 +62,7 @@ let () =
   List.iter
     (fun seed ->
       let rng = Sim.Rng.create seed in
-      let sched = Check.Schedule.generate ~smoke:!smoke rng in
+      let sched = Check.Schedule.generate ~smoke:!smoke ~sharded:!sharded rng in
       let r = Check.Runner.execute ~bug ~seed sched in
       if !verbose then
         List.iter print_endline r.Check.Runner.r_trace;

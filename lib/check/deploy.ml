@@ -9,9 +9,11 @@ module Sched = Schedule
 type copy = {
   c_owner : string; (* which server/incarnation holds this copy *)
   c_digest : string;
-  c_next : int; (* next sequence number the copy expects *)
+  c_next : int; (* next sequence number the copy expects; sharded copies
+                   report the sum of their per-shard positions *)
   c_base : ((Proto.Types.object_id * string) list * int) option;
   c_updates : Proto.Types.update list; (* retained log from the base *)
+  c_vector : int list; (* per-shard stream positions; [] unsharded *)
 }
 
 type single = {
@@ -27,7 +29,7 @@ type single = {
 
 type backend = B_single of single | B_repl of Replication.Cluster.t
 
-type t = { fabric : Net.Fabric.t; backend : backend }
+type t = { fabric : Net.Fabric.t; backend : backend; shards : int }
 
 let fabric t = t.fabric
 
@@ -43,7 +45,7 @@ let single_config ~sync_log =
 
 let repl_config = { Replication.Node.default_config with record_lock_journal = true }
 
-let create fabric (kind : Sched.kind) =
+let create fabric ?(sharded_direct_views = false) (kind : Sched.kind) =
   match kind with
   | Sched.Single { sync_log } ->
       let host = Net.Fabric.add_host fabric ~name:"srv-0" () in
@@ -63,12 +65,21 @@ let create fabric (kind : Sched.kind) =
               s_retired = [];
               s_restarts = [];
             };
+        shards = 1;
       }
   | Sched.Replicated { replicas } ->
       let cluster =
         Replication.Cluster.create fabric ~config:repl_config ~replicas ()
       in
-      { fabric; backend = B_repl cluster }
+      { fabric; backend = B_repl cluster; shards = 1 }
+  | Sched.Sharded { replicas; shards } ->
+      let config =
+        { repl_config with Replication.Node.shards; sharded_direct_views }
+      in
+      let cluster = Replication.Cluster.create fabric ~config ~replicas () in
+      { fabric; backend = B_repl cluster; shards }
+
+let shards t = t.shards
 
 let node_at cluster idx = List.nth (Replication.Cluster.nodes cluster) idx
 
@@ -164,10 +175,33 @@ let copies t group =
                   | Some (_, base_seqno) ->
                       Corona.Server.group_updates_from s.s_server group base_seqno
                   | None -> []);
+                c_vector = [];
               };
             ]
         | _ -> []
       end
+  | B_repl c when t.shards > 1 ->
+      (* sharded copies: digest the merged object view, expose the per-shard
+         position vector for the cross-shard oracle *)
+      List.filter_map
+        (fun node ->
+          match
+            ( Replication.Node.group_shard_objects node group,
+              Replication.Node.group_shard_vector node group )
+          with
+          | Some objects, Some vec ->
+              Some
+                {
+                  c_owner = Replication.Node.id node;
+                  c_digest =
+                    Corona.Shared_state.digest (Corona.Shared_state.of_objects objects);
+                  c_next = Array.fold_left ( + ) 0 vec;
+                  c_base = None;
+                  c_updates = [];
+                  c_vector = Array.to_list vec;
+                }
+          | _ -> None)
+        (Replication.Cluster.live_nodes c)
   | B_repl c ->
       List.filter_map
         (fun node ->
@@ -187,6 +221,7 @@ let copies t group =
                     | Some (_, base_seqno) ->
                         Replication.Node.group_updates_from node group base_seqno
                     | None -> []);
+                  c_vector = [];
                 }
           | _ -> None)
         (Replication.Cluster.live_nodes c)
@@ -229,12 +264,71 @@ let lock_journals t =
             (Replication.Node.lock_journal node))
         (Replication.Cluster.live_nodes c)
 
+(* Decoded cross-shard barrier journals of every live node that ever
+   coordinated barriers (owner label, frames oldest first). *)
+let barrier_frames t =
+  match t.backend with
+  | B_single _ -> []
+  | B_repl c ->
+      List.filter_map
+        (fun node ->
+          match Replication.Node.barrier_journal node with
+          | [] -> None
+          | frames ->
+              Some
+                ( Replication.Node.id node,
+                  List.map Proto.Message.decode_barrier_frame frames ))
+        (Replication.Cluster.live_nodes c)
+
 (* After a heal: compare every group's live copies; when two disagree, run
    the §4.2 reconciliation adopting the freshest side, otherwise just
    re-unify the cluster under the earliest live server. *)
 let reconcile_after_heal t =
   match t.backend with
   | B_single _ -> ()
+  | B_repl c when t.shards > 1 ->
+      (* sharded copies have no retained per-group log to merge: adopt the
+         freshest merged view (largest position sum) on every stale node,
+         then re-unify under one coordinator so shard recovery re-runs *)
+      let live = Replication.Cluster.live_nodes c in
+      List.iter
+        (fun group ->
+          let holders =
+            List.filter_map
+              (fun n ->
+                match
+                  ( Replication.Node.group_shard_objects n group,
+                    Replication.Node.group_shard_vector n group )
+                with
+                | Some objects, Some vec -> Some (n, objects, vec)
+                | _ -> None)
+              live
+          in
+          match holders with
+          | [] | [ _ ] -> ()
+          | holders ->
+              let sum = Array.fold_left ( + ) 0 in
+              let _, best_objects, best_vec =
+                List.fold_left
+                  (fun (bn, bo, bv) (n, o, v) ->
+                    if sum v > sum bv then (n, o, v) else (bn, bo, bv))
+                  (List.hd holders) (List.tl holders)
+              in
+              let positions =
+                Array.to_list (Array.mapi (fun s p -> (s, p)) best_vec)
+              in
+              List.iter
+                (fun (n, objects, vec) ->
+                  if vec <> best_vec || objects <> best_objects then
+                    Replication.Node.adopt_group_state_sharded n group
+                      ~objects:best_objects ~positions)
+                holders)
+        (group_ids t);
+      (match live with
+      | [] -> ()
+      | first :: _ ->
+          let coord = Replication.Node.id first in
+          List.iter (fun n -> Replication.Node.admin_heal n ~coordinator:coord) live)
   | B_repl c ->
       let live = Replication.Cluster.live_nodes c in
       let reconciled = ref false in

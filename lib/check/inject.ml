@@ -1,0 +1,49 @@
+(* The single source of truth for corona-check's deliberate bug injections.
+   The [--inject] help text and the argument parser are both generated from
+   [specs], and a unit test diffs the binary's help against this registry —
+   so a new injection cannot be added without its documentation, and the
+   documentation cannot drift from what the parser accepts. *)
+
+type t = {
+  skip_reconcile : bool;
+      (* drop the post-heal reconciliation step after a partition *)
+  skip_rejoin : bool;
+      (* reconnecting clients "forget" to rejoin groups they were in *)
+  skip_barrier : bool;
+      (* sharded deployments: membership views fan directly instead of
+         riding the cross-shard barrier (lock grants stay barriered) *)
+}
+
+let none = { skip_reconcile = false; skip_rejoin = false; skip_barrier = false }
+
+type spec = { sp_name : string; sp_doc : string; sp_set : t -> t }
+
+let specs =
+  [
+    {
+      sp_name = "skip-reconcile";
+      sp_doc = "drop partition reconciliation after a heal";
+      sp_set = (fun b -> { b with skip_reconcile = true });
+    };
+    {
+      sp_name = "skip-rejoin";
+      sp_doc = "reconnecting clients keep stale replicas instead of rejoining";
+      sp_set = (fun b -> { b with skip_rejoin = true });
+    };
+    {
+      sp_name = "skip-barrier";
+      sp_doc = "sharded views bypass the cross-shard barrier stamp";
+      sp_set = (fun b -> { b with skip_barrier = true });
+    };
+  ]
+
+let names = List.map (fun s -> s.sp_name) specs
+
+let of_string name =
+  List.find_opt (fun s -> s.sp_name = name) specs
+  |> Option.map (fun s -> s.sp_set none)
+
+(* The complete help line for [--inject], built from the registry. *)
+let spec_doc () =
+  Printf.sprintf "BUG  deliberately break the runner: %s"
+    (String.concat " | " names)

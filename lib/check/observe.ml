@@ -13,6 +13,11 @@ type entry =
   | Join_failed of { group : string; why : string }
   | Delivered of { group : string; seqno : int; sender : string; kind : string; obj : string; data : string }
   | View of { group : string; change : string; members : string list }
+  | Shard_view of { group : string; bar : int; vector : int list; op : string }
+      (* cross-shard barrier op applied at the stamped per-shard vector;
+         sharded deliveries and joins are recorded under synthesized
+         per-stream group names "g#s", so only barrier stamps need a
+         dedicated entry *)
   | Lock_granted of { group : string; lock : string }
   | Lock_released of { group : string; lock : string }
   | Note of string
@@ -42,6 +47,10 @@ let entry_line = function
         kind obj data
   | View { group; change; members } ->
       Printf.sprintf "view %s %s [%s]" group change (String.concat "," members)
+  | Shard_view { group; bar; vector; op } ->
+      Printf.sprintf "shard-view %s bar=%d vec=[%s] op=%s" group bar
+        (String.concat "," (List.map string_of_int vector))
+        op
   | Lock_granted { group; lock } -> Printf.sprintf "lock-granted %s/%s" group lock
   | Lock_released { group; lock } -> Printf.sprintf "lock-released %s/%s" group lock
   | Note s -> Printf.sprintf "note %s" s

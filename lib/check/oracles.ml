@@ -17,6 +17,10 @@ type input = {
   i_expected_members : (string * string list) list;
       (* per group, agents that believe they are joined at the end *)
   i_eras : float list; (* single-server restart times, oldest first *)
+  i_barriers : (string * Proto.Message.barrier_frame list) list;
+      (* per coordinating node, its cross-shard barrier journal (oldest
+         first); [] unsharded *)
+  i_shards : int; (* deployment shard count; 1 = classic sequencing *)
 }
 
 (* Sequence numbers restart below their high-water mark when a single
@@ -237,6 +241,115 @@ let fidelity input =
     input.i_copies;
   List.rev !violations
 
+(* Oracle 6 — cross-shard total order. Sharded deployments only. Barriers
+   are the one place the N independent shard streams must agree on a common
+   point, so the oracle checks that the stamps behaved like a total order:
+
+   - agreement: every observer of barrier [bar] saw the same group, the
+     same per-shard position vector and the same op;
+   - monotonicity: the vectors one agent observes for a group never move
+     backwards in any component (barriers are totally ordered per group);
+   - journal shape: a Commit is journaled only after a Prepare of the same
+     barrier, and its stamped vector covers every shard;
+   - no unstamped views: every membership view a client sees in a sharded
+     group is matched by a barrier stamp (catches the skip-barrier
+     injection, which fans views directly);
+   - copy agreement: live server copies of a group report identical
+     per-shard position vectors at quiescence. *)
+let cross_shard input =
+  if input.i_shards <= 1 then []
+  else begin
+    let violations = ref [] in
+    let add fmt = Printf.ksprintf (fun d -> violations := { v_oracle = "cross-shard"; v_detail = d } :: !violations) fmt in
+    let vec_s v = String.concat "," (List.map string_of_int v) in
+    let seen : (int, string * int list * string * string) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    List.iter
+      (fun obs ->
+        let agent = Observe.agent obs in
+        let last : (string, int list) Hashtbl.t = Hashtbl.create 4 in
+        let views : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 4 in
+        let counts group =
+          match Hashtbl.find_opt views group with
+          | Some c -> c
+          | None ->
+              let c = (ref 0, ref 0) in
+              Hashtbl.replace views group c;
+              c
+        in
+        List.iter
+          (fun (_, e) ->
+            match e with
+            | Observe.View { group; _ } ->
+                let plain, _ = counts group in
+                incr plain
+            | Observe.Shard_view { group; bar; vector; op } -> (
+                (match Hashtbl.find_opt seen bar with
+                | None -> Hashtbl.replace seen bar (group, vector, op, agent)
+                | Some (g', v', o', a') ->
+                    if g' <> group || v' <> vector || o' <> op then
+                      add "bar %d: %s saw %s/[%s]/%s but %s saw %s/[%s]/%s" bar a' g'
+                        (vec_s v') o' agent group (vec_s vector) op);
+                if List.length vector <> input.i_shards then
+                  add "%s: %s bar %d stamped %d positions for %d shards" agent group
+                    bar (List.length vector) input.i_shards;
+                (match Hashtbl.find_opt last group with
+                | Some prev
+                  when List.length prev = List.length vector
+                       && List.exists2 (fun p v -> v < p) prev vector ->
+                    add "%s: %s bar %d vector [%s] moved backwards from [%s]" agent
+                      group bar (vec_s vector) (vec_s prev)
+                | _ -> ());
+                Hashtbl.replace last group vector;
+                if String.length op >= 4 && String.sub op 0 4 = "view" then begin
+                  let _, stamped = counts group in
+                  incr stamped
+                end)
+            | _ -> ())
+          (Observe.entries obs);
+        Hashtbl.iter
+          (fun group (plain, stamped) ->
+            if !plain > !stamped then
+              add "%s: %s saw %d membership views but only %d barrier stamps" agent
+                group !plain !stamped)
+          views)
+      input.i_clients;
+    List.iter
+      (fun (owner, frames) ->
+        let prepared : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (f : Proto.Message.barrier_frame) ->
+            match f.Proto.Message.bf_phase with
+            | Proto.Message.Prepare -> Hashtbl.replace prepared f.Proto.Message.bf_bar ()
+            | Proto.Message.Commit ->
+                let bar = f.Proto.Message.bf_bar in
+                if not (Hashtbl.mem prepared bar) then
+                  add "%s: journaled commit b%d without a prepare" owner bar;
+                if List.length f.Proto.Message.bf_vector <> input.i_shards then
+                  add "%s: commit b%d stamps %d positions for %d shards" owner bar
+                    (List.length f.Proto.Message.bf_vector)
+                    input.i_shards)
+          frames)
+      input.i_barriers;
+    List.iter
+      (fun (group, copies) ->
+        match
+          List.filter (fun (c : Deploy.copy) -> c.Deploy.c_vector <> []) copies
+        with
+        | [] -> ()
+        | c0 :: rest ->
+            List.iter
+              (fun (c : Deploy.copy) ->
+                if c.Deploy.c_vector <> c0.Deploy.c_vector then
+                  add "%s: %s vector [%s] <> %s vector [%s]" group c0.Deploy.c_owner
+                    (vec_s c0.Deploy.c_vector) c.Deploy.c_owner
+                    (vec_s c.Deploy.c_vector))
+              rest)
+      input.i_copies;
+    List.rev !violations
+  end
+
 let check input =
   total_order input @ convergence input @ membership input @ locks input
-  @ fidelity input
+  @ fidelity input @ cross_shard input

@@ -8,9 +8,16 @@
 
 module T = Proto.Types
 
-type bug = { skip_reconcile : bool; skip_rejoin : bool }
+(* Re-export of the injection registry's record so callers keep writing
+   [{ Runner.skip_reconcile = ...; ... }] literals while [bin/corona_check]
+   parses and documents the flags from the single {!Inject.specs} source. *)
+type bug = Inject.t = {
+  skip_reconcile : bool;
+  skip_rejoin : bool;
+  skip_barrier : bool;
+}
 
-let no_bug = { skip_reconcile = false; skip_rejoin = false }
+let no_bug = Inject.none
 
 type result = {
   r_violations : Oracles.violation list;
@@ -39,9 +46,13 @@ type agent = {
 let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
   let engine = Sim.Engine.create ~seed () in
   let fabric = Net.Fabric.create engine in
-  let deploy = Deploy.create fabric sched.Schedule.kind in
+  let deploy =
+    Deploy.create fabric ~sharded_direct_views:bug.skip_barrier sched.Schedule.kind
+  in
   let single =
-    match sched.Schedule.kind with Schedule.Single _ -> true | Schedule.Replicated _ -> false
+    match sched.Schedule.kind with
+    | Schedule.Single _ -> true
+    | Schedule.Replicated _ | Schedule.Sharded _ -> false
   in
   let groups = List.init sched.Schedule.groups group_name in
   let agents =
@@ -149,6 +160,28 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
             (* a coordinator change can replay a queued acquire we no longer
                want (release re-forwarded as acquire); give it straight back *)
             after 0.05 (fun () -> release_lock a group lock))
+    | Corona.Client.Shard_delivered { shard; update = u } ->
+        (* synthesized per-stream group name: the unchanged total-order
+           oracle then checks each shard's stream independently *)
+        record a
+          (Observe.Delivered
+             {
+               group = Printf.sprintf "%s#%d" u.T.group shard;
+               seqno = u.T.seqno;
+               sender = u.T.sender;
+               kind = (match u.T.kind with T.Set_state -> "set" | T.Append_update -> "append");
+               obj = u.T.obj;
+               data = u.T.data;
+             })
+    | Corona.Client.Shard_view { group; bar; vector; op } ->
+        record a (Observe.Shard_view { group; bar; vector; op })
+    | Corona.Client.Shard_joined { group; vector } ->
+        (* one stream (re)start marker per shard, at the snapshot baseline *)
+        List.iteri
+          (fun s next ->
+            record a
+              (Observe.Joined { group = Printf.sprintf "%s#%d" group s; next }))
+          vector
     | Corona.Client.Group_was_deleted group ->
         record a (Observe.Note (Printf.sprintf "group %s deleted" group))
     | Corona.Client.Disconnected reason ->
@@ -277,6 +310,20 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
                   done
               | Some _ | None ->
                   record a (Observe.Note (Printf.sprintf "burst on %s skipped" g)))
+      | Schedule.Hot_burst { client; group; at_ms = at; count; size } ->
+          let a = agents.(client mod Array.length agents) in
+          let g = group_name (group mod sched.Schedule.groups) in
+          at_ms at (fun () ->
+              match live_client a with
+              | Some c when List.mem g (Corona.Client.joined_groups c) ->
+                  (* every update hits one object, so under sharding one
+                     stream absorbs the whole burst *)
+                  for _ = 1 to count do
+                    Corona.Client.bcast_update c ~group:g ~obj:"hot"
+                      ~data:(payload a size) ~mode:T.Sender_inclusive ()
+                  done
+              | Some _ | None ->
+                  record a (Observe.Note (Printf.sprintf "hot burst on %s skipped" g)))
       | Schedule.Lock_cycle { client; group; lock; at_ms = at; hold_ms } ->
           let a = agents.(client mod Array.length agents) in
           let g = group_name (group mod sched.Schedule.groups) in
@@ -353,6 +400,8 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
       i_members = List.map (fun g -> (g, Deploy.members deploy g)) group_ids;
       i_expected_members = expected_members;
       i_eras = Deploy.restart_times deploy;
+      i_barriers = Deploy.barrier_frames deploy;
+      i_shards = Deploy.shards deploy;
     }
   in
   let trace = List.concat_map Observe.lines obs in

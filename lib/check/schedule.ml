@@ -6,6 +6,10 @@
 type kind =
   | Single of { sync_log : bool }
   | Replicated of { replicas : int }
+  | Sharded of { replicas : int; shards : int }
+      (* replicated deployment with N-way partitioned sequencing: every
+         group's keyspace is spread over [shards] per-shard seqno streams,
+         cross-shard ops ride the two-phase barrier *)
 
 type event =
   | Crash_server of { server : int; at_ms : int; down_ms : int }
@@ -19,6 +23,11 @@ type event =
       (* isolate these (client-free) server indexes from everyone else,
          heal after [dur_ms] and reconcile *)
   | Burst of { client : int; group : int; at_ms : int; count : int; size : int }
+  | Hot_burst of { client : int; group : int; at_ms : int; count : int; size : int }
+      (* skewed key distribution: every update of the burst hits ONE fixed
+         object, i.e. one shard's stream takes the whole load while the
+         others idle — exercises single-stream gap repair and barrier
+         stalls under sharding (plain total order when unsharded) *)
   | Lock_cycle of { client : int; group : int; lock : int; at_ms : int; hold_ms : int }
   | Reduce of { client : int; group : int; at_ms : int }
 
@@ -35,6 +44,7 @@ let event_at = function
   | Client_churn { at_ms; _ }
   | Partition_servers { at_ms; _ }
   | Burst { at_ms; _ }
+  | Hot_burst { at_ms; _ }
   | Lock_cycle { at_ms; _ }
   | Reduce { at_ms; _ } ->
       at_ms
@@ -46,13 +56,15 @@ let event_span = function
   | Client_churn { at_ms; down_ms; _ } -> (at_ms, at_ms + down_ms + 1_500)
   | Partition_servers { at_ms; dur_ms; _ } -> (at_ms, at_ms + dur_ms)
   | Lock_cycle { at_ms; hold_ms; _ } -> (at_ms, at_ms + hold_ms + 500)
-  | Burst { at_ms; _ } | Reduce { at_ms; _ } -> (at_ms, at_ms)
+  | Burst { at_ms; _ } | Hot_burst { at_ms; _ } | Reduce { at_ms; _ } -> (at_ms, at_ms)
 
 let sort_events evs =
   List.stable_sort (fun a b -> Int.compare (event_at a) (event_at b)) evs
 
 let servers_of kind =
-  match kind with Single _ -> 1 | Replicated { replicas } -> replicas + 1
+  match kind with
+  | Single _ -> 1
+  | Replicated { replicas } | Sharded { replicas; _ } -> replicas + 1
 
 (* Server indexes that never serve a client: agents are pinned round-robin
    to nodes 1..replicas (the initial coordinator srv-0 "manages only a
@@ -61,7 +73,7 @@ let servers_of kind =
 let client_free_servers kind ~clients =
   match kind with
   | Single _ -> []
-  | Replicated { replicas } ->
+  | Replicated { replicas } | Sharded { replicas; _ } ->
       let serving = List.init clients (fun i -> 1 + (i mod replicas)) in
       List.filter
         (fun s -> not (List.mem s serving))
@@ -118,21 +130,31 @@ let enforce_guards events =
   in
   sort_events (kept_crashes @ kept_rest)
 
-let generate ?(smoke = false) rng =
+(* [sharded] forces a sharded replicated deployment (the classic RNG draw
+   sequence is untouched when it is off, so pinned seeds keep replaying the
+   schedules that exposed historical bugs). *)
+let generate ?(smoke = false) ?(sharded = false) rng =
   let p = if smoke then smoke_profile else full_profile in
   let clients = range rng p.p_clients in
   let groups = range rng p.p_groups in
   let kind =
-    match Sim.Rng.int rng 5 with
-    | 0 | 1 -> Single { sync_log = false }
-    | 2 -> Single { sync_log = true }
-    | _ -> Replicated { replicas = 2 + Sim.Rng.int rng 2 }
+    if sharded then
+      Sharded
+        {
+          replicas = 2 + Sim.Rng.int rng 2;
+          shards = [| 2; 4; 8 |].(Sim.Rng.int rng 3);
+        }
+    else
+      match Sim.Rng.int rng 5 with
+      | 0 | 1 -> Single { sync_log = false }
+      | 2 -> Single { sync_log = true }
+      | _ -> Replicated { replicas = 2 + Sim.Rng.int rng 2 }
   in
   let horizon_ms = p.p_horizon_ms in
   let n_events = range rng p.p_events in
   let first_at = 2_000 in
   let draw_at () = range rng (first_at, horizon_ms - 1_000) in
-  let single = match kind with Single _ -> true | Replicated _ -> false in
+  let single = match kind with Single _ -> true | Replicated _ | Sharded _ -> false in
   let crash_budget = ref (if single then 2 else 1) in
   let partition_budget =
     ref (match client_free_servers kind ~clients with [] -> 0 | _ -> 1)
@@ -140,15 +162,18 @@ let generate ?(smoke = false) rng =
   let draw_event () =
     match Sim.Rng.int rng 100 with
     | n when n < 35 ->
-        Some
-          (Burst
-             {
-               client = Sim.Rng.int rng clients;
-               group = Sim.Rng.int rng groups;
-               at_ms = draw_at ();
-               count = 1 + Sim.Rng.int rng 6;
-               size = 8 + Sim.Rng.int rng 57;
-             })
+        let client = Sim.Rng.int rng clients in
+        let group = Sim.Rng.int rng groups in
+        let at_ms = draw_at () in
+        let count = 1 + Sim.Rng.int rng 6 in
+        let size = 8 + Sim.Rng.int rng 57 in
+        (* extra draws only in sharded mode, so the classic sequence of RNG
+           consumption — and thus every pinned seed — is unchanged *)
+        if sharded && Sim.Rng.int rng 3 = 0 then
+          Some
+            (Hot_burst
+               { client; group; at_ms; count = count + Sim.Rng.int rng 6; size })
+        else Some (Burst { client; group; at_ms; count; size })
     | n when n < 55 ->
         Some
           (Lock_cycle
@@ -221,6 +246,9 @@ let pp_kind fmt = function
       Format.fprintf fmt "Check.Schedule.Single { sync_log = %b }" sync_log
   | Replicated { replicas } ->
       Format.fprintf fmt "Check.Schedule.Replicated { replicas = %d }" replicas
+  | Sharded { replicas; shards } ->
+      Format.fprintf fmt "Check.Schedule.Sharded { replicas = %d; shards = %d }"
+        replicas shards
 
 let pp_event fmt = function
   | Crash_server { server; at_ms; down_ms } ->
@@ -237,6 +265,10 @@ let pp_event fmt = function
   | Burst { client; group; at_ms; count; size } ->
       Format.fprintf fmt
         "Burst { client = %d; group = %d; at_ms = %d; count = %d; size = %d }" client
+        group at_ms count size
+  | Hot_burst { client; group; at_ms; count; size } ->
+      Format.fprintf fmt
+        "Hot_burst { client = %d; group = %d; at_ms = %d; count = %d; size = %d }" client
         group at_ms count size
   | Lock_cycle { client; group; lock; at_ms; hold_ms } ->
       Format.fprintf fmt

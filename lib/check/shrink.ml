@@ -78,6 +78,17 @@ let smaller_variants (ev : Schedule.event) =
       if size > 8 then
         [ Schedule.Burst { client; group; at_ms; count; size = max 8 (size / 2) } ]
       else []
+  | Schedule.Hot_burst { client; group; at_ms; count; size } ->
+      (* first try demoting the skew itself: a plain burst spreads the same
+         load over all shards *)
+      [ Schedule.Burst { client; group; at_ms; count; size } ]
+      @ (if count > 1 then
+           [ Schedule.Hot_burst { client; group; at_ms; count = max 1 (count / 2); size } ]
+         else [])
+      @
+      if size > 8 then
+        [ Schedule.Hot_burst { client; group; at_ms; count; size = max 8 (size / 2) } ]
+      else []
   | Schedule.Lock_cycle { client; group; lock; at_ms; hold_ms } ->
       if hold_ms > 200 then
         [ Schedule.Lock_cycle { client; group; lock; at_ms; hold_ms = max 100 (hold_ms / 2) } ]

@@ -11,6 +11,14 @@ type event =
   | Lock_granted_later of { group : T.group_id; lock : T.lock_id }
   | Group_was_deleted of T.group_id
   | Disconnected of Net.Tcp.close_reason
+  | Shard_delivered of { shard : int; update : T.update }
+  | Shard_view of {
+      group : T.group_id;
+      bar : int;
+      vector : int list;
+      op : string;
+    }
+  | Shard_joined of { group : T.group_id; vector : int list }
 
 type reply =
   | R_ok
@@ -45,6 +53,9 @@ type group_replica = {
   gr_own_exclusive : (T.object_id * string) Queue.t;
       (* our sender-exclusive sends already applied optimistically; their
          multicast echoes must not be re-applied *)
+  gr_shard_next : (int, int) Hashtbl.t;
+      (* sharded groups: next expected seqno per shard stream, seeded from
+         the join's baseline vector *)
 }
 
 type t = {
@@ -135,6 +146,7 @@ let apply_join_state t group at_seqno (state : M.join_state) =
           gr_via_mcast = false;
           gr_recent = [];
           gr_own_exclusive = Queue.create ();
+          gr_shard_next = Hashtbl.create 4;
         }
       in
       (match state with
@@ -282,6 +294,38 @@ let handle_response t (resp : M.response) =
           Hashtbl.remove t.pings nonce;
           k ~rtt:(now t -. sent)
       | None -> ())
+  | M.Shard_deliver { shard; update = u } -> (
+      match Hashtbl.find_opt t.replicas u.group with
+      | None -> ()
+      | Some replica ->
+          (* The per-shard guard replaces the group-wide one: [u.seqno]
+             counts within shard [shard]'s stream only. *)
+          let next =
+            Option.value (Hashtbl.find_opt replica.gr_shard_next shard) ~default:0
+          in
+          if u.seqno >= next then begin
+            Hashtbl.replace replica.gr_shard_next shard (u.seqno + 1);
+            remember_update replica u;
+            Shared_state.apply replica.gr_state u;
+            t.deliveries <- t.deliveries + 1;
+            emit t (Shard_delivered { shard; update = u })
+          end)
+  | M.Shard_view { group; bar; vector; op } ->
+      emit t (Shard_view { group; bar; vector; op })
+  | M.Shard_joined { group; vector } ->
+      (match Hashtbl.find_opt t.replicas group with
+      | Some replica ->
+          List.iteri
+            (fun shard next ->
+              let cur =
+                Option.value
+                  (Hashtbl.find_opt replica.gr_shard_next shard)
+                  ~default:0
+              in
+              if next > cur then Hashtbl.replace replica.gr_shard_next shard next)
+            vector
+      | None -> ());
+      emit t (Shard_joined { group; vector })
 
 let connect_internal fabric ~host ~server ~port ~member ~on_event ~replicas
     ~deliveries ~on_connected ~on_failed () =
@@ -426,5 +470,13 @@ let joined_groups t =
 
 let last_seqno t group =
   Option.map (fun r -> r.gr_last_seqno) (Hashtbl.find_opt t.replicas group)
+
+let shard_positions t group =
+  Option.map
+    (fun r ->
+      let n = Hashtbl.fold (fun s _ acc -> max acc (s + 1)) r.gr_shard_next 0 in
+      List.init n (fun s ->
+          Option.value (Hashtbl.find_opt r.gr_shard_next s) ~default:0))
+    (Hashtbl.find_opt t.replicas group)
 
 let deliveries_received t = t.deliveries

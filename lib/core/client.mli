@@ -27,6 +27,19 @@ type event =
     }  (** a queued acquire finally succeeded *)
   | Group_was_deleted of Proto.Types.group_id
   | Disconnected of Net.Tcp.close_reason
+  | Shard_delivered of { shard : int; update : Proto.Types.update }
+      (** delivery in a sharded group: [update.seqno] counts within shard
+          [shard]'s own stream *)
+  | Shard_view of {
+      group : Proto.Types.group_id;
+      bar : int;
+      vector : int list;
+      op : string;
+    }
+      (** a cross-shard barrier op (view change or lock grant) applied at the
+          stamped vector of per-shard positions *)
+  | Shard_joined of { group : Proto.Types.group_id; vector : int list }
+      (** closes a sharded join: per-shard baseline the snapshot reflects *)
 
 (** Reply to a group-scoped request. *)
 type reply =
@@ -151,5 +164,10 @@ val joined_groups : t -> Proto.Types.group_id list
 val last_seqno : t -> Proto.Types.group_id -> int option
 (** Highest sequence number applied to the replica (join point - 1 when
     nothing delivered yet). *)
+
+val shard_positions : t -> Proto.Types.group_id -> int list option
+(** Sharded groups: next expected seqno per shard stream (index = shard),
+    covering shards heard from so far. [Some []] before any sharded
+    delivery or join baseline. *)
 
 val deliveries_received : t -> int

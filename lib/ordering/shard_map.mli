@@ -1,0 +1,24 @@
+(** Deterministic [(group, object-id)] -> shard mapping.
+
+    Commands touching disjoint objects need no common order, so sequencing
+    is partitioned by hashing the pair onto one of N independent sequencer
+    shards; every node computes the same mapping with no coordination. The
+    shard count is a deployment-time knob carried in the server/node
+    config, never derived from topology. *)
+
+val hash : group:string -> obj:string -> int
+(** FNV-1a over the key bytes, with a separator octet between the two
+    components (so [("ab","c")] and [("a","bc")] differ). Stable across
+    runs and processes — replicas must agree on it, which is why the
+    polymorphic [Hashtbl.hash] is not used here. *)
+
+val shard_of : shards:int -> group:string -> obj:string -> int
+(** The shard owning this [(group, obj)] slice: [hash mod shards], and 0
+    whenever [shards <= 1]. *)
+
+val initial_owners : shards:int -> string list -> string array
+(** Epoch-0 shard -> sequencer assignment: shard [s] is owned by server
+    [s mod n] of the startup list (round-robin, wrapping when [shards]
+    exceeds the cluster). Post-failure reassignment replaces this with an
+    explicit epoch-stamped owner table fanned by the coordinator.
+    @raise Invalid_argument on an empty server list. *)

@@ -83,6 +83,17 @@ type response =
   | Request_failed of { group : Types.group_id; reason : string }
   | Resend_request of { group : Types.group_id; from_seqno : int }
   | Pong of { nonce : int }
+  | Shard_deliver of { shard : int; update : Types.update }
+      (* shard-stamped broadcast: [update.seqno] counts within [shard]'s
+         stream, not the group-wide one *)
+  | Shard_view of {
+      group : Types.group_id;
+      bar : int;
+      vector : int list; (* per-shard stream positions the barrier stamped *)
+      op : string; (* rendered cross-shard operation descriptor *)
+    }
+  | Shard_joined of { group : Types.group_id; vector : int list }
+      (* per-shard baseline of the snapshot a sharded join was served from *)
 
 type t = Request of request | Response of response
 
@@ -393,6 +404,20 @@ let enc_response w = function
       W.u8 w 14;
       W.string w group;
       W.int_as_i64 w from_seqno
+  | Shard_deliver { shard; update } ->
+      W.u8 w 15;
+      W.u32 w shard;
+      enc_update w update
+  | Shard_view { group; bar; vector; op } ->
+      W.u8 w 16;
+      W.string w group;
+      W.int_as_i64 w bar;
+      W.list w W.int_as_i64 vector;
+      W.string w op
+  | Shard_joined { group; vector } ->
+      W.u8 w 17;
+      W.string w group;
+      W.list w W.int_as_i64 vector
 
 let dec_response r =
   match R.u8 r with
@@ -448,6 +473,20 @@ let dec_response r =
       let group = R.string r in
       let from_seqno = R.int_as_i64 r in
       Resend_request { group; from_seqno }
+  | 15 ->
+      let shard = R.u32 r in
+      let update = dec_update r in
+      Shard_deliver { shard; update }
+  | 16 ->
+      let group = R.string r in
+      let bar = R.int_as_i64 r in
+      let vector = R.list r R.int_as_i64 in
+      let op = R.string r in
+      Shard_view { group; bar; vector; op }
+  | 17 ->
+      let group = R.string r in
+      let vector = R.list r R.int_as_i64 in
+      Shard_joined { group; vector }
   | n -> raise (R.Malformed (Printf.sprintf "response tag %d" n))
 
 (* Serializations of whole messages, for the bench's encodes-per-bcast
@@ -512,6 +551,47 @@ let pre_encode_join_accepted ~group ~at_seqno ~state ~state_enc ~members ~multic
     e_msg = Response (Join_accepted { group; at_seqno; state; members; multicast });
     e_bytes = Codec.Writer.contents w;
   }
+
+(* --- cross-shard barrier frames ----------------------------------------- *)
+
+(* Durable representation of a shard-barrier record: the coordinator
+   journals one [Prepare] frame when it opens a barrier and one [Commit]
+   frame when the vector is complete. The check harness decodes the journal
+   back to verify barrier consistency (same bar -> same vector, vectors
+   monotone per group), so the byte format is pinned by golden tests like
+   the client frames above. *)
+type barrier_phase = Prepare | Commit
+
+type barrier_frame = {
+  bf_bar : int;
+  bf_group : Types.group_id;
+  bf_phase : barrier_phase;
+  bf_vector : int list; (* empty at [Prepare]: slots are not yet known *)
+  bf_op : string;
+}
+
+let encode_barrier_frame f =
+  let w = Codec.Writer.create () in
+  W.int_as_i64 w f.bf_bar;
+  W.string w f.bf_group;
+  W.u8 w (match f.bf_phase with Prepare -> 0 | Commit -> 1);
+  W.list w W.int_as_i64 f.bf_vector;
+  W.string w f.bf_op;
+  Codec.Writer.contents w
+
+let decode_barrier_frame s =
+  let r = R.of_string s in
+  let bf_bar = R.int_as_i64 r in
+  let bf_group = R.string r in
+  let bf_phase =
+    match R.u8 r with
+    | 0 -> Prepare
+    | 1 -> Commit
+    | n -> raise (R.Malformed (Printf.sprintf "barrier phase tag %d" n))
+  in
+  let bf_vector = R.list r R.int_as_i64 in
+  let bf_op = R.string r in
+  { bf_bar; bf_group; bf_phase; bf_vector; bf_op }
 
 let encoded_message e = e.e_msg
 
@@ -583,3 +663,12 @@ let pp ppf t =
   | Response (Resend_request { group; from_seqno }) ->
       Format.fprintf ppf "resend_request %s from=%d" group from_seqno
   | Response (Pong { nonce }) -> Format.fprintf ppf "pong %d" nonce
+  | Response (Shard_deliver { shard; update }) ->
+      Format.fprintf ppf "shard_deliver s%d %a" shard Types.pp_update update
+  | Response (Shard_view { group; bar; vector; op }) ->
+      Format.fprintf ppf "shard_view %s bar=%d [%s] %s" group bar
+        (String.concat ";" (List.map string_of_int vector))
+        op
+  | Response (Shard_joined { group; vector }) ->
+      Format.fprintf ppf "shard_joined %s [%s]" group
+        (String.concat ";" (List.map string_of_int vector))

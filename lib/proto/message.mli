@@ -105,6 +105,25 @@ type response =
       (** the server noticed a rejoining client is ahead of its recovered
           log and asks for the missing suffix (§6) *)
   | Pong of { nonce : int }
+  | Shard_deliver of { shard : int; update : Types.update }
+      (** delivery in a sharded group: [update.seqno] counts within shard
+          [shard]'s own stream, not a single group-wide sequence *)
+  | Shard_view of {
+      group : Types.group_id;
+      bar : int;
+      vector : int list;
+      op : string;
+    }
+      (** a cross-shard barrier fired: the op (a membership view change or a
+          lock grant) is stamped with the per-shard positions it interleaves
+          at, identical on every replica *)
+  | Shard_joined of {
+      group : Types.group_id;
+      vector : int list;
+    }
+      (** closes a sharded join: per-shard baseline positions the join-state
+          snapshot reflects — the first [Shard_deliver] on shard [s] carries
+          seqno [vector.(s)] *)
 
 type t = Request of request | Response of response
 
@@ -115,6 +134,27 @@ val encode : Codec.Writer.t -> t -> unit
 
 val decode : Codec.Reader.t -> t
 (** @raise Codec.Reader.Malformed on unknown tags. *)
+
+(** {2 Barrier journal frames}
+
+    Cross-shard barriers are journaled by the coordinator as real encoded
+    frames (like the lock journal), so crash analysis and the corona-check
+    cross-shard oracle read the same bytes the protocol produced. *)
+
+type barrier_phase = Prepare | Commit
+
+type barrier_frame = {
+  bf_bar : int;
+  bf_group : Types.group_id;
+  bf_phase : barrier_phase;
+  bf_vector : int list;  (** per-shard positions; [[]] until the commit *)
+  bf_op : string;  (** short op label, e.g. ["view +cl-3/m"] or ["lock l0"] *)
+}
+
+val encode_barrier_frame : barrier_frame -> string
+
+val decode_barrier_frame : string -> barrier_frame
+(** @raise Codec.Reader.Malformed on a corrupt frame. *)
 
 type encoded
 (** A message serialized exactly once: immutable bytes plus the original

@@ -14,6 +14,8 @@ type config = {
   server_multicast : bool;
   record_lock_journal : bool;
   wal_batching : Storage.Wal.batch_config option;
+  shards : int;
+  sharded_direct_views : bool;
 }
 
 let default_config =
@@ -29,6 +31,8 @@ let default_config =
     server_multicast = false;
     record_lock_journal = false;
     wal_batching = None;
+    shards = 1;
+    sharded_direct_views = false;
   }
 
 type role = Coordinator | Replica
@@ -42,6 +46,22 @@ type stats = {
   took_over_at : float option;
 }
 
+(* Sharded sequencing state of a group copy (cfg.shards > 1): one state log
+   per shard — disjoint (group, object-id) slices, each its own contiguous
+   seqno stream and WAL — plus the cross-shard hold-back that interleaves
+   barrier-stamped ops identically on every replica. *)
+type sgroup = {
+  sg_logs : SL.t array;
+  sg_hb :
+    ( T.update * T.delivery_mode * Smsg.origin_tag,
+      int * int array * Smsg.shard_op )
+    Ordering.Shard_holdback.t;
+  sg_last_og : (int * Smsg.server_id, int) Hashtbl.t;
+      (* (shard, origin server) -> last og_seq: the classic duplicate filter,
+         per shard — one origin's forwards spray across shards, so a single
+         per-origin watermark would not be monotone *)
+}
+
 (* Local copy of a group at a replica. [rg_log = None] while the state fetch
    is in flight. *)
 type rgroup = {
@@ -53,6 +73,18 @@ type rgroup = {
   rg_holdback : (T.update * T.delivery_mode * Smsg.origin_tag) Ordering.Holdback.t;
   rg_last_og : (Smsg.server_id, int) Hashtbl.t; (* duplicate filter *)
   mutable rg_expecting_blob : bool; (* a State_blob is on its way *)
+  mutable rg_shards : sgroup option; (* sharded-mode copy, else None *)
+  mutable rg_pending_sjoins : T.member_id list;
+      (* sharded joins whose barrier fired before our copy was seeded *)
+}
+
+(* A cross-shard barrier the coordinator is collecting positions for. *)
+type inflight_barrier = {
+  ib_bar : int;
+  ib_group : T.group_id;
+  ib_op : Smsg.shard_op;
+  mutable ib_pos : (int * int) list; (* collected (shard, next) *)
+  mutable ib_started : float; (* for the re-prepare retry *)
 }
 
 type pending_join = {
@@ -104,6 +136,28 @@ type t = {
   node_epoch : int; (* host epoch at creation; a crash orphans this node *)
   transfer_cache : Corona.Transfer.cache;
   mutable st : stats;
+  (* sharded sequencing (cfg.shards > 1; all empty otherwise) *)
+  mutable shard_epoch : int;
+  mutable shard_owners : Smsg.server_id array; (* shard_owners.(s) sequences s *)
+  seq_alloc : (T.group_id * int, int) Hashtbl.t;
+      (* owner side: next seqno per (group, shard) — standalone, because the
+         owner of a shard need not hold a copy of every group it sequences *)
+  seq_dedup : (T.group_id * int * Smsg.server_id, int) Hashtbl.t;
+      (* owner side: last og_seq sequenced per (group, shard, origin), so a
+         racing resend is not stamped twice *)
+  frozen : (T.group_id, int) Hashtbl.t; (* owner side: group -> barrier id *)
+  freeze_q : (T.group_id, Smsg.t list) Hashtbl.t;
+      (* forwards parked while frozen, newest first *)
+  (* coordinator barrier engine *)
+  mutable bar_next : int;
+  bar_queue : (T.group_id, Smsg.shard_op list) Hashtbl.t; (* newest first *)
+  mutable bar_inflight : inflight_barrier list;
+  mutable barrier_journal : string list;
+      (* encoded M.barrier_frame records, newest first *)
+  (* shard-ownership recovery round *)
+  mutable shard_waiting_on : Smsg.server_id list;
+  mutable shard_reports :
+    (Smsg.server_id * (T.group_id * (int * int) list) list) list;
 }
 
 let now t = Sim.Engine.now (Net.Fabric.engine t.fabric)
@@ -133,7 +187,8 @@ let is_current t =
 
 let groups_held t =
   Hashtbl.fold
-    (fun g rg acc -> if rg.rg_log <> None then g :: acc else acc)
+    (fun g rg acc ->
+      if rg.rg_log <> None || rg.rg_shards <> None then g :: acc else acc)
     t.rgroups []
   |> List.sort String.compare
 
@@ -174,6 +229,35 @@ let lock_journal t =
           | events -> Some (g, events))
       | None -> None)
     (Directory.group_ids t.dir)
+
+(* --- sharded inspection ------------------------------------------------- *)
+
+let group_shard_vector t g =
+  match Hashtbl.find_opt t.rgroups g with
+  | Some { rg_shards = Some sg; _ } ->
+      Some (Ordering.Shard_holdback.positions sg.sg_hb)
+  | Some _ | None -> None
+
+(* Merged materialized objects of a sharded copy: shard slices are disjoint
+   by construction, so concatenation (re-sorted by id) is the group state. *)
+let group_shard_objects t g =
+  match Hashtbl.find_opt t.rgroups g with
+  | Some { rg_shards = Some sg; _ } ->
+      let objs =
+        Array.fold_left
+          (fun acc log -> List.rev_append (Corona.Shared_state.objects (SL.state log)) acc)
+          [] sg.sg_logs
+      in
+      Some (List.sort (fun (a, _) (b, _) -> String.compare a b) objs)
+  | Some _ | None -> None
+
+let barrier_journal t = List.rev t.barrier_journal
+
+let shard_epoch t = t.shard_epoch
+
+let shard_owners t = Array.copy t.shard_owners
+
+let sharded t = t.cfg.shards > 1
 
 (* --- server mesh ------------------------------------------------------- *)
 
@@ -282,6 +366,8 @@ and make_rgroup t group =
       rg_holdback = Ordering.Holdback.create ();
       rg_last_og = Hashtbl.create 8;
       rg_expecting_blob = false;
+      rg_shards = None;
+      rg_pending_sjoins = [];
     }
   in
   Hashtbl.replace t.rgroups group rg;
@@ -310,7 +396,13 @@ and seed_rgroup t rg ~persistent ~at_seqno ~objects =
 and drop_rgroup t group =
   (match Hashtbl.find_opt t.rgroups group with
   | Some { rg_log = Some log; _ } -> SL.delete_durable log
-  | Some { rg_log = None; _ } | None -> ());
+  | Some { rg_shards = Some sg; _ } ->
+      Array.iteri
+        (fun s log ->
+          SL.delete_durable log;
+          Corona.Server_storage.drop_group t.storage (shard_log_name group s))
+        sg.sg_logs
+  | Some _ | None -> ());
   Corona.Server_storage.drop_group t.storage group;
   Hashtbl.remove t.rgroups group
 
@@ -401,6 +493,564 @@ and offer_sequenced t rg u mode origin =
       send_srv t t.coord
         (Smsg.Fetch_updates { from = t.self; group = rg.rg_id; from_seqno })
   | None -> ()
+
+(* --- sharded sequencing --------------------------------------------------- *)
+
+and shard_owner t shard =
+  if Array.length t.shard_owners = 0 then t.coord else t.shard_owners.(shard)
+
+and shard_log_name group shard = group ^ "#" ^ string_of_int shard
+
+and make_shard_log t group ~shard ~persistent ~at_seqno ~initial =
+  let name = shard_log_name group shard in
+  let wal =
+    Corona.Server_storage.wal_for t.storage ?batching:t.cfg.wal_batching name
+  in
+  SL.create ~group:name ~persistent ~wal
+    ~checkpoints:(Corona.Server_storage.checkpoints t.storage)
+    ~policy:t.cfg.reduction ~at_seqno ~initial ()
+
+and sgroup_of t rg =
+  match rg.rg_shards with
+  | Some sg -> sg
+  | None ->
+      let shards = t.cfg.shards in
+      let sg =
+        {
+          sg_logs =
+            Array.init shards (fun s ->
+                make_shard_log t rg.rg_id ~shard:s ~persistent:rg.rg_persistent
+                  ~at_seqno:0 ~initial:[]);
+          sg_hb = Ordering.Shard_holdback.create ~shards ();
+          sg_last_og = Hashtbl.create 8;
+        }
+      in
+      rg.rg_shards <- Some sg;
+      sg
+
+(* Seed (or overwrite) a sharded copy from a snapshot: objects are routed to
+   their shard's log by the same deterministic map the sequencers use, and
+   each stream starts at the snapshot's per-shard position. *)
+and seed_sgroup t rg ~objects ~positions =
+  let shards = t.cfg.shards in
+  let vec = Array.make shards 0 in
+  List.iter (fun (s, n) -> if s >= 0 && s < shards then vec.(s) <- n) positions;
+  let by_shard = Array.make shards [] in
+  List.iter
+    (fun (obj, data) ->
+      let s = Ordering.Shard_map.shard_of ~shards ~group:rg.rg_id ~obj in
+      by_shard.(s) <- (obj, data) :: by_shard.(s))
+    objects;
+  let hb =
+    match rg.rg_shards with
+    | Some old -> old.sg_hb
+    | None -> Ordering.Shard_holdback.create ~shards ()
+  in
+  Ordering.Shard_holdback.reset hb ~vector:vec;
+  let sg =
+    {
+      sg_logs =
+        Array.init shards (fun s ->
+            make_shard_log t rg.rg_id ~shard:s ~persistent:rg.rg_persistent
+              ~at_seqno:vec.(s) ~initial:(List.rev by_shard.(s)));
+      sg_hb = hb;
+      sg_last_og = Hashtbl.create 8;
+    }
+  in
+  rg.rg_shards <- Some sg;
+  rg.rg_expecting_blob <- false;
+  (* The adopted positions may already satisfy a parked barrier. *)
+  run_shard_actions t rg sg (Ordering.Shard_holdback.poll sg.sg_hb);
+  let waiting = List.rev rg.rg_pending_sjoins in
+  rg.rg_pending_sjoins <- [];
+  List.iter (fun member -> complete_shard_join t rg member) waiting
+
+(* Stream positions come from the hold-back, not the logs: a re-sequenced
+   duplicate consumes its slot everywhere but is never logged (the classic
+   duplicate-filter contract), so the log's next seqno may trail. *)
+and shard_positions sg =
+  Array.to_list
+    (Array.mapi (fun s n -> (s, n)) (Ordering.Shard_holdback.positions sg.sg_hb))
+
+and shard_snapshot_objects sg =
+  let objs =
+    Array.fold_left
+      (fun acc log -> List.rev_append (Corona.Shared_state.objects (SL.state log)) acc)
+      [] sg.sg_logs
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) objs
+
+(* One batched transmit to every server believed alive; unlike
+   [coord_fan_group] the recipient set is not the group's replica list — a
+   shard owner need not know the directory, and servers without a copy of
+   the group simply ignore the update. Mirrors the allocation pattern of
+   [coord_fan_group] (shared pre-sized message, self-delivery last). *)
+and fan_all t msg =
+  let s = Smsg.pre msg in
+  let deliver_self = ref false in
+  let conns =
+    List.rev
+      (List.fold_left
+         (fun acc srv ->
+           if srv = t.self then begin
+             deliver_self := true;
+             acc
+           end
+           else
+             match Hashtbl.find_opt t.peers srv with
+             | Some conn when Net.Tcp.is_open conn -> conn :: acc
+             | Some _ -> acc
+             | None ->
+                 let q = Option.value (Hashtbl.find_opt t.outbox srv) ~default:[] in
+                 Hashtbl.replace t.outbox srv (Smsg.sized_msg s :: q);
+                 acc)
+         [] t.alive)
+  in
+  if conns <> [] then Smsg.send_sized_batch conns s;
+  if !deliver_self then handle_smsg t ~from:t.self msg
+[@@corona.hot]
+
+(* Owner side: stamp the next seqno of the (group, shard) stream and fan the
+   sequenced update to every server. While a barrier freeze is pending for
+   the group, forwards park in the freeze queue and replay on unfreeze. *)
+and owner_sequence t msg ~origin ~epoch:_ ~shard ~group ~sender ~kind ~obj ~data
+    ~mode =
+  if shard_owner t shard <> t.self then
+    (* Stale routing during reassignment: hand the forward to the server we
+       believe owns the shard now (views converge via Shard_assign). *)
+    send_srv t (shard_owner t shard) msg
+  else if Hashtbl.mem t.frozen group then
+    let q = Option.value (Hashtbl.find_opt t.freeze_q group) ~default:[] in
+    Hashtbl.replace t.freeze_q group (msg :: q)
+  else begin
+    let dkey = (group, shard, origin.Smsg.og_server) in
+    let dup =
+      match Hashtbl.find_opt t.seq_dedup dkey with
+      | Some last -> origin.og_seq <= last
+      | None -> false
+    in
+    if not dup then begin
+      Hashtbl.replace t.seq_dedup dkey origin.og_seq;
+      let akey = (group, shard) in
+      let seqno = Option.value (Hashtbl.find_opt t.seq_alloc akey) ~default:0 in
+      Hashtbl.replace t.seq_alloc akey (seqno + 1);
+      t.st <- { t.st with sequenced = t.st.sequenced + 1 };
+      let u = { T.seqno; group; kind; obj; data; sender; timestamp = now t } in
+      fan_all t
+        (Smsg.Sequenced_s { epoch = t.shard_epoch; shard; origin; update = u; mode })
+    end
+  end
+
+and offer_shard t rg ~shard u mode origin =
+  let sg = sgroup_of t rg in
+  run_shard_actions t rg sg
+    (Ordering.Shard_holdback.offer sg.sg_hb ~shard ~seqno:u.T.seqno
+       (u, mode, origin));
+  match Ordering.Shard_holdback.gap sg.sg_hb ~shard with
+  | Some (from_seqno, _) ->
+      send_srv t t.coord
+        (Smsg.Fetch_shard { from = t.self; group = rg.rg_id; shard; from_seqno })
+  | None -> ()
+
+and run_shard_actions t rg sg actions =
+  List.iter
+    (function
+      | Ordering.Shard_holdback.Deliver (shard, (u, mode, origin)) ->
+          apply_shard_update t rg sg shard u mode origin
+      | Ordering.Shard_holdback.Barrier (bar, vector, op) ->
+          apply_shard_op t rg ~bar ~vector op)
+    actions
+
+and apply_shard_update t rg sg shard (u : T.update) mode (origin : Smsg.origin_tag)
+    =
+  let duplicate =
+    origin.og_server <> ""
+    &&
+    match Hashtbl.find_opt sg.sg_last_og (shard, origin.og_server) with
+    | Some last -> origin.og_seq <= last
+    | None -> false
+  in
+  if origin.og_server <> "" then
+    Hashtbl.replace sg.sg_last_og (shard, origin.og_server) origin.og_seq;
+  if origin.og_server = t.self then Hashtbl.remove t.pending_bcast origin.og_seq;
+  if not duplicate then begin
+    SL.apply_sequenced sg.sg_logs.(shard) u ~on_durable:(fun _ -> ());
+    t.st <- { t.st with applied = t.st.applied + 1 };
+    let exclude =
+      match mode with T.Sender_exclusive -> Some u.sender | T.Sender_inclusive -> None
+    in
+    fan_local t rg ?exclude (M.Shard_deliver { shard; update = u })
+  end
+[@@corona.hot]
+
+(* A cross-shard op fires at its stamped vector: every replica runs this at
+   the same point of all N streams. *)
+and apply_shard_op t rg ~bar ~vector op =
+  let group = rg.rg_id in
+  (match op with
+  | Smsg.Op_view { change; members; origin } ->
+      rg.rg_global <- members;
+      (match change with
+      | T.Member_left m | T.Member_crashed m ->
+          ignore (Corona.Membership.remove rg.rg_local m)
+      | T.Member_joined _ -> ());
+      (if origin = t.self then
+         match change with
+         | T.Member_joined member ->
+             if rg.rg_expecting_blob then
+               rg.rg_pending_sjoins <- member :: rg.rg_pending_sjoins
+             else complete_shard_join t rg member
+         | T.Member_left _ | T.Member_crashed _ -> ());
+      notify_local_membership t rg change members
+  | Smsg.Op_lock { lock; member } -> (
+      let key = (group, lock, member) in
+      match Hashtbl.find_opt t.pending_lock key with
+      | Some conn ->
+          Hashtbl.remove t.pending_lock key;
+          if Net.Tcp.is_open conn then
+            send_client t conn (M.Lock_granted { group; lock })
+      | None ->
+          (* Deferred grant: reaches the member at whichever replica serves
+             it; elsewhere this is a no-op. *)
+          send_member t member (M.Lock_granted { group; lock })));
+  fan_local t rg
+    (M.Shard_view
+       {
+         group;
+         bar;
+         vector = Array.to_list vector;
+         op = Smsg.shard_op_label op;
+       })
+
+(* Close a sharded join at the origin replica, at the exact point the view
+   barrier fired: snapshot + per-shard baseline vector for the client. *)
+and complete_shard_join t rg member =
+  match Hashtbl.find_opt t.pending_join (rg.rg_id, member) with
+  | None -> ()
+  | Some pj ->
+      let sg = sgroup_of t rg in
+      Hashtbl.remove t.pending_join (rg.rg_id, member);
+      let entry_role =
+        match
+          List.find_opt (fun (m : T.member) -> m.member = member) rg.rg_global
+        with
+        | Some m -> m.role
+        | None -> T.Principal
+      in
+      Corona.Membership.add rg.rg_local ~member ~role:entry_role ~notify:true
+        ~joined_at:(now t);
+      if Net.Tcp.is_open pj.pj_conn then begin
+        send_client t pj.pj_conn
+          (M.Join_accepted
+             {
+               group = rg.rg_id;
+               at_seqno = 0;
+               state =
+                 M.Snapshot { objects = shard_snapshot_objects sg; log_tail = [] };
+               members = rg.rg_global;
+               multicast = false;
+             });
+        send_client t pj.pj_conn
+          (M.Shard_joined
+             {
+               group = rg.rg_id;
+               vector =
+                 Array.to_list (Ordering.Shard_holdback.positions sg.sg_hb);
+             })
+      end
+
+(* --- coordinator: barrier engine ------------------------------------------ *)
+
+and journal_barrier t ~bar ~group ~phase ~vector ~op =
+  t.barrier_journal <-
+    M.encode_barrier_frame
+      {
+        M.bf_bar = bar;
+        bf_group = group;
+        bf_phase = phase;
+        bf_vector = vector;
+        bf_op = Smsg.shard_op_label op;
+      }
+    :: t.barrier_journal
+
+and barrier_submit t group op =
+  let q = Option.value (Hashtbl.find_opt t.bar_queue group) ~default:[] in
+  Hashtbl.replace t.bar_queue group (op :: q);
+  (* One barrier in flight per group: freezing is per group, and serial
+     barriers keep the owners' position reports unambiguous. *)
+  if not (List.exists (fun ib -> ib.ib_group = group) t.bar_inflight) then
+    barrier_start t group
+
+and barrier_start t group =
+  match List.rev (Option.value (Hashtbl.find_opt t.bar_queue group) ~default:[]) with
+  | [] -> ()
+  | op :: rest ->
+      Hashtbl.replace t.bar_queue group (List.rev rest);
+      let bar = t.bar_next in
+      t.bar_next <- bar + 1;
+      let ib =
+        { ib_bar = bar; ib_group = group; ib_op = op; ib_pos = []; ib_started = now t }
+      in
+      t.bar_inflight <- ib :: t.bar_inflight;
+      journal_barrier t ~bar ~group ~phase:M.Prepare ~vector:[] ~op;
+      barrier_prepare_round t ib
+
+and barrier_prepare_round t ib =
+  ib.ib_started <- now t;
+  let owners =
+    Array.fold_left
+      (fun acc o -> if List.mem o acc then acc else o :: acc)
+      [] t.shard_owners
+  in
+  List.iter
+    (fun o ->
+      send_srv t o
+        (Smsg.Barrier_prepare
+           { bar = ib.ib_bar; epoch = t.shard_epoch; group = ib.ib_group }))
+    owners
+
+and barrier_absorb_pos t ~bar ~group ~positions =
+  match
+    List.find_opt (fun ib -> ib.ib_bar = bar && ib.ib_group = group) t.bar_inflight
+  with
+  | None -> ()
+  | Some ib ->
+      List.iter
+        (fun (s, n) ->
+          if not (List.mem_assoc s ib.ib_pos) then ib.ib_pos <- (s, n) :: ib.ib_pos)
+        positions;
+      if List.length ib.ib_pos = t.cfg.shards then begin
+        let vector = Array.init t.cfg.shards (fun s -> List.assoc s ib.ib_pos) in
+        t.bar_inflight <- List.filter (fun x -> x != ib) t.bar_inflight;
+        journal_barrier t ~bar ~group ~phase:M.Commit
+          ~vector:(Array.to_list vector) ~op:ib.ib_op;
+        fan_all t
+          (Smsg.Barrier_commit
+             { bar; epoch = t.shard_epoch; group; vector; op = ib.ib_op });
+        barrier_start t group
+      end
+
+(* --- shard-ownership recovery --------------------------------------------- *)
+
+(* Owner allocators for the shards of a dead sequencer moved with it. The
+   coordinator bumps the shard epoch, collects every survivor's applied
+   per-shard positions, reassigns dead owners, and fans the new table with
+   max positions — the fan-out is all-or-nothing per update (one batched
+   transmit issues every reservation together), so the max applied position
+   anywhere bounds everything any origin had acknowledged. *)
+and shard_recovery t =
+  if t.cfg.shards > 1 && t.node_role = Coordinator then begin
+    t.shard_epoch <- t.shard_epoch + 1;
+    (* Barrier ids are drawn from the epoch so a new reign (or re-round)
+       never reuses a stamped id. *)
+    t.bar_next <- t.shard_epoch * 1_000_000;
+    t.shard_reports <- [];
+    t.shard_waiting_on <- List.filter (fun s -> s <> t.self) t.alive;
+    List.iter
+      (fun dst ->
+        if dst <> t.self then send_srv t dst (Smsg.Shard_query { from = t.self }))
+      t.alive;
+    t.shard_reports <- (t.self, self_shard_report t) :: t.shard_reports;
+    if t.shard_waiting_on = [] then finish_shard_recovery t
+    else begin
+      let deadline = 2.0 *. t.cfg.election_timeout in
+      let epoch_at = t.shard_epoch in
+      ignore
+        (Sim.Engine.schedule (Net.Fabric.engine t.fabric) ~delay:deadline
+           (fun () ->
+             if
+               is_current t && t.shard_epoch = epoch_at
+               && t.shard_waiting_on <> []
+             then finish_shard_recovery t))
+    end
+  end
+
+and self_shard_report t =
+  Hashtbl.fold
+    (fun g rg acc ->
+      match rg.rg_shards with
+      | Some sg -> (g, shard_positions sg) :: acc
+      | None -> acc)
+    t.rgroups []
+
+and finish_shard_recovery t =
+  t.shard_waiting_on <- [];
+  (* Keep live owners; move each dead owner's shards to live servers,
+     spreading by shard index. *)
+  let live = Array.of_list t.alive in
+  let n = Array.length live in
+  let owners =
+    Array.mapi
+      (fun s o -> if n = 0 || List.mem o t.alive then o else live.(s mod n))
+      t.shard_owners
+  in
+  t.shard_owners <- owners;
+  (* Freshest applied position per (group, shard) across reports. *)
+  let best : (T.group_id * int, int * Smsg.server_id) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (srv, entries) ->
+      List.iter
+        (fun (g, ps) ->
+          List.iter
+            (fun (s, next) ->
+              match Hashtbl.find_opt best (g, s) with
+              | Some (bn, _) when bn >= next -> ()
+              | _ -> Hashtbl.replace best (g, s) (next, srv))
+            ps)
+        entries)
+    t.shard_reports;
+  t.shard_reports <- [];
+  let positions =
+    Hashtbl.fold (fun (g, s) (next, srv) acc -> (g, s, next, srv) :: acc) best []
+  in
+  fan_all t (Smsg.Shard_assign { epoch = t.shard_epoch; owners; positions });
+  (* Re-run any barrier still in flight under the new owner table. *)
+  List.iter
+    (fun ib ->
+      ib.ib_pos <- [];
+      barrier_prepare_round t ib)
+    t.bar_inflight
+
+(* Re-send un-acknowledged sharded forwards to the (possibly new) owners,
+   with the current epoch; the owner-side dedup and the per-shard origin
+   filters make this safe whether or not the original was sequenced. *)
+and resend_pending_sharded t =
+  let bcasts =
+    Hashtbl.fold (fun seq msg acc -> (seq, msg) :: acc) t.pending_bcast []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (_, msg) ->
+      match msg with
+      | Smsg.Fwd_bcast_s r ->
+          send_srv t
+            (shard_owner t r.shard)
+            (Smsg.Fwd_bcast_s { r with epoch = t.shard_epoch })
+      | _ -> ())
+    bcasts
+
+(* --- sharded message handling --------------------------------------------- *)
+
+and shard_handle t ~from msg =
+  match msg with
+  | Smsg.Fwd_bcast_s { origin; epoch; shard; group; sender; kind; obj; data; mode }
+    ->
+      owner_sequence t msg ~origin ~epoch ~shard ~group ~sender ~kind ~obj ~data
+        ~mode
+  | Smsg.Sequenced_s { epoch; shard; origin; update; mode } ->
+      (* Accept newer epochs (our Shard_assign may still be in flight); drop
+         strictly stale ones — a deposed owner cannot extend a stream that
+         the new owner continues. *)
+      if epoch >= t.shard_epoch then begin
+        if epoch > t.shard_epoch then t.shard_epoch <- epoch;
+        match Hashtbl.find_opt t.rgroups update.group with
+        | None -> () (* not serving this group; gap repair covers holders *)
+        | Some rg -> offer_shard t rg ~shard update mode origin
+      end
+  | Smsg.Barrier_prepare { bar; epoch = _; group } ->
+      (* Freeze the group at this owner: report positions, park forwards
+         until our own commit comes back. A later prepare for the same group
+         simply moves the freeze point (the coordinator serializes barriers,
+         so the previous one has been committed). *)
+      Hashtbl.replace t.frozen group bar;
+      let positions = ref [] in
+      Array.iteri
+        (fun s owner ->
+          if owner = t.self then
+            positions :=
+              (s, Option.value (Hashtbl.find_opt t.seq_alloc (group, s)) ~default:0)
+              :: !positions)
+        t.shard_owners;
+      send_srv t from
+        (Smsg.Barrier_pos { from = t.self; bar; group; positions = !positions })
+  | Smsg.Barrier_pos { from = _; bar; group; positions } ->
+      if t.node_role = Coordinator then barrier_absorb_pos t ~bar ~group ~positions
+  | Smsg.Barrier_commit { bar; epoch = _; group; vector; op } -> (
+      (* Owner side: our freeze lifts when our own commit arrives. *)
+      (match Hashtbl.find_opt t.frozen group with
+      | Some fbar when fbar = bar ->
+          Hashtbl.remove t.frozen group;
+          let parked = Option.value (Hashtbl.find_opt t.freeze_q group) ~default:[] in
+          Hashtbl.remove t.freeze_q group;
+          List.iter (fun m -> shard_handle t ~from:t.self m) (List.rev parked)
+      | Some _ | None -> ());
+      (* Replica side: park until every stream reaches its slot. *)
+      match Hashtbl.find_opt t.rgroups group with
+      | None -> ()
+      | Some rg ->
+          let sg = sgroup_of t rg in
+          run_shard_actions t rg sg
+            (Ordering.Shard_holdback.offer_barrier sg.sg_hb ~bar ~vector
+               (bar, vector, op)))
+  | Smsg.Shard_query { from } ->
+      send_srv t from
+        (Smsg.Shard_report { from = t.self; entries = self_shard_report t })
+  | Smsg.Shard_report { from; entries } ->
+      if t.node_role = Coordinator && List.mem from t.shard_waiting_on then begin
+        t.shard_reports <- (from, entries) :: t.shard_reports;
+        t.shard_waiting_on <- List.filter (fun s -> s <> from) t.shard_waiting_on;
+        if t.shard_waiting_on = [] then finish_shard_recovery t
+      end
+  | Smsg.Shard_assign { epoch; owners; positions } ->
+      if epoch >= t.shard_epoch then begin
+        t.shard_epoch <- epoch;
+        t.shard_owners <- Array.copy owners;
+        List.iter
+          (fun (group, shard, next, _freshest) ->
+            if
+              Array.length owners > shard
+              && owners.(shard) = t.self
+            then begin
+              let akey = (group, shard) in
+              let cur = Option.value (Hashtbl.find_opt t.seq_alloc akey) ~default:0 in
+              if next > cur then Hashtbl.replace t.seq_alloc akey next
+            end)
+          positions;
+        (* Freezes from the previous regime cannot be lifted by their commit
+           any more (the coordinator restarts in-flight barriers): unfreeze
+           and replay, routing by the new owner table. *)
+        Hashtbl.reset t.frozen;
+        let parked = Hashtbl.fold (fun _ q acc -> List.rev_append q acc) t.freeze_q [] in
+        Hashtbl.reset t.freeze_q;
+        List.iter (fun m -> shard_handle t ~from:t.self m) (List.rev parked);
+        resend_pending_sharded t
+      end
+  | Smsg.Fetch_shard { from; group; shard; from_seqno } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | Some { rg_shards = Some sg; _ }
+        when from <> t.self && SL.next_seqno sg.sg_logs.(shard) > from_seqno ->
+          send_srv t from
+            (Smsg.Shard_updates
+               { group; shard; updates = SL.updates_from sg.sg_logs.(shard) from_seqno })
+      | _ ->
+          if t.node_role = Coordinator then begin
+            (* Relay to a holder other than the requester, like the classic
+               [Fetch_updates] path. *)
+            match Directory.find t.dir group with
+            | Some entry -> (
+                match
+                  List.find_opt
+                    (fun h -> h <> from && h <> t.self)
+                    (Directory.holders entry)
+                with
+                | Some holder ->
+                    send_srv t holder
+                      (Smsg.Fetch_shard { from; group; shard; from_seqno })
+                | None -> ())
+            | None -> ()
+          end)
+  | Smsg.Shard_updates { group; shard; updates } -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | None -> ()
+      | Some rg ->
+          List.iter
+            (fun (u : T.update) ->
+              offer_shard t rg ~shard u T.Sender_inclusive
+                { Smsg.og_server = ""; og_seq = 0 })
+            updates)
+  | _ -> ()
 
 (* --- coordinator: directory operations ----------------------------------- *)
 
@@ -545,25 +1195,45 @@ and coord_handle t ~from msg =
                     send_srv t holder (Smsg.Fetch_state { from = origin; group })
                 | Some _ | None -> ());
                 ensure_two_holders t entry;
-                let except = if t.cfg.relaxed_membership then Some origin else None in
-                coord_fan_group t entry ?except
-                  (Smsg.Membership_update
-                     { group; change = T.Member_joined member; members })))
+                if t.cfg.shards > 1 && not t.cfg.sharded_direct_views then
+                  (* Sharded: the view change rides a cross-shard barrier so
+                     every replica interleaves it at the same vector of
+                     per-shard positions; the join completes at barrier
+                     apply. *)
+                  barrier_submit t group
+                    (Smsg.Op_view
+                       { change = T.Member_joined member; members; origin })
+                else
+                  let except = if t.cfg.relaxed_membership then Some origin else None in
+                  coord_fan_group t entry ?except
+                    (Smsg.Membership_update
+                       { group; change = T.Member_joined member; members })))
     | Smsg.Fwd_leave { origin; group; member; crashed } -> (
         match Directory.leave t.dir ~group ~member with
         | `No_group | `Not_member -> ()
         | `Ok entry ->
-            (* Force-release the member's locks. *)
+            (* Force-release the member's locks. Sharded, each inherited
+               grant is itself a cross-shard op — grant order relative to
+               in-flight updates must be identical on every replica. *)
             List.iter
               (fun (lock, next) ->
                 match next with
-                | Some next_holder -> coord_push_lock_grant t entry ~lock ~member:next_holder
+                | Some next_holder ->
+                    if t.cfg.shards > 1 then
+                      barrier_submit t group
+                        (Smsg.Op_lock { lock; member = next_holder })
+                    else coord_push_lock_grant t entry ~lock ~member:next_holder
                 | None -> ())
               (Corona.Locks.release_all (Directory.locks entry) ~member);
             let members = Directory.members entry in
             let change = if crashed then T.Member_crashed member else T.Member_left member in
-            let except = if t.cfg.relaxed_membership then Some origin else None in
-            coord_fan_group t entry ?except (Smsg.Membership_update { group; change; members });
+            if t.cfg.shards > 1 && not t.cfg.sharded_direct_views then
+              barrier_submit t group (Smsg.Op_view { change; members; origin })
+            else begin
+              let except = if t.cfg.relaxed_membership then Some origin else None in
+              coord_fan_group t entry ?except
+                (Smsg.Membership_update { group; change; members })
+            end;
             if members = [] && not (Directory.persistent entry) then begin
               coord_fan_group t entry (Smsg.Delete_group { group });
               Directory.remove_group t.dir group
@@ -594,12 +1264,21 @@ and coord_handle t ~from msg =
               (Smsg.Lock_result { group; lock; member; result = `Error "no such group" })
         | Some entry ->
             if acquire then begin
-              let result =
-                match Corona.Locks.acquire (Directory.locks entry) ~lock ~member with
-                | `Granted -> `Granted
-                | `Busy holder -> `Busy holder
-              in
-              send_srv t origin (Smsg.Lock_result { group; lock; member; result })
+              match Corona.Locks.acquire (Directory.locks entry) ~lock ~member with
+              | `Granted ->
+                  (* Sharded, a grant is a cross-shard op: it must interleave
+                     at the same per-shard positions on every replica, or two
+                     replicas could disagree on which updates ran under the
+                     lock. Locks stay barriered even under the
+                     [sharded_direct_views] bug injection. *)
+                  if t.cfg.shards > 1 then
+                    barrier_submit t group (Smsg.Op_lock { lock; member })
+                  else
+                    send_srv t origin
+                      (Smsg.Lock_result { group; lock; member; result = `Granted })
+              | `Busy holder ->
+                  send_srv t origin
+                    (Smsg.Lock_result { group; lock; member; result = `Busy holder })
             end
             else begin
               match Corona.Locks.release (Directory.locks entry) ~lock ~member with
@@ -611,7 +1290,11 @@ and coord_handle t ~from msg =
                   send_srv t origin
                     (Smsg.Lock_result { group; lock; member; result = `Released });
                   (match next with
-                  | Some next_holder -> coord_push_lock_grant t entry ~lock ~member:next_holder
+                  | Some next_holder ->
+                      if t.cfg.shards > 1 then
+                        barrier_submit t group
+                          (Smsg.Op_lock { lock; member = next_holder })
+                      else coord_push_lock_grant t entry ~lock ~member:next_holder
                   | None -> ())
             end)
     | Smsg.Dir_reply { from; reports } ->
@@ -670,7 +1353,9 @@ and replica_handle t ~from msg =
           | Some reason -> if Net.Tcp.is_open conn then fail_client t conn group reason
           | None ->
               let rg = rgroup_of t group in
-              seed_rgroup t rg ~persistent ~at_seqno:0 ~objects:initial;
+              rg.rg_persistent <- persistent;
+              if t.cfg.shards > 1 then seed_sgroup t rg ~objects:initial ~positions:[]
+              else seed_rgroup t rg ~persistent ~at_seqno:0 ~objects:initial;
               if Net.Tcp.is_open conn then send_client t conn (M.Group_created { group })))
   | Smsg.Join_result { group; member; error; next_seqno; members; holder } -> (
       let key = (group, member) in
@@ -685,15 +1370,27 @@ and replica_handle t ~from msg =
               pj.pj_result <- Some (next_seqno, members);
               let rg = rgroup_of t group in
               rg.rg_global <- members;
-              (match (rg.rg_log, holder) with
-              | Some _, _ -> complete_join t rg key pj
-              | None, Some _ -> rg.rg_expecting_blob <- true
-              | None, None ->
-                  if not rg.rg_expecting_blob then
-                    (* We are the first holder (or the only copy was lost):
-                       start from an empty state at the group's position. *)
-                    seed_rgroup t rg ~persistent:false ~at_seqno:next_seqno
-                      ~objects:[])))
+              if t.cfg.shards > 1 then begin
+                (* The join completes when its view barrier fires
+                   ([complete_shard_join]); here we only make sure a copy is
+                   on its way. *)
+                match (rg.rg_shards, holder) with
+                | Some _, _ -> ()
+                | None, Some _ -> rg.rg_expecting_blob <- true
+                | None, None ->
+                    if not rg.rg_expecting_blob then
+                      seed_sgroup t rg ~objects:[] ~positions:[]
+              end
+              else
+                match (rg.rg_log, holder) with
+                | Some _, _ -> complete_join t rg key pj
+                | None, Some _ -> rg.rg_expecting_blob <- true
+                | None, None ->
+                    if not rg.rg_expecting_blob then
+                      (* We are the first holder (or the only copy was lost):
+                         start from an empty state at the group's position. *)
+                      seed_rgroup t rg ~persistent:false ~at_seqno:next_seqno
+                        ~objects:[]))
   | Smsg.Membership_update { group; change; members } -> (
       match Hashtbl.find_opt t.rgroups group with
       | None -> ()
@@ -703,6 +1400,17 @@ and replica_handle t ~from msg =
           | T.Member_left m | T.Member_crashed m ->
               ignore (Corona.Membership.remove rg.rg_local m)
           | T.Member_joined _ -> ());
+          (* sharded_direct_views injection: views bypass the barrier, but a
+             sharded join must still finish here, or the seeded bug would
+             manifest as lost liveness instead of a missing barrier stamp *)
+          (if t.cfg.shards > 1 then
+             match change with
+             | T.Member_joined member
+               when Hashtbl.mem t.pending_join (group, member) ->
+                 if rg.rg_expecting_blob then
+                   rg.rg_pending_sjoins <- member :: rg.rg_pending_sjoins
+                 else complete_shard_join t rg member
+             | _ -> ());
           notify_local_membership t rg change members)
   | Smsg.Sequenced { origin; update; mode } -> (
       match Hashtbl.find_opt t.rgroups update.group with
@@ -713,6 +1421,16 @@ and replica_handle t ~from msg =
       if origin.og_server = t.self then Hashtbl.remove t.pending_bcast origin.og_seq
   | Smsg.Fetch_state { from = requester; group } -> (
       match Hashtbl.find_opt t.rgroups group with
+      | Some ({ rg_shards = Some sg; _ } as _rg) ->
+          send_srv t requester
+            (Smsg.State_blob
+               {
+                 group;
+                 at_seqno = 0;
+                 objects = shard_snapshot_objects sg;
+                 error = None;
+                 shards = shard_positions sg;
+               })
       | Some { rg_log = Some log; _ } ->
           send_srv t requester
             (Smsg.State_blob
@@ -724,12 +1442,32 @@ and replica_handle t ~from msg =
                     fresh materialize per fetch. *)
                  objects = Corona.Transfer.snapshot_objects ~cache:t.transfer_cache log;
                  error = None;
+                 shards = [];
                })
       | Some { rg_log = None; _ } | None ->
           send_srv t requester
             (Smsg.State_blob
-               { group; at_seqno = 0; objects = []; error = Some "state not here" }))
-  | Smsg.State_blob { group; at_seqno; objects; error } -> (
+               {
+                 group;
+                 at_seqno = 0;
+                 objects = [];
+                 error = Some "state not here";
+                 shards = [];
+               }))
+  | Smsg.State_blob { group; at_seqno = _; objects; error; shards = blob_shards }
+    when t.cfg.shards > 1 -> (
+      match Hashtbl.find_opt t.rgroups group with
+      | Some rg when rg.rg_shards = None || rg.rg_expecting_blob -> (
+          match error with
+          | None -> seed_sgroup t rg ~objects ~positions:blob_shards
+          | Some _ ->
+              rg.rg_expecting_blob <- false;
+              (* Seed an empty sharded copy rather than stalling pending
+                 joins forever. *)
+              if rg.rg_shards = None then
+                seed_sgroup t rg ~objects:[] ~positions:[])
+      | Some _ | None -> ())
+  | Smsg.State_blob { group; at_seqno; objects; error; shards = _ } -> (
       match Hashtbl.find_opt t.rgroups group with
       | Some rg when rg.rg_log = None -> (
           match error with
@@ -785,7 +1523,8 @@ and replica_handle t ~from msg =
   | Smsg.Add_replica { group; holder = _ } ->
       (* The blob will follow (the coordinator ordered the fetch). *)
       let rg = rgroup_of t group in
-      if rg.rg_log = None then rg.rg_expecting_blob <- true
+      if rg.rg_log = None && (t.cfg.shards <= 1 || rg.rg_shards = None) then
+        rg.rg_expecting_blob <- true
   | Smsg.Delete_group { group } -> (
       match Hashtbl.find_opt t.rgroups group with
       | None -> ()
@@ -813,20 +1552,23 @@ and replica_handle t ~from msg =
       let reports =
         Hashtbl.fold
           (fun g rg acc ->
-            match rg.rg_log with
-            | None -> acc
-            | Some _ ->
-                {
-                  Smsg.dr_group = g;
-                  dr_persistent = rg.rg_persistent;
-                  dr_next_seqno = Ordering.Holdback.next_expected rg.rg_holdback;
-                  dr_members =
-                    List.map
-                      (fun (e : Corona.Membership.entry) ->
-                        ({ T.member = e.member; role = e.role }, e.notify))
-                      (Corona.Membership.entries rg.rg_local);
-                }
-                :: acc)
+            (* Sharded copies report too (next_seqno 0: per-shard positions
+               travel in the shard-recovery round, not here). *)
+            if rg.rg_log = None && rg.rg_shards = None then acc
+            else
+              {
+                Smsg.dr_group = g;
+                dr_persistent = rg.rg_persistent;
+                dr_next_seqno =
+                  (if rg.rg_log = None then 0
+                   else Ordering.Holdback.next_expected rg.rg_holdback);
+                dr_members =
+                  List.map
+                    (fun (e : Corona.Membership.entry) ->
+                      ({ T.member = e.member; role = e.role }, e.notify))
+                    (Corona.Membership.entries rg.rg_local);
+              }
+              :: acc)
           t.rgroups []
       in
       send_srv t from (Smsg.Dir_reply { from = t.self; reports })
@@ -856,7 +1598,10 @@ and replica_handle t ~from msg =
       end
   | Smsg.Coordinator_is { coord } -> on_new_coordinator t coord
   | Smsg.Dir_reply _ | Smsg.Fwd_create _ | Smsg.Fwd_delete _ | Smsg.Fwd_join _
-  | Smsg.Fwd_leave _ | Smsg.Fwd_bcast _ | Smsg.Fwd_lock _ ->
+  | Smsg.Fwd_leave _ | Smsg.Fwd_bcast _ | Smsg.Fwd_lock _ | Smsg.Fwd_bcast_s _
+  | Smsg.Sequenced_s _ | Smsg.Barrier_prepare _ | Smsg.Barrier_pos _
+  | Smsg.Barrier_commit _ | Smsg.Shard_query _ | Smsg.Shard_report _
+  | Smsg.Shard_assign _ | Smsg.Fetch_shard _ | Smsg.Shard_updates _ ->
       ignore from
 
 (* --- failure handling / election ----------------------------------------- *)
@@ -878,9 +1623,14 @@ and coord_server_died t srv =
           let ms = Directory.members entry in
           List.iter
             (fun m ->
-              coord_fan_group t entry
-                (Smsg.Membership_update
-                   { group; change = T.Member_crashed m; members = ms }))
+              if t.cfg.shards > 1 && not t.cfg.sharded_direct_views then
+                barrier_submit t group
+                  (Smsg.Op_view
+                     { change = T.Member_crashed m; members = ms; origin = srv })
+              else
+                coord_fan_group t entry
+                  (Smsg.Membership_update
+                     { group; change = T.Member_crashed m; members = ms }))
             members;
           if ms = [] && not (Directory.persistent entry) then begin
             coord_fan_group t entry (Smsg.Delete_group { group });
@@ -904,7 +1654,11 @@ and coord_server_died t srv =
               send_srv t holder (Smsg.Fetch_state { from = b; group })
           | None -> ())
       | Some _, None | None, _ -> ())
-    need_copy
+    need_copy;
+  (* The dead server's shard allocators died with it: reassign its shards
+     under a new epoch before any stream extends past the loss. *)
+  if t.cfg.shards > 1 && Array.exists (fun o -> o = srv) t.shard_owners then
+    shard_recovery t
 
 and start_election t =
   if (not t.electing) && t.node_role = Replica && not (List.mem t.coord t.alive)
@@ -986,23 +1740,27 @@ and become_coordinator t =
 and self_dir_report t =
   Hashtbl.iter
     (fun g rg ->
-      match rg.rg_log with
-      | None -> ()
-      | Some _ ->
-          let report =
-                {
-                  Smsg.dr_group = g;
-                  dr_persistent = rg.rg_persistent;
-                  dr_next_seqno = Ordering.Holdback.next_expected rg.rg_holdback;
-                  dr_members =
-                    List.map
-                      (fun (e : Corona.Membership.entry) ->
-                        ({ T.member = e.member; role = e.role }, e.notify))
-                      (Corona.Membership.entries rg.rg_local);
-                }
-          in
-          t.recovery_reports <- (t.self, report) :: t.recovery_reports;
-          Directory.rebuild t.dir [ (t.self, report) ])
+      (* Sharded copies count as holdings too: the group-wide seqno is
+         meaningless there (per-shard positions travel in the shard-recovery
+         round instead), so they report 0. *)
+      if rg.rg_log <> None || rg.rg_shards <> None then begin
+        let report =
+          {
+            Smsg.dr_group = g;
+            dr_persistent = rg.rg_persistent;
+            dr_next_seqno =
+              (if rg.rg_log = None then 0
+               else Ordering.Holdback.next_expected rg.rg_holdback);
+            dr_members =
+              List.map
+                (fun (e : Corona.Membership.entry) ->
+                  ({ T.member = e.member; role = e.role }, e.notify))
+                (Corona.Membership.entries rg.rg_local);
+          }
+        in
+        t.recovery_reports <- (t.self, report) :: t.recovery_reports;
+        Directory.rebuild t.dir [ (t.self, report) ]
+      end)
     t.rgroups
 
 and finish_directory_recovery t =
@@ -1036,7 +1794,10 @@ and finish_directory_recovery t =
     by_group;
   let buffered = List.rev t.coord_buffer in
   t.coord_buffer <- [];
-  List.iter (fun (from, msg) -> coord_handle t ~from msg) buffered
+  List.iter (fun (from, msg) -> coord_handle t ~from msg) buffered;
+  (* Sharded ownership recovers with the directory: takeover and heal both
+     land here, and sequencing must not resume under a dead owner table. *)
+  shard_recovery t
 
 and on_new_coordinator t coord =
   if coord <> t.coord || t.electing then begin
@@ -1060,10 +1821,21 @@ and resend_pending t =
     Hashtbl.fold (fun seq msg acc -> (seq, msg) :: acc) t.pending_bcast []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
-  List.iter (fun (_, msg) -> send_srv t t.coord msg) bcasts;
+  List.iter
+    (fun (_, msg) ->
+      match msg with
+      | Smsg.Fwd_bcast_s r ->
+          send_srv t
+            (shard_owner t r.shard)
+            (Smsg.Fwd_bcast_s { r with epoch = t.shard_epoch })
+      | _ -> send_srv t t.coord msg)
+    bcasts;
   Hashtbl.iter
     (fun (group, member) (pj : pending_join) ->
-      if pj.pj_result = None then
+      (* A sharded join is not done at [Join_result]: it completes when the
+         view barrier applies, and that barrier may have died with the old
+         coordinator — re-forward regardless of the recorded result. *)
+      if pj.pj_result = None || t.cfg.shards > 1 then
         send_srv t t.coord
           (Smsg.Fwd_join
              { origin = t.self; group; member; role = T.Principal; notify = true }))
@@ -1100,6 +1872,11 @@ and dispatch_smsg t ~from msg =
           t.dir_waiting_on <- List.filter (fun s -> s <> from) t.dir_waiting_on;
           if t.dir_waiting_on = [] && not t.dir_ready then finish_directory_recovery t
         end
+    | Smsg.Fwd_bcast_s _ | Smsg.Sequenced_s _ | Smsg.Barrier_prepare _
+    | Smsg.Barrier_pos _ | Smsg.Barrier_commit _ | Smsg.Shard_query _
+    | Smsg.Shard_report _ | Smsg.Shard_assign _ | Smsg.Fetch_shard _
+    | Smsg.Shard_updates _ ->
+        shard_handle t ~from msg
     | Smsg.Create_result _ | Smsg.Join_result _ | Smsg.Membership_update _
     | Smsg.Sequenced _ | Smsg.Bcast_reject _ | Smsg.Fetch_state _ | Smsg.State_blob _
     | Smsg.Add_replica _ | Smsg.Delete_group _ | Smsg.Lock_result _
@@ -1115,6 +1892,15 @@ let adopt_group_state t group ~at_seqno ~objects =
   rg.rg_log <- None;
   Hashtbl.reset rg.rg_last_og;
   seed_rgroup t rg ~persistent ~at_seqno ~objects
+
+let adopt_group_state_sharded t group ~objects ~positions =
+  let rg = rgroup_of t group in
+  (* Post-heal resync: barriers parked under the previous regime are dead
+     (the healed coordinator re-prepares in-flight ones). *)
+  (match rg.rg_shards with
+  | Some sg -> Ordering.Shard_holdback.clear_barriers sg.sg_hb
+  | None -> ());
+  seed_sgroup t rg ~objects ~positions
 
 let admin_heal t ~coordinator =
   t.alive <- t.server_list;
@@ -1187,21 +1973,39 @@ let handle_client_request t conn (req : M.request) =
   | M.Bcast { group; sender; kind; obj; data; mode } ->
       let og_seq = t.fwd_seq in
       t.fwd_seq <- og_seq + 1;
-      let msg =
-        Smsg.Fwd_bcast
-          {
-            origin = { Smsg.og_server = t.self; og_seq };
-            group;
-            sender;
-            kind;
-            obj;
-            data;
-            mode;
-          }
-      in
-      Hashtbl.replace t.pending_bcast og_seq msg;
+      let origin = { Smsg.og_server = t.self; og_seq } in
       t.st <- { t.st with fwd_bcasts = t.st.fwd_bcasts + 1 };
-      send_srv t t.coord msg
+      if t.cfg.shards > 1 then begin
+        (* Sharded: route by the deterministic (group, object) map straight
+           to the shard's sequencer — the coordinator is not on the data
+           path. *)
+        let shard =
+          Ordering.Shard_map.shard_of ~shards:t.cfg.shards ~group ~obj
+        in
+        let msg =
+          Smsg.Fwd_bcast_s
+            {
+              origin;
+              epoch = t.shard_epoch;
+              shard;
+              group;
+              sender;
+              kind;
+              obj;
+              data;
+              mode;
+            }
+        in
+        Hashtbl.replace t.pending_bcast og_seq msg;
+        send_srv t (shard_owner t shard) msg
+      end
+      else begin
+        let msg =
+          Smsg.Fwd_bcast { origin; group; sender; kind; obj; data; mode }
+        in
+        Hashtbl.replace t.pending_bcast og_seq msg;
+        send_srv t t.coord msg
+      end
   | M.Acquire_lock { group; lock; member } ->
       Hashtbl.replace t.pending_lock (group, lock, member) conn;
       send_srv t t.coord
@@ -1275,7 +2079,32 @@ let heartbeat_tick t =
             | Some _ -> ()
             | None -> Hashtbl.replace t.last_seen srv now_
           end)
-        t.alive
+        t.alive;
+    if t.cfg.shards > 1 then begin
+      (* A position report may have been lost with a crashed owner or a
+         dropped connection: re-run the prepare round for stuck barriers. *)
+      if t.node_role = Coordinator then
+        List.iter
+          (fun ib ->
+            if now_ -. ib.ib_started > t.cfg.election_timeout then begin
+              ib.ib_pos <- [];
+              barrier_prepare_round t ib
+            end)
+          t.bar_inflight;
+      (* A parked barrier stalls forever if the updates short of its vector
+         died with their sequencer: fetch the missing suffixes. *)
+      Hashtbl.iter
+        (fun group rg ->
+          match rg.rg_shards with
+          | None -> ()
+          | Some sg ->
+              List.iter
+                (fun (shard, from_seqno) ->
+                  send_srv t t.coord
+                    (Smsg.Fetch_shard { from = t.self; group; shard; from_seqno }))
+                (Ordering.Shard_holdback.stalled_shards sg.sg_hb))
+        t.rgroups
+    end
   end;
   is_current t
 
@@ -1359,6 +2188,21 @@ let create fabric node_host ?(config = default_config) ~storage ~server_list
       stopped = false;
       node_epoch = Net.Host.epoch node_host;
       transfer_cache = Corona.Transfer.create_cache ();
+      shard_epoch = 0;
+      shard_owners =
+        (if config.shards > 1 then
+           Ordering.Shard_map.initial_owners ~shards:config.shards server_list
+         else [||]);
+      seq_alloc = Hashtbl.create 16;
+      seq_dedup = Hashtbl.create 16;
+      frozen = Hashtbl.create 4;
+      freeze_q = Hashtbl.create 4;
+      bar_next = 0;
+      bar_queue = Hashtbl.create 4;
+      bar_inflight = [];
+      barrier_journal = [];
+      shard_waiting_on = [];
+      shard_reports = [];
       st =
         {
           fwd_bcasts = 0;

@@ -42,6 +42,20 @@ type config = {
       (** WAL group commit for the per-group logs (see {!Corona.Server}):
           appends arriving while the disk is busy coalesce into one physical
           write. [None] (default) issues one write per record. *)
+  shards : int;
+      (** Deployment-time sequencing shards. [1] (default) keeps the classic
+          single-sequencer path. [> 1] partitions each group's keyspace over
+          N independent per-(group, shard) seqno streams by the
+          deterministic {!Ordering.Shard_map}; shard [s] is sequenced by the
+          owner in the epoch's owner table, not by the coordinator. Ops that
+          span shards (views, lock grants) ride a two-phase cross-shard
+          barrier stamped with a vector of per-shard positions. *)
+  sharded_direct_views : bool;
+      (** Bug injection for corona-check (default off): sharded membership
+          views skip the cross-shard barrier and fan as classic direct
+          [Membership_update]s — replicas then interleave the view at
+          different per-shard points, which the cross-shard total-order
+          oracle must catch. Lock grants stay barriered even when on. *)
 }
 
 val default_config : config
@@ -109,6 +123,32 @@ val lock_journal : t -> (Proto.Types.group_id * Corona.Locks.event list) list
     ever coordinator carries the journals accumulated during its tenure;
     requires [config.record_lock_journal]). *)
 
+(** {2 Sharded sequencing} *)
+
+val sharded : t -> bool
+(** [config.shards > 1]. *)
+
+val shard_epoch : t -> int
+(** Current shard-ownership epoch this node has adopted. *)
+
+val shard_owners : t -> Smsg.server_id array
+(** Owner table of the adopted epoch: index [s] sequences shard [s] (a copy;
+    [[||]] unsharded). *)
+
+val group_shard_vector : t -> Proto.Types.group_id -> int array option
+(** Applied per-shard positions of the local sharded copy — the next
+    expected seqno of each stream. [None] if no sharded copy here. *)
+
+val group_shard_objects :
+  t -> Proto.Types.group_id -> (Proto.Types.object_id * string) list option
+(** Merged object view of the local sharded copy: every shard's objects,
+    sorted by id (shards cover disjoint slices). *)
+
+val barrier_journal : t -> string list
+(** Encoded {!Proto.Message.barrier_frame} records journaled while this node
+    coordinated cross-shard barriers, oldest first: a [Prepare] per barrier
+    start, a [Commit] (with the stamped vector) per fan. *)
+
 val adopt_group_state :
   t ->
   Proto.Types.group_id ->
@@ -118,6 +158,18 @@ val adopt_group_state :
 (** Partition reconciliation hook (§4.2): overwrite the local copy of a
     group with the resolved state. The application chooses the resolution;
     this applies it. *)
+
+val adopt_group_state_sharded :
+  t ->
+  Proto.Types.group_id ->
+  objects:(Proto.Types.object_id * string) list ->
+  positions:(int * int) list ->
+  unit
+(** Sharded counterpart of {!adopt_group_state}: overwrite the local sharded
+    copy with resolved objects (re-routed to shards by the deterministic
+    map) and per-shard stream positions. Barriers parked under the previous
+    regime are dropped (the healed coordinator re-prepares in-flight
+    ones). *)
 
 val admin_heal : t -> coordinator:Smsg.server_id -> unit
 (** After a partition heals: accept [coordinator] as the single coordinator

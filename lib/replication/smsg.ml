@@ -9,6 +9,21 @@ type dir_report = {
   dr_members : (Proto.Types.member * bool) list;
 }
 
+(* Cross-shard operation carried by a [Barrier_commit]: applied by every
+   replica exactly when its per-shard streams reach the stamped vector. *)
+type shard_op =
+  | Op_view of {
+      change : Proto.Types.membership_change;
+      members : Proto.Types.member list;
+      origin : server_id; (* replica serving the joining/leaving client *)
+    }
+  | Op_lock of { lock : Proto.Types.lock_id; member : Proto.Types.member_id }
+
+let shard_op_label = function
+  | Op_view { change; _ } ->
+      Format.asprintf "view %a" Proto.Types.pp_membership_change change
+  | Op_lock { lock; member } -> Printf.sprintf "lock %s -> %s" lock member
+
 type t =
   | Heartbeat of { from : server_id }
   | Heartbeat_ack of { from : server_id }
@@ -73,6 +88,9 @@ type t =
       at_seqno : int;
       objects : (Proto.Types.object_id * string) list;
       error : string option;
+      shards : (int * int) list;
+          (* per-shard (shard, next) positions of the snapshot; [] for the
+             classic single-stream groups, so their frames keep their size *)
     }
   | Add_replica of { group : Proto.Types.group_id; holder : server_id option }
   | Fetch_updates of {
@@ -103,6 +121,68 @@ type t =
   | Coordinator_is of { coord : server_id }
   | Dir_query of { from : server_id }
   | Dir_reply of { from : server_id; reports : dir_report list }
+  (* sharded sequencing: each shard owns a slice of the (group, object-id)
+     keyspace with its own seqno stream; the shard's owner sequences and fans
+     to every server, not through the coordinator *)
+  | Fwd_bcast_s of {
+      origin : origin_tag;
+      epoch : int;
+      shard : int;
+      group : Proto.Types.group_id;
+      sender : Proto.Types.member_id;
+      kind : Proto.Types.update_kind;
+      obj : Proto.Types.object_id;
+      data : string;
+      mode : Proto.Types.delivery_mode;
+    }
+  | Sequenced_s of {
+      epoch : int;
+      shard : int;
+      origin : origin_tag;
+      update : Proto.Types.update;
+      mode : Proto.Types.delivery_mode;
+    }
+  (* cross-shard barrier: coordinator freezes each shard owner, collects a
+     vector of per-shard positions, then fans the stamped op to everyone *)
+  | Barrier_prepare of { bar : int; epoch : int; group : Proto.Types.group_id }
+  | Barrier_pos of {
+      from : server_id;
+      bar : int;
+      group : Proto.Types.group_id;
+      positions : (int * int) list; (* (shard, next) for shards [from] owns *)
+    }
+  | Barrier_commit of {
+      bar : int;
+      epoch : int;
+      group : Proto.Types.group_id;
+      vector : int array;
+      op : shard_op;
+    }
+  (* shard ownership recovery: coordinator queries positions after a
+     sequencer death (or its own takeover) and fans the new owner table *)
+  | Shard_query of { from : server_id }
+  | Shard_report of {
+      from : server_id;
+      entries : (Proto.Types.group_id * (int * int) list) list;
+    }
+  | Shard_assign of {
+      epoch : int;
+      owners : server_id array; (* owners.(s) sequences shard s *)
+      positions : (Proto.Types.group_id * int * int * server_id) list;
+          (* (group, shard, next, freshest holder) — seeds new allocators *)
+    }
+  (* per-shard gap repair, answered from the owner's retained shard log *)
+  | Fetch_shard of {
+      from : server_id;
+      group : Proto.Types.group_id;
+      shard : int;
+      from_seqno : int;
+    }
+  | Shard_updates of {
+      group : Proto.Types.group_id;
+      shard : int;
+      updates : Proto.Types.update list;
+    }
 
 type Net.Payload.t += Srv of t
 
@@ -124,6 +204,21 @@ let tag_size tag = str tag.og_server + 8
 let report_size r =
   str r.dr_group + 1 + 8
   + List.fold_left (fun acc (m, _) -> acc + str m.Proto.Types.member + 2) 4 r.dr_members
+
+(* (shard, next) pair lists: 4-byte count + two 4-byte ints per entry. *)
+let pos_pairs_size ps = List.fold_left (fun acc _ -> acc + 8) 4 ps
+
+let shard_op_size = function
+  | Op_view { change; members; origin } ->
+      1
+      + str
+          (match change with
+          | Proto.Types.Member_joined m
+          | Proto.Types.Member_left m
+          | Proto.Types.Member_crashed m ->
+              m)
+      + members_size members + str origin
+  | Op_lock { lock; member } -> str lock + str member
 
 let wire_size t =
   header
@@ -148,9 +243,10 @@ let wire_size t =
   | Sequenced { origin; update; _ } -> tag_size origin + update_size update + 1
   | Bcast_reject { origin; reason } -> tag_size origin + str reason
   | Fetch_state { from; group } -> str from + str group
-  | State_blob { group; objects; error; _ } ->
+  | State_blob { group; objects; error; shards; _ } ->
       str group + 8 + pairs_size objects
       + (match error with Some e -> str e | None -> 1)
+      + (match shards with [] -> 0 | l -> pos_pairs_size l)
   | Add_replica { group; holder } ->
       str group + (match holder with Some h -> str h | None -> 1)
   | Fetch_updates { from; group; _ } -> str from + str group + 8
@@ -170,6 +266,31 @@ let wire_size t =
   | Dir_query { from } -> str from
   | Dir_reply { from; reports } ->
       str from + List.fold_left (fun acc r -> acc + report_size r) 4 reports
+  | Fwd_bcast_s { origin; group; sender; obj; data; _ } ->
+      tag_size origin + 8 + 4 + str group + str sender + 1 + str obj + str data + 1
+  | Sequenced_s { origin; update; _ } ->
+      8 + 4 + tag_size origin + update_size update + 1
+  | Barrier_prepare { group; _ } -> 8 + 8 + str group
+  | Barrier_pos { from; group; positions; _ } ->
+      str from + 8 + str group + pos_pairs_size positions
+  | Barrier_commit { group; vector; op; _ } ->
+      8 + 8 + str group + 4 + (8 * Array.length vector) + shard_op_size op
+  | Shard_query { from } -> str from
+  | Shard_report { from; entries } ->
+      str from
+      + List.fold_left
+          (fun acc (g, ps) -> acc + str g + pos_pairs_size ps)
+          4 entries
+  | Shard_assign { owners; positions; _ } ->
+      8
+      + Array.fold_left (fun acc o -> acc + str o) 4 owners
+      + List.fold_left
+          (fun acc (g, _, _, h) -> acc + str g + 4 + 8 + str h)
+          4 positions
+  | Fetch_shard { from; group; _ } -> str from + str group + 4 + 8
+  | Shard_updates { group; updates; _ } ->
+      str group + 4
+      + List.fold_left (fun acc u -> acc + update_size u) 4 updates
 
 let send conn t = Net.Tcp.send conn ~size:(wire_size t) (Srv t)
 
@@ -235,3 +356,28 @@ let pp ppf = function
   | Dir_query { from } -> Format.fprintf ppf "dir_query %s" from
   | Dir_reply { from; reports } ->
       Format.fprintf ppf "dir_reply %s (%d groups)" from (List.length reports)
+  | Fwd_bcast_s { origin; shard; group; sender; _ } ->
+      Format.fprintf ppf "fwd_bcast_s %s[%d] by %s (%s#%d)" group shard sender
+        origin.og_server origin.og_seq
+  | Sequenced_s { shard; update; _ } ->
+      Format.fprintf ppf "sequenced_s [%d] %a" shard Proto.Types.pp_update update
+  | Barrier_prepare { bar; group; _ } ->
+      Format.fprintf ppf "barrier_prepare b%d %s" bar group
+  | Barrier_pos { from; bar; group; positions } ->
+      Format.fprintf ppf "barrier_pos b%d %s from=%s (%d shards)" bar group from
+        (List.length positions)
+  | Barrier_commit { bar; group; op; _ } ->
+      Format.fprintf ppf "barrier_commit b%d %s %s" bar group (shard_op_label op)
+  | Shard_query { from } -> Format.fprintf ppf "shard_query %s" from
+  | Shard_report { from; entries } ->
+      Format.fprintf ppf "shard_report %s (%d groups)" from (List.length entries)
+  | Shard_assign { epoch; owners; positions } ->
+      Format.fprintf ppf "shard_assign e%d [%s] (%d positions)" epoch
+        (String.concat ";" (Array.to_list owners))
+        (List.length positions)
+  | Fetch_shard { from; group; shard; from_seqno } ->
+      Format.fprintf ppf "fetch_shard %s[%d] from_seqno=%d for %s" group shard
+        from_seqno from
+  | Shard_updates { group; shard; updates } ->
+      Format.fprintf ppf "shard_updates %s[%d] (%d updates)" group shard
+        (List.length updates)

@@ -26,6 +26,22 @@ type dir_report = {
       (** local members of that replica, with their notify flag *)
 }
 
+(** Cross-shard operation carried by a {!t.Barrier_commit}: every replica
+    applies it exactly when its per-shard streams reach the stamped vector,
+    so all replicas interleave it identically with all N streams. *)
+type shard_op =
+  | Op_view of {
+      change : Proto.Types.membership_change;
+      members : Proto.Types.member list;
+      origin : server_id;
+          (** replica serving the joining/leaving client, which completes the
+              client's pending call when the barrier fires *)
+    }
+  | Op_lock of { lock : Proto.Types.lock_id; member : Proto.Types.member_id }
+
+val shard_op_label : shard_op -> string
+(** Short human label for traces and journals. *)
+
 type t =
   (* liveness *)
   | Heartbeat of { from : server_id }
@@ -97,6 +113,9 @@ type t =
       at_seqno : int;
       objects : (Proto.Types.object_id * string) list;
       error : string option;
+      shards : (int * int) list;
+          (** per-shard (shard, next) positions of the snapshot; [[]] for
+              classic single-stream groups *)
     }
   | Add_replica of {
       group : Proto.Types.group_id;
@@ -131,6 +150,66 @@ type t =
   | Coordinator_is of { coord : server_id }
   | Dir_query of { from : server_id }
   | Dir_reply of { from : server_id; reports : dir_report list }
+  (* sharded sequencing (§ DESIGN.md "Sharded sequencing") *)
+  | Fwd_bcast_s of {
+      origin : origin_tag;
+      epoch : int;
+      shard : int;
+      group : Proto.Types.group_id;
+      sender : Proto.Types.member_id;
+      kind : Proto.Types.update_kind;
+      obj : Proto.Types.object_id;
+      data : string;
+      mode : Proto.Types.delivery_mode;
+    }  (** origin replica -> owner of [shard]: sequence this broadcast *)
+  | Sequenced_s of {
+      epoch : int;
+      shard : int;
+      origin : origin_tag;
+      update : Proto.Types.update;
+      mode : Proto.Types.delivery_mode;
+    }  (** shard owner -> every server, in the shard's stream order *)
+  | Barrier_prepare of { bar : int; epoch : int; group : Proto.Types.group_id }
+      (** coordinator -> each shard owner: freeze the group's streams and
+          report your positions *)
+  | Barrier_pos of {
+      from : server_id;
+      bar : int;
+      group : Proto.Types.group_id;
+      positions : (int * int) list;
+          (** (shard, next) for the shards [from] owns *)
+    }
+  | Barrier_commit of {
+      bar : int;
+      epoch : int;
+      group : Proto.Types.group_id;
+      vector : int array;
+      op : shard_op;
+    }  (** coordinator -> every server: the stamped cross-shard op *)
+  | Shard_query of { from : server_id }
+      (** coordinator -> every server during shard-ownership recovery *)
+  | Shard_report of {
+      from : server_id;
+      entries : (Proto.Types.group_id * (int * int) list) list;
+          (** per group, the (shard, next) positions this server has applied *)
+    }
+  | Shard_assign of {
+      epoch : int;
+      owners : server_id array;  (** [owners.(s)] sequences shard [s] *)
+      positions : (Proto.Types.group_id * int * int * server_id) list;
+          (** (group, shard, next, freshest holder) seeding new allocators *)
+    }
+  | Fetch_shard of {
+      from : server_id;
+      group : Proto.Types.group_id;
+      shard : int;
+      from_seqno : int;
+    }  (** per-shard gap repair, answered from the owner's retained log *)
+  | Shard_updates of {
+      group : Proto.Types.group_id;
+      shard : int;
+      updates : Proto.Types.update list;
+    }
 
 type Net.Payload.t += Srv of t
   (** Transport payload for the server mesh. *)

@@ -99,7 +99,8 @@ let test_seed_37_failover_regression () =
   let sched = S.generate (Sim.Rng.create 37L) in
   (match sched.S.kind with
   | S.Replicated _ -> ()
-  | S.Single _ -> Alcotest.fail "seed 37 must generate a replicated deployment");
+  | S.Single _ | S.Sharded _ ->
+      Alcotest.fail "seed 37 must generate a replicated deployment");
   Alcotest.(check bool)
     "partitions a server" true
     (List.exists (function S.Partition_servers _ -> true | _ -> false) sched.S.events);
@@ -161,7 +162,7 @@ let seeded_bug_schedule =
       ];
   }
 
-let bug = { Check.Runner.skip_reconcile = false; skip_rejoin = true }
+let bug = { Check.Runner.skip_reconcile = false; skip_rejoin = true; skip_barrier = false }
 
 let test_seeded_bug_detected () =
   let r = Check.Runner.execute ~bug ~seed:5L seeded_bug_schedule in
@@ -197,6 +198,108 @@ let test_reproducer_prints () =
     (fun needle -> Alcotest.(check bool) needle true (contains ~needle s))
     [ "Check.Schedule.Single"; "Client_churn"; "~seed:5L"; "Check.Runner.execute" ]
 
+(* --- injection registry --------------------------------------------------- *)
+
+(* corona_check's [--inject] help line and parser are both generated from
+   [Check.Inject.specs]; this test is the drift guard: the registry must be
+   self-consistent and the rendered help must mention every injection. *)
+let test_inject_registry () =
+  Alcotest.(check (list string))
+    "registry names" [ "skip-reconcile"; "skip-rejoin"; "skip-barrier" ]
+    Check.Inject.names;
+  Alcotest.(check string) "rendered help line"
+    "BUG  deliberately break the runner: skip-reconcile | skip-rejoin | skip-barrier"
+    (Check.Inject.spec_doc ());
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "help mentions %s" needle)
+        true
+        (contains ~needle (Check.Inject.spec_doc ())))
+    Check.Inject.names;
+  let open Check.Inject in
+  Alcotest.(check bool) "skip-reconcile sets exactly its flag" true
+    (of_string "skip-reconcile" = Some { none with skip_reconcile = true });
+  Alcotest.(check bool) "skip-rejoin sets exactly its flag" true
+    (of_string "skip-rejoin" = Some { none with skip_rejoin = true });
+  Alcotest.(check bool) "skip-barrier sets exactly its flag" true
+    (of_string "skip-barrier" = Some { none with skip_barrier = true });
+  Alcotest.(check bool) "unknown name rejected" true (of_string "skip-nothing" = None);
+  Alcotest.(check bool) "runner's no_bug is the registry's none" true
+    (Check.Runner.no_bug = none)
+
+(* --- sharded deployments --------------------------------------------------- *)
+
+(* Pinned sharded schedule: bursts cycle o0/o1/o2 which route to shards
+   1/2/3 of 4 (pinned in test_ordering), so sequencing genuinely spans
+   shards; two lock cycles overlap so a grant is inherited through a
+   cross-shard barrier; and the queued waiter (client 2) crashes while its
+   inherited grant would be mid-barrier. *)
+let sharded_lock_schedule =
+  {
+    S.kind = S.Sharded { replicas = 2; shards = 4 };
+    clients = 3;
+    groups = 1;
+    horizon_ms = 12_000;
+    events =
+      [
+        S.Burst { client = 0; group = 0; at_ms = 2_500; count = 6; size = 32 };
+        S.Lock_cycle { client = 0; group = 0; lock = 0; at_ms = 4_000; hold_ms = 1_500 };
+        S.Lock_cycle { client = 1; group = 0; lock = 1; at_ms = 4_100; hold_ms = 300 };
+        (* queued behind client 0 until 5.5 s ... *)
+        S.Lock_cycle { client = 2; group = 0; lock = 0; at_ms = 4_300; hold_ms = 300 };
+        (* ... but crashes at 4.8 s: the handoff must skip the dead waiter *)
+        S.Client_churn { client = 2; at_ms = 4_800; down_ms = 1_000; crash = true };
+        S.Burst { client = 1; group = 0; at_ms = 7_000; count = 4; size = 16 };
+        S.Lock_cycle { client = 1; group = 0; lock = 0; at_ms = 8_000; hold_ms = 400 };
+      ];
+  }
+
+let test_sharded_locks_span_shards () =
+  let r = Check.Runner.execute ~seed:21L sharded_lock_schedule in
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map O.violation_line r.Check.Runner.r_violations);
+  Alcotest.(check bool) "traffic delivered" true (r.Check.Runner.r_deliveries > 0)
+
+(* The seeded sharded bug: membership views fan directly instead of riding
+   the barrier. The cross-shard oracle must catch the missing stamps on the
+   same schedule that passes clean. *)
+let test_skip_barrier_bug_detected () =
+  let bug = { Check.Runner.no_bug with Check.Runner.skip_barrier = true } in
+  let r = Check.Runner.execute ~bug ~seed:21L sharded_lock_schedule in
+  Alcotest.(check bool) "cross-shard oracle fired" true
+    (List.exists
+       (fun v -> contains ~needle:"barrier stamps" (O.violation_line v))
+       r.Check.Runner.r_violations)
+
+let test_sharded_trunk_passes_smoke () =
+  for seed = 1 to 12 do
+    let seed = Int64.of_int seed in
+    let sched =
+      let rng = Sim.Rng.create seed in
+      S.generate ~smoke:true ~sharded:true rng
+    in
+    let r = Check.Runner.execute ~seed sched in
+    List.iter
+      (fun v -> Alcotest.failf "sharded seed %Ld: %s" seed (O.violation_line v))
+      r.Check.Runner.r_violations
+  done
+
+let test_sharded_runner_deterministic () =
+  List.iter
+    (fun seed ->
+      let sched =
+        let rng = Sim.Rng.create seed in
+        S.generate ~smoke:true ~sharded:true rng
+      in
+      let r1 = Check.Runner.execute ~seed sched in
+      let r2 = Check.Runner.execute ~seed sched in
+      Alcotest.(check (list string))
+        (Printf.sprintf "trace of sharded seed %Ld" seed)
+        r1.Check.Runner.r_trace r2.Check.Runner.r_trace)
+    [ 2L; 19L ]
+
 (* --- oracle replay models ------------------------------------------------- *)
 
 let empty_input =
@@ -208,6 +311,8 @@ let empty_input =
     i_members = [];
     i_expected_members = [];
     i_eras = [];
+    i_barriers = [];
+    i_shards = 1;
   }
 
 let test_lock_oracle_model () =
@@ -314,6 +419,7 @@ let test_fidelity_oracle () =
       c_next = 5;
       c_base = Some (base, 3);
       c_updates = [ u 3 "x"; u 4 "y" ];
+      c_vector = [];
     }
   in
   let input g c = { empty_input with O.i_copies = [ (g, [ c ]) ] } in
@@ -341,6 +447,16 @@ let () =
         [
           tc "injected bug trips an oracle" `Quick test_seeded_bug_detected;
           tc "shrinker keeps the failure" `Quick test_shrinker_keeps_failure;
+        ] );
+      ("inject", [ tc "registry and help stay in sync" `Quick test_inject_registry ]);
+      ( "sharded",
+        [
+          tc "locks span shards, waiter crash mid-barrier" `Quick
+            test_sharded_locks_span_shards;
+          tc "skip-barrier caught by cross-shard oracle" `Quick
+            test_skip_barrier_bug_detected;
+          tc "sharded trunk passes smoke seeds" `Quick test_sharded_trunk_passes_smoke;
+          tc "sharded determinism regression" `Quick test_sharded_runner_deterministic;
         ] );
       ( "oracles",
         [

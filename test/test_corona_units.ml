@@ -477,6 +477,194 @@ let test_log_byte_accounting () =
     (Some (fold_bytes (Corona.State_log.latest_updates log 5)))
     (Corona.State_log.latest_updates_bytes log 5)
 
+(* --- sharded WAL streams -------------------------------------------------- *)
+
+(* Each shard of a group logs to its own WAL stream ([g#0], [g#1], ... — the
+   replication layer's shard_log_name convention) on the shared disk. Group
+   commit batches per stream; a crash that eats one stream's in-flight batch
+   must leave every other stream's durable prefix untouched. *)
+
+let make_shard_wals () =
+  let engine = Sim.Engine.create ~seed:5L () in
+  let fabric = Net.Fabric.create engine in
+  let host = Net.Fabric.add_host fabric ~name:"h" () in
+  (* Slow disk (10 kB/s, 1 ms seek) so batch writes are wide enough to crash
+     into deterministically. *)
+  let disk = Storage.Disk.create host ~transfer_rate:1e4 ~seek_time:0.001 () in
+  let batching = { Storage.Wal.max_batch_bytes = 64 * 1024; max_delay = 0.0 } in
+  let wal s = Storage.Wal.create ~batching disk ~name:(Printf.sprintf "g#%d" s) in
+  (engine, host, wal 0, wal 1)
+
+let test_shard_wal_crash_confined_to_one_stream () =
+  let engine, host, wal0, wal1 = make_shard_wals () in
+  let trace = ref [] in
+  let record shard i = trace := (shard, i) :: !trace in
+  (* Shard 0's records are durable by ~25 ms ... *)
+  Storage.Wal.append_sync wal0 ~size:100 "s0r0" ~on_durable:(record 0);
+  Storage.Wal.append_sync wal0 ~size:100 "s0r1" ~on_durable:(record 0);
+  (* ... shard 1 writes at 100 ms: its first record is durable at ~112.6 ms
+     and the follow-up batch is still in flight when the crash lands. *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:0.1 (fun () ->
+         Storage.Wal.append_sync wal1 ~size:100 "s1r0" ~on_durable:(record 1);
+         Storage.Wal.append_sync wal1 ~size:100 "s1r1" ~on_durable:(fun _ ->
+             Alcotest.fail "shard 1's second batch must die with the crash")));
+  ignore (Sim.Engine.schedule engine ~delay:0.115 (fun () -> Net.Host.crash host));
+  Sim.Engine.run engine;
+  Net.Host.restart host;
+  Storage.Wal.crash_recover wal0;
+  Storage.Wal.crash_recover wal1;
+  (* Durability advanced as a prefix of each stream, never interleaving one
+     shard's loss into another's order. *)
+  Alcotest.(check (list (pair int int)))
+    "per-stream prefix order" [ (0, 0); (0, 1); (1, 0) ]
+    (List.rev !trace);
+  Alcotest.(check int) "shard 0 intact" 2 (Storage.Wal.durable_upto wal0);
+  Alcotest.(check int) "shard 0 keeps both records" 2 (Storage.Wal.length wal0);
+  Alcotest.(check int) "shard 1 rolls back to its durable prefix" 1
+    (Storage.Wal.durable_upto wal1);
+  Alcotest.(check (option string)) "shard 1 prefix survives" (Some "s1r0")
+    (Storage.Wal.get wal1 0);
+  (* Sequencing resumes per stream exactly where durability left off. *)
+  let redone = ref None in
+  Storage.Wal.append_sync wal1 ~size:100 "s1r1'" ~on_durable:(fun i ->
+      redone := Some i);
+  Sim.Engine.run engine;
+  Alcotest.(check (option int)) "shard 1 re-appends at index 1" (Some 1) !redone;
+  Alcotest.(check int) "shard 0 still untouched" 2 (Storage.Wal.durable_upto wal0)
+
+let test_shard_wal_batches_amortize_per_stream () =
+  let engine, _, wal0, wal1 = make_shard_wals () in
+  for i = 0 to 3 do
+    Storage.Wal.append_sync wal0 ~size:100 (Printf.sprintf "a%d" i)
+      ~on_durable:(fun _ -> ());
+    Storage.Wal.append_sync wal1 ~size:100 (Printf.sprintf "b%d" i)
+      ~on_durable:(fun _ -> ())
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "shard 0 all durable" 4 (Storage.Wal.durable_upto wal0);
+  Alcotest.(check int) "shard 1 all durable" 4 (Storage.Wal.durable_upto wal1);
+  let c0 = Storage.Wal.commit_stats wal0 in
+  let c1 = Storage.Wal.commit_stats wal1 in
+  (* Shard 0 hits the idle disk first: one immediate write, the burst
+     coalesces behind it. Shard 1 finds the disk busy and commits its whole
+     burst in a single physical write. Either way each stream pays its own
+     seeks — batches never mix records of different shards. *)
+  Alcotest.(check int) "shard 0: immediate write + one batch" 2
+    c0.Storage.Wal.physical_writes;
+  Alcotest.(check int) "shard 0: batch of three" 3 c0.Storage.Wal.max_batch_records;
+  Alcotest.(check int) "shard 1: single batched write" 1
+    c1.Storage.Wal.physical_writes;
+  Alcotest.(check int) "shard 1: batch of four" 4 c1.Storage.Wal.max_batch_records;
+  Alcotest.(check (pair int int)) "every record committed on its own stream"
+    (4, 4)
+    (c0.Storage.Wal.records_committed, c1.Storage.Wal.records_committed)
+
+(* --- locks under sharding ------------------------------------------------- *)
+
+(* Under sharded sequencing a grant inherited from the wait queue travels as
+   a barrier op and reaches members stamped with the full per-shard position
+   vector. The journal-replay lock-safety oracle is unchanged by the stamps;
+   the cross-shard oracle vets the stamps themselves. Both are driven
+   directly here on hand-built evidence. *)
+
+let oracle_input ?(shards = 2) ?(journals = []) ?(barriers = []) () =
+  {
+    Check.Oracles.i_copies = [];
+    i_journals = journals;
+    i_clients = [];
+    i_client_states = [];
+    i_members = [];
+    i_expected_members = [];
+    i_eras = [];
+    i_barriers = barriers;
+    i_shards = shards;
+  }
+
+let violation_lines vs = List.map Check.Oracles.violation_line vs
+
+let barrier_frame phase bar vector op =
+  { Proto.Message.bf_bar = bar; bf_group = "g"; bf_phase = phase; bf_vector = vector; bf_op = op }
+
+let test_sharded_lock_spanning_two_shards () =
+  (* One member holds two locks whose grants advance different shards; its
+     leave hands both to the queued waiter via two barrier commits, each
+     stamped with the full two-shard vector. *)
+  let l = Corona.Locks.create ~record_journal:true () in
+  ignore (Corona.Locks.acquire l ~lock:"lx" ~member:"alice");
+  ignore (Corona.Locks.acquire l ~lock:"ly" ~member:"alice");
+  ignore (Corona.Locks.acquire l ~lock:"lx" ~member:"bob");
+  ignore (Corona.Locks.acquire l ~lock:"ly" ~member:"bob");
+  Alcotest.(check (list (pair string (option string))))
+    "both locks inherited by bob"
+    [ ("lx", Some "bob"); ("ly", Some "bob") ]
+    (Corona.Locks.release_all l ~member:"alice");
+  let journals = [ ("n0", "g", Corona.Locks.journal l) ] in
+  let frames =
+    [
+      barrier_frame Proto.Message.Prepare 1_000_000 [] "lock lx -> bob";
+      barrier_frame Proto.Message.Commit 1_000_000 [ 3; 1 ] "lock lx -> bob";
+      barrier_frame Proto.Message.Prepare 1_000_001 [] "lock ly -> bob";
+      barrier_frame Proto.Message.Commit 1_000_001 [ 3; 2 ] "lock ly -> bob";
+    ]
+  in
+  Alcotest.(check (list string)) "journal replay accepts the handoff" []
+    (violation_lines (Check.Oracles.locks (oracle_input ~journals ())));
+  Alcotest.(check (list string)) "stamped commits accepted" []
+    (violation_lines
+       (Check.Oracles.cross_shard (oracle_input ~barriers:[ ("n0", frames) ] ())));
+  (* A grant stamped on a single shard is exactly the bug partition ordering
+     must not have: a cross-shard op serialized against only one stream. *)
+  let short =
+    [
+      barrier_frame Proto.Message.Prepare 1_000_002 [] "lock lx -> bob";
+      barrier_frame Proto.Message.Commit 1_000_002 [ 4 ] "lock lx -> bob";
+    ]
+  in
+  Alcotest.(check (list string)) "short vector flagged"
+    [ "[cross-shard] n0: commit b1000002 stamps 1 positions for 2 shards" ]
+    (violation_lines
+       (Check.Oracles.cross_shard (oracle_input ~barriers:[ ("n0", short) ] ())));
+  let orphan = [ barrier_frame Proto.Message.Commit 1_000_003 [ 5; 5 ] "lock ly -> bob" ] in
+  Alcotest.(check (list string)) "commit without prepare flagged"
+    [ "[cross-shard] n0: journaled commit b1000003 without a prepare" ]
+    (violation_lines
+       (Check.Oracles.cross_shard (oracle_input ~barriers:[ ("n0", orphan) ] ())))
+
+let test_sharded_lock_waiter_crash_mid_barrier () =
+  (* bob's inherited grant is inside an in-flight barrier when bob crashes;
+     the force-release hands the lock on to carol. Replay must accept that
+     chain — and reject the stale grant a buggy replica could still apply
+     from the dead waiter's barrier afterwards. *)
+  let l = Corona.Locks.create ~record_journal:true () in
+  ignore (Corona.Locks.acquire l ~lock:"lk" ~member:"alice");
+  ignore (Corona.Locks.acquire l ~lock:"lk" ~member:"bob");
+  ignore (Corona.Locks.acquire l ~lock:"lk" ~member:"carol");
+  (match Corona.Locks.release l ~lock:"lk" ~member:"alice" with
+  | `Released (Some "bob") -> ()
+  | _ -> Alcotest.fail "expected handoff to bob");
+  Alcotest.(check (list (pair string (option string))))
+    "carol inherits from the crashed waiter"
+    [ ("lk", Some "carol") ]
+    (Corona.Locks.release_all l ~member:"bob");
+  let journal = Corona.Locks.journal l in
+  Alcotest.(check (list string)) "crash handoff replay is clean" []
+    (violation_lines
+       (Check.Oracles.locks (oracle_input ~journals:[ ("n0", "g", journal) ] ())));
+  let stale = journal @ [ Corona.Locks.Granted ("lk", "bob") ] in
+  let vs =
+    violation_lines
+      (Check.Oracles.locks (oracle_input ~journals:[ ("n0", "g", stale) ] ()))
+  in
+  let mentions_bob v =
+    let sub = "granted to bob" in
+    let n = String.length sub in
+    let rec go i = i + n <= String.length v && (String.sub v i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "stale grant to the dead waiter flagged" true
+    (vs <> [] && List.exists mentions_bob vs)
+
 let () =
   let tc = Alcotest.test_case in
   let q = QCheck_alcotest.to_alcotest in
@@ -520,5 +708,17 @@ let () =
             test_transfer_cache_reduction_fold;
           tc "O(1) byte accounting = reference fold" `Quick
             test_log_byte_accounting;
+        ] );
+      ( "sharded-wal",
+        [
+          tc "crash confined to one stream" `Quick
+            test_shard_wal_crash_confined_to_one_stream;
+          tc "group commit amortizes per stream" `Quick
+            test_shard_wal_batches_amortize_per_stream;
+        ] );
+      ( "sharded-locks",
+        [
+          tc "grants spanning two shards" `Quick test_sharded_lock_spanning_two_shards;
+          tc "waiter crash mid-barrier" `Quick test_sharded_lock_waiter_crash_mid_barrier;
         ] );
     ]

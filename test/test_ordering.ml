@@ -217,6 +217,178 @@ let prop_holdback_releases_in_sequence =
         arrival;
       List.rev !out = List.init n Fun.id && Ordering.Holdback.pending hb = 0)
 
+(* --- shard map ------------------------------------------------------------ *)
+
+module SM = Ordering.Shard_map
+
+let test_shard_map_pinned () =
+  (* Replicas on different hosts must compute identical shard assignments,
+     so the concrete FNV-1a values are pinned: any change to the hash (or an
+     accidental reintroduction of the polymorphic [Hashtbl.hash]) re-routes
+     live keyspaces and fails here. *)
+  List.iter
+    (fun (group, obj, shards, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard_of %s/%s %%%d" group obj shards)
+        expect
+        (SM.shard_of ~shards ~group ~obj))
+    [
+      ("g0", "o0", 4, 1);
+      ("g0", "o1", 4, 2);
+      ("g0", "o2", 4, 3);
+      ("g0", "hot", 4, 1);
+      ("g1", "o0", 8, 0);
+      ("g1", "o1", 8, 3);
+    ]
+
+let test_shard_map_separator () =
+  (* ("ab","c") and ("a","bc") concatenate identically: the embedded
+     separator must keep them distinct as hash inputs *)
+  Alcotest.(check bool) "component boundary hashed" true
+    (SM.hash ~group:"ab" ~obj:"c" <> SM.hash ~group:"a" ~obj:"bc")
+
+let test_shard_map_range_and_degenerate () =
+  for i = 0 to 99 do
+    let obj = Printf.sprintf "o%d" i in
+    let s = SM.shard_of ~shards:8 ~group:"g" ~obj in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 8);
+    Alcotest.(check int) "unsharded always 0" 0 (SM.shard_of ~shards:1 ~group:"g" ~obj)
+  done;
+  (* every shard of a small pool gets some traffic under a spread keyspace *)
+  let hit = Array.make 4 false in
+  for i = 0 to 199 do
+    hit.(SM.shard_of ~shards:4 ~group:"g" ~obj:(Printf.sprintf "obj-%d" i)) <- true
+  done;
+  Alcotest.(check bool) "all shards reachable" true (Array.for_all Fun.id hit)
+
+let test_shard_map_initial_owners () =
+  Alcotest.(check (array string))
+    "round-robin with wrap"
+    [| "s0"; "s1"; "s2"; "s0"; "s1" |]
+    (SM.initial_owners ~shards:5 [ "s0"; "s1"; "s2" ])
+
+(* --- shard holdback ------------------------------------------------------- *)
+
+module SH = Ordering.Shard_holdback
+
+let deliveries actions =
+  List.filter_map (function SH.Deliver (s, x) -> Some (s, x) | SH.Barrier _ -> None) actions
+
+let barriers actions =
+  List.filter_map (function SH.Barrier b -> Some b | SH.Deliver _ -> None) actions
+
+let test_shard_streams_independent () =
+  let hb = SH.create ~shards:2 () in
+  Alcotest.(check (list (pair int string))) "shard 0 delivers" [ (0, "a") ]
+    (deliveries (SH.offer hb ~shard:0 ~seqno:0 "a"));
+  (* a gap on shard 0 must not hold shard 1 back *)
+  Alcotest.(check (list (pair int string))) "shard 0 gapped" []
+    (deliveries (SH.offer hb ~shard:0 ~seqno:2 "c"));
+  Alcotest.(check (list (pair int string))) "shard 1 unaffected" [ (1, "x") ]
+    (deliveries (SH.offer hb ~shard:1 ~seqno:0 "x"));
+  Alcotest.(check (option (pair int int))) "shard 0 gap reported" (Some (1, 1))
+    (SH.gap hb ~shard:0);
+  Alcotest.(check (list (pair int string))) "filling the gap releases the run"
+    [ (0, "b"); (0, "c") ]
+    (deliveries (SH.offer hb ~shard:0 ~seqno:1 "b"))
+
+let test_barrier_gates_all_streams () =
+  let hb = SH.create ~shards:2 () in
+  (* barrier at [1;1]: each stream owes one update before it may fire, and
+     no stream may run past its slot while it is parked *)
+  Alcotest.(check int) "barrier parked" 0
+    (List.length (SH.offer_barrier hb ~bar:7 ~vector:[| 1; 1 |] "view"));
+  (* post-barrier traffic on shard 0 is capped even though it is in order *)
+  Alcotest.(check (list string)) "slot 1 capped" []
+    (List.filter_map (fun _ -> None) (SH.offer hb ~shard:0 ~seqno:1 "post"));
+  let acts = SH.offer hb ~shard:0 ~seqno:0 "a0" in
+  Alcotest.(check (list (pair int string))) "shard 0 reaches its slot" [ (0, "a0") ]
+    (deliveries acts);
+  Alcotest.(check int) "still one short" 1 (SH.pending_barriers hb);
+  Alcotest.(check (list (pair int int))) "stalled shard reported" [ (1, 0) ]
+    (SH.stalled_shards hb);
+  let acts = SH.offer hb ~shard:1 ~seqno:0 "b0" in
+  Alcotest.(check (list string)) "barrier fires" [ "view" ] (barriers acts);
+  (* the lifted cap releases the parked post-barrier update in the same batch *)
+  Alcotest.(check (list (pair int string)))
+    "delivery order: b0, then barrier-released post"
+    [ (1, "b0"); (0, "post") ]
+    (deliveries acts);
+  Alcotest.(check int) "no barrier left" 0 (SH.pending_barriers hb)
+
+let test_barrier_late_commit_fires_immediately () =
+  let hb = SH.create ~shards:2 () in
+  ignore (SH.offer hb ~shard:0 ~seqno:0 "a");
+  ignore (SH.offer hb ~shard:1 ~seqno:0 "b");
+  ignore (SH.offer hb ~shard:1 ~seqno:1 "c");
+  (* the commit raced the post-barrier traffic: positions already satisfy it *)
+  Alcotest.(check (list string)) "fires on arrival" [ "late" ]
+    (barriers (SH.offer_barrier hb ~bar:3 ~vector:[| 1; 1 |] "late"))
+
+let test_barrier_duplicates_filtered () =
+  let hb = SH.create ~shards:1 () in
+  ignore (SH.offer hb ~shard:0 ~seqno:0 "a");
+  Alcotest.(check (list string)) "fires" [ "b" ]
+    (barriers (SH.offer_barrier hb ~bar:1 ~vector:[| 1 |] "b"));
+  Alcotest.(check (list string)) "re-fanned commit dropped" []
+    (barriers (SH.offer_barrier hb ~bar:1 ~vector:[| 1 |] "b"));
+  ignore (SH.offer_barrier hb ~bar:5 ~vector:[| 9 |] "parked");
+  Alcotest.(check int) "parked once" 1 (SH.pending_barriers hb);
+  ignore (SH.offer_barrier hb ~bar:5 ~vector:[| 9 |] "parked");
+  Alcotest.(check int) "parked duplicate dropped" 1 (SH.pending_barriers hb)
+
+let test_barriers_fire_in_bar_order () =
+  let hb = SH.create ~shards:1 () in
+  ignore (SH.offer_barrier hb ~bar:11 ~vector:[| 2 |] "second");
+  ignore (SH.offer_barrier hb ~bar:10 ~vector:[| 1 |] "first");
+  let acts =
+    SH.offer hb ~shard:0 ~seqno:0 "u0" @ SH.offer hb ~shard:0 ~seqno:1 "u1"
+  in
+  Alcotest.(check (list string)) "bar order respected" [ "first"; "second" ]
+    (barriers acts)
+
+let test_reset_keeps_parked_barriers () =
+  let hb = SH.create ~shards:2 () in
+  ignore (SH.offer hb ~shard:0 ~seqno:3 "buffered");
+  ignore (SH.offer_barrier hb ~bar:2 ~vector:[| 2; 2 |] "join");
+  (* adopt transferred positions: buffers drop, the barrier survives *)
+  SH.reset hb ~vector:[| 2; 2 |];
+  Alcotest.(check int) "barrier survives reset" 1 (SH.pending_barriers hb);
+  Alcotest.(check (list string)) "poll fires it at the adopted positions"
+    [ "join" ]
+    (barriers (SH.poll hb));
+  Alcotest.(check (list (pair int string))) "dropped buffer stays dropped" []
+    (deliveries (SH.poll hb));
+  (* clear_barriers drops parked ones outright (post-heal re-prepare path) *)
+  ignore (SH.offer_barrier hb ~bar:9 ~vector:[| 5; 5 |] "stale");
+  SH.clear_barriers hb;
+  Alcotest.(check int) "cleared" 0 (SH.pending_barriers hb)
+
+let prop_sharded_permutation_delivers_all =
+  QCheck.Test.make
+    ~name:"any arrival permutation delivers every stream 0..n-1 in order"
+    ~count:150
+    QCheck.(tup3 (int_range 1 4) (int_range 1 12) (int_range 0 10_000))
+    (fun (shards, n, seed) ->
+      let items =
+        List.concat_map
+          (fun s -> List.init n (fun i -> (s, i)))
+          (List.init shards Fun.id)
+      in
+      let arrival = Array.of_list items in
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      Sim.Rng.shuffle rng arrival;
+      let hb = SH.create ~shards () in
+      let out = Array.make shards [] in
+      Array.iter
+        (fun (s, i) ->
+          List.iter
+            (fun (s', x) -> out.(s') <- x :: out.(s'))
+            (deliveries (SH.offer hb ~shard:s ~seqno:i i)))
+        arrival;
+      Array.for_all (fun l -> List.rev l = List.init n Fun.id) out
+      && Array.for_all (fun s -> s = n) (SH.positions hb))
+
 let () =
   let tc = Alcotest.test_case in
   let q = QCheck_alcotest.to_alcotest in
@@ -253,5 +425,22 @@ let () =
           tc "gap after drain" `Quick test_holdback_gap_after_drain;
           tc "gap after reset" `Quick test_holdback_gap_after_reset;
           q prop_holdback_releases_in_sequence;
+        ] );
+      ( "shard-map",
+        [
+          tc "pinned assignments (cross-host determinism)" `Quick test_shard_map_pinned;
+          tc "component separator" `Quick test_shard_map_separator;
+          tc "range and degenerate pool" `Quick test_shard_map_range_and_degenerate;
+          tc "initial owner table" `Quick test_shard_map_initial_owners;
+        ] );
+      ( "shard-holdback",
+        [
+          tc "streams independent" `Quick test_shard_streams_independent;
+          tc "barrier gates all streams" `Quick test_barrier_gates_all_streams;
+          tc "late commit fires immediately" `Quick test_barrier_late_commit_fires_immediately;
+          tc "duplicate barriers filtered" `Quick test_barrier_duplicates_filtered;
+          tc "barriers fire in bar order" `Quick test_barriers_fire_in_bar_order;
+          tc "reset keeps parked barriers" `Quick test_reset_keeps_parked_barriers;
+          q prop_sharded_permutation_delivers_all;
         ] );
     ]

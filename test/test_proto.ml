@@ -115,6 +115,11 @@ let all_response_samples =
     M.Log_reduced { group = "g"; upto = 77 };
     M.Request_failed { group = "g"; reason = "nope" };
     M.Pong { nonce = 1 };
+    M.Shard_deliver { shard = 3; update = sample_update };
+    M.Shard_view { group = "g"; bar = 1_000_001; vector = [ 4; 0; 7 ]; op = "view joined b" };
+    M.Shard_view { group = "g"; bar = 0; vector = []; op = "" };
+    M.Shard_joined { group = "g"; vector = [ 2; 5 ] };
+    M.Shard_joined { group = "g"; vector = [] };
   ]
 
 let test_all_constructors_roundtrip () =
@@ -270,6 +275,22 @@ let golden_frames : (string * M.t * string) list =
       M.Response (M.Resend_request { group = "g"; from_seqno = 123 }),
       "010e0000000167000000000000007b" );
     ("pong", M.Response (M.Pong { nonce = 1 }), "010c0000000000000001");
+    (* sharded sequencing frames: a shard-stamped delivery (the seqno counts
+       within the shard's own stream), a barrier-stamped cross-shard view and
+       the per-shard join baseline *)
+    ( "shard_deliver",
+      M.Response (M.Shard_deliver { shard = 3; update = sample_update }),
+      "010f000000030000000000000009000000016700000000016f000000077061796c6f616400\
+       000005616c6963654031400000000000" );
+    ( "shard_view",
+      M.Response
+        (M.Shard_view
+           { group = "g"; bar = 1_000_001; vector = [ 4; 0; 7 ]; op = "view joined b" }),
+      "0110000000016700000000000f4241000000030000000000000004000000000000000000\
+       000000000000070000000d76696577206a6f696e65642062" );
+    ( "shard_joined",
+      M.Response (M.Shard_joined { group = "g"; vector = [ 2; 5 ] }),
+      "011100000001670000000200000000000000020000000000000005" );
   ]
 
 let test_golden_bytes () =
@@ -281,6 +302,32 @@ let test_golden_bytes () =
       Alcotest.(check bool) (name ^ " decodes back") true
         (M.decode (R.of_string (W.contents w)) = msg))
     golden_frames
+
+(* Barrier journal frames are not client messages but are persisted and
+   decoded back by the corona-check oracles, so their byte format is pinned
+   the same way: a Prepare (vector not yet known) and a Commit with the full
+   stamped vector. *)
+let golden_barrier_frames : (string * M.barrier_frame * string) list =
+  [
+    ( "barrier_prepare",
+      { M.bf_bar = 1_000_000; bf_group = "g"; bf_phase = M.Prepare;
+        bf_vector = []; bf_op = "view joined a" },
+      "00000000000f424000000001670000000000" ^ "0000000d76696577206a6f696e65642061" );
+    ( "barrier_commit",
+      { M.bf_bar = 1_000_000; bf_group = "g"; bf_phase = M.Commit;
+        bf_vector = [ 3; 1; 4; 1 ]; bf_op = "lock l -> m" },
+      "00000000000f4240000000016701000000040000000000000003000000000000000100000\
+       000000000040000000000000001" ^ "0000000b6c6f636b206c202d3e206d" );
+  ]
+
+let test_barrier_frame_golden () =
+  List.iter
+    (fun (name, frame, expect) ->
+      let enc = M.encode_barrier_frame frame in
+      Alcotest.(check string) name expect (hex_of_string enc);
+      Alcotest.(check bool) (name ^ " decodes back") true
+        (M.decode_barrier_frame enc = frame))
+    golden_barrier_frames
 
 (* --- integer boundary roundtrips ------------------------------------------ *)
 
@@ -443,6 +490,17 @@ let gen_response =
         (tup4 gen_string
            (list_size (int_range 0 4) (pair gen_string gen_string))
            (int_range 0 100) bool);
+      map
+        (fun (shard, u) -> M.Shard_deliver { shard; update = u })
+        (pair (int_range 0 64) gen_update);
+      map
+        (fun (group, bar, vector, op) -> M.Shard_view { group; bar; vector; op })
+        (tup4 gen_string (int_range 0 10_000_000)
+           (list_size (int_range 0 8) (int_range 0 100_000))
+           gen_string);
+      map
+        (fun (group, vector) -> M.Shard_joined { group; vector })
+        (pair gen_string (list_size (int_range 0 8) (int_range 0 100_000)));
     ]
 
 let gen_message =
@@ -535,6 +593,7 @@ let () =
         [
           tc "all constructors roundtrip" `Quick test_all_constructors_roundtrip;
           tc "golden bytes (wire format pinned)" `Quick test_golden_bytes;
+          tc "barrier frame golden bytes" `Quick test_barrier_frame_golden;
           tc "pre-encode consistency" `Quick test_pre_encode_consistency;
           tc "join-accepted splice is byte-identical" `Quick test_join_accepted_splice;
           tc "wire size scales with payload" `Quick test_wire_size_scales_with_payload;
