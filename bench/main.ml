@@ -9,84 +9,32 @@
 
 module T = Proto.Types
 
-(* --- machine-readable results (BENCH_micro.json) ------------------------ *)
+(* --- machine-readable results (BENCH_*.json) ---------------------------- *)
 
 (* Rows accumulate as experiments run; if any were produced, the harness
-   writes them to BENCH_micro.json on exit so successive PRs can track the
-   perf trajectory. *)
-let json_rows : (string * string) list ref = ref []
+   writes them out on exit so successive PRs can track the perf trajectory.
+   One Sweep instance per output file — micro numbers, scale curves and the
+   transfer sweep refresh independently and can never leak rows into each
+   other (Workload.Sweep documents the stale-row bug that motivated the
+   instantiation). *)
+let micro_sweep = Workload.Sweep.create ()
 
-let json_num v =
-  if Float.is_finite v then Printf.sprintf "%.1f" v else "null"
+let scale_sweep = Workload.Sweep.create ()
 
-let json_add section fields =
-  let obj =
-    "{"
-    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
-    ^ "}"
-  in
-  json_rows := !json_rows @ [ (section, obj) ]
+let transfer_sweep = Workload.Sweep.create ()
 
-(* The scaling sweep writes to its own file so micro numbers and scale
-   curves can be refreshed independently. *)
-let scale_rows : (string * string) list ref = ref []
+let json_num = Workload.Sweep.num
 
-let scale_add section fields =
-  let obj =
-    "{"
-    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
-    ^ "}"
-  in
-  scale_rows := !scale_rows @ [ (section, obj) ]
+let json_add section fields = Workload.Sweep.add micro_sweep ~section fields
 
-let write_json_file path rows =
-  match rows with
-  | [] -> ()
-  | rows ->
-      let sections =
-        List.fold_left
-          (fun acc (s, _) -> if List.mem s acc then acc else acc @ [ s ])
-          [] rows
-      in
-      let oc = open_out path in
-      (* Close on the exception edge too (R9): a failed write must not leak
-         the descriptor. *)
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc "{\n";
-          List.iteri
-            (fun i s ->
-              if i > 0 then output_string oc ",\n";
-              Printf.fprintf oc "  %S: [\n" s;
-              let objs =
-                List.filter_map (fun (s', o) -> if s' = s then Some o else None) rows
-              in
-              List.iteri
-                (fun j o ->
-                  if j > 0 then output_string oc ",\n";
-                  Printf.fprintf oc "    %s" o)
-                objs;
-              output_string oc "\n  ]")
-            sections;
-          output_string oc "\n}\n");
-      Format.printf "@.wrote %s@." path
+let scale_add section fields = Workload.Sweep.add scale_sweep ~section fields
 
-(* The state-transfer / durability sweep likewise owns its file. *)
-let transfer_rows : (string * string) list ref = ref []
-
-let transfer_add section fields =
-  let obj =
-    "{"
-    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
-    ^ "}"
-  in
-  transfer_rows := !transfer_rows @ [ (section, obj) ]
+let transfer_add section fields = Workload.Sweep.add transfer_sweep ~section fields
 
 let write_json_results () =
-  write_json_file "BENCH_micro.json" !json_rows;
-  write_json_file "BENCH_scale.json" !scale_rows;
-  write_json_file "BENCH_transfer.json" !transfer_rows
+  Workload.Sweep.write micro_sweep "BENCH_micro.json";
+  Workload.Sweep.write scale_sweep "BENCH_scale.json";
+  Workload.Sweep.write transfer_sweep "BENCH_transfer.json"
 
 let quick = ref false
 
@@ -244,6 +192,7 @@ let fanout_world ~members ~bcasts ~multicast =
   (* Drop garbage from setup (and, when run after the micro group, from
      Bechamel) so the timed window measures the fan-out, not a major GC. *)
   Gc.compact ();
+  let minor0 = Gc.minor_words () in
   let wall0 = Unix.gettimeofday () in
   for i = 0 to bcasts - 1 do
     ignore
@@ -255,6 +204,10 @@ let fanout_world ~members ~bcasts ~multicast =
   done;
   run_until tb.s_engine (fun () -> false);
   let wall = Unix.gettimeofday () -. wall0 in
+  (* Allocation pressure of the fan-out path: minor-heap words per logical
+     broadcast (the whole world — server, clients, simulator — shares the
+     runtime, so this is the end-to-end figure). *)
+  let minor_words_per_bcast = (Gc.minor_words () -. minor0) /. float_of_int bcasts in
   let encodes = Proto.Message.encode_count () - encodes_before in
   (* Subtract the [bcasts] client-side request encodes; what remains is the
      server's fan-out cost per logical broadcast. *)
@@ -263,7 +216,8 @@ let fanout_world ~members ~bcasts ~multicast =
   ( wall /. float_of_int bcasts *. 1e9,
     fanout_encodes_per_bcast,
     st.Corona.Server.deliveries_sent,
-    st.Corona.Server.responses_sent )
+    st.Corona.Server.responses_sent,
+    minor_words_per_bcast )
 
 (* The codec work alone, out of the simulator: what the seed server did per
    300-member broadcast (a [wire_size] encode for stats plus a fresh encode
@@ -332,9 +286,9 @@ let run_fanout () =
         let trials =
           List.init 5 (fun _ -> fanout_world ~members ~bcasts ~multicast)
         in
-        let ns, enc, deliveries, responses =
+        let ns, enc, deliveries, responses, minor_words =
           List.fold_left
-            (fun (bns, _, _, _ as best) (ns, _, _, _ as trial) ->
+            (fun (bns, _, _, _, _ as best) (ns, _, _, _, _ as trial) ->
               if ns < bns then trial else best)
             (List.hd trials) (List.tl trials)
         in
@@ -344,6 +298,7 @@ let run_fanout () =
             ("members", string_of_int members);
             ("bcasts", string_of_int bcasts);
             ("ns_per_bcast", json_num ns);
+            ("minor_words_per_bcast", json_num minor_words);
             ("fanout_encodes_per_bcast", Printf.sprintf "%.2f" enc);
             ("deliveries_sent", string_of_int deliveries);
             ("responses_sent", string_of_int responses);
@@ -351,6 +306,7 @@ let run_fanout () =
         [
           label;
           Printf.sprintf "%.0f" ns;
+          Printf.sprintf "%.0f" minor_words;
           Printf.sprintf "%.2f" enc;
           string_of_int deliveries;
           string_of_int responses;
@@ -358,7 +314,9 @@ let run_fanout () =
       [ ("p2p", false); ("multicast", true) ]
   in
   Workload.Report.table
-    ~header:[ "delivery"; "ns/bcast"; "fan-out encodes/bcast"; "deliveries"; "responses" ]
+    ~header:
+      [ "delivery"; "ns/bcast"; "minor w/bcast"; "fan-out encodes/bcast"; "deliveries";
+        "responses" ]
     rows;
   Workload.Report.note
     "fan-out encodes/bcast must be 1.00: one pre-encoded Deliver shared by all recipients."
@@ -417,6 +375,7 @@ let scale_point ~label ~members ~bcasts ~engine ~fabric ~hosts ~server_for =
   (* Drop join-wave garbage so the timed window measures the broadcast
      phase, not a major GC inherited from setup. *)
   Gc.compact ();
+  let minor0 = Gc.minor_words () in
   let wall0 = Unix.gettimeofday () in
   for i = 0 to bcasts - 1 do
     ignore
@@ -432,6 +391,7 @@ let scale_point ~label ~members ~bcasts ~engine ~fabric ~hosts ~server_for =
   let settle = Sim.Engine.now engine +. 0.5 in
   Workload.Testbed.run_until engine (fun () -> Sim.Engine.now engine > settle);
   let wall = Unix.gettimeofday () -. wall0 in
+  let minor_words_per_bcast = (Gc.minor_words () -. minor0) /. float_of_int bcasts in
   let events = Sim.Engine.events_fired engine - events0 in
   let batches = Net.Fabric.batches_sent fabric - batches0 in
   if batches = 0 then
@@ -445,6 +405,7 @@ let scale_point ~label ~members ~bcasts ~engine ~fabric ~hosts ~server_for =
         ("members", string_of_int members);
         ("bcasts", string_of_int bcasts);
         ("ns_per_bcast", json_num ns_per_bcast);
+        ("minor_words_per_bcast", json_num minor_words_per_bcast);
         ("events_per_sec", json_num events_per_sec);
         ("sim_events", string_of_int events);
         ("batches", string_of_int batches);
@@ -453,6 +414,7 @@ let scale_point ~label ~members ~bcasts ~engine ~fabric ~hosts ~server_for =
     label;
     string_of_int members;
     Printf.sprintf "%.0f" ns_per_bcast;
+    Printf.sprintf "%.0f" minor_words_per_bcast;
     Printf.sprintf "%.2fM" (events_per_sec /. 1e6);
     string_of_int events;
     string_of_int batches;
@@ -514,7 +476,8 @@ let run_scale () =
   in
   Workload.Report.table
     ~header:
-      [ "deployment"; "members"; "ns/bcast"; "events/s"; "sim events"; "batches" ]
+      [ "deployment"; "members"; "ns/bcast"; "minor w/bcast"; "events/s"; "sim events";
+        "batches" ]
     rows;
   Workload.Report.note
     "batches > 0 proves the batched fan-out transmit is on the hot path."
@@ -656,6 +619,164 @@ let run_sharded () =
     rows;
   Workload.Report.note
     "speedup is virtual-time us/bcast relative to shards=1 at the same size."
+
+(* --- hierarchical relay fan-out sweep ----------------------------------- *)
+
+(* The relay tier's claim, measured end to end: with [relays] edge relays
+   each fronting a contiguous slice of a huge group, a broadcast costs the
+   root one pre-encoded [Relay_fanout] frame per relay instead of one
+   [Deliver] per member. [relays = 0] runs the flat baseline — the same
+   size connected straight to the root — so the root-transmit reduction is
+   measured in-run, not assumed. Returns (ns/bcast, root transmits/bcast,
+   minor words/bcast). *)
+let relay_world ~members ~relays ~bcasts =
+  (* lean joins: at 10^5 members an O(members) membership list per
+     Join_accepted would make setup quadratic; the relay tier targets
+     exactly the deployments that opt out of it *)
+  let config = { Corona.Server.default_config with lean_joins = true } in
+  let tb =
+    Workload.Testbed.single_server ~net:Net.Fabric.lan ~config ~client_machines:12 ()
+  in
+  let open Workload.Testbed in
+  let engine = tb.s_engine in
+  let ready = ref 0 in
+  let relay_hosts =
+    Array.init relays (fun i ->
+        let name = Printf.sprintf "relay-%d" i in
+        let host = Net.Fabric.add_host tb.s_fabric ~name () in
+        ignore
+          (Corona.Relay.create tb.s_fabric host ~relay:name ~root:tb.s_server_host
+             ~on_ready:(fun _ -> incr ready)
+             ~on_failed:(fun () -> failwith (name ^ ": root unreachable"))
+             ());
+        host)
+  in
+  run_until engine (fun () -> !ready = relays);
+  let server_for =
+    if relays = 0 then fun _ -> tb.s_server_host
+    else fun i -> relay_hosts.(Corona.Membership.slice_owner ~relays ~members i)
+  in
+  let group = "huge" in
+  let probe = ref None in
+  spawn_clients_staggered engine tb.s_fabric ~hosts:tb.s_client_hosts ~server_for
+    ~n:members (fun clients ->
+      Corona.Client.create_group clients.(0) ~group ~persistent:false
+        ~k:(fun _ ->
+          Workload.Testbed.join_all clients ~group ~transfer:T.No_state (fun () ->
+              probe := Some clients.(members - 1)))
+        ());
+  run_until engine (fun () -> !probe <> None);
+  let probe =
+    match !probe with Some c -> c | None -> failwith "relay: setup stalled"
+  in
+  let received = ref 0 in
+  Corona.Client.set_on_event probe (fun _ ev ->
+      match ev with Corona.Client.Delivered _ -> incr received | _ -> ());
+  let st0 = Corona.Server.stats tb.s_server in
+  Gc.compact ();
+  let minor0 = Gc.minor_words () in
+  let wall0 = Unix.gettimeofday () in
+  for i = 0 to bcasts - 1 do
+    ignore
+      (Sim.Engine.schedule engine
+         ~delay:(0.05 *. float_of_int i)
+         (fun () ->
+           Corona.Client.bcast_update probe ~group ~obj:"o"
+             ~data:(String.make 1000 'x') ~mode:T.Sender_inclusive ()))
+  done;
+  run_until engine (fun () -> !received >= bcasts);
+  (* Drain the fan-out tail so the transmit counters cover every recipient,
+     not just the probe. *)
+  let settle = Sim.Engine.now engine +. 0.5 in
+  run_until engine (fun () -> Sim.Engine.now engine > settle);
+  let wall = Unix.gettimeofday () -. wall0 in
+  let minor_words_per_bcast = (Gc.minor_words () -. minor0) /. float_of_int bcasts in
+  let st = Corona.Server.stats tb.s_server in
+  let frames =
+    st.Corona.Server.relay_frames_sent - st0.Corona.Server.relay_frames_sent
+  in
+  let direct = st.Corona.Server.deliveries_sent - st0.Corona.Server.deliveries_sent in
+  let root_tx_per_bcast = float_of_int (frames + direct) /. float_of_int bcasts in
+  (* The frame bound, asserted on every run: one shared Relay_fanout frame
+     per relay per broadcast, never more. *)
+  if relays > 0 && root_tx_per_bcast > float_of_int relays +. 0.001 then
+    failwith
+      (Printf.sprintf "relay %d/%d: %.2f root transmits/bcast > relay count" members
+         relays root_tx_per_bcast);
+  (wall /. float_of_int bcasts *. 1e9, root_tx_per_bcast, minor_words_per_bcast)
+
+let run_relay () =
+  Workload.Report.section
+    "Hierarchical relay fan-out — root transmits O(relays), not O(members)";
+  let relays = 32 in
+  let sizes =
+    match Sys.getenv_opt "RELAY_SIZES" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None ->
+        if !smoke then [ 100_000 ]
+        else if !quick then [ 10_000 ]
+        else [ 10_000; 100_000 ]
+  in
+  let rows =
+    List.map
+      (fun members ->
+        let bcasts = if members >= 100_000 then 3 else if !quick then 5 else 10 in
+        Workload.Report.note "measuring %d members behind %d relays..." members relays;
+        let r_ns, r_tx, r_minor = relay_world ~members ~relays ~bcasts in
+        (* Flat baseline at the 10k point (at 100k+ a per-member flat
+           fan-out is exactly the cost the tier exists to avoid paying):
+           the acceptance bar is a >= 5x root-transmit reduction. *)
+        let flat =
+          if members <= 10_000 then begin
+            Workload.Report.note "measuring %d members flat (no relays)..." members;
+            let f_ns, f_tx, _ = relay_world ~members ~relays:0 ~bcasts in
+            let ratio = f_tx /. r_tx in
+            if ratio < 5.0 then
+              failwith
+                (Printf.sprintf
+                   "relay %d: root-transmit reduction %.1fx < 5x (flat %.1f vs relay %.1f tx/bcast)"
+                   members ratio f_tx r_tx);
+            Some (f_ns, f_tx, ratio)
+          end
+          else None
+        in
+        if not !smoke then
+          scale_add "relay"
+            ([
+               ("members", string_of_int members);
+               ("relays", string_of_int relays);
+               ("bcasts", string_of_int bcasts);
+               ("root_tx_per_bcast", Printf.sprintf "%.2f" r_tx);
+               ("ns_per_bcast", json_num r_ns);
+               ("minor_words_per_bcast", json_num r_minor);
+             ]
+            @
+            match flat with
+            | None -> []
+            | Some (f_ns, f_tx, ratio) ->
+                [
+                  ("flat_root_tx_per_bcast", Printf.sprintf "%.2f" f_tx);
+                  ("flat_ns_per_bcast", json_num f_ns);
+                  ("root_tx_reduction", Printf.sprintf "%.1f" ratio);
+                ]);
+        [
+          string_of_int members;
+          string_of_int relays;
+          Printf.sprintf "%.1f" r_tx;
+          (match flat with Some (_, f_tx, _) -> Printf.sprintf "%.0f" f_tx | None -> "-");
+          (match flat with Some (_, _, ratio) -> Printf.sprintf "%.0fx" ratio | None -> "-");
+          Printf.sprintf "%.0f" r_ns;
+          Printf.sprintf "%.0f" r_minor;
+        ])
+      sizes
+  in
+  Workload.Report.table
+    ~header:
+      [ "members"; "relays"; "root tx/bcast"; "flat tx/bcast"; "reduction"; "ns/bcast";
+        "minor w/bcast" ]
+    rows;
+  Workload.Report.note
+    "root tx/bcast is bounded by the relay count: one shared pre-encoded frame per relay."
 
 (* --- join-storm + durable-multicast sweep (BENCH_transfer.json) --------- *)
 
@@ -810,6 +931,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "sharded",
       "Sharded sequencing sweep: shard owners vs single sequencer",
       run_sharded );
+    ( "relay",
+      "Hierarchical relay fan-out: 10k -> 100k members behind 32 relays",
+      run_relay );
   ]
 
 let () =

@@ -8,7 +8,7 @@
    failing schedule is shrunk to a minimal reproducer and printed as a
    copy-pasteable OCaml scenario together with its seed. *)
 
-let usage = "corona_check [--seeds N] [--seed S] [--smoke] [--sharded] [--inject BUG] [--no-shrink] [--verbose]"
+let usage = "corona_check [--seeds N] [--seed S] [--smoke] [--sharded] [--relay] [--inject BUG] [--no-shrink] [--verbose]"
 
 let kind_label (s : Check.Schedule.t) =
   match s.Check.Schedule.kind with
@@ -17,11 +17,13 @@ let kind_label (s : Check.Schedule.t) =
   | Check.Schedule.Replicated { replicas } -> Printf.sprintf "replicated/%d" replicas
   | Check.Schedule.Sharded { replicas; shards } ->
       Printf.sprintf "sharded/%dx%d" replicas shards
+  | Check.Schedule.Relay { relays } -> Printf.sprintf "relay/%d" relays
 
 let () =
   let seeds = ref 10 in
   let smoke = ref false in
   let sharded = ref false in
+  let relay = ref false in
   let one_seed = ref None in
   let inject = ref "" in
   let no_shrink = ref false in
@@ -34,6 +36,8 @@ let () =
       ("--smoke", Arg.Set smoke, "  small schedules (CI profile)");
       ("--sharded", Arg.Set sharded,
        "  sharded deployments only (partitioned sequencing + barrier oracle)");
+      ("--relay", Arg.Set relay,
+       "  relay-fronted deployments only (hierarchical fan-out + completeness oracle)");
       (* the help text comes from the injection registry, so it cannot drift
          from what the parser below accepts (test_check pins the diff) *)
       ("--inject", Arg.Set_string inject, Check.Inject.spec_doc ());
@@ -62,7 +66,9 @@ let () =
   List.iter
     (fun seed ->
       let rng = Sim.Rng.create seed in
-      let sched = Check.Schedule.generate ~smoke:!smoke ~sharded:!sharded rng in
+      let sched =
+        Check.Schedule.generate ~smoke:!smoke ~sharded:!sharded ~relay:!relay rng
+      in
       let r = Check.Runner.execute ~bug ~seed sched in
       if !verbose then
         List.iter print_endline r.Check.Runner.r_trace;

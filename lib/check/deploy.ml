@@ -29,7 +29,24 @@ type single = {
 
 type backend = B_single of single | B_repl of Replication.Cluster.t
 
-type t = { fabric : Net.Fabric.t; backend : backend; shards : int }
+(* A relay of the hierarchical dissemination tier (Relay kind only): the
+   root stays a B_single backend, so all state extraction is untouched —
+   the relays only change where clients connect and what the fan-out path
+   looks like. *)
+type relay_dep = {
+  rd_idx : int;
+  rd_host : Net.Host.t;
+  mutable rd_relay : Corona.Relay.t option;
+  mutable rd_alive : bool;
+}
+
+type t = {
+  fabric : Net.Fabric.t;
+  backend : backend;
+  shards : int;
+  relays : relay_dep array; (* [||] unless the kind is Relay *)
+  slice_clients : int; (* client count the relay slice partition is over *)
+}
 
 let fabric t = t.fabric
 
@@ -45,39 +62,85 @@ let single_config ~sync_log =
 
 let repl_config = { Replication.Node.default_config with record_lock_journal = true }
 
-let create fabric ?(sharded_direct_views = false) (kind : Sched.kind) =
+(* [clients] sizes the relay slice partition (Relay kind only): agent [i]
+   connects through relay [Membership.slice_owner ~relays ~members:clients i]. *)
+let create fabric ?(sharded_direct_views = false) ?(clients = 0) (kind : Sched.kind) =
+  let mk_single ~sync_log =
+    let host = Net.Fabric.add_host fabric ~name:"srv-0" () in
+    let storage = Corona.Server_storage.create host () in
+    let config = single_config ~sync_log in
+    let server = Corona.Server.create fabric host ~config ~storage () in
+    {
+      s_host = host;
+      s_storage = storage;
+      s_config = config;
+      s_server = server;
+      s_incarnation = 0;
+      s_retired = [];
+      s_restarts = [];
+    }
+  in
   match kind with
   | Sched.Single { sync_log } ->
-      let host = Net.Fabric.add_host fabric ~name:"srv-0" () in
-      let storage = Corona.Server_storage.create host () in
-      let config = single_config ~sync_log in
-      let server = Corona.Server.create fabric host ~config ~storage () in
       {
         fabric;
-        backend =
-          B_single
-            {
-              s_host = host;
-              s_storage = storage;
-              s_config = config;
-              s_server = server;
-              s_incarnation = 0;
-              s_retired = [];
-              s_restarts = [];
-            };
+        backend = B_single (mk_single ~sync_log);
         shards = 1;
+        relays = [||];
+        slice_clients = clients;
+      }
+  | Sched.Relay { relays } ->
+      let s = mk_single ~sync_log:false in
+      let rds =
+        Array.init relays (fun i ->
+            let name = Printf.sprintf "relay-%d" i in
+            let rd =
+              {
+                rd_idx = i;
+                rd_host = Net.Fabric.add_host fabric ~name ();
+                rd_relay = None;
+                rd_alive = true;
+              }
+            in
+            rd.rd_relay <-
+              Some
+                (Corona.Relay.create fabric rd.rd_host ~relay:name
+                   ~root:s.s_host
+                   ~on_ready:(fun _ -> ())
+                   ~on_failed:(fun () -> ())
+                   ());
+            rd)
+      in
+      {
+        fabric;
+        backend = B_single s;
+        shards = 1;
+        relays = rds;
+        slice_clients = clients;
       }
   | Sched.Replicated { replicas } ->
       let cluster =
         Replication.Cluster.create fabric ~config:repl_config ~replicas ()
       in
-      { fabric; backend = B_repl cluster; shards = 1 }
+      {
+        fabric;
+        backend = B_repl cluster;
+        shards = 1;
+        relays = [||];
+        slice_clients = clients;
+      }
   | Sched.Sharded { replicas; shards } ->
       let config =
         { repl_config with Replication.Node.shards; sharded_direct_views }
       in
       let cluster = Replication.Cluster.create fabric ~config ~replicas () in
-      { fabric; backend = B_repl cluster; shards }
+      {
+        fabric;
+        backend = B_repl cluster;
+        shards;
+        relays = [||];
+        slice_clients = clients;
+      }
 
 let shards t = t.shards
 
@@ -88,13 +151,57 @@ let server_host t idx =
   | B_single s -> s.s_host
   | B_repl c -> Replication.Node.host (node_at c idx)
 
+let relay_count t = Array.length t.relays
+
+let relay_at t i =
+  if i < 0 || i >= Array.length t.relays then None else t.relays.(i).rd_relay
+
+let relay_alive t i =
+  i >= 0 && i < Array.length t.relays
+  && t.relays.(i).rd_alive
+  && Net.Host.is_alive t.relays.(i).rd_host
+
+(* The relay agent [i] should connect through right now: its slice's
+   canonical owner, or — after that relay died — the next alive sibling in
+   index order, wrapping. [None] when every relay is down (connect straight
+   to the root, degraded but correct). *)
+let owning_relay t i =
+  match Array.length t.relays with
+  | 0 -> None
+  | n ->
+      let members = max t.slice_clients (i + 1) in
+      let owner = Corona.Membership.slice_owner ~relays:n ~members i in
+      let rec probe k =
+        if k = n then None
+        else if relay_alive t ((owner + k) mod n) then
+          Some t.relays.((owner + k) mod n)
+        else probe (k + 1)
+      in
+      probe 0
+
 (* Where agent [i] should (re)connect right now. Replicated assignments
    follow [Cluster.replica_for], so after a serving replica dies its agents
-   land on a live one. *)
+   land on a live one; relay deployments route through the slice's owning
+   (or adopting) relay. *)
 let client_target t i =
   match t.backend with
-  | B_single s -> s.s_host
+  | B_single s -> (
+      match owning_relay t i with
+      | Some rd -> rd.rd_host
+      | None -> s.s_host)
   | B_repl c -> Replication.Node.host (Replication.Cluster.replica_for c i)
+
+(* Relay deployments: kill a relay's host permanently. Its control and
+   proxied connections die with it; members fail over client-side. *)
+let crash_relay t idx =
+  match Array.length t.relays with
+  | 0 -> ()
+  | n ->
+      let rd = t.relays.(idx mod n) in
+      if rd.rd_alive then begin
+        rd.rd_alive <- false;
+        Net.Host.crash rd.rd_host
+      end
 
 let snapshot_journals server label =
   List.filter_map

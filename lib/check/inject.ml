@@ -12,9 +12,25 @@ type t = {
   skip_barrier : bool;
       (* sharded deployments: membership views fan directly instead of
          riding the cross-shard barrier (lock grants stay barriered) *)
+  relay_crash : bool;
+      (* HAZARD, not a bug: relay deployments force a deterministic mid-run
+         relay crash on top of whatever the schedule drew — the system must
+         fail members over to a sibling relay and still satisfy every
+         oracle *)
+  skip_failover : bool;
+      (* relay deployments: members whose relay died "forget" to reconnect
+         to the sibling, stalling their streams — the delivery-completeness
+         oracle must catch this *)
 }
 
-let none = { skip_reconcile = false; skip_rejoin = false; skip_barrier = false }
+let none =
+  {
+    skip_reconcile = false;
+    skip_rejoin = false;
+    skip_barrier = false;
+    relay_crash = false;
+    skip_failover = false;
+  }
 
 type spec = { sp_name : string; sp_doc : string; sp_set : t -> t }
 
@@ -34,6 +50,16 @@ let specs =
       sp_name = "skip-barrier";
       sp_doc = "sharded views bypass the cross-shard barrier stamp";
       sp_set = (fun b -> { b with skip_barrier = true });
+    };
+    {
+      sp_name = "relay-crash";
+      sp_doc = "hazard: force a mid-run relay crash (system must fail over)";
+      sp_set = (fun b -> { b with relay_crash = true });
+    };
+    {
+      sp_name = "skip-failover";
+      sp_doc = "members of a dead relay never reconnect to the sibling";
+      sp_set = (fun b -> { b with skip_failover = true });
     };
   ]
 

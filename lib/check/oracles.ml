@@ -21,6 +21,7 @@ type input = {
       (* per coordinating node, its cross-shard barrier journal (oldest
          first); [] unsharded *)
   i_shards : int; (* deployment shard count; 1 = classic sequencing *)
+  i_relay : bool; (* relay-fronted deployment: delivery completeness applies *)
 }
 
 (* Sequence numbers restart below their high-water mark when a single
@@ -350,6 +351,57 @@ let cross_shard input =
     List.rev !violations
   end
 
+(* Oracle 7 — delivery completeness. Relay deployments only: the relay hop
+   and its crash-failover path add places where a tail of a group's stream
+   can silently go missing (a relay dies with fan-outs in flight, a member
+   "fails over" to a sibling but never resyncs). Every agent still expected
+   in a group at quiescence must have advanced its observed stream to the
+   root's next sequence number: the position folds Joined baselines and
+   Delivered seqnos, so a member that crashed its relay and correctly
+   rejoined with Updates_since ends at [c_next] even though it never saw
+   the in-flight losses as deliveries. Catches the skip-failover
+   injection, whose stalled members stop short. *)
+let completeness input =
+  if not input.i_relay then []
+  else begin
+    let violations = ref [] in
+    let add fmt = Printf.ksprintf (fun d -> violations := { v_oracle = "completeness"; v_detail = d } :: !violations) fmt in
+    let position obs ~group =
+      List.fold_left
+        (fun pos item ->
+          match item with
+          | Observe.S_start { next; _ } -> max pos next
+          | Observe.S_update { seqno; _ } -> max pos (seqno + 1))
+        (-1)
+        (Observe.stream obs ~group)
+    in
+    List.iter
+      (fun (group, expected) ->
+        match List.assoc_opt group input.i_copies with
+        | None | Some [] -> ()
+        | Some (copy :: _) ->
+            let next = copy.Deploy.c_next in
+            List.iter
+              (fun member ->
+                match
+                  List.find_opt
+                    (fun o -> Observe.agent o = member)
+                    input.i_clients
+                with
+                | None -> add "%s: expected member %s has no observation log" group member
+                | Some obs ->
+                    let pos = position obs ~group in
+                    if pos < 0 then
+                      add "%s: %s is expected in the group but never observed its stream"
+                        group member
+                    else if pos < next then
+                      add "%s: %s stalled at position %d but the root's stream reached %d"
+                        group member pos next)
+              expected)
+      input.i_expected_members;
+    List.rev !violations
+  end
+
 let check input =
   total_order input @ convergence input @ membership input @ locks input
-  @ fidelity input @ cross_shard input
+  @ fidelity input @ cross_shard input @ completeness input

@@ -15,6 +15,8 @@ type bug = Inject.t = {
   skip_reconcile : bool;
   skip_rejoin : bool;
   skip_barrier : bool;
+  relay_crash : bool;
+  skip_failover : bool;
 }
 
 let no_bug = Inject.none
@@ -47,12 +49,21 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
   let engine = Sim.Engine.create ~seed () in
   let fabric = Net.Fabric.create engine in
   let deploy =
-    Deploy.create fabric ~sharded_direct_views:bug.skip_barrier sched.Schedule.kind
+    Deploy.create fabric ~sharded_direct_views:bug.skip_barrier
+      ~clients:sched.Schedule.clients sched.Schedule.kind
   in
+  (* Relay deployments keep a single root, so they share the single-mode
+     reconnect path (surviving replicas + Updates_since resync) — just
+     against whichever relay now owns the member's slice. *)
   let single =
     match sched.Schedule.kind with
-    | Schedule.Single _ -> true
+    | Schedule.Single _ | Schedule.Relay _ -> true
     | Schedule.Replicated _ | Schedule.Sharded _ -> false
+  in
+  let relay =
+    match sched.Schedule.kind with
+    | Schedule.Relay _ -> true
+    | Schedule.Single _ | Schedule.Replicated _ | Schedule.Sharded _ -> false
   in
   let groups = List.init sched.Schedule.groups group_name in
   let agents =
@@ -190,7 +201,11 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
              { reason = Format.asprintf "%a" Net.Tcp.pp_close_reason reason });
         a.a_old <- a.a_client;
         a.a_client <- None;
-        if a.a_want then after 0.5 (fun () -> reconnect_agent a)
+        if a.a_want then begin
+          if relay && bug.skip_failover then
+            record a (Observe.Note "skipping relay failover (injected bug)")
+          else after 0.5 (fun () -> reconnect_agent a)
+        end
   and reconnect_agent a =
     if a.a_want && Net.Host.is_alive a.a_host && live_client a = None then begin
       let target = Deploy.client_target deploy a.a_idx in
@@ -205,9 +220,13 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
         let on_failed () = after 0.7 (fun () -> reconnect_agent a) in
         match a.a_old with
         | Some old when single ->
-            (* same server, surviving local replicas: the §6 reconnection
-               path (Updates_since + sender-assisted resend) *)
-            Corona.Client.reconnect old ~on_connected ~on_failed
+            (* same root, surviving local replicas: the §6 reconnection
+               path (Updates_since + sender-assisted resend); in relay
+               mode [target] is whichever relay now owns the slice, so a
+               member of a crashed relay fails over to the sibling and
+               resyncs from its holdback baseline *)
+            Corona.Client.reconnect old ~server:target ~on_connected
+              ~on_failed ()
         | Some _ | None ->
             Corona.Client.connect fabric ~host:a.a_host ~server:target
               ~member:a.a_name
@@ -345,6 +364,8 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
                       | _ -> ())
               | Some _ | None ->
                   record a (Observe.Note (Printf.sprintf "lock on %s skipped" g)))
+      | Schedule.Crash_relay { relay = r; at_ms = at } ->
+          at_ms at (fun () -> Deploy.crash_relay deploy r)
       | Schedule.Reduce { client; group; at_ms = at } ->
           let a = agents.(client mod Array.length agents) in
           let g = group_name (group mod sched.Schedule.groups) in
@@ -360,6 +381,11 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
               | Some _ | None -> ())
       )
     sched.Schedule.events;
+  (* The relay-crash hazard injection: on top of whatever the schedule
+     drew, deterministically kill relay 0 mid-run. Not a bug — failover
+     must keep every oracle green. *)
+  if relay && bug.relay_crash then
+    at_ms (sched.Schedule.horizon_ms / 2) (fun () -> Deploy.crash_relay deploy 0);
   (* --- run to quiescence ------------------------------------------------ *)
   let settle = if single then 8.0 else 20.0 in
   Sim.Engine.run engine ~until:(ms sched.Schedule.horizon_ms +. settle);
@@ -385,10 +411,22 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
         ( g,
           Array.to_list agents
           |> List.filter_map (fun a ->
-                 match live_client a with
-                 | Some c when List.mem g (Corona.Client.joined_groups c) ->
-                     Some a.a_name
-                 | Some _ | None -> None) ))
+                 if relay then
+                   (* want-based, not connection-based: an agent that wants
+                      to be in the group but stalled (e.g. the injected
+                      skip-failover) must still be judged — that is exactly
+                      the completeness oracle's job *)
+                   if
+                     a.a_want
+                     && Net.Host.is_alive a.a_host
+                     && Hashtbl.mem a.a_joined_once g
+                   then Some a.a_name
+                   else None
+                 else
+                   match live_client a with
+                   | Some c when List.mem g (Corona.Client.joined_groups c) ->
+                       Some a.a_name
+                   | Some _ | None -> None) ))
       group_ids
   in
   let input =
@@ -402,6 +440,7 @@ let execute ?(bug = no_bug) ~seed (sched : Schedule.t) =
       i_eras = Deploy.restart_times deploy;
       i_barriers = Deploy.barrier_frames deploy;
       i_shards = Deploy.shards deploy;
+      i_relay = relay;
     }
   in
   let trace = List.concat_map Observe.lines obs in

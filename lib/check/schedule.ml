@@ -10,6 +10,11 @@ type kind =
       (* replicated deployment with N-way partitioned sequencing: every
          group's keyspace is spread over [shards] per-shard seqno streams,
          cross-shard ops ride the two-phase barrier *)
+  | Relay of { relays : int }
+      (* single root fronted by [relays] edge relays: every client connects
+         through its slice's relay, fan-out takes the hierarchical
+         Relay_fanout path, and a relay crash fails its members over to the
+         next alive sibling *)
 
 type event =
   | Crash_server of { server : int; at_ms : int; down_ms : int }
@@ -30,6 +35,9 @@ type event =
          stalls under sharding (plain total order when unsharded) *)
   | Lock_cycle of { client : int; group : int; lock : int; at_ms : int; hold_ms : int }
   | Reduce of { client : int; group : int; at_ms : int }
+  | Crash_relay of { relay : int; at_ms : int }
+      (* relay deployments: kill the relay's host permanently; its members
+         fail over to the next alive sibling and resync via Updates_since *)
 
 type t = {
   kind : kind;
@@ -46,7 +54,8 @@ let event_at = function
   | Burst { at_ms; _ }
   | Hot_burst { at_ms; _ }
   | Lock_cycle { at_ms; _ }
-  | Reduce { at_ms; _ } ->
+  | Reduce { at_ms; _ }
+  | Crash_relay { at_ms; _ } ->
       at_ms
 
 (* Closed interval of virtual time an event influences, with slack for the
@@ -57,13 +66,14 @@ let event_span = function
   | Partition_servers { at_ms; dur_ms; _ } -> (at_ms, at_ms + dur_ms)
   | Lock_cycle { at_ms; hold_ms; _ } -> (at_ms, at_ms + hold_ms + 500)
   | Burst { at_ms; _ } | Hot_burst { at_ms; _ } | Reduce { at_ms; _ } -> (at_ms, at_ms)
+  | Crash_relay { at_ms; _ } -> (at_ms, at_ms + 2_000) (* failover + rejoin tail *)
 
 let sort_events evs =
   List.stable_sort (fun a b -> Int.compare (event_at a) (event_at b)) evs
 
 let servers_of kind =
   match kind with
-  | Single _ -> 1
+  | Single _ | Relay _ -> 1
   | Replicated { replicas } | Sharded { replicas; _ } -> replicas + 1
 
 (* Server indexes that never serve a client: agents are pinned round-robin
@@ -72,7 +82,7 @@ let servers_of kind =
    these indexes cannot split a client from the sequencing majority. *)
 let client_free_servers kind ~clients =
   match kind with
-  | Single _ -> []
+  | Single _ | Relay _ -> []
   | Replicated { replicas } | Sharded { replicas; _ } ->
       let serving = List.init clients (fun i -> 1 + (i mod replicas)) in
       List.filter
@@ -130,15 +140,17 @@ let enforce_guards events =
   in
   sort_events (kept_crashes @ kept_rest)
 
-(* [sharded] forces a sharded replicated deployment (the classic RNG draw
-   sequence is untouched when it is off, so pinned seeds keep replaying the
-   schedules that exposed historical bugs). *)
-let generate ?(smoke = false) ?(sharded = false) rng =
+(* [sharded] forces a sharded replicated deployment and [relay] a
+   relay-fronted single root (the classic RNG draw sequence is untouched
+   when both are off, so pinned seeds keep replaying the schedules that
+   exposed historical bugs). *)
+let generate ?(smoke = false) ?(sharded = false) ?(relay = false) rng =
   let p = if smoke then smoke_profile else full_profile in
   let clients = range rng p.p_clients in
   let groups = range rng p.p_groups in
   let kind =
-    if sharded then
+    if relay then Relay { relays = 2 + Sim.Rng.int rng 3 }
+    else if sharded then
       Sharded
         {
           replicas = 2 + Sim.Rng.int rng 2;
@@ -154,7 +166,11 @@ let generate ?(smoke = false) ?(sharded = false) rng =
   let n_events = range rng p.p_events in
   let first_at = 2_000 in
   let draw_at () = range rng (first_at, horizon_ms - 1_000) in
-  let single = match kind with Single _ -> true | Replicated _ | Sharded _ -> false in
+  let single =
+    match kind with
+    | Single _ -> true
+    | Relay _ | Replicated _ | Sharded _ -> false
+  in
   let crash_budget = ref (if single then 2 else 1) in
   let partition_budget =
     ref (match client_free_servers kind ~clients with [] -> 0 | _ -> 1)
@@ -193,7 +209,23 @@ let generate ?(smoke = false) ?(sharded = false) rng =
                down_ms = 800 + Sim.Rng.int rng 2_200;
                crash = Sim.Rng.bool rng;
              })
-    | n when n < 84 ->
+    | n when n < 84 -> (
+        match kind with
+        | Relay { relays } ->
+            (* relay deployments draw relay crashes instead of root crashes
+               (the root staying up is what makes relay failover a pure
+               client-side matter); partitions are off — see above *)
+            if !crash_budget = 0 then None
+            else begin
+              decr crash_budget;
+              Some
+                (Crash_relay
+                   {
+                     relay = Sim.Rng.int rng relays;
+                     at_ms = range rng (first_at, horizon_ms - 8_000);
+                   })
+            end
+        | Single _ | Replicated _ | Sharded _ ->
         if !crash_budget = 0 || !partition_budget = 0 && not single then None
         else begin
           decr crash_budget;
@@ -206,7 +238,7 @@ let generate ?(smoke = false) ?(sharded = false) rng =
                  at_ms = range rng (first_at, horizon_ms - 8_000);
                  down_ms = (if single then 1_500 + Sim.Rng.int rng 2_000 else 0);
                })
-        end
+        end)
     | n when n < 92 ->
         if !partition_budget = 0 then None
         else begin
@@ -249,6 +281,8 @@ let pp_kind fmt = function
   | Sharded { replicas; shards } ->
       Format.fprintf fmt "Check.Schedule.Sharded { replicas = %d; shards = %d }"
         replicas shards
+  | Relay { relays } ->
+      Format.fprintf fmt "Check.Schedule.Relay { relays = %d }" relays
 
 let pp_event fmt = function
   | Crash_server { server; at_ms; down_ms } ->
@@ -277,6 +311,8 @@ let pp_event fmt = function
   | Reduce { client; group; at_ms } ->
       Format.fprintf fmt "Reduce { client = %d; group = %d; at_ms = %d }" client group
         at_ms
+  | Crash_relay { relay; at_ms } ->
+      Format.fprintf fmt "Crash_relay { relay = %d; at_ms = %d }" relay at_ms
 
 (* A copy-pasteable OCaml scenario: feed it back through
    [Check.Runner.execute] to replay the exact run. *)

@@ -94,6 +94,7 @@ let smaller_variants (ev : Schedule.event) =
         [ Schedule.Lock_cycle { client; group; lock; at_ms; hold_ms = max 100 (hold_ms / 2) } ]
       else []
   | Schedule.Reduce _ -> []
+  | Schedule.Crash_relay _ -> [] (* permanent and parameterless: drop or keep *)
 
 let shrink_params ~check (s : Schedule.t) events =
   let events = ref events in

@@ -207,8 +207,14 @@ and handle_mcast_response t group (resp : M.response) =
   | _ -> ()
 
 (* A delivery, whatever transport it came on. Our own sender-exclusive
-   updates were applied at send time: swallow their multicast echo. *)
+   updates were applied at send time: swallow their multicast echo. Updates
+   for a group we hold no replica of are dropped whole: a relay that learned
+   of our join optimistically (or a pre-join multicast subscription) can
+   hand us a broadcast sequenced before our join completed — the join state
+   already covers it. *)
 and handle_delivery t (u : T.update) =
+  if not (Hashtbl.mem t.replicas u.group) then ()
+  else
   let own_exclusive_echo =
     u.sender = t.member
     &&
@@ -326,6 +332,10 @@ let handle_response t (resp : M.response) =
             vector
       | None -> ());
       emit t (Shard_joined { group; vector })
+  | M.Relay_registered _ | M.Relay_fanout _ | M.Relay_slice _ ->
+      (* Relay-tier control traffic terminates at relays, never at member
+         clients; a stray frame is ignored. *)
+      ()
 
 let connect_internal fabric ~host ~server ~port ~member ~on_event ~replicas
     ~deliveries ~on_connected ~on_failed () =
@@ -364,9 +374,12 @@ let connect fabric ~host ~server ?(port = 7000) ~member ?on_event ~on_connected
 (* Reconnection with state resync (the companion paper's client/link failure
    handling): the new endpoint inherits the member identity, event handler
    and — crucially — the local replicas, so {!rejoin} only has to fetch the
-   missed suffix. *)
-let reconnect t ~on_connected ~on_failed =
-  connect_internal t.fabric ~host:t.host ~server:t.server ~port:t.port
+   missed suffix. [?server]/[?port] retarget the reconnect — a member whose
+   relay crashed fails over to a sibling relay this way. *)
+let reconnect t ?server ?port ~on_connected ~on_failed () =
+  connect_internal t.fabric ~host:t.host
+    ~server:(Option.value server ~default:t.server)
+    ~port:(Option.value port ~default:t.port)
     ~member:t.member ~on_event:t.on_event ~replicas:t.replicas
     ~deliveries:t.deliveries ~on_connected ~on_failed ()
 

@@ -64,11 +64,20 @@ val connect :
 (** Open a connection (default port 7000). Clients connect independently of
     other clients — there is no group-wide join protocol. *)
 
-val reconnect : t -> on_connected:(t -> unit) -> on_failed:(unit -> unit) -> unit
+val reconnect :
+  t ->
+  ?server:Net.Host.t ->
+  ?port:int ->
+  on_connected:(t -> unit) ->
+  on_failed:(unit -> unit) ->
+  unit ->
+  unit
 (** After a link failure or disconnection: open a fresh connection to the
-    same server, carrying over the member identity, event handler and local
-    replicas (the companion paper's client-reconnection support). Follow up
-    with {!rejoin} per group to fetch only the missed updates. *)
+    same server (or to [?server]/[?port] — a member whose relay crashed
+    fails over to a sibling relay this way), carrying over the member
+    identity, event handler and local replicas (the companion paper's
+    client-reconnection support). Follow up with {!rejoin} per group to
+    fetch only the missed updates. *)
 
 val member : t -> Proto.Types.member_id
 

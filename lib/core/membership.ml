@@ -15,12 +15,19 @@ type slot = { s_entry : entry; s_seq : int }
 type t = {
   index : (Proto.Types.member_id, slot) Hashtbl.t;
   mutable next_seq : int;
+  mutable notify_count : int; (* members with [notify = true] *)
   mutable entries_cache : entry list option; (* join order *)
   mutable members_cache : Proto.Types.member list option;
 }
 
 let create () =
-  { index = Hashtbl.create 16; next_seq = 0; entries_cache = None; members_cache = None }
+  {
+    index = Hashtbl.create 16;
+    next_seq = 0;
+    notify_count = 0;
+    entries_cache = None;
+    members_cache = None;
+  }
 
 let invalidate t =
   t.entries_cache <- None;
@@ -33,22 +40,26 @@ let add t ~member ~role ~notify ~joined_at =
   let seq =
     (* A rejoin replaces the entry but keeps its position in join order. *)
     match Hashtbl.find_opt t.index member with
-    | Some s -> s.s_seq
+    | Some s ->
+        if s.s_entry.notify then t.notify_count <- t.notify_count - 1;
+        s.s_seq
     | None ->
         let s = t.next_seq in
         t.next_seq <- s + 1;
         s
   in
+  if notify then t.notify_count <- t.notify_count + 1;
   Hashtbl.replace t.index member { s_entry = entry; s_seq = seq };
   invalidate t
 
 let remove t member =
-  if Hashtbl.mem t.index member then begin
-    Hashtbl.remove t.index member;
-    invalidate t;
-    true
-  end
-  else false
+  match Hashtbl.find_opt t.index member with
+  | Some s ->
+      if s.s_entry.notify then t.notify_count <- t.notify_count - 1;
+      Hashtbl.remove t.index member;
+      invalidate t;
+      true
+  | None -> false
 
 let find t member =
   Option.map (fun s -> s.s_entry) (Hashtbl.find_opt t.index member)
@@ -84,5 +95,30 @@ let members t =
       t.members_cache <- Some l;
       l
 
+(* The [notify_count = 0] fast path matters: a 100k-member join storm with
+   notifications off would otherwise rebuild the O(n log n) ordered view on
+   every join just to produce an empty list — an O(n² log n) storm. *)
 let notify_targets t =
-  List.filter_map (fun e -> if e.notify then Some e.member else None) (entries t)
+  if t.notify_count = 0 then []
+  else List.filter_map (fun e -> if e.notify then Some e.member else None) (entries t)
+
+(* --- relay slice partitioning ------------------------------------------- *)
+
+(* Contiguous slices over member indexes [0, members): relay [i] owns
+   [slice_bounds i], and [slice_owner idx] inverts the map. Pure integer
+   arithmetic — every party (root, relay, harness, bench) computes the same
+   assignment without coordination, and the partition is trivially total:
+   each index falls in exactly one slice. *)
+
+let slice_owner ~relays ~members idx =
+  if relays <= 0 then invalid_arg "Membership.slice_owner: relays <= 0";
+  if members <= 0 || idx < 0 then 0
+  else min (relays - 1) (idx * relays / members)
+
+let slice_bounds ~relays ~members i =
+  if relays <= 0 then invalid_arg "Membership.slice_bounds: relays <= 0";
+  if members <= 0 then (0, 0)
+  else
+    let lo = ((i * members) + relays - 1) / relays in
+    let hi = (((i + 1) * members) + relays - 1) / relays in
+    (lo, min hi members)

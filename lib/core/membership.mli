@@ -53,3 +53,14 @@ val members : t -> Proto.Types.member list
 
 val notify_targets : t -> Proto.Types.member_id list
 (** Members that subscribed to membership-change notifications. *)
+
+val slice_owner : relays:int -> members:int -> int -> int
+(** [slice_owner ~relays ~members idx] is the relay index owning member
+    index [idx] under the canonical contiguous-slice partition. Pure
+    arithmetic: root, relays, harness and bench all agree without
+    coordination. Raises [Invalid_argument] if [relays <= 0]. *)
+
+val slice_bounds : relays:int -> members:int -> int -> int * int
+(** [slice_bounds ~relays ~members i] is the half-open index range
+    [(lo, hi)] owned by relay [i]; the inverse of [slice_owner]: slices are
+    contiguous, disjoint, and cover [0, members). *)

@@ -1,0 +1,63 @@
+(** Edge relay of the hierarchical dissemination tier.
+
+    Fronts a contiguous slice of a huge group's membership: members connect
+    to the relay exactly as they would to the root (same port, same
+    protocol) and their request/reply traffic is proxied upstream verbatim
+    — the root remains the single sequencer. Fan-out takes the hierarchical
+    path instead: the root sends one [Relay_fanout] frame per relay per
+    broadcast, and the relay re-fans it locally to the group members behind
+    it, so root-side transmit and encode work is O(relays) rather than
+    O(members).
+
+    Group membership is snooped from the proxied traffic ([Join] / [Leave]
+    / [Left] / [Group_deleted] / connection death); the relay keeps no
+    group state and never reorders messages. *)
+
+type t
+
+type stats = {
+  fanouts_received : int;  (** [Relay_fanout] frames from the root *)
+  deliveries_sent : int;  (** local re-fan recipients reached *)
+  proxied_up : int;  (** member requests forwarded to the root *)
+  proxied_down : int;  (** root replies forwarded to members *)
+}
+
+val create :
+  Net.Fabric.t ->
+  Net.Host.t ->
+  relay:Proto.Types.member_id ->
+  root:Net.Host.t ->
+  ?root_port:int ->
+  ?port:int ->
+  on_ready:(t -> unit) ->
+  on_failed:(unit -> unit) ->
+  unit ->
+  t
+(** Connect the control connection to the root (default port 7000), send
+    [Relay_register], then start accepting member connections on [port]
+    (default 7000) and heartbeating. [on_ready] fires once the control
+    connection is up; [on_failed] if the root is unreachable. *)
+
+val shutdown : t -> unit
+(** Close the listener, every member and proxied connection, and the
+    control connection. *)
+
+val host : t -> Net.Host.t
+
+val id : t -> Proto.Types.member_id
+
+val index : t -> int
+(** Registration index assigned by the root; [-1] until
+    [Relay_registered] arrives. *)
+
+val slices : t -> (int * int) list
+(** Canonical relay-index ranges this relay fronts, in adoption order: its
+    own at registration plus any dead sibling's handed off by the root. *)
+
+val member_count : t -> int
+(** Members currently connected through this relay. *)
+
+val group_member_count : t -> Proto.Types.group_id -> int
+(** Snooped local membership of a group (0 if unknown). *)
+
+val stats : t -> stats

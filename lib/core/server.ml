@@ -19,6 +19,10 @@ type config = {
   wal_batching : Storage.Wal.batch_config option;
       (* group commit: coalesce log appends into one physical write per
          seek; None = one write per record *)
+  lean_joins : bool;
+      (* omit the O(members) membership list from Join_accepted replies so a
+         100k-member join storm costs the root O(1) per join; relay-tier
+         deployments at that scale turn this on *)
 }
 
 let default_config =
@@ -32,6 +36,7 @@ let default_config =
     transfer_chunk_bytes = None;
     record_lock_journal = false;
     wal_batching = None;
+    lean_joins = false;
   }
 
 type stats = {
@@ -42,6 +47,7 @@ type stats = {
   responses_sent : int;
   joins_served : int;
   state_transfer_bytes : int;
+  relay_frames_sent : int;
 }
 
 (* Sequencer-only bookkeeping when [maintain_state = false]. *)
@@ -77,6 +83,7 @@ type t = {
   mutable client_conns : Net.Tcp.conn list;
   listener : Net.Tcp.listener option ref;
   transfer_cache : Transfer.cache;
+  relay_hub : Relay_hub.t;
   mutable st : stats;
 }
 
@@ -89,6 +96,8 @@ let host t = t.server_host
 let config t = t.cfg
 
 let stats t = t.st
+
+let relay_hub t = t.relay_hub
 
 let connected_clients t = List.length (List.filter Net.Tcp.is_open t.client_conns)
 
@@ -182,15 +191,21 @@ let batch_conns t g ?exclude ?(skip = fun _ -> false) () =
        (Membership.entries g.g_members))
 
 (* Fan out to group members in join order, optionally skipping one:
-   one encode and one batched transmit shared by all recipients. *)
+   one encode shared by all direct recipients, one spliced [Relay_fanout]
+   frame shared by every relay fronting proxied recipients. *)
 let fan_out t g ?exclude response =
   match batch_conns t g ?exclude () with
   | [] -> ()
   | conns ->
-      let e = M.pre_encode (M.Response response) in
+      let d =
+        Relay_hub.deliver t.relay_hub ~group:g.g_id ?exclude ~inner:response conns
+      in
       t.st <-
-        { t.st with responses_sent = t.st.responses_sent + List.length conns };
-      M.send_batch_encoded conns e
+        {
+          t.st with
+          responses_sent = t.st.responses_sent + d.Relay_hub.d_direct;
+          relay_frames_sent = t.st.relay_frames_sent + d.Relay_hub.d_frames;
+        }
 [@@corona.hot]
 
 let notify_membership_change t g change =
@@ -212,13 +227,17 @@ let notify_membership_change t g change =
       match conns with
       | [] -> ()
       | conns ->
-          let e =
-            M.pre_encode
-              (M.Response (M.Membership_changed { group = g.g_id; change; members }))
+          let d =
+            Relay_hub.deliver t.relay_hub ~group:g.g_id ~exclude:changed
+              ~inner:(M.Membership_changed { group = g.g_id; change; members })
+              conns
           in
           t.st <-
-            { t.st with responses_sent = t.st.responses_sent + List.length conns };
-          M.send_batch_encoded conns e
+            {
+              t.st with
+              responses_sent = t.st.responses_sent + d.Relay_hub.d_direct;
+              relay_frames_sent = t.st.relay_frames_sent + d.Relay_hub.d_frames;
+            }
 [@@corona.hot]
 
 (* --- group lifecycle ------------------------------------------------- *)
@@ -432,7 +451,11 @@ let handle_join t conn ~group ~member ~role ~transfer ~notify =
                   joins_served = t.st.joins_served + 1;
                   state_transfer_bytes = t.st.state_transfer_bytes + p.p_bytes;
                 };
-              let members = Membership.members g.g_members in
+              (* [lean_joins]: the per-joiner membership list is the one
+                 O(members) cost left in a join at 100k scale — elide it. *)
+              let members =
+                if t.cfg.lean_joins then [] else Membership.members g.g_members
+              in
               let accept p =
                 send_encoded_response t conn
                   (join_accepted_frame ~group ~members ~multicast p)
@@ -480,15 +503,13 @@ let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
                 | T.Sender_inclusive -> None
               in
               let deliver (u : T.update) =
-                (* One serialization per logical broadcast, shared by the
-                   multicast channel and every point-to-point recipient. *)
-                let e = M.pre_encode (M.Response (M.Deliver u)) in
-                let wire = M.encoded_wire_size e in
                 let mcast_reached = Hashtbl.length g.g_mcast_members in
                 if mcast_reached > 0 then begin
                   (* One NIC transmission covers every subscribed member;
                      sender exclusion for subscribed senders happens at the
                      client. Deliveries count per subscriber reached. *)
+                  let e = M.pre_encode (M.Response (M.Deliver u)) in
+                  let wire = M.encoded_wire_size e in
                   let chan =
                     Net.Multicast.channel t.fabric ~name:(mcast_channel_name g.g_id)
                   in
@@ -509,14 +530,24 @@ let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
                 with
                 | [] -> ()
                 | conns ->
-                    let n = List.length conns in
+                    (* One serialization shared by every point-to-point
+                       recipient; proxied recipients collapse to one spliced
+                       frame per relay. *)
+                    let d =
+                      Relay_hub.deliver t.relay_hub ~group ?exclude
+                        ~inner:(M.Deliver u) conns
+                    in
                     t.st <-
                       {
                         t.st with
-                        deliveries_sent = t.st.deliveries_sent + n;
-                        bytes_delivered = t.st.bytes_delivered + (n * wire);
-                      };
-                    M.send_batch_encoded conns e
+                        deliveries_sent =
+                          t.st.deliveries_sent + d.Relay_hub.d_direct;
+                        bytes_delivered =
+                          t.st.bytes_delivered + d.Relay_hub.d_direct_bytes
+                          + d.Relay_hub.d_frame_bytes;
+                        relay_frames_sent =
+                          t.st.relay_frames_sent + d.Relay_hub.d_frames;
+                      }
               in
               (match g.g_keeper with
               | Stateful log -> (
@@ -637,12 +668,39 @@ let handle_request t conn (req : M.request) =
           | None -> ())
       | Some { g_keeper = Stateless _; _ } | None -> ())
   | M.Ping { nonce } -> send_to_conn t conn (M.Pong { nonce })
+  | M.Relay_register { relay } ->
+      let r = Relay_hub.register t.relay_hub ~relay ~conn ~at:(now t) in
+      send_to_conn t conn
+        (M.Relay_registered { relay; index = r.Relay_hub.r_index });
+      send_to_conn t conn
+        (M.Relay_slice
+           { relay; lo = r.Relay_hub.r_index; hi = r.Relay_hub.r_index + 1 })
+  | M.Relay_proxy { relay } -> Relay_hub.register_proxy t.relay_hub ~relay ~conn
+  | M.Relay_heartbeat { relay; members } ->
+      Relay_hub.heartbeat t.relay_hub ~relay ~members ~at:(now t)
 
 (* A client connection died: clean up every group its member(s) joined.
    Graceful closes count as leaves; broken ones as crashes (§3.2 membership
    awareness distinguishes the two). The reverse indexes make this
    proportional to the member's own groups, not members × groups. *)
 let handle_disconnect t conn reason =
+  (match Relay_hub.conn_closed t.relay_hub conn with
+  | Relay_hub.Control r -> (
+      (* A relay died. Its proxied connections die with it, so the ordinary
+         per-member cleanup below handles the members; here the next alive
+         sibling is told it now fronts the dead relay's slice — the members
+         themselves fail over client-side and rejoin through it. *)
+      match Relay_hub.sibling t.relay_hub r with
+      | Some s when Net.Tcp.is_open s.Relay_hub.r_conn ->
+          send_to_conn t s.Relay_hub.r_conn
+            (M.Relay_slice
+               {
+                 relay = s.Relay_hub.r_id;
+                 lo = r.Relay_hub.r_index;
+                 hi = r.Relay_hub.r_index + 1;
+               })
+      | Some _ | None -> ())
+  | Relay_hub.Proxied _ | Relay_hub.Not_relay -> ());
   t.client_conns <- List.filter (fun c -> Net.Tcp.id c <> Net.Tcp.id conn) t.client_conns;
   let members_on_conn =
     match Hashtbl.find_opt t.members_of_conn (Net.Tcp.id conn) with
@@ -717,6 +775,7 @@ let create fabric server_host ?(config = default_config) ~storage () =
       client_conns = [];
       listener = ref None;
       transfer_cache = Transfer.create_cache ();
+      relay_hub = Relay_hub.create ();
       st =
         {
           requests_handled = 0;
@@ -726,6 +785,7 @@ let create fabric server_host ?(config = default_config) ~storage () =
           responses_sent = 0;
           joins_served = 0;
           state_transfer_bytes = 0;
+          relay_frames_sent = 0;
         };
     }
   in

@@ -46,6 +46,10 @@ type config = {
           coalesce into one physical write paying a single seek, making
           small-record durable multicast throughput CPU-bound instead of
           seek-bound. [None] (default) issues one write per record. *)
+  lean_joins : bool;
+      (** elide the O(members) membership list from [Join_accepted] replies
+          (clients still learn changes via notifications) — keeps 100k-member
+          join storms out of the quadratic regime; off by default *)
 }
 
 val default_config : config
@@ -64,6 +68,9 @@ type stats = {
           join/state-transfer traffic *)
   joins_served : int;
   state_transfer_bytes : int;
+  relay_frames_sent : int;
+      (** [Relay_fanout] control frames transmitted — the root-side relay
+          fan-out cost (one frame per relay per broadcast, not per member) *)
 }
 
 type t
@@ -117,6 +124,9 @@ val group_base : t -> Proto.Types.group_id -> ((Proto.Types.object_id * string) 
     log-reduction fidelity oracle checks. *)
 
 val stats : t -> stats
+
+val relay_hub : t -> Relay_hub.t
+(** The relay registry (empty when no relay tier is deployed). *)
 
 val transfer_cache_stats : t -> int * int
 (** [(hits, misses)] of the join-state snapshot cache: a miss pays one full

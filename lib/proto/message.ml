@@ -40,6 +40,13 @@ type request =
       updates : Types.update list;
     }
   | Ping of { nonce : int }
+  | Relay_register of { relay : Types.member_id }
+      (* opens a relay's control connection: fan-out frames for the relay's
+         members arrive here *)
+  | Relay_proxy of { relay : Types.member_id }
+      (* first message on a proxied upstream connection: everything after it
+         is one member's traffic passed through verbatim by [relay] *)
+  | Relay_heartbeat of { relay : Types.member_id; members : int }
 
 type join_state =
   | Snapshot of {
@@ -94,6 +101,19 @@ type response =
     }
   | Shard_joined of { group : Types.group_id; vector : int list }
       (* per-shard baseline of the snapshot a sharded join was served from *)
+  | Relay_registered of { relay : Types.member_id; index : int }
+  | Relay_fanout of {
+      group : Types.group_id;
+      exclude : Types.member_id option;
+      inner : response;
+    }
+      (* one frame per relay carrying the response every member of [group]
+         behind that relay must receive; the relay re-fans [inner] locally,
+         skipping [exclude] (a sender-exclusive broadcast's sender) *)
+  | Relay_slice of { relay : Types.member_id; lo : int; hi : int }
+      (* slice assignment/handoff notice: [relay] now fronts the canonical
+         slices [lo, hi) of the relay-index partition (at registration its
+         own index; after a sibling crash, the dead relay's too) *)
 
 type t = Request of request | Response of response
 
@@ -286,6 +306,16 @@ let enc_request w = function
       W.string w group;
       W.string w member;
       W.list w enc_update updates
+  | Relay_register { relay } ->
+      W.u8 w 11;
+      W.string w relay
+  | Relay_proxy { relay } ->
+      W.u8 w 12;
+      W.string w relay
+  | Relay_heartbeat { relay; members } ->
+      W.u8 w 13;
+      W.string w relay;
+      W.u32 w members
 
 let dec_request r =
   match R.u8 r with
@@ -339,9 +369,16 @@ let dec_request r =
       let member = R.string r in
       let updates = R.list r dec_update in
       Resend { group; member; updates }
+  | 11 -> Relay_register { relay = R.string r }
+  | 12 -> Relay_proxy { relay = R.string r }
+  | 13 ->
+      let relay = R.string r in
+      let members = R.u32 r in
+      Relay_heartbeat { relay; members }
   | n -> raise (R.Malformed (Printf.sprintf "request tag %d" n))
 
-let enc_response w = function
+(* [rec]: [Relay_fanout] embeds the relayed response verbatim. *)
+let rec enc_response w = function
   | Group_created { group } ->
       W.u8 w 0;
       W.string w group
@@ -418,8 +455,26 @@ let enc_response w = function
       W.u8 w 17;
       W.string w group;
       W.list w W.int_as_i64 vector
+  | Relay_registered { relay; index } ->
+      W.u8 w 18;
+      W.string w relay;
+      W.u32 w index
+  | Relay_fanout { group; exclude; inner } ->
+      W.u8 w 19;
+      W.string w group;
+      (match exclude with
+      | None -> W.bool w false
+      | Some m ->
+          W.bool w true;
+          W.string w m);
+      enc_response w inner
+  | Relay_slice { relay; lo; hi } ->
+      W.u8 w 20;
+      W.string w relay;
+      W.u32 w lo;
+      W.u32 w hi
 
-let dec_response r =
+let rec dec_response r =
   match R.u8 r with
   | 0 -> Group_created { group = R.string r }
   | 1 -> Group_deleted { group = R.string r }
@@ -487,6 +542,20 @@ let dec_response r =
       let group = R.string r in
       let vector = R.list r R.int_as_i64 in
       Shard_joined { group; vector }
+  | 18 ->
+      let relay = R.string r in
+      let index = R.u32 r in
+      Relay_registered { relay; index }
+  | 19 ->
+      let group = R.string r in
+      let exclude = if R.bool r then Some (R.string r) else None in
+      let inner = dec_response r in
+      Relay_fanout { group; exclude; inner }
+  | 20 ->
+      let relay = R.string r in
+      let lo = R.u32 r in
+      let hi = R.u32 r in
+      Relay_slice { relay; lo; hi }
   | n -> raise (R.Malformed (Printf.sprintf "response tag %d" n))
 
 (* Serializations of whole messages, for the bench's encodes-per-bcast
@@ -552,6 +621,32 @@ let pre_encode_join_accepted ~group ~at_seqno ~state ~state_enc ~members ~multic
     e_bytes = Codec.Writer.contents w;
   }
 
+(* Relay fan-out splicing: the root serializes the inner response once
+   (shared with any direct recipients via [pre_encode]) and wraps those
+   bytes in one [Relay_fanout] frame per relay — the frame itself is then
+   shared across every relay control connection by [send_batch_encoded], so
+   a broadcast costs the root O(relays) transmits and exactly two encodes
+   however many members sit behind the tier. Must stay byte-identical to
+   [pre_encode (Response (Relay_fanout ...))] — pinned by a golden test. *)
+let pre_encode_relay_fanout ~group ?exclude ~inner ~inner_enc () =
+  incr encodes;
+  let w = Codec.Writer.create () in
+  W.u8 w 1 (* Response *);
+  W.u8 w 19 (* Relay_fanout *);
+  W.string w group;
+  (match exclude with
+  | None -> W.bool w false
+  | Some m ->
+      W.bool w true;
+      W.string w m);
+  (* [inner_enc] is [pre_encode (Response inner)]; drop its leading message
+     tag byte to recover the bare [enc_response] bytes. *)
+  W.raw w (String.sub inner_enc.e_bytes 1 (String.length inner_enc.e_bytes - 1));
+  {
+    e_msg = Response (Relay_fanout { group; exclude; inner });
+    e_bytes = Codec.Writer.contents w;
+  }
+
 (* --- cross-shard barrier frames ----------------------------------------- *)
 
 (* Durable representation of a shard-barrier record: the coordinator
@@ -608,7 +703,7 @@ let send_encoded conn e = Net.Tcp.send conn ~size:(encoded_wire_size e) (Corona 
 let send_batch_encoded conns e =
   Net.Tcp.send_batch conns ~size:(encoded_wire_size e) (Corona e.e_msg)
 
-let pp ppf t =
+let rec pp ppf t =
   match t with
   | Request (Create_group { group; creator; persistent; initial }) ->
       Format.fprintf ppf "create_group %s by %s persistent=%b objects=%d" group
@@ -672,3 +767,16 @@ let pp ppf t =
   | Response (Shard_joined { group; vector }) ->
       Format.fprintf ppf "shard_joined %s [%s]" group
         (String.concat ";" (List.map string_of_int vector))
+  | Request (Relay_register { relay }) ->
+      Format.fprintf ppf "relay_register %s" relay
+  | Request (Relay_proxy { relay }) -> Format.fprintf ppf "relay_proxy %s" relay
+  | Request (Relay_heartbeat { relay; members }) ->
+      Format.fprintf ppf "relay_heartbeat %s members=%d" relay members
+  | Response (Relay_registered { relay; index }) ->
+      Format.fprintf ppf "relay_registered %s #%d" relay index
+  | Response (Relay_fanout { group; exclude; inner }) ->
+      Format.fprintf ppf "relay_fanout %s%s [%a]" group
+        (match exclude with None -> "" | Some m -> " -" ^ m)
+        pp (Response inner)
+  | Response (Relay_slice { relay; lo; hi }) ->
+      Format.fprintf ppf "relay_slice %s [%d,%d)" relay lo hi

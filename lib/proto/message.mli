@@ -53,6 +53,15 @@ type request =
           updates, with their original sequence numbers, that the server
           lost with its un-flushed log tail *)
   | Ping of { nonce : int }
+  | Relay_register of { relay : Types.member_id }
+      (** opens a relay's control connection: the root answers with
+          [Relay_registered] + [Relay_slice], and subsequent group fan-outs
+          for members behind this relay arrive here as [Relay_fanout]
+          frames *)
+  | Relay_proxy of { relay : Types.member_id }
+      (** first message on a proxied upstream connection: everything after
+          it is one member's traffic, passed through verbatim by [relay] *)
+  | Relay_heartbeat of { relay : Types.member_id; members : int }
 
 (** State handed to a joining client, shaped by its {!Types.transfer_spec}. *)
 type join_state =
@@ -124,6 +133,23 @@ type response =
       (** closes a sharded join: per-shard baseline positions the join-state
           snapshot reflects — the first [Shard_deliver] on shard [s] carries
           seqno [vector.(s)] *)
+  | Relay_registered of { relay : Types.member_id; index : int }
+      (** acknowledges {!request.Relay_register}; [index] is the relay's
+          position in registration order *)
+  | Relay_fanout of {
+      group : Types.group_id;
+      exclude : Types.member_id option;
+      inner : response;
+    }
+      (** relayed delivery: one frame per relay carrying the response every
+          member of [group] behind that relay must receive; the relay
+          re-fans [inner] locally, skipping [exclude] (the sender of a
+          sender-exclusive broadcast) *)
+  | Relay_slice of { relay : Types.member_id; lo : int; hi : int }
+      (** slice assignment (at registration) or handoff notice (when a
+          sibling crashes): [relay] now fronts the canonical slices
+          [lo, hi) of the relay-index partition — member indexes map to
+          slices via [Corona.Membership.slice_owner] *)
 
 type t = Request of request | Response of response
 
@@ -184,6 +210,21 @@ val pre_encode_join_accepted :
     [pre_encode (Response (Join_accepted ...))] (golden-pinned) but performs
     no per-joiner serialization of the state payload. Counts as one encode
     in {!encode_count}. *)
+
+val pre_encode_relay_fanout :
+  group:Types.group_id ->
+  ?exclude:Types.member_id ->
+  inner:response ->
+  inner_enc:encoded ->
+  unit ->
+  encoded
+(** Build a [Relay_fanout] frame by splicing the cached bytes of
+    [inner_enc] (which must be [pre_encode (Response inner)]) after the
+    per-fan-out fields. Byte-identical to
+    [pre_encode (Response (Relay_fanout ...))] (golden-pinned) but performs
+    no re-serialization of the inner response — the same bytes the direct
+    recipients got are shared across the relay hop. Counts as one encode in
+    {!encode_count}. *)
 
 val encoded_message : encoded -> t
 

@@ -42,6 +42,7 @@ type stats = {
   sequenced : int;
   applied : int;
   deliveries_sent : int;
+  relay_frames_sent : int;
   elections_started : int;
   took_over_at : float option;
 }
@@ -119,6 +120,7 @@ type t = {
   (* clients *)
   conn_of_member : (T.member_id, Net.Tcp.conn) Hashtbl.t;
   mutable client_conns : Net.Tcp.conn list;
+  relay_hub : Corona.Relay_hub.t;
   (* request correlation *)
   pending_create :
     (T.group_id, Net.Tcp.conn * bool * (T.object_id * string) list) Hashtbl.t;
@@ -301,7 +303,9 @@ and fail_client t conn group reason =
   send_client t conn (M.Request_failed { group; reason })
 
 (* Fan a response to the local members of a group, in join order: one
-   serialization and one batched transmit shared by every recipient. *)
+   serialization and one batched transmit shared by every direct recipient;
+   members proxied through the relay tier collapse to one [Relay_fanout]
+   frame per relay (the sharded [Shard_deliver] path rides this too). *)
 and fan_local t rg ?exclude resp =
   let conns =
     List.rev
@@ -321,10 +325,17 @@ and fan_local t rg ?exclude resp =
   match conns with
   | [] -> ()
   | conns ->
-      let e = M.pre_encode (M.Response resp) in
+      let d =
+        Corona.Relay_hub.deliver t.relay_hub ~group:rg.rg_id ?exclude
+          ~inner:resp conns
+      in
       t.st <-
-        { t.st with deliveries_sent = t.st.deliveries_sent + List.length conns };
-      M.send_batch_encoded conns e
+        {
+          t.st with
+          deliveries_sent = t.st.deliveries_sent + d.Corona.Relay_hub.d_direct;
+          relay_frames_sent =
+            t.st.relay_frames_sent + d.Corona.Relay_hub.d_frames;
+        }
 [@@corona.hot]
 
 and notify_local_membership t rg change members =
@@ -2030,8 +2041,39 @@ let handle_client_request t conn (req : M.request) =
          groups restore lost suffixes from other holders instead. *)
       ()
   | M.Ping { nonce } -> send_client t conn (M.Pong { nonce })
+  | M.Relay_register { relay } ->
+      let r = Corona.Relay_hub.register t.relay_hub ~relay ~conn ~at:(now t) in
+      send_client t conn
+        (M.Relay_registered { relay; index = r.Corona.Relay_hub.r_index });
+      send_client t conn
+        (M.Relay_slice
+           {
+             relay;
+             lo = r.Corona.Relay_hub.r_index;
+             hi = r.Corona.Relay_hub.r_index + 1;
+           })
+  | M.Relay_proxy { relay } ->
+      Corona.Relay_hub.register_proxy t.relay_hub ~relay ~conn
+  | M.Relay_heartbeat { relay; members } ->
+      Corona.Relay_hub.heartbeat t.relay_hub ~relay ~members ~at:(now t)
 
 let handle_client_disconnect t conn reason =
+  (match Corona.Relay_hub.conn_closed t.relay_hub conn with
+  | Corona.Relay_hub.Control r -> (
+      (* A relay died; its proxied connections die with it and the ordinary
+         per-member cleanup below handles the members. The next alive
+         sibling is told it now fronts the dead relay's slice. *)
+      match Corona.Relay_hub.sibling t.relay_hub r with
+      | Some s when Net.Tcp.is_open s.Corona.Relay_hub.r_conn ->
+          send_client t s.Corona.Relay_hub.r_conn
+            (M.Relay_slice
+               {
+                 relay = s.Corona.Relay_hub.r_id;
+                 lo = r.Corona.Relay_hub.r_index;
+                 hi = r.Corona.Relay_hub.r_index + 1;
+               })
+      | Some _ | None -> ())
+  | Corona.Relay_hub.Proxied _ | Corona.Relay_hub.Not_relay -> ());
   t.client_conns <- List.filter (fun c -> Net.Tcp.id c <> Net.Tcp.id conn) t.client_conns;
   let members_on_conn =
     Hashtbl.fold
@@ -2175,6 +2217,7 @@ let create fabric node_host ?(config = default_config) ~storage ~server_list
       conn_ids = [];
       conn_of_member = Hashtbl.create 64;
       client_conns = [];
+      relay_hub = Corona.Relay_hub.create ();
       pending_create = Hashtbl.create 8;
       pending_delete = Hashtbl.create 8;
       pending_join = Hashtbl.create 16;
@@ -2209,6 +2252,7 @@ let create fabric node_host ?(config = default_config) ~storage ~server_list
           sequenced = 0;
           applied = 0;
           deliveries_sent = 0;
+          relay_frames_sent = 0;
           elections_started = 0;
           took_over_at = None;
         };

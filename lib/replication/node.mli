@@ -182,6 +182,9 @@ type stats = {
   sequenced : int;  (** updates sequenced (coordinator role) *)
   applied : int;  (** sequenced updates applied to local copies *)
   deliveries_sent : int;  (** messages pushed to local clients *)
+  relay_frames_sent : int;
+      (** [Relay_fanout] frames sent to relays fronting local members —
+          one per relay per broadcast, not per member *)
   elections_started : int;
   took_over_at : float option;  (** when this node became coordinator *)
 }

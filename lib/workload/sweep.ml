@@ -1,0 +1,62 @@
+(* Instantiable result-row accumulator for the bench harness's
+   machine-readable outputs (BENCH_micro.json / BENCH_scale.json /
+   BENCH_transfer.json).
+
+   Each sweep owns its rows: the previous design kept three toplevel
+   mutable lists in bench/main.ml, and rows surviving across re-entrant
+   experiment runs produced stale, misordered pairs in the committed JSON
+   (two deployments sharing a byte-identical ns_per_bcast). An instance per
+   output file makes cross-run leakage impossible by construction, and the
+   unit test pins that two instances accumulate independently. *)
+
+type t = { mutable rev_rows : (string * string) list }
+
+let create () = { rev_rows = [] }
+
+let num v = if Float.is_finite v then Printf.sprintf "%.1f" v else "null"
+
+let add t ~section fields =
+  let obj =
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+    ^ "}"
+  in
+  t.rev_rows <- (section, obj) :: t.rev_rows
+
+let rows t = List.rev t.rev_rows
+
+let is_empty t = t.rev_rows = []
+
+let write t path =
+  match rows t with
+  | [] -> ()
+  | rows ->
+      (* group rows by section, preserving first-appearance order *)
+      let sections =
+        List.fold_left
+          (fun acc (s, _) -> if List.mem s acc then acc else acc @ [ s ])
+          [] rows
+      in
+      let oc = open_out path in
+      (* Close on the exception edge too (R9): a failed write must not leak
+         the descriptor. *)
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc "{\n";
+          List.iteri
+            (fun i s ->
+              if i > 0 then output_string oc ",\n";
+              Printf.fprintf oc "  %S: [\n" s;
+              let objs =
+                List.filter_map (fun (s', o) -> if s' = s then Some o else None) rows
+              in
+              List.iteri
+                (fun j o ->
+                  if j > 0 then output_string oc ",\n";
+                  Printf.fprintf oc "    %s" o)
+                objs;
+              output_string oc "\n  ]")
+            sections;
+          output_string oc "\n}\n");
+      Format.printf "@.wrote %s@." path

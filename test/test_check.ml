@@ -99,7 +99,7 @@ let test_seed_37_failover_regression () =
   let sched = S.generate (Sim.Rng.create 37L) in
   (match sched.S.kind with
   | S.Replicated _ -> ()
-  | S.Single _ | S.Sharded _ ->
+  | S.Single _ | S.Sharded _ | S.Relay _ ->
       Alcotest.fail "seed 37 must generate a replicated deployment");
   Alcotest.(check bool)
     "partitions a server" true
@@ -162,7 +162,14 @@ let seeded_bug_schedule =
       ];
   }
 
-let bug = { Check.Runner.skip_reconcile = false; skip_rejoin = true; skip_barrier = false }
+let bug =
+  {
+    Check.Runner.skip_reconcile = false;
+    skip_rejoin = true;
+    skip_barrier = false;
+    relay_crash = false;
+    skip_failover = false;
+  }
 
 let test_seeded_bug_detected () =
   let r = Check.Runner.execute ~bug ~seed:5L seeded_bug_schedule in
@@ -205,10 +212,11 @@ let test_reproducer_prints () =
    self-consistent and the rendered help must mention every injection. *)
 let test_inject_registry () =
   Alcotest.(check (list string))
-    "registry names" [ "skip-reconcile"; "skip-rejoin"; "skip-barrier" ]
+    "registry names"
+    [ "skip-reconcile"; "skip-rejoin"; "skip-barrier"; "relay-crash"; "skip-failover" ]
     Check.Inject.names;
   Alcotest.(check string) "rendered help line"
-    "BUG  deliberately break the runner: skip-reconcile | skip-rejoin | skip-barrier"
+    "BUG  deliberately break the runner: skip-reconcile | skip-rejoin | skip-barrier | relay-crash | skip-failover"
     (Check.Inject.spec_doc ());
   List.iter
     (fun needle ->
@@ -224,6 +232,10 @@ let test_inject_registry () =
     (of_string "skip-rejoin" = Some { none with skip_rejoin = true });
   Alcotest.(check bool) "skip-barrier sets exactly its flag" true
     (of_string "skip-barrier" = Some { none with skip_barrier = true });
+  Alcotest.(check bool) "relay-crash sets exactly its flag" true
+    (of_string "relay-crash" = Some { none with relay_crash = true });
+  Alcotest.(check bool) "skip-failover sets exactly its flag" true
+    (of_string "skip-failover" = Some { none with skip_failover = true });
   Alcotest.(check bool) "unknown name rejected" true (of_string "skip-nothing" = None);
   Alcotest.(check bool) "runner's no_bug is the registry's none" true
     (Check.Runner.no_bug = none)
@@ -300,6 +312,81 @@ let test_sharded_runner_deterministic () =
         r1.Check.Runner.r_trace r2.Check.Runner.r_trace)
     [ 2L; 19L ]
 
+(* --- relay deployments ----------------------------------------------------- *)
+
+(* Pinned relay scenario: three clients behind two relays, traffic before
+   and after relay 0 crashes. Trunk behavior: the crashed relay's members
+   fail over to relay 1, resync via Updates_since, and every oracle —
+   including delivery completeness — stays green. *)
+let relay_crash_schedule =
+  {
+    S.kind = S.Relay { relays = 2 };
+    clients = 3;
+    groups = 1;
+    horizon_ms = 12_000;
+    events =
+      [
+        S.Burst { client = 0; group = 0; at_ms = 2_000; count = 4; size = 16 };
+        S.Burst { client = 2; group = 0; at_ms = 3_000; count = 3; size = 16 };
+        S.Crash_relay { relay = 0; at_ms = 5_000 };
+        S.Burst { client = 1; group = 0; at_ms = 8_000; count = 4; size = 16 };
+        S.Burst { client = 2; group = 0; at_ms = 9_000; count = 2; size = 16 };
+      ];
+  }
+
+let test_relay_failover_trunk () =
+  let r = Check.Runner.execute ~seed:11L relay_crash_schedule in
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map O.violation_line r.Check.Runner.r_violations);
+  Alcotest.(check bool) "deliveries happened" true (r.Check.Runner.r_deliveries > 0)
+
+(* The same scenario with the skip-failover injection: members of the dead
+   relay never reconnect, so their streams stop short of the root's — the
+   completeness oracle (and only a relay-gated oracle) must name them. *)
+let test_skip_failover_caught_by_completeness () =
+  let bug = { Check.Runner.no_bug with Check.Runner.skip_failover = true } in
+  let r = Check.Runner.execute ~bug ~seed:11L relay_crash_schedule in
+  Alcotest.(check bool) "completeness oracle fired" true
+    (List.exists
+       (fun (v : O.violation) -> v.O.v_oracle = "completeness")
+       r.Check.Runner.r_violations);
+  let clean = Check.Runner.execute ~seed:11L relay_crash_schedule in
+  Alcotest.(check (list string))
+    "same schedule is clean without the bug" []
+    (List.map O.violation_line clean.Check.Runner.r_violations)
+
+(* The relay-crash hazard injection is not a bug: it piles a deterministic
+   mid-run relay crash on top of the schedule and the system must absorb
+   it. *)
+let test_relay_crash_hazard_survives () =
+  for seed = 1 to 12 do
+    let seed = Int64.of_int seed in
+    let sched =
+      let rng = Sim.Rng.create seed in
+      S.generate ~smoke:true ~relay:true rng
+    in
+    let bug = { Check.Runner.no_bug with Check.Runner.relay_crash = true } in
+    let r = Check.Runner.execute ~bug ~seed sched in
+    List.iter
+      (fun v -> Alcotest.failf "relay seed %Ld: %s" seed (O.violation_line v))
+      r.Check.Runner.r_violations
+  done
+
+let test_relay_runner_deterministic () =
+  List.iter
+    (fun seed ->
+      let sched =
+        let rng = Sim.Rng.create seed in
+        S.generate ~smoke:true ~relay:true rng
+      in
+      let r1 = Check.Runner.execute ~seed sched in
+      let r2 = Check.Runner.execute ~seed sched in
+      Alcotest.(check (list string))
+        (Printf.sprintf "trace of relay seed %Ld" seed)
+        r1.Check.Runner.r_trace r2.Check.Runner.r_trace)
+    [ 3L; 14L ]
+
 (* --- oracle replay models ------------------------------------------------- *)
 
 let empty_input =
@@ -313,6 +400,7 @@ let empty_input =
     i_eras = [];
     i_barriers = [];
     i_shards = 1;
+    i_relay = false;
   }
 
 let test_lock_oracle_model () =
@@ -457,6 +545,16 @@ let () =
             test_skip_barrier_bug_detected;
           tc "sharded trunk passes smoke seeds" `Quick test_sharded_trunk_passes_smoke;
           tc "sharded determinism regression" `Quick test_sharded_runner_deterministic;
+        ] );
+      ( "relay",
+        [
+          tc "relay crash fails members over to the sibling" `Quick
+            test_relay_failover_trunk;
+          tc "skip-failover caught by completeness oracle" `Quick
+            test_skip_failover_caught_by_completeness;
+          tc "relay-crash hazard survives smoke seeds" `Quick
+            test_relay_crash_hazard_survives;
+          tc "relay determinism regression" `Quick test_relay_runner_deterministic;
         ] );
       ( "oracles",
         [

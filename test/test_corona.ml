@@ -623,7 +623,8 @@ let test_reconnect_resync () =
             (Some "big-base-state+1+2+3")
             (Corona.Shared_state.get st "o"))
         ())
-    ~on_failed:(fun () -> Alcotest.fail "reconnect failed");
+    ~on_failed:(fun () -> Alcotest.fail "reconnect failed")
+    ();
   run w.engine;
   let bytes_moved =
     (Corona.Server.stats server).Corona.Server.state_transfer_bytes - bytes_before
@@ -663,7 +664,8 @@ let test_rejoin_after_log_reduction_falls_back () =
             (Some "0123456789")
             (Corona.Shared_state.get st "o"))
         ())
-    ~on_failed:(fun () -> Alcotest.fail "reconnect failed");
+    ~on_failed:(fun () -> Alcotest.fail "reconnect failed")
+    ();
   run w.engine
 
 let test_access_control_deny () =
@@ -984,7 +986,8 @@ let test_sender_assisted_recovery () =
           Alcotest.(check (option string)) "client and server agree"
             server_state client_state)
         ())
-    ~on_failed:(fun () -> Alcotest.fail "reconnect failed");
+    ~on_failed:(fun () -> Alcotest.fail "reconnect failed")
+    ();
   run w.engine;
   Alcotest.(check bool) "rejoined" true !rejoined;
   (* Every update the sender had seen is back, beyond what the disk held. *)

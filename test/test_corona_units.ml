@@ -330,6 +330,61 @@ let test_membership_join_order_and_rejoin () =
   Alcotest.(check bool) "remove absent" false (Corona.Membership.remove m "b");
   Alcotest.(check int) "count" 2 (Corona.Membership.count m)
 
+(* The relay tier's slice partition is pure arithmetic computed independently
+   by root, relays, harness and bench; if it ever disagreed with itself two
+   relays could both (or neither) claim a member. Property: for any relay
+   count and membership size, slice_owner and slice_bounds are exact inverses,
+   the slices are contiguous, disjoint, and cover [0, members). *)
+let prop_slice_partition =
+  QCheck.Test.make ~count:300 ~name:"relay slices partition the membership"
+    QCheck.(pair (int_range 1 40) (int_range 0 2_000))
+    (fun (relays, members) ->
+      let owner = Corona.Membership.slice_owner ~relays ~members in
+      let bounds = Corona.Membership.slice_bounds ~relays ~members in
+      (* every member index is owned by exactly the relay whose bounds
+         contain it *)
+      let owned_once = ref true in
+      for idx = 0 to members - 1 do
+        let o = owner idx in
+        owned_once :=
+          !owned_once && o >= 0 && o < relays
+          && (let lo, hi = bounds o in
+              lo <= idx && idx < hi)
+          (* and no other relay's slice contains it *)
+          && List.for_all
+               (fun i ->
+                 i = o
+                 ||
+                 let lo, hi = bounds i in
+                 idx < lo || idx >= hi)
+               (List.init relays (fun i -> i))
+      done;
+      (* slices concatenate to [0, members) with no gaps *)
+      let contiguous = ref true in
+      let next = ref 0 in
+      for i = 0 to relays - 1 do
+        let lo, hi = bounds i in
+        contiguous := !contiguous && lo = !next && hi >= lo;
+        next := hi
+      done;
+      !owned_once && !contiguous && !next = members)
+
+let test_slice_assignment_pinned () =
+  (* determinism pin: the exact assignment for (relays=3, members=8) — any
+     change to the slice arithmetic shifts members between relays and must
+     show up here before it shows up as a failover bug *)
+  let owners =
+    List.init 8 (fun i -> Corona.Membership.slice_owner ~relays:3 ~members:8 i)
+  in
+  Alcotest.(check (list int)) "owners" [ 0; 0; 0; 1; 1; 1; 2; 2 ] owners;
+  let bounds =
+    List.init 3 (fun i -> Corona.Membership.slice_bounds ~relays:3 ~members:8 i)
+  in
+  Alcotest.(check (list (pair int int))) "bounds" [ (0, 3); (3, 6); (6, 8) ] bounds;
+  (* more relays than members: trailing relays front empty slices *)
+  Alcotest.(check (pair int int)) "empty slice" (2, 2)
+    (Corona.Membership.slice_bounds ~relays:5 ~members:2 4)
+
 (* --- access control ----------------------------------------------------------- *)
 
 let test_access_allowlist () =
@@ -579,6 +634,7 @@ let oracle_input ?(shards = 2) ?(journals = []) ?(barriers = []) () =
     i_eras = [];
     i_barriers = barriers;
     i_shards = shards;
+    i_relay = false;
   }
 
 let violation_lines vs = List.map Check.Oracles.violation_line vs
@@ -696,7 +752,12 @@ let () =
           tc "double release rejected" `Quick test_lock_double_release;
           q prop_lock_single_holder;
         ] );
-      ("membership", [ tc "join order and rejoin" `Quick test_membership_join_order_and_rejoin ]);
+      ( "membership",
+        [
+          tc "join order and rejoin" `Quick test_membership_join_order_and_rejoin;
+          tc "slice assignment pinned" `Quick test_slice_assignment_pinned;
+          q prop_slice_partition;
+        ] );
       ("access-control", [ tc "join allowlist" `Quick test_access_allowlist ]);
       ( "transfer",
         [

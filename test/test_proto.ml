@@ -89,6 +89,9 @@ let all_request_samples =
     M.Release_lock { group = "g"; lock = "l"; member = "m" };
     M.Reduce_log { group = "g"; member = "m" };
     M.Ping { nonce = 424242 };
+    M.Relay_register { relay = "r1" };
+    M.Relay_proxy { relay = "r1" };
+    M.Relay_heartbeat { relay = "r1"; members = 5 };
   ]
 
 let all_response_samples =
@@ -120,6 +123,15 @@ let all_response_samples =
     M.Shard_view { group = "g"; bar = 0; vector = []; op = "" };
     M.Shard_joined { group = "g"; vector = [ 2; 5 ] };
     M.Shard_joined { group = "g"; vector = [] };
+    M.Relay_registered { relay = "r1"; index = 3 };
+    M.Relay_fanout { group = "g"; exclude = None; inner = M.Deliver sample_update };
+    M.Relay_fanout
+      { group = "g"; exclude = Some "s";
+        inner =
+          M.Membership_changed
+            { group = "g"; change = T.Member_crashed "b";
+              members = [ { T.member = "a"; role = T.Principal } ] } };
+    M.Relay_slice { relay = "r1"; lo = 2; hi = 4 };
   ]
 
 let test_all_constructors_roundtrip () =
@@ -291,6 +303,38 @@ let golden_frames : (string * M.t * string) list =
     ( "shard_joined",
       M.Response (M.Shard_joined { group = "g"; vector = [ 2; 5 ] }),
       "011100000001670000000200000000000000020000000000000005" );
+    (* relay-tier frames: the three control-plane requests, the registration
+       ack, a fan-out carrying a nested Deliver (exclude absent) and a nested
+       Membership_changed (sender-exclusive exclude present), and a slice
+       handoff notice *)
+    ( "relay_register",
+      M.Request (M.Relay_register { relay = "r1" }),
+      "000b000000027231" );
+    ( "relay_proxy",
+      M.Request (M.Relay_proxy { relay = "r1" }),
+      "000c000000027231" );
+    ( "relay_heartbeat",
+      M.Request (M.Relay_heartbeat { relay = "r1"; members = 5 }),
+      "000d00000002723100000005" );
+    ( "relay_registered",
+      M.Response (M.Relay_registered { relay = "r1"; index = 3 }),
+      "011200000002723100000003" );
+    ( "relay_fanout_deliver",
+      M.Response (M.Relay_fanout { group = "g"; exclude = None; inner = M.Deliver sample_update }),
+      "0113000000016700060000000000000009000000016700000000016f000000077061796c\
+       6f616400000005616c6963654031400000000000" );
+    ( "relay_fanout_exclude",
+      M.Response
+        (M.Relay_fanout
+           { group = "g"; exclude = Some "s";
+             inner =
+               M.Membership_changed
+                 { group = "g"; change = T.Member_crashed "b";
+                   members = [ { T.member = "a"; role = T.Principal } ] } }),
+      "0113000000016701000000017305000000016702000000016200000001000000016100" );
+    ( "relay_slice",
+      M.Response (M.Relay_slice { relay = "r1"; lo = 2; hi = 4 }),
+      "01140000000272310000000200000004" );
   ]
 
 let test_golden_bytes () =
@@ -417,6 +461,45 @@ let test_join_accepted_splice () =
       M.Snapshot { objects = []; log_tail = [] };
       M.Update_history [ sample_update; sample_update ];
     ]
+
+(* Same guarantee for the relay tier: the root splices the cached inner
+   response bytes into a Relay_fanout wrapper instead of re-encoding the
+   inner message per relay, and members behind a relay must see the exact
+   bytes a direct member would. *)
+let test_relay_fanout_splice () =
+  let inners =
+    [
+      M.Deliver sample_update;
+      M.Membership_changed
+        { group = "g"; change = T.Member_joined "b";
+          members =
+            [ { T.member = "a"; role = T.Principal };
+              { T.member = "b"; role = T.Observer } ] };
+      M.Group_deleted { group = "g" };
+    ]
+  in
+  List.iter
+    (fun exclude ->
+      List.iter
+        (fun inner ->
+          let msg = M.Response (M.Relay_fanout { group = "g"; exclude; inner }) in
+          let whole = M.pre_encode msg in
+          let inner_enc = M.pre_encode (M.Response inner) in
+          let before = M.encode_count () in
+          let spliced =
+            M.pre_encode_relay_fanout ~group:"g" ?exclude ~inner ~inner_enc ()
+          in
+          Alcotest.(check int) "splice costs exactly one encode" (before + 1)
+            (M.encode_count ());
+          Alcotest.(check string)
+            "spliced frame = whole-message encode" (M.encoded_bytes whole)
+            (M.encoded_bytes spliced);
+          let decoded =
+            M.decode (Proto.Codec.Reader.of_string (M.encoded_bytes spliced))
+          in
+          Alcotest.(check bool) "decodes identically" true (decoded = msg))
+        inners)
+    [ None; Some "alice" ]
 
 (* --- property-based roundtrips over random messages ---------------------- *)
 
@@ -596,6 +679,7 @@ let () =
           tc "barrier frame golden bytes" `Quick test_barrier_frame_golden;
           tc "pre-encode consistency" `Quick test_pre_encode_consistency;
           tc "join-accepted splice is byte-identical" `Quick test_join_accepted_splice;
+          tc "relay-fanout splice is byte-identical" `Quick test_relay_fanout_splice;
           tc "wire size scales with payload" `Quick test_wire_size_scales_with_payload;
           q prop_roundtrip;
           q prop_wire_size_consistent;

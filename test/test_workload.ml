@@ -149,6 +149,49 @@ let test_disk_regimes () =
   Alcotest.(check bool) "sync is disk-bound below no-logging" true
     (sync_kbs < 0.6 *. nolog_kbs)
 
+(* --- sweep accumulators --------------------------------------------------- *)
+
+(* The committed BENCH_scale.json once carried a pair of deployments with a
+   byte-identical ns_per_bcast — rows leaking between the bench's global
+   accumulators. Sweep instances must accumulate independently and render
+   section grouping in first-appearance order. *)
+let test_sweep_independent_accumulation () =
+  let a = Workload.Sweep.create () in
+  let b = Workload.Sweep.create () in
+  Alcotest.(check bool) "fresh sweeps are empty" true
+    (Workload.Sweep.is_empty a && Workload.Sweep.is_empty b);
+  Workload.Sweep.add a ~section:"scale" [ ("members", "100"); ("ns", "1.0") ];
+  Workload.Sweep.add b ~section:"micro" [ ("name", "\"x\"") ];
+  Workload.Sweep.add a ~section:"relay" [ ("members", "10000") ];
+  Workload.Sweep.add a ~section:"scale" [ ("members", "300") ];
+  (* nothing from [b] in [a] and vice versa *)
+  Alcotest.(check (list string)) "a sections in insertion order"
+    [ "scale"; "relay"; "scale" ]
+    (List.map fst (Workload.Sweep.rows a));
+  Alcotest.(check (list string)) "b untouched by a's adds" [ "micro" ]
+    (List.map fst (Workload.Sweep.rows b));
+  Alcotest.(check string) "row rendering"
+    "{\"members\": 100, \"ns\": 1.0}"
+    (snd (List.hd (Workload.Sweep.rows a)));
+  (* writing one sweep must not drain or disturb the other *)
+  let path = Filename.temp_file "sweep" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workload.Sweep.write a path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "scale section grouped once" true
+        (String.length contents > 0
+        && String.index_opt contents '{' = Some 0);
+      Alcotest.(check (list string)) "a rows survive write"
+        [ "scale"; "relay"; "scale" ]
+        (List.map fst (Workload.Sweep.rows a)));
+  Alcotest.(check string) "non-finite renders null" "null" (Workload.Sweep.num nan);
+  Alcotest.(check string) "finite renders 1dp" "12.3" (Workload.Sweep.num 12.34)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "workload"
@@ -157,6 +200,8 @@ let () =
         [
           tc "table alignment" `Quick test_report_table_alignment;
           tc "unit renderers" `Quick test_report_units;
+          tc "sweep accumulators are independent" `Quick
+            test_sweep_independent_accumulation;
         ] );
       ( "testbed",
         [
