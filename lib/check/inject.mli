@@ -1,0 +1,37 @@
+(** The single source of truth for corona-check's deliberate bug
+    injections. The [--inject] help text and the argument parser are both
+    generated from {!specs}, and a unit test diffs the binary's help
+    against this registry — so a new injection cannot be added without its
+    documentation, and the documentation cannot drift from what the parser
+    accepts. *)
+
+type t = {
+  skip_reconcile : bool;
+      (** drop the post-heal reconciliation step after a partition *)
+  skip_rejoin : bool;
+      (** reconnecting clients "forget" to rejoin groups they were in *)
+  skip_barrier : bool;
+      (** sharded deployments: membership views fan directly instead of
+          riding the cross-shard barrier (lock grants stay barriered) *)
+  relay_crash : bool;
+      (** HAZARD, not a bug: force a deterministic mid-run relay crash on
+          top of whatever the schedule drew — the system must fail members
+          over to a sibling relay and still satisfy every oracle *)
+  skip_failover : bool;
+      (** relay deployments: members whose relay died "forget" to
+          reconnect to the sibling, stalling their streams *)
+}
+
+val none : t
+
+type spec = { sp_name : string; sp_doc : string; sp_set : t -> t }
+
+val specs : spec list
+
+val names : string list
+
+val of_string : string -> t option
+(** The injection named on the command line, applied to {!none}. *)
+
+val spec_doc : unit -> string
+(** The complete help line for [--inject], built from the registry. *)

@@ -1,0 +1,62 @@
+(** Per-agent observation logs. Everything an oracle judges comes from
+    here: each client agent appends timestamped entries as its callbacks
+    fire, and the determinism regression compares two runs' logs
+    byte-for-byte. *)
+
+type entry =
+  | Connected of { incarnation : int }
+  | Conn_lost of { reason : string }
+  | Crashed
+  | Restarted
+  | Joined of { group : string; next : int }
+      (** successful join/rejoin; [next] is the first sequence number this
+          agent will be shown after the join (at_seqno of the reply) *)
+  | Join_failed of { group : string; why : string }
+  | Delivered of {
+      group : string;
+      seqno : int;
+      sender : string;
+      kind : string;
+      obj : string;
+      data : string;
+    }
+  | View of { group : string; change : string; members : string list }
+  | Shard_view of { group : string; bar : int; vector : int list; op : string }
+      (** cross-shard barrier op applied at the stamped per-shard vector *)
+  | Lock_granted of { group : string; lock : string }
+  | Lock_released of { group : string; lock : string }
+  | Note of string
+
+type t
+
+val create : string -> t
+
+val agent : t -> string
+
+val record : t -> now:float -> entry -> unit
+
+val entries : t -> (float * entry) list
+(** Oldest first. *)
+
+val lines : t -> string list
+(** One line per entry, "agent @ time entry" — the unit of byte-for-byte
+    trace comparison in the determinism regression. *)
+
+(** The per-group update stream an agent observed, with the join markers
+    that tell the total-order oracle where the stream may legitimately
+    (re)start. *)
+type stream_item =
+  | S_start of { at : float; next : int }  (** Joined: expect this seqno next *)
+  | S_update of {
+      at : float;
+      seqno : int;
+      sender : string;
+      kind : string;
+      obj : string;
+      data : string;
+    }
+
+val stream : t -> group:string -> stream_item list
+
+val groups_seen : t -> string list
+(** Groups this agent joined or received deliveries for, sorted. *)

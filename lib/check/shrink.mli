@@ -1,0 +1,16 @@
+(** Fault-schedule minimization. Given a failing schedule and a predicate
+    that re-runs it, shrink to a schedule that still fails but carries as
+    few events, and as small parameters, as we can manage: ddmin over the
+    event list, a one-event-at-a-time removal pass, then parameter halving
+    (durations, burst sizes and counts). Every candidate re-executes the
+    schedule, so the whole search is bounded by [max_attempts] runs. *)
+
+type stats = { sh_attempts : int; sh_kept : int; sh_dropped : int }
+
+val shrink :
+  ?max_attempts:int ->
+  still_fails:(Schedule.t -> bool) ->
+  Schedule.t ->
+  Schedule.t * stats
+(** [still_fails] must re-run the candidate and report whether the
+    original failure persists ([max_attempts] defaults to 220). *)

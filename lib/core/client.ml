@@ -47,9 +47,12 @@ type group_replica = {
   gr_state : Shared_state.t;
   mutable gr_last_seqno : int; (* highest applied; join_seqno - 1 initially *)
   mutable gr_via_mcast : bool; (* deliveries arrive on the multicast channel *)
-  mutable gr_recent : T.update list;
-      (* newest first, bounded: the cache sender-assisted crash recovery
-         (§6) answers Resend_request from *)
+  gr_recent : T.update array;
+      (* bounded circular cache the sender-assisted crash recovery (§6)
+         answers Resend_request from: next write at [gr_recent_head], so a
+         remembered update is two stores instead of a list cons + trim *)
+  mutable gr_recent_n : int; (* live entries, ≤ Array.length gr_recent *)
+  mutable gr_recent_head : int;
   gr_own_exclusive : (T.object_id * string) Queue.t;
       (* our sender-exclusive sends already applied optimistically; their
          multicast echoes must not be re-applied *)
@@ -125,6 +128,19 @@ let drain_chunks t group =
       Hashtbl.remove t.chunks group;
       List.rev fragments
 
+let recent_cache_size = 128
+
+let dummy_update =
+  {
+    T.seqno = -1;
+    group = "";
+    kind = T.Set_state;
+    obj = "";
+    data = "";
+    sender = "";
+    timestamp = 0.0;
+  }
+
 let apply_join_state t group at_seqno (state : M.join_state) =
   match (state, Hashtbl.find_opt t.replicas group) with
   | M.Update_history updates, Some replica ->
@@ -144,7 +160,9 @@ let apply_join_state t group at_seqno (state : M.join_state) =
           gr_state = Shared_state.create ();
           gr_last_seqno = at_seqno - 1;
           gr_via_mcast = false;
-          gr_recent = [];
+          gr_recent = Array.make recent_cache_size dummy_update;
+          gr_recent_n = 0;
+          gr_recent_head = 0;
           gr_own_exclusive = Queue.create ();
           gr_shard_next = Hashtbl.create 4;
         }
@@ -162,28 +180,29 @@ let apply_join_state t group at_seqno (state : M.join_state) =
           List.iter (fun u -> Shared_state.apply replica.gr_state u) updates);
       Hashtbl.replace t.replicas group replica
 
-let recent_cache_size = 128
-
 let remember_update replica (u : T.update) =
-  let trimmed =
-    if List.length replica.gr_recent >= recent_cache_size then
-      List.filteri (fun i _ -> i < recent_cache_size - 1) replica.gr_recent
-    else replica.gr_recent
-  in
-  replica.gr_recent <- u :: trimmed
+  replica.gr_recent.(replica.gr_recent_head) <- u;
+  replica.gr_recent_head <- (replica.gr_recent_head + 1) mod recent_cache_size;
+  if replica.gr_recent_n < recent_cache_size then
+    replica.gr_recent_n <- replica.gr_recent_n + 1
 
-let apply_delivery t (u : T.update) =
-  match Hashtbl.find_opt t.replicas u.group with
-  | None -> ()
-  | Some replica ->
-      if u.seqno > replica.gr_last_seqno then begin
-        remember_update replica u;
-        (* Skip our own sender-exclusive updates already applied at send
-           (they never come back, so no double-apply; this guard is for the
-           sender-inclusive echo). *)
-        Shared_state.apply replica.gr_state u;
-        replica.gr_last_seqno <- u.seqno
-      end
+(* The remembered updates with [seqno >= from_seqno], ascending (stable, so
+   equal-seqno shard updates keep newest-first submission order, as the old
+   list cache yielded them). *)
+let recent_updates replica ~from_seqno =
+  let n = replica.gr_recent_n in
+  let acc = ref [] in
+  for j = 0 to n - 1 do
+    (* oldest → newest, so the consed accumulator comes out newest-first *)
+    let idx =
+      (replica.gr_recent_head - n + j + recent_cache_size) mod recent_cache_size
+    in
+    let u = replica.gr_recent.(idx) in
+    if u.T.seqno >= from_seqno then acc := u :: !acc
+  done;
+  List.sort
+    (fun (a : T.update) (b : T.update) -> Int.compare a.seqno b.seqno)
+    !acc
 
 (* --- multicast subscription (§5.3 hybrid mode) -------------------------- *)
 
@@ -213,27 +232,36 @@ and handle_mcast_response t group (resp : M.response) =
    hand us a broadcast sequenced before our join completed — the join state
    already covers it. *)
 and handle_delivery t (u : T.update) =
-  if not (Hashtbl.mem t.replicas u.group) then ()
-  else
-  let own_exclusive_echo =
-    u.sender = t.member
-    &&
-    match Hashtbl.find_opt t.replicas u.group with
-    | Some r -> (
+  (* Exception-based lookup: this is the per-delivery hot path, and
+     [find_opt]'s [Some] would be an allocation per recipient per bcast. *)
+  match Hashtbl.find t.replicas u.group with
+  | exception Not_found -> ()
+  | r ->
+      let own_exclusive_echo =
+        u.sender = t.member
+        &&
         match Queue.peek_opt r.gr_own_exclusive with
         | Some (obj, data) when obj = u.obj && data = u.data ->
             ignore (Queue.pop r.gr_own_exclusive);
             r.gr_last_seqno <- max r.gr_last_seqno u.seqno;
             remember_update r u;
             true
-        | Some _ | None -> false)
-    | None -> false
-  in
-  if not own_exclusive_echo then begin
-    t.deliveries <- t.deliveries + 1;
-    apply_delivery t u;
-    emit t (Delivered u)
-  end
+        | Some _ | None -> false
+      in
+      if not own_exclusive_echo then begin
+        t.deliveries <- t.deliveries + 1;
+        if u.seqno > r.gr_last_seqno then begin
+          remember_update r u;
+          (* Our own sender-exclusive updates were applied at send time and
+             never come back; this seqno guard covers the sender-inclusive
+             echo. *)
+          Shared_state.apply r.gr_state u;
+          r.gr_last_seqno <- u.seqno
+        end;
+        (* [Delivered] is a boxed constructor — only build it for a
+           registered listener. *)
+        match t.on_event with Some f -> f t (Delivered u) | None -> ()
+      end
 
 (* --- response dispatch ------------------------------------------------ *)
 
@@ -284,10 +312,7 @@ let handle_response t (resp : M.response) =
          can finish our join. *)
       let updates =
         match Hashtbl.find_opt t.replicas group with
-        | Some r ->
-            List.filter (fun (u : T.update) -> u.seqno >= from_seqno) r.gr_recent
-            |> List.sort (fun (a : T.update) (b : T.update) ->
-                   Int.compare a.seqno b.seqno)
+        | Some r -> recent_updates r ~from_seqno
         | None -> []
       in
       if is_connected t then

@@ -28,6 +28,8 @@ type t = {
   mutable next_index : int;
   mutable frames_sent : int;
   seen : (int, unit) Hashtbl.t; (* scratch: per-fan-out relay dedup *)
+  hb_direct : Net.Tcp.batch; (* split scratch, refilled per fan-out *)
+  hb_control : Net.Tcp.batch;
 }
 
 let create () =
@@ -39,6 +41,8 @@ let create () =
     next_index = 0;
     frames_sent = 0;
     seen = Hashtbl.create 8;
+    hb_direct = Net.Tcp.batch_create ();
+    hb_control = Net.Tcp.batch_create ();
   }
 
 let register t ~relay ~conn ~at =
@@ -133,6 +137,25 @@ let split t conns =
   (List.rev direct, List.rev controls)
 [@@corona.hot]
 
+(* Batch flavor of [split]: partition the caller's recipient batch into the
+   hub's two scratch batches. Same classification and ordering rules. *)
+let split_batch t batch =
+  Net.Tcp.batch_clear t.hb_direct;
+  Net.Tcp.batch_clear t.hb_control;
+  Hashtbl.reset t.seen;
+  let n = Net.Tcp.batch_length batch in
+  for i = 0 to n - 1 do
+    let conn = Net.Tcp.batch_get batch i in
+    match Hashtbl.find_opt t.proxied (Net.Tcp.id conn) with
+    | Some r when Net.Tcp.is_open r.r_conn ->
+        if not (Hashtbl.mem t.seen r.r_index) then begin
+          Hashtbl.replace t.seen r.r_index ();
+          Net.Tcp.batch_add t.hb_control r.r_conn
+        end
+    | Some _ | None -> Net.Tcp.batch_add t.hb_direct conn
+  done
+[@@corona.hot]
+
 type delivered = {
   d_direct : int; (* point-to-point recipients *)
   d_frames : int; (* relay control frames (≤ relay count) *)
@@ -140,32 +163,58 @@ type delivered = {
   d_frame_bytes : int;
 }
 
-(* Fan [inner] out to [conns]: direct recipients share one pre-encoded
-   frame exactly as the flat path did; every relay with a proxied recipient
-   gets one [Relay_fanout] frame whose payload splices the same cached
-   bytes ([pre_encode_relay_fanout]), itself shared across all control
-   connections by the batched transmit. With no relay tier present this
-   degenerates to the classic single-encode single-batch fan-out. *)
-let deliver t ~group ?exclude ~inner conns =
-  match conns with
-  | [] -> { d_direct = 0; d_frames = 0; d_direct_bytes = 0; d_frame_bytes = 0 }
-  | conns ->
-      let direct, controls =
-        if Hashtbl.length t.proxied = 0 then (conns, []) else split t conns
+let no_delivery =
+  { d_direct = 0; d_frames = 0; d_direct_bytes = 0; d_frame_bytes = 0 }
+
+(* Fan [inner] out to the recipient [batch] (consumed by the call): direct
+   recipients share one pre-encoded frame exactly as the flat path did;
+   every relay with a proxied recipient gets one [Relay_fanout] frame whose
+   payload splices the same cached bytes ([pre_encode_relay_fanout]),
+   itself shared across all control connections by the batched transmit.
+   With no relay tier present this degenerates to the classic
+   single-encode single-batch fan-out.
+
+   Both encodings come out of [pool] and are released when the last batch
+   sharing their bytes reports completion — the splice borrows the inner
+   encoding's segments, so the borrower is released first. *)
+let deliver t ~pool ~group ?exclude ~inner batch =
+  if Net.Tcp.batch_length batch = 0 then no_delivery
+  else begin
+    let split = Hashtbl.length t.proxied > 0 in
+    if split then split_batch t batch;
+    let direct = if split then t.hb_direct else batch in
+    let n_controls = if split then Net.Tcp.batch_length t.hb_control else 0 in
+    let e = M.pre_encode ~pool (M.Response inner) in
+    let wire = M.encoded_wire_size e in
+    let d_direct = Net.Tcp.batch_length direct in
+    if n_controls = 0 then begin
+      if d_direct = 0 then M.release_encoded pool e
+      else
+        M.send_batch_encoded_buf direct
+          ~on_complete:(fun () -> M.release_encoded pool e)
+          e;
+      { d_direct; d_frames = 0; d_direct_bytes = d_direct * wire; d_frame_bytes = 0 }
+    end
+    else begin
+      let ef = M.pre_encode_relay_fanout ~pool ~group ?exclude ~inner ~inner_enc:e () in
+      let fwire = M.encoded_wire_size ef in
+      t.frames_sent <- t.frames_sent + n_controls;
+      let pending = ref (if d_direct > 0 then 2 else 1) in
+      let finish () =
+        decr pending;
+        if !pending = 0 then begin
+          M.release_encoded pool ef;
+          M.release_encoded pool e
+        end
       in
-      let e = M.pre_encode (M.Response inner) in
-      let wire = M.encoded_wire_size e in
-      let d_direct = List.length direct in
-      (match direct with [] -> () | direct -> M.send_batch_encoded direct e);
-      let d_frames, d_frame_bytes =
-        match controls with
-        | [] -> (0, 0)
-        | controls ->
-            let ef = M.pre_encode_relay_fanout ~group ?exclude ~inner ~inner_enc:e () in
-            let n = List.length controls in
-            t.frames_sent <- t.frames_sent + n;
-            M.send_batch_encoded controls ef;
-            (n, n * M.encoded_wire_size ef)
-      in
-      { d_direct; d_frames; d_direct_bytes = d_direct * wire; d_frame_bytes }
+      if d_direct > 0 then M.send_batch_encoded_buf direct ~on_complete:finish e;
+      M.send_batch_encoded_buf t.hb_control ~on_complete:finish ef;
+      {
+        d_direct;
+        d_frames = n_controls;
+        d_direct_bytes = d_direct * wire;
+        d_frame_bytes = n_controls * fwire;
+      }
+    end
+  end
 [@@corona.hot]

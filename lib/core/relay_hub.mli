@@ -66,13 +66,16 @@ type delivered = {
 
 val deliver :
   t ->
+  pool:Proto.Pool.t ->
   group:Proto.Types.group_id ->
   ?exclude:Proto.Types.member_id ->
   inner:Proto.Message.response ->
-  Net.Tcp.conn list ->
+  Net.Tcp.batch ->
   delivered
-(** Fan [inner] out: one pre-encode shared by all direct recipients (the
+(** Fan [inner] out to the recipient batch (which is consumed — refill it
+    per broadcast): one pre-encode shared by all direct recipients (the
     classic path, byte-identical when no relays are registered) plus one
     spliced [Relay_fanout] frame shared across every relay with a proxied
     recipient. [exclude] rides inside the frame so the relay skips the
-    sender of a sender-exclusive broadcast. *)
+    sender of a sender-exclusive broadcast. Both encodings lease their
+    buffers from [pool] and are released once the transmits complete. *)

@@ -84,7 +84,19 @@ type t = {
   listener : Net.Tcp.listener option ref;
   transfer_cache : Transfer.cache;
   relay_hub : Relay_hub.t;
-  mutable st : stats;
+  pool : Proto.Pool.t; (* hot-path frame buffers, leased per broadcast *)
+  fan_batch : Net.Tcp.batch; (* fan-out fill buffer, refilled per broadcast *)
+  (* Stats as individual mutable fields: the hot loop bumps a counter with
+     a field store instead of re-allocating a record per event; the public
+     [stats] record is assembled on demand. *)
+  mutable s_requests_handled : int;
+  mutable s_bcasts_sequenced : int;
+  mutable s_deliveries_sent : int;
+  mutable s_bytes_delivered : int;
+  mutable s_responses_sent : int;
+  mutable s_joins_served : int;
+  mutable s_state_transfer_bytes : int;
+  mutable s_relay_frames_sent : int;
 }
 
 let now t = Sim.Engine.now (Net.Fabric.engine t.fabric)
@@ -95,7 +107,19 @@ let host t = t.server_host
 
 let config t = t.cfg
 
-let stats t = t.st
+let stats t =
+  {
+    requests_handled = t.s_requests_handled;
+    bcasts_sequenced = t.s_bcasts_sequenced;
+    deliveries_sent = t.s_deliveries_sent;
+    bytes_delivered = t.s_bytes_delivered;
+    responses_sent = t.s_responses_sent;
+    joins_served = t.s_joins_served;
+    state_transfer_bytes = t.s_state_transfer_bytes;
+    relay_frames_sent = t.s_relay_frames_sent;
+  }
+
+let pool_stats t = Proto.Pool.stats t.pool
 
 let relay_hub t = t.relay_hub
 
@@ -158,7 +182,7 @@ let group_base t id =
    sequenced-update deliveries ([deliveries_sent] / [bytes_delivered]). *)
 
 let send_encoded_response t conn e =
-  t.st <- { t.st with responses_sent = t.st.responses_sent + 1 };
+  t.s_responses_sent <- t.s_responses_sent + 1;
   M.send_encoded conn e
 
 let send_to_conn t conn response =
@@ -175,37 +199,34 @@ let send_to_member t member response =
 (* The open connections of a group's members in join order, minus [exclude]
    and anything [skip] rejects: the recipient list handed to the batched
    transmit, in the same order the per-member send loop used to walk. *)
-let batch_conns t g ?exclude ?(skip = fun _ -> false) () =
-  List.rev
-    (List.fold_left
-       (fun acc (m : Membership.entry) ->
-         let excluded =
-           match exclude with Some x -> x = m.member | None -> false
-         in
-         if excluded || skip m.member then acc
-         else
-           match Hashtbl.find_opt t.conn_of_member m.member with
-           | Some conn when Net.Tcp.is_open conn -> conn :: acc
-           | Some _ | None -> acc)
-       []
-       (Membership.entries g.g_members))
+let no_skip (_ : T.member_id) = false
+
+let fill_batch t g ?exclude ?(skip = no_skip) () =
+  Net.Tcp.batch_clear t.fan_batch;
+  List.iter
+    (fun (m : Membership.entry) ->
+      let excluded =
+        match exclude with Some x -> x = m.member | None -> false
+      in
+      if not (excluded || skip m.member) then
+        (* Exception-based lookup: per recipient per bcast, so [find_opt]'s
+           [Some] would be a hot-loop allocation. *)
+        match Hashtbl.find t.conn_of_member m.member with
+        | conn -> if Net.Tcp.is_open conn then Net.Tcp.batch_add t.fan_batch conn
+        | exception Not_found -> ())
+    (Membership.entries g.g_members)
 
 (* Fan out to group members in join order, optionally skipping one:
    one encode shared by all direct recipients, one spliced [Relay_fanout]
    frame shared by every relay fronting proxied recipients. *)
 let fan_out t g ?exclude response =
-  match batch_conns t g ?exclude () with
-  | [] -> ()
-  | conns ->
-      let d =
-        Relay_hub.deliver t.relay_hub ~group:g.g_id ?exclude ~inner:response conns
-      in
-      t.st <-
-        {
-          t.st with
-          responses_sent = t.st.responses_sent + d.Relay_hub.d_direct;
-          relay_frames_sent = t.st.relay_frames_sent + d.Relay_hub.d_frames;
-        }
+  fill_batch t g ?exclude ();
+  let d =
+    Relay_hub.deliver t.relay_hub ~pool:t.pool ~group:g.g_id ?exclude
+      ~inner:response t.fan_batch
+  in
+  t.s_responses_sent <- t.s_responses_sent + d.Relay_hub.d_direct;
+  t.s_relay_frames_sent <- t.s_relay_frames_sent + d.Relay_hub.d_frames
 [@@corona.hot]
 
 let notify_membership_change t g change =
@@ -214,30 +235,21 @@ let notify_membership_change t g change =
   | targets ->
       let members = Membership.members g.g_members in
       let changed = T.changed_member change in
-      let conns =
-        List.filter_map
-          (fun m ->
-            if m = changed then None
-            else
-              match Hashtbl.find_opt t.conn_of_member m with
-              | Some conn when Net.Tcp.is_open conn -> Some conn
-              | Some _ | None -> None)
-          targets
+      Net.Tcp.batch_clear t.fan_batch;
+      List.iter
+        (fun m ->
+          if m <> changed then
+            match Hashtbl.find t.conn_of_member m with
+            | conn -> if Net.Tcp.is_open conn then Net.Tcp.batch_add t.fan_batch conn
+            | exception Not_found -> ())
+        targets;
+      let d =
+        Relay_hub.deliver t.relay_hub ~pool:t.pool ~group:g.g_id ~exclude:changed
+          ~inner:(M.Membership_changed { group = g.g_id; change; members })
+          t.fan_batch
       in
-      match conns with
-      | [] -> ()
-      | conns ->
-          let d =
-            Relay_hub.deliver t.relay_hub ~group:g.g_id ~exclude:changed
-              ~inner:(M.Membership_changed { group = g.g_id; change; members })
-              conns
-          in
-          t.st <-
-            {
-              t.st with
-              responses_sent = t.st.responses_sent + d.Relay_hub.d_direct;
-              relay_frames_sent = t.st.relay_frames_sent + d.Relay_hub.d_frames;
-            }
+      t.s_responses_sent <- t.s_responses_sent + d.Relay_hub.d_direct;
+      t.s_relay_frames_sent <- t.s_relay_frames_sent + d.Relay_hub.d_frames
 [@@corona.hot]
 
 (* --- group lifecycle ------------------------------------------------- *)
@@ -363,7 +375,7 @@ let join_accepted_frame ~group ~members ~multicast (p : Transfer.prepared) =
   match p.p_enc with
   | Some state_enc ->
       M.pre_encode_join_accepted ~group ~at_seqno:p.p_at ~state:p.p_state
-        ~state_enc ~members ~multicast
+        ~state_enc ~members ~multicast ()
   | None ->
       M.pre_encode
         (M.Response
@@ -445,12 +457,8 @@ let handle_join t conn ~group ~member ~role ~transfer ~notify =
               if multicast then Hashtbl.replace g.g_mcast_members member ()
               else Hashtbl.remove g.g_mcast_members member;
               let p = join_state_for t g.g_keeper transfer in
-              t.st <-
-                {
-                  t.st with
-                  joins_served = t.st.joins_served + 1;
-                  state_transfer_bytes = t.st.state_transfer_bytes + p.p_bytes;
-                };
+              t.s_joins_served <- t.s_joins_served + 1;
+              t.s_state_transfer_bytes <- t.s_state_transfer_bytes + p.p_bytes;
               (* [lean_joins]: the per-joiner membership list is the one
                  O(members) cost left in a join at 100k scale — elide it. *)
               let members =
@@ -496,7 +504,7 @@ let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
           | None -> fail t conn group "sender is not a member"
           | Some T.Observer -> fail t conn group "observers may not update shared state"
           | Some T.Principal ->
-              t.st <- { t.st with bcasts_sequenced = t.st.bcasts_sequenced + 1 };
+              t.s_bcasts_sequenced <- t.s_bcasts_sequenced + 1;
               let exclude =
                 match mode with
                 | T.Sender_exclusive -> Some sender
@@ -508,46 +516,33 @@ let handle_bcast t conn ~group ~sender ~kind ~obj ~data ~mode =
                   (* One NIC transmission covers every subscribed member;
                      sender exclusion for subscribed senders happens at the
                      client. Deliveries count per subscriber reached. *)
-                  let e = M.pre_encode (M.Response (M.Deliver u)) in
+                  let e = M.pre_encode ~pool:t.pool (M.Response (M.Deliver u)) in
                   let wire = M.encoded_wire_size e in
                   let chan =
                     Net.Multicast.channel t.fabric ~name:(mcast_channel_name g.g_id)
                   in
-                  t.st <-
-                    {
-                      t.st with
-                      deliveries_sent = t.st.deliveries_sent + mcast_reached;
-                      bytes_delivered =
-                        t.st.bytes_delivered + (mcast_reached * wire);
-                    };
+                  t.s_deliveries_sent <- t.s_deliveries_sent + mcast_reached;
+                  t.s_bytes_delivered <- t.s_bytes_delivered + (mcast_reached * wire);
                   Net.Multicast.send chan ~src:t.server_host ~size:wire
+                    ~on_complete:(fun () -> M.release_encoded t.pool e)
                     (M.Corona (M.encoded_message e))
                 end;
-                match
-                  batch_conns t g ?exclude
-                    ~skip:(fun m -> Hashtbl.mem g.g_mcast_members m)
-                    ()
-                with
-                | [] -> ()
-                | conns ->
-                    (* One serialization shared by every point-to-point
-                       recipient; proxied recipients collapse to one spliced
-                       frame per relay. *)
-                    let d =
-                      Relay_hub.deliver t.relay_hub ~group ?exclude
-                        ~inner:(M.Deliver u) conns
-                    in
-                    t.st <-
-                      {
-                        t.st with
-                        deliveries_sent =
-                          t.st.deliveries_sent + d.Relay_hub.d_direct;
-                        bytes_delivered =
-                          t.st.bytes_delivered + d.Relay_hub.d_direct_bytes
-                          + d.Relay_hub.d_frame_bytes;
-                        relay_frames_sent =
-                          t.st.relay_frames_sent + d.Relay_hub.d_frames;
-                      }
+                fill_batch t g ?exclude
+                  ~skip:(fun m -> Hashtbl.mem g.g_mcast_members m)
+                  ();
+                (* One serialization shared by every point-to-point
+                   recipient; proxied recipients collapse to one spliced
+                   frame per relay. *)
+                let d =
+                  Relay_hub.deliver t.relay_hub ~pool:t.pool ~group ?exclude
+                    ~inner:(M.Deliver u) t.fan_batch
+                in
+                t.s_deliveries_sent <- t.s_deliveries_sent + d.Relay_hub.d_direct;
+                t.s_bytes_delivered <-
+                  t.s_bytes_delivered + d.Relay_hub.d_direct_bytes
+                  + d.Relay_hub.d_frame_bytes;
+                t.s_relay_frames_sent <-
+                  t.s_relay_frames_sent + d.Relay_hub.d_frames
               in
               (match g.g_keeper with
               | Stateful log -> (
@@ -616,7 +611,7 @@ let handle_reduce t conn ~group =
               send_to_conn t conn (M.Log_reduced { group; upto }))
 
 let handle_request t conn (req : M.request) =
-  t.st <- { t.st with requests_handled = t.st.requests_handled + 1 };
+  t.s_requests_handled <- t.s_requests_handled + 1;
   match req with
   | M.Create_group { group; creator; persistent; initial } ->
       handle_create t conn ~group ~persistent ~initial ~requester:creator
@@ -653,12 +648,8 @@ let handle_request t conn (req : M.request) =
               Hashtbl.remove t.pending_recovery (group, member);
               if Net.Tcp.is_open conn' then begin
                 let p = join_state_for t g.g_keeper transfer in
-                t.st <-
-                  {
-                    t.st with
-                    joins_served = t.st.joins_served + 1;
-                    state_transfer_bytes = t.st.state_transfer_bytes + p.p_bytes;
-                  };
+                t.s_joins_served <- t.s_joins_served + 1;
+                t.s_state_transfer_bytes <- t.s_state_transfer_bytes + p.p_bytes;
                 send_encoded_response t conn'
                   (join_accepted_frame ~group
                      ~members:(Membership.members g.g_members)
@@ -776,17 +767,16 @@ let create fabric server_host ?(config = default_config) ~storage () =
       listener = ref None;
       transfer_cache = Transfer.create_cache ();
       relay_hub = Relay_hub.create ();
-      st =
-        {
-          requests_handled = 0;
-          bcasts_sequenced = 0;
-          deliveries_sent = 0;
-          bytes_delivered = 0;
-          responses_sent = 0;
-          joins_served = 0;
-          state_transfer_bytes = 0;
-          relay_frames_sent = 0;
-        };
+      pool = Proto.Pool.create ();
+      fan_batch = Net.Tcp.batch_create ();
+      s_requests_handled = 0;
+      s_bcasts_sequenced = 0;
+      s_deliveries_sent = 0;
+      s_bytes_delivered = 0;
+      s_responses_sent = 0;
+      s_joins_served = 0;
+      s_state_transfer_bytes = 0;
+      s_relay_frames_sent = 0;
     }
   in
   if config.maintain_state then recover_groups t;

@@ -26,9 +26,12 @@ let of_objects pairs =
 
 let append_object t obj data =
   t.version <- t.version + 1;
-  match Hashtbl.find_opt t.objects obj with
-  | Some e -> e.segments <- data :: e.segments
-  | None -> Hashtbl.replace t.objects obj { base = ""; segments = [ data ] }
+  (* Exception-based lookup: the hot delivery loop appends to an existing
+     object, and [find_opt]'s [Some] would be a per-delivery allocation. *)
+  match Hashtbl.find t.objects obj with
+  | e -> e.segments <- data :: e.segments
+  | exception Not_found ->
+      Hashtbl.replace t.objects obj { base = ""; segments = [ data ] }
 
 let apply t (u : Proto.Types.update) =
   match u.kind with

@@ -38,11 +38,14 @@ let analyze (g : G.t) : t =
   done;
   reach
 
+let is_reachable (reach : t) key = Hashtbl.mem reach key
+
 let kind_phrase = function
   | G.Alloc -> "allocation"
   | G.List_build -> "list building"
   | G.Printf_alloc -> "closure allocation"
   | G.Encode -> "re-encode"
+  | G.Decode_copy -> "decode copy"
 
 let findings (g : G.t) (reach : t) =
   List.concat_map
@@ -54,7 +57,10 @@ let findings (g : G.t) (reach : t) =
             (fun (s : G.sink) ->
               let extra =
                 match s.G.sk_kind with
-                | G.Encode -> " — defeats encode-once, share a pre_encode" | _ -> ""
+                | G.Encode -> " — defeats encode-once, share a pre_encode"
+                | G.Decode_copy ->
+                    " — defeats zero-copy decode, peek the frame in place (Message.peek_*)"
+                | _ -> ""
               in
               Finding.make ~file:d.G.d_file ~line:s.G.sk_line ~col:s.G.sk_col ~rule:"R8"
                 ~ident:d.G.d_name

@@ -25,7 +25,38 @@ type t = {
   mutable bytes : int;
   mutable batches : int;
   mutable extensions : (string * ext) list;
+  mutable free_batches : batch list; (* recycled transmit_many state *)
+  mutable order_scratch : int array; (* multi-worker NIC ordering, issue-time only *)
 }
+
+(* Recycled per-fan-out state for [transmit_many]: scratch arrays sized to
+   the largest batch seen plus two persistent stage closures, so a
+   steady-state broadcast allocates no per-recipient closures or event
+   records at all. The record is leased at issue and released when every
+   recipient has reached its terminal event (delivery, drop, or epoch
+   silence) — [b_remaining] counts down to the release point, where the
+   optional completion callback fires. *)
+and batch = {
+  b_fab : t;
+  mutable b_src : Host.t;
+  mutable b_issued_at : float;
+  mutable b_remaining : int;
+  mutable b_dsts : Host.t array;
+  mutable b_fin : float array; (* sender-CPU finish, issue scratch *)
+  mutable b_until : float array; (* sender-epoch guard horizon per recipient *)
+  mutable b_deser : float array;
+  mutable b_kind : int array; (* 0 = deliver, 1 = drop (partition/loss) *)
+  mutable b_dst_epoch : int array; (* receiver epoch at deser reservation *)
+  mutable b_k : int -> unit;
+  mutable b_on_dropped : int -> unit;
+  mutable b_on_complete : unit -> unit;
+  mutable b_stage1 : int -> unit;
+  mutable b_stage2 : int -> unit;
+}
+
+let ignore_i (_ : int) = ()
+
+let ignore_u () = ()
 
 let create ?(config = lan) engine =
   {
@@ -40,6 +71,8 @@ let create ?(config = lan) engine =
     bytes = 0;
     batches = 0;
     extensions = [];
+    free_batches = [];
+    order_scratch = [||];
   }
 
 let find_ext t name = List.assoc_opt name t.extensions
@@ -66,6 +99,8 @@ let host t name = Hashtbl.find t.hosts name
 let hosts t = List.rev t.host_order
 
 let set_latency t ~src ~dst l = Hashtbl.replace t.latency_overrides (src, dst) l
+
+let has_latency_overrides t = Hashtbl.length t.latency_overrides > 0
 
 let latency t src dst =
   (* Fast path: no overrides configured — skip the tuple-key allocation that
@@ -147,77 +182,211 @@ let transmit t ~src ~dst ~size ?(on_dropped = ignore) k =
    jitter randomness is drawn at issue time rather than at NIC-finish time,
    and the partition check moves to issue time; a sender crash between issue
    and NIC-finish is detected via the host's epoch-transition history and
-   silences the affected deliveries just like the chained epoch guard. *)
-let transmit_many t ~src ~size ?(on_dropped = fun _ -> ()) ~dsts k =
-  let n = Array.length dsts in
+   silences the affected deliveries just like the chained epoch guard.
+
+   The per-recipient state lives in a recycled [batch] record (leased from
+   [free_batches] at issue, re-shelved when the countdown reaches zero) and
+   both delivery stages are pooled indexed events, so the steady-state loop
+   allocates neither closures nor event records per recipient. *)
+
+(* Stage 1 fires at the delivery (or drop-report) timestamp: sender-epoch
+   guard, then either the drop callback or the receiver-CPU reservation
+   followed by stage 2 — the [Host.exec] guard, unrolled so the epoch
+   snapshot lands in a scratch array instead of a closure. *)
+let rec batch_stage1 b i =
+  let src = b.b_src in
+  if
+    Host.has_transitions src
+    && Host.epoch_changed_within src ~after:b.b_issued_at ~until:b.b_until.(i)
+  then batch_terminal b (* sender restarted in between: delivery silenced *)
+  else if b.b_kind.(i) = 1 then begin
+    b.b_on_dropped i;
+    batch_terminal b
+  end
+  else begin
+    let dst = b.b_dsts.(i) in
+    if Host.is_alive dst then begin
+      (* [b_fin] is issue-time scratch, dead by delivery time: reuse the
+         slot for the deserialize finish so no float return is boxed. *)
+      Host.reserve_cpu_slot dst ~costs:b.b_deser ~into:b.b_fin i;
+      b.b_dst_epoch.(i) <- Host.epoch dst;
+      Sim.Engine.schedule_pooled b.b_fab.engine ~at:b.b_fin.(i) b.b_stage2 i
+    end
+    else begin
+      b.b_on_dropped i;
+      batch_terminal b
+    end
+  end
+
+and batch_stage2 b i =
+  let dst = b.b_dsts.(i) in
+  if Host.is_alive dst && Host.epoch dst = b.b_dst_epoch.(i) then b.b_k i;
+  batch_terminal b
+
+and batch_terminal b =
+  b.b_remaining <- b.b_remaining - 1;
+  if b.b_remaining = 0 then begin
+    let on_complete = b.b_on_complete in
+    (* Defang the callbacks before re-shelving so the freelist does not
+       retain the caller's closures (and whatever they capture). *)
+    b.b_k <- ignore_i;
+    b.b_on_dropped <- ignore_i;
+    b.b_on_complete <- ignore_u;
+    b.b_fab.free_batches <- b :: b.b_fab.free_batches;
+    on_complete ()
+  end
+
+let new_batch t src =
+  let b =
+    {
+      b_fab = t;
+      b_src = src;
+      b_issued_at = 0.0;
+      b_remaining = 0;
+      b_dsts = [||];
+      b_fin = [||];
+      b_until = [||];
+      b_deser = [||];
+      b_kind = [||];
+      b_dst_epoch = [||];
+      b_k = ignore_i;
+      b_on_dropped = ignore_i;
+      b_on_complete = ignore_u;
+      b_stage1 = ignore_i;
+      b_stage2 = ignore_i;
+    }
+  in
+  b.b_stage1 <- (fun i -> batch_stage1 b i);
+  b.b_stage2 <- (fun i -> batch_stage2 b i);
+  b
+
+let acquire_batch t src n =
+  let b =
+    match t.free_batches with
+    | b :: rest ->
+        t.free_batches <- rest;
+        b
+    | [] -> new_batch t src
+  in
+  if Array.length b.b_dsts < n then begin
+    let cap = ref (max 16 (Array.length b.b_dsts)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    b.b_dsts <- Array.make !cap src;
+    b.b_fin <- Array.make !cap 0.0;
+    b.b_until <- Array.make !cap 0.0;
+    b.b_deser <- Array.make !cap 0.0;
+    b.b_kind <- Array.make !cap 0;
+    b.b_dst_epoch <- Array.make !cap 0
+  end;
+  b
+
+let transmit_many t ~src ~size ?(on_dropped = ignore_i) ?(on_complete = ignore_u)
+    ~dsts ?len k =
+  let n = match len with Some n -> n | None -> Array.length dsts in
   if n > 0 && Host.is_alive src then begin
     t.batches <- t.batches + 1;
-    let issued_at = Sim.Engine.now t.engine in
+    let b = acquire_batch t src n in
+    b.b_src <- src;
+    b.b_issued_at <- Sim.Engine.now t.engine;
+    b.b_remaining <- n;
+    b.b_k <- k;
+    b.b_on_dropped <- on_dropped;
+    b.b_on_complete <- on_complete;
+    Array.blit dsts 0 b.b_dsts 0 n;
     let cpu_src = Host.cpu src in
     let serialize_cost =
       cpu_src.Host.send_overhead +. (float_of_int size *. cpu_src.Host.per_byte_cost)
     in
-    let exec_fin = Array.map (fun _ -> Host.reserve_cpu src ~cost:serialize_cost) dsts in
-    let order = Array.init n (fun i -> i) in
+    let fin = b.b_fin in
+    Host.reserve_cpu_many src ~cost:serialize_cost ~n ~into:fin;
     (* With one worker the finish times are already increasing in recipient
        order; with several, NIC reservation order is heap order over the
        exec-finish events: stable sort on (finish time, recipient index). *)
-    if cpu_src.Host.workers > 1 then
+    let sorted = cpu_src.Host.workers > 1 in
+    if sorted then begin
+      if Array.length t.order_scratch < n then
+        t.order_scratch <- Array.make (max 16 n) 0;
+      let order = t.order_scratch in
+      for i = 0 to n - 1 do
+        order.(i) <- i
+      done;
+      (* [Array.sort] sorts the whole array, so take an exact-length view;
+         multi-worker senders are rare enough that this copy is off the
+         single-worker hot path entirely. *)
+      let sub = Array.sub order 0 n in
       Array.sort
         (fun a b ->
-          let c = Float.compare exec_fin.(a) exec_fin.(b) in
+          let c = Float.compare fin.(a) fin.(b) in
           if c <> 0 then c else Int.compare a b)
-        order;
-    Array.iter
-      (fun i ->
-        let dst = dsts.(i) in
-        let cpu_dst = Host.cpu dst in
-        let deserialize_cost =
-          cpu_dst.Host.recv_overhead +. (float_of_int size *. cpu_dst.Host.per_byte_cost)
+        sub;
+      Array.blit sub 0 order 0 n
+    end;
+    (* The common LAN shape — no loss, no partition, no jitter, no latency
+       overrides — skips every rare-feature check (and the float boxing
+       each would cost) per recipient: one NIC slot reservation and one
+       boxed delivery timestamp. The slow path below is byte-identical for
+       it; this is purely an allocation fast path. *)
+    let plain =
+      t.config.loss_rate = 0.0 && t.config.jitter = 0.0
+      && (match t.component_of with None -> true | Some _ -> false)
+      && Hashtbl.length t.latency_overrides = 0
+    in
+    let until = b.b_until in
+    for j = 0 to n - 1 do
+      let i = if sorted then t.order_scratch.(j) else j in
+      let dst = b.b_dsts.(i) in
+      let cpu_dst = Host.cpu dst in
+      b.b_deser.(i) <-
+        cpu_dst.Host.recv_overhead +. (float_of_int size *. cpu_dst.Host.per_byte_cost);
+      if Host.name src = Host.name dst then begin
+        (* Loopback: skip NIC and network, deliver at serialize finish. *)
+        b.b_kind.(i) <- 0;
+        b.b_until.(i) <- fin.(i);
+        Sim.Engine.schedule_pooled t.engine ~at:fin.(i) b.b_stage1 i
+      end
+      else if plain then begin
+        Host.reserve_nic_slot src ~size ~fins:fin ~into:until i;
+        t.packets <- t.packets + 1;
+        t.bytes <- t.bytes + size;
+        b.b_kind.(i) <- 0;
+        Sim.Engine.schedule_pooled t.engine
+          ~at:(until.(i) +. t.config.base_latency)
+          b.b_stage1 i
+      end
+      else begin
+        let nic_fin = Host.reserve_nic_from src ~from:fin.(i) ~size in
+        t.packets <- t.packets + 1;
+        t.bytes <- t.bytes + size;
+        let partitioned = not (same_component t src dst) in
+        let lost =
+          (not partitioned)
+          && t.config.loss_rate > 0.0
+          && Sim.Rng.float t.rng 1.0 < t.config.loss_rate
         in
-        let fin = exec_fin.(i) in
-        if Host.name src = Host.name dst then
-          (* Loopback: skip NIC and network, deliver at serialize finish. *)
-          ignore
-            (Sim.Engine.schedule_at t.engine fin (fun () ->
-                 if not (Host.epoch_changed_within src ~after:issued_at ~until:fin)
-                 then
-                   if Host.is_alive dst then Host.exec dst ~cost:deserialize_cost (fun () -> k i)
-                   else on_dropped i))
+        if partitioned || lost then begin
+          (* The chained path reports partition/loss drops at NIC-finish
+             time; keep that so retransmit timers fire identically. *)
+          b.b_kind.(i) <- 1;
+          b.b_until.(i) <- nic_fin;
+          Sim.Engine.schedule_pooled t.engine ~at:nic_fin b.b_stage1 i
+        end
         else begin
-          let nic_fin = Host.reserve_nic_from src ~from:fin ~size in
-          t.packets <- t.packets + 1;
-          t.bytes <- t.bytes + size;
-          let partitioned = not (same_component t src dst) in
-          let lost =
-            (not partitioned)
-            && t.config.loss_rate > 0.0
-            && Sim.Rng.float t.rng 1.0 < t.config.loss_rate
+          let delay =
+            latency t src dst
+            +.
+            if t.config.jitter > 0.0 then Sim.Rng.float t.rng t.config.jitter
+            else 0.0
           in
-          if partitioned || lost then
-            (* The chained path reports partition/loss drops at NIC-finish
-               time; keep that so retransmit timers fire identically. *)
-            ignore
-              (Sim.Engine.schedule_at t.engine nic_fin (fun () ->
-                   if not (Host.epoch_changed_within src ~after:issued_at ~until:nic_fin)
-                   then on_dropped i))
-          else begin
-            let delay =
-              latency t src dst
-              +.
-              if t.config.jitter > 0.0 then Sim.Rng.float t.rng t.config.jitter else 0.0
-            in
-            ignore
-              (Sim.Engine.schedule_at t.engine (nic_fin +. delay) (fun () ->
-                   if not (Host.epoch_changed_within src ~after:issued_at ~until:nic_fin)
-                   then
-                     if Host.is_alive dst then
-                       Host.exec dst ~cost:deserialize_cost (fun () -> k i)
-                     else on_dropped i))
-          end
-        end)
-      order
+          b.b_kind.(i) <- 0;
+          b.b_until.(i) <- nic_fin;
+          Sim.Engine.schedule_pooled t.engine ~at:(nic_fin +. delay) b.b_stage1 i
+        end
+      end
+    done
   end
+  else on_complete () (* nothing issued: the caller may reclaim at once *)
 
 let record_packet t ~size =
   t.packets <- t.packets + 1;

@@ -63,6 +63,10 @@ val set_latency : t -> src:string -> dst:string -> float -> unit
 (** Override the one-way latency for a directed pair (both directions must be
     set separately if desired). *)
 
+val has_latency_overrides : t -> bool
+(** Whether any {!set_latency} override exists. A [false] lets batch senders
+    price every target at [config.base_latency] without a per-target call. *)
+
 val latency : t -> Host.t -> Host.t -> float
 
 val partition : t -> string list list -> unit
@@ -99,7 +103,9 @@ val transmit_many :
   src:Host.t ->
   size:int ->
   ?on_dropped:(int -> unit) ->
+  ?on_complete:(unit -> unit) ->
   dsts:Host.t array ->
+  ?len:int ->
   (int -> unit) ->
   unit
 (** [transmit_many t ~src ~size ~dsts k] fans one [size]-byte message out to
@@ -113,7 +119,19 @@ val transmit_many :
     case): packet counters are charged and loss/jitter randomness is drawn at
     issue time rather than NIC-finish time, and the partition check happens
     at issue time. A sender crash between issue and NIC-finish silences the
-    affected deliveries, exactly like the chained epoch guard. *)
+    affected deliveries, exactly like the chained epoch guard.
+
+    [on_complete] fires exactly once, after every recipient has reached its
+    terminal outcome (delivered, dropped, or silenced by a sender-epoch
+    change) — the hook transports use to release pooled buffers whose bytes
+    were borrowed by this fan-out. When nothing is issued (empty [dsts] or a
+    dead sender) it fires synchronously before the call returns. The fan-out
+    state itself is recycled: steady-state broadcasts allocate no
+    per-recipient closures or event records.
+
+    [len] bounds the fan-out to the first [len] entries of [dsts] (default:
+    the whole array) — callers that reuse a capacity-padded scratch array
+    pass the live prefix length instead of re-slicing per send. *)
 
 val record_packet : t -> size:int -> unit
 (** Transports built beside {!transmit} (e.g. {!Multicast}) report their NIC

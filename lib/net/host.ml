@@ -54,12 +54,16 @@ type t = {
   cpu : cpu_profile;
   nic_bandwidth : float;
   mutable worker_free : float array; (* virtual time each CPU worker frees *)
-  mutable nic_free : float;
+  (* One-element float arrays rather than mutable float fields: a float
+     store into this mixed record (or a [float ref], which shares the
+     generic ['a ref] representation) boxes a fresh float on every single
+     reservation, while a float-array store is flat and allocation-free. *)
+  nic_free : float array;
+  cpu_seconds : float array;
   mutable alive : bool;
   mutable epoch : int;
   mutable transitions : float list; (* crash/restart instants, newest first *)
   mutable crash_hooks : (unit -> unit) list;
-  mutable cpu_seconds : float;
   multicast_capable : bool;
 }
 
@@ -73,12 +77,12 @@ let create engine ~name ?(cpu = ultrasparc) ?(nic_bandwidth = default_bandwidth)
     cpu;
     nic_bandwidth;
     worker_free = Array.make (max 1 cpu.workers) 0.0;
-    nic_free = 0.0;
+    nic_free = [| 0.0 |];
+    cpu_seconds = [| 0.0 |];
     alive = true;
     epoch = 0;
     transitions = [];
     crash_hooks = [];
-    cpu_seconds = 0.0;
     multicast_capable;
   }
 
@@ -110,31 +114,75 @@ let guarded_at t at f =
    the same primitives, which keeps the accounting byte-identical between
    the chained and batched paths. *)
 
+(* Earliest-free worker (non-preemptive FIFO), as a tail recursion on int
+   indices so the per-call [ref] disappears from the hot loop. *)
+let rec earliest_free (free : float array) i best =
+  if i >= Array.length free then best
+  else earliest_free free (i + 1) (if free.(i) < free.(best) then i else best)
+
 let reserve_cpu t ~cost =
   let cost = if cost < 0.0 then 0.0 else cost in
   let now = Sim.Engine.now t.engine in
-  (* Assign to the earliest-free worker (non-preemptive FIFO). *)
-  let best = ref 0 in
-  for i = 1 to Array.length t.worker_free - 1 do
-    if t.worker_free.(i) < t.worker_free.(!best) then best := i
-  done;
-  let start = if t.worker_free.(!best) > now then t.worker_free.(!best) else now in
+  let best = earliest_free t.worker_free 1 0 in
+  let start = if t.worker_free.(best) > now then t.worker_free.(best) else now in
   let finish = start +. cost in
-  t.worker_free.(!best) <- finish;
-  t.cpu_seconds <- t.cpu_seconds +. cost;
+  t.worker_free.(best) <- finish;
+  t.cpu_seconds.(0) <- t.cpu_seconds.(0) +. cost;
   finish
 
+(* Batch flavor of {!reserve_cpu}: fill [into.(0..n-1)] with the finish
+   times of [n] successive same-cost reservations. Identical accounting to
+   [n] single calls, but the finish times land in the caller's float array
+   without [n] boxed-float returns crossing the module boundary. *)
+let reserve_cpu_many t ~cost ~n ~into =
+  let cost = if cost < 0.0 then 0.0 else cost in
+  let now = Sim.Engine.now t.engine in
+  let free = t.worker_free in
+  for i = 0 to n - 1 do
+    let best = earliest_free free 1 0 in
+    let start = if free.(best) > now then free.(best) else now in
+    let finish = start +. cost in
+    free.(best) <- finish;
+    into.(i) <- finish
+  done;
+  t.cpu_seconds.(0) <- t.cpu_seconds.(0) +. (float_of_int n *. cost)
+
+(* Slot flavor of {!reserve_cpu}: cost read from [costs.(i)], finish written
+   to [into.(i)] — no float crosses the call boundary. *)
+let reserve_cpu_slot t ~costs ~into i =
+  let cost = if costs.(i) < 0.0 then 0.0 else costs.(i) in
+  let now = Sim.Engine.now t.engine in
+  let best = earliest_free t.worker_free 1 0 in
+  let start = if t.worker_free.(best) > now then t.worker_free.(best) else now in
+  let finish = start +. cost in
+  t.worker_free.(best) <- finish;
+  t.cpu_seconds.(0) <- t.cpu_seconds.(0) +. cost;
+  into.(i) <- finish
+
 let reserve_nic_from t ~from ~size =
-  let start = if t.nic_free > from then t.nic_free else from in
+  let start = if t.nic_free.(0) > from then t.nic_free.(0) else from in
   let finish = start +. (float_of_int (max 0 size) /. t.nic_bandwidth) in
-  t.nic_free <- finish;
+  t.nic_free.(0) <- finish;
   finish
+
+(* Slot flavor of {!reserve_nic_from} for batched fan-out: reserve starting
+   no earlier than [fins.(i)], write the finish time to [into.(i)]. No
+   float crosses the call boundary, so the per-recipient loop stays
+   allocation-free. *)
+let reserve_nic_slot t ~size ~fins ~into i =
+  let from = fins.(i) in
+  let start = if t.nic_free.(0) > from then t.nic_free.(0) else from in
+  let finish = start +. (float_of_int (max 0 size) /. t.nic_bandwidth) in
+  t.nic_free.(0) <- finish;
+  into.(i) <- finish
 
 let exec t ~cost f = if t.alive then guarded_at t (reserve_cpu t ~cost) f
 
 let nic_send t ~size f =
   if t.alive then
     guarded_at t (reserve_nic_from t ~from:(Sim.Engine.now t.engine) ~size) f
+
+let has_transitions t = match t.transitions with [] -> false | _ :: _ -> true
 
 let epoch_changed_within t ~after ~until =
   List.exists (fun at -> at > after && at <= until) t.transitions
@@ -151,7 +199,7 @@ let crash t =
     let now = Sim.Engine.now t.engine in
     t.transitions <- now :: t.transitions;
     t.worker_free <- Array.map (fun _ -> now) t.worker_free;
-    t.nic_free <- now;
+    t.nic_free.(0) <- now;
     List.iter (fun hook -> hook ()) (List.rev t.crash_hooks)
   end
 
@@ -162,12 +210,12 @@ let restart t =
     let now = Sim.Engine.now t.engine in
     t.transitions <- now :: t.transitions;
     t.worker_free <- Array.map (fun _ -> now) t.worker_free;
-    t.nic_free <- now
+    t.nic_free.(0) <- now
   end
 
 let on_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
 
-let cpu_seconds_used t = t.cpu_seconds
+let cpu_seconds_used t = t.cpu_seconds.(0)
 
 let pp ppf t =
   Format.fprintf ppf "%s(%s,%s)" t.name t.cpu.profile_name

@@ -73,15 +73,38 @@ val reserve_cpu : t -> cost:float -> float
     the closed-form accumulator behind {!exec}; {!Fabric.transmit_many} uses
     it to compute a whole fan-out's serialize finish times inline. *)
 
+val reserve_cpu_many : t -> cost:float -> n:int -> into:float array -> unit
+(** [reserve_cpu_many h ~cost ~n ~into] books [n] successive same-cost
+    reservations and writes their finish times to [into.(0..n-1)] — the same
+    accounting as [n] {!reserve_cpu} calls, minus the [n] boxed-float
+    returns: the fan-out hot loop's flavor. *)
+
 val reserve_nic_from : t -> from:float -> size:int -> float
 (** [reserve_nic_from h ~from ~size] books a [size]-byte transmission on the
     NIC starting no earlier than [from] and returns the finish time. The
     accumulator behind {!nic_send} (which passes [from = now]). *)
 
+val reserve_cpu_slot :
+  t -> costs:float array -> into:float array -> int -> unit
+(** [reserve_cpu_slot h ~costs ~into i] is
+    [into.(i) <- reserve_cpu h ~cost:costs.(i)] with no float crossing the
+    call boundary — allocation-free per recipient. *)
+
+val reserve_nic_slot :
+  t -> size:int -> fins:float array -> into:float array -> int -> unit
+(** [reserve_nic_slot h ~size ~fins ~into i] is
+    [into.(i) <- reserve_nic_from h ~from:fins.(i) ~size] with no float
+    crossing the call boundary — allocation-free per recipient. *)
+
 val epoch_changed_within : t -> after:float -> until:float -> bool
 (** Whether the host crashed or restarted in the window [(after, until]].
     Lets a batch caller apply the same epoch guard that {!exec}/{!nic_send}
     events carry, without scheduling intermediate events. *)
+
+val has_transitions : t -> bool
+(** Whether the host has ever crashed or restarted. A [false] lets hot-path
+    callers skip {!epoch_changed_within} (and the float boxing its labelled
+    arguments cost) on the overwhelmingly common no-failure runs. *)
 
 val cpu_busy_until : t -> float
 (** Virtual time at which the earliest CPU worker frees up (≥ now). *)

@@ -37,6 +37,21 @@ type listener = {
   l_on_accept : conn -> unit;
 }
 
+(* Recycled per-fan-out state for {!send_batch_buf}: scratch arrays plus the
+   three persistent fabric callbacks, leased per broadcast and re-shelved
+   when the fabric reports the fan-out complete. *)
+type inflight = {
+  mutable if_conns : conn array;
+  mutable if_seqs : int array;
+  mutable if_dsts : Host.t array;
+  mutable if_size : int;
+  mutable if_payload : Payload.t;
+  mutable if_user_complete : unit -> unit;
+  mutable if_deliver : int -> unit;
+  mutable if_dropped : int -> unit;
+  mutable if_complete : unit -> unit;
+}
+
 (* Per-fabric transport state: the listener table — (host name, port) ->
    listener — and the connection-id counter live on the fabric instance, so
    concurrent simulations in one process cannot observe each other's
@@ -44,6 +59,7 @@ type listener = {
 type tcp_state = {
   listeners : (string * int, listener) Hashtbl.t;
   mutable next_conn_id : int;
+  mutable free_inflight : inflight list;
 }
 
 type Fabric.ext += Tcp_state of tcp_state
@@ -52,7 +68,9 @@ let state fabric =
   match Fabric.find_ext fabric "tcp" with
   | Some (Tcp_state s) -> s
   | Some _ | None ->
-      let s = { listeners = Hashtbl.create 16; next_conn_id = 0 } in
+      let s =
+        { listeners = Hashtbl.create 16; next_conn_id = 0; free_inflight = [] }
+      in
       Fabric.set_ext fabric "tcp" (Tcp_state s);
       s
 
@@ -96,6 +114,25 @@ let rec flush_ready c =
         | None -> c.early <- (size, payload) :: c.early);
         flush_ready c
 
+(* One arriving in-sequence message. The steady state — it carries exactly
+   the next expected sequence number and nothing is buffered behind it —
+   hands the payload straight to the receiver: no holdback insert, no
+   (size, payload) pair, no flush round-trip. Out-of-order arrivals take
+   the buffering path unchanged. *)
+let deliver_to dst seq ~size payload =
+  if dst.open_ && seq >= dst.recv_next && not (Hashtbl.mem dst.holdback seq)
+  then
+    if seq = dst.recv_next && Hashtbl.length dst.holdback = 0 then begin
+      dst.recv_next <- seq + 1;
+      match dst.receiver with
+      | Some f -> f ~size payload
+      | None -> dst.early <- (size, payload) :: dst.early
+    end
+    else begin
+      Hashtbl.replace dst.holdback seq (size, payload);
+      flush_ready dst
+    end
+
 let set_receiver c f =
   c.receiver <- Some f;
   let backlog = List.rev c.early in
@@ -114,12 +151,7 @@ let rec transmit_seq src seq size payload =
              if src.open_ then transmit_seq src seq size payload))
   in
   Fabric.transmit src.fabric ~src:src.host ~dst:dst.host ~size ~on_dropped:retry
-    (fun () ->
-      if dst.open_ && seq >= dst.recv_next && not (Hashtbl.mem dst.holdback seq)
-      then begin
-        Hashtbl.replace dst.holdback seq (size, payload);
-        flush_ready dst
-      end)
+    (fun () -> deliver_to dst seq ~size payload)
 
 let send c ~size payload =
   if c.open_ then begin
@@ -157,16 +189,153 @@ let rec send_batch conns ~size payload =
             ignore
               (Sim.Engine.schedule (engine_of c) ~delay:retransmit_timeout
                  (fun () -> if c.open_ then transmit_seq c seqs.(i) size payload)))
-        (fun i ->
-          let c = arr.(i) in
-          let dst = peer_exn c in
-          let seq = seqs.(i) in
-          if dst.open_ && seq >= dst.recv_next && not (Hashtbl.mem dst.holdback seq)
-          then begin
-            Hashtbl.replace dst.holdback seq (size, payload);
-            flush_ready dst
-          end);
+        (fun i -> deliver_to (peer_exn arr.(i)) seqs.(i) ~size payload);
       if rest <> [] then send_batch rest ~size payload
+
+(* --- reusable fan-out batches ------------------------------------------ *)
+
+(* [batch] is a caller-owned fill buffer: clear, add the recipient
+   connections of this broadcast, hand it to {!send_batch_buf}. The
+   in-flight per-recipient state (sequence numbers, destination hosts, the
+   three fabric callbacks) lives in a recycled [inflight] record leased from
+   the fabric's transport state and re-shelved when the fabric reports the
+   fan-out complete — a steady-state broadcast allocates nothing on this
+   layer. The two arrays ping-pong: [send_batch_buf] swaps the batch's fill
+   array into the inflight record and gives the record's previous array
+   back, so neither side ever copies a connection list. *)
+
+type batch = { mutable ba_conns : conn array; mutable ba_n : int }
+
+let batch_create () = { ba_conns = [||]; ba_n = 0 }
+
+let batch_clear b = b.ba_n <- 0
+
+let batch_add b c =
+  let cap = Array.length b.ba_conns in
+  if b.ba_n = cap then begin
+    let bigger = Array.make (max 8 (2 * cap)) c in
+    Array.blit b.ba_conns 0 bigger 0 cap;
+    b.ba_conns <- bigger
+  end;
+  b.ba_conns.(b.ba_n) <- c;
+  b.ba_n <- b.ba_n + 1
+
+let batch_length b = b.ba_n
+
+let batch_get b i =
+  if i < 0 || i >= b.ba_n then invalid_arg "Tcp.batch_get: index out of bounds";
+  b.ba_conns.(i)
+
+let ignore_i (_ : int) = ()
+
+let ignore_u () = ()
+
+let dummy_payload = Payload.Raw ""
+
+let new_inflight st =
+  let inf =
+    {
+      if_conns = [||];
+      if_seqs = [||];
+      if_dsts = [||];
+      if_size = 0;
+      if_payload = dummy_payload;
+      if_user_complete = ignore_u;
+      if_deliver = ignore_i;
+      if_dropped = ignore_i;
+      if_complete = ignore_u;
+    }
+  in
+  inf.if_deliver <-
+    (fun i ->
+      deliver_to
+        (peer_exn inf.if_conns.(i))
+        inf.if_seqs.(i) ~size:inf.if_size inf.if_payload);
+  inf.if_dropped <-
+    (fun i ->
+      let c = inf.if_conns.(i) in
+      if c.open_ then begin
+        (* Copy everything the retry needs out of the inflight record: the
+           timer fires long after the record has been recycled. *)
+        let seq = inf.if_seqs.(i) in
+        let size = inf.if_size in
+        let payload = inf.if_payload in
+        ignore
+          (Sim.Engine.schedule (engine_of c) ~delay:retransmit_timeout (fun () ->
+               if c.open_ then transmit_seq c seq size payload))
+      end);
+  inf.if_complete <-
+    (fun () ->
+      let k = inf.if_user_complete in
+      inf.if_user_complete <- ignore_u;
+      inf.if_payload <- dummy_payload;
+      st.free_inflight <- inf :: st.free_inflight;
+      k ());
+  inf
+
+let send_batch_buf b ~size ?(on_complete = ignore_u) payload =
+  (* Compact the live connections in place, preserving order, and detect
+     the (rare) mixed-sender case on the way. *)
+  let live = ref 0 in
+  let mixed = ref false in
+  for i = 0 to b.ba_n - 1 do
+    let c = b.ba_conns.(i) in
+    if c.open_ then begin
+      if !live > 0 && Host.name c.host <> Host.name b.ba_conns.(0).host then
+        mixed := true;
+      b.ba_conns.(!live) <- c;
+      incr live
+    end
+  done;
+  b.ba_n <- !live;
+  let n = !live in
+  if n = 0 then on_complete ()
+  else if !mixed then begin
+    (* Endpoints on several sending hosts: fall back to the list path, one
+       batched transmit per host. The payload value itself is consumed at
+       issue time (the fabric carries only its size), so completing here
+       keeps lease release correct. *)
+    let conns = ref [] in
+    for i = n - 1 downto 0 do
+      conns := b.ba_conns.(i) :: !conns
+    done;
+    b.ba_n <- 0;
+    send_batch !conns ~size payload;
+    on_complete ()
+  end
+  else begin
+    let st = state b.ba_conns.(0).fabric in
+    let inf =
+      match st.free_inflight with
+      | inf :: rest ->
+          st.free_inflight <- rest;
+          inf
+      | [] -> new_inflight st
+    in
+    (* Swap the fill buffer into the inflight record. *)
+    let tmp = inf.if_conns in
+    inf.if_conns <- b.ba_conns;
+    b.ba_conns <- tmp;
+    b.ba_n <- 0;
+    let conns = inf.if_conns in
+    let c0 = conns.(0) in
+    if Array.length inf.if_seqs < Array.length conns then begin
+      inf.if_seqs <- Array.make (Array.length conns) 0;
+      inf.if_dsts <- Array.make (Array.length conns) c0.host
+    end;
+    for i = 0 to n - 1 do
+      let c = conns.(i) in
+      let s = c.send_seq in
+      c.send_seq <- s + 1;
+      inf.if_seqs.(i) <- s;
+      inf.if_dsts.(i) <- (peer_exn c).host
+    done;
+    inf.if_size <- size;
+    inf.if_payload <- payload;
+    inf.if_user_complete <- on_complete;
+    Fabric.transmit_many c0.fabric ~src:c0.host ~size ~on_dropped:inf.if_dropped
+      ~on_complete:inf.if_complete ~dsts:inf.if_dsts ~len:n inf.if_deliver
+  end
 
 let close c =
   if c.open_ then begin

@@ -58,6 +58,38 @@ val send_batch : conn list -> size:int -> Payload.t -> unit
     scheduled delivery event per recipient instead of three. Closed
     connections are skipped; retransmits after drops use the chained path. *)
 
+type batch
+(** A reusable fan-out fill buffer: clear it, add this broadcast's recipient
+    connections, hand it to {!send_batch_buf}. One batch per sending
+    component; reuse across broadcasts is what makes the fan-out loop
+    allocation-free. *)
+
+val batch_create : unit -> batch
+
+val batch_clear : batch -> unit
+(** Empty the batch for refilling. O(1); the backing array is kept. *)
+
+val batch_add : batch -> conn -> unit
+(** Append a recipient connection (amortized O(1), grows by doubling). *)
+
+val batch_length : batch -> int
+
+val batch_get : batch -> int -> conn
+(** [batch_get b i] is the [i]-th connection added since the last clear.
+    @raise Invalid_argument when [i] is out of bounds. *)
+
+val send_batch_buf :
+  batch -> size:int -> ?on_complete:(unit -> unit) -> Payload.t -> unit
+(** {!send_batch} over a reusable {!batch}: same semantics (sequence numbers
+    in add order, closed connections skipped, retransmits on the chained
+    path), but the per-broadcast recipient state is recycled through the
+    transport's freelist, so the steady-state hot loop allocates nothing.
+    The batch is cleared by the call — its fill array is swapped into the
+    in-flight record, not copied. [on_complete] fires exactly once, when
+    every recipient has reached a terminal outcome at the fabric (the point
+    where a pooled payload encoding may be released); when no recipient is
+    open it fires synchronously. *)
+
 val close : conn -> unit
 (** Graceful close; the peer's [on_close Graceful] fires after one latency. *)
 

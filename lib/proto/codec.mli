@@ -11,6 +11,13 @@ module Writer : sig
 
   val create : ?initial_capacity:int -> unit -> t
 
+  val create_pooled : pool:Pool.t -> ?size_hint:int -> unit -> t
+  (** A writer that leases its chunks from [pool] and emits a
+      scatter-gather {!Frame.t} via {!finish_frame} instead of growing
+      one contiguous buffer. Overflow opens a new chunk (no copy), and
+      {!raw}/{!string} splice large fragments as borrowed segments.
+      Byte-for-byte identical output to the classic writer. *)
+
   val u8 : t -> int -> unit
   (** @raise Invalid_argument outside [0, 255]. *)
 
@@ -33,7 +40,15 @@ module Writer : sig
   val raw : t -> string -> unit
   (** Append pre-serialized bytes verbatim, without a length prefix:
       splices a fragment produced by running an encoder into a fresh
-      writer back into a larger encoding, byte-identically. *)
+      writer back into a larger encoding, byte-identically. On a pooled
+      writer, fragments past a small threshold are borrowed (zero-copy
+      segment), not blitted. *)
+
+  val raw_frame : t -> Frame.t -> unit
+  (** Splice another frame's bytes. On a pooled writer this borrows the
+      source's segments (keeping its leases only as validity witnesses —
+      releasing the result never releases the source); classic writers
+      copy. *)
 
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
   (** u32 count prefix + elements. *)
@@ -43,6 +58,11 @@ module Writer : sig
   val size : t -> int
 
   val contents : t -> string
+
+  val finish_frame : t -> Frame.t
+  (** Finalize a pooled writer into its frame; the writer is spent (later
+      writes raise). The caller owns the frame's chunks and must see them
+      {!Frame.release}d. @raise Invalid_argument on a classic writer. *)
 end
 
 module Reader : sig

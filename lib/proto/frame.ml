@@ -1,0 +1,122 @@
+(* Scatter-gather frames: an iovec-style sequence of byte segments.
+
+   A frame is what the pooled codec writer produces instead of one
+   contiguous string: a few pooled chunks, possibly interleaved with
+   borrowed views of cached fragments (a memoized join-state encoding, a
+   relay fan-out's inner bytes). The wire bytes are the concatenation of
+   the segments — materialized only by cold paths and tests; hot paths
+   read the total length and the fixed-offset header and never copy.
+
+   Ownership: a segment backed by a pool lease with [sg_owned = true] is
+   released by {!release}; a borrowed segment ([sg_owned = false]) is
+   not, but still carries the lease as a validity witness so reading a
+   frame whose backing store was released is a checked error. *)
+
+type seg = {
+  sg_bytes : Bytes.t;
+  sg_off : int;
+  sg_len : int;
+  sg_lease : Pool.lease option;
+  sg_owned : bool;
+}
+
+type t = { f_segs : seg array; f_len : int }
+
+let make segs =
+  let len = Array.fold_left (fun acc s -> acc + s.sg_len) 0 segs in
+  { f_segs = segs; f_len = len }
+
+let total t = t.f_len
+
+let seg_count t = Array.length t.f_segs
+
+let segs t = t.f_segs
+
+let check_seg s =
+  match s.sg_lease with
+  | Some l when not (Pool.valid l) ->
+      raise (Pool.Lease_error "Frame: segment read after backing release")
+  | _ -> ()
+
+let check_valid t = Array.iter check_seg t.f_segs
+
+(* [get] serves the fixed-offset header peeks; the header virtually always
+   sits inside the first segment, so the common case is one bounds check
+   and one byte load. *)
+let get t i =
+  if i < 0 || i >= t.f_len then invalid_arg "Frame.get";
+  let s0 = t.f_segs.(0) in
+  if i < s0.sg_len then begin
+    check_seg s0;
+    Bytes.get s0.sg_bytes (s0.sg_off + i)
+  end
+  else begin
+    let rec go k i =
+      let s = t.f_segs.(k) in
+      if i < s.sg_len then begin
+        check_seg s;
+        Bytes.get s.sg_bytes (s.sg_off + i)
+      end
+      else go (k + 1) (i - s.sg_len)
+    in
+    go 1 (i - s0.sg_len)
+  end
+
+let blit t dst dst_off =
+  check_valid t;
+  let off = ref dst_off in
+  Array.iter
+    (fun s ->
+      Bytes.blit s.sg_bytes s.sg_off dst !off s.sg_len;
+      off := !off + s.sg_len)
+    t.f_segs
+
+let to_string t =
+  let b = Bytes.create t.f_len in
+  blit t b 0;
+  Bytes.unsafe_to_string b
+
+let of_string s =
+  make
+    [|
+      {
+        sg_bytes = Bytes.unsafe_of_string s;
+        sg_off = 0;
+        sg_len = String.length s;
+        sg_lease = None;
+        sg_owned = false;
+      };
+    |]
+
+(* A borrowed suffix view: same bytes from [from] on, with every segment
+   demoted to non-owning (the source frame keeps ownership; this view
+   keeps the leases only as validity witnesses). *)
+let borrow t ~from =
+  if from < 0 || from > t.f_len then invalid_arg "Frame.borrow";
+  let out = ref [] in
+  let skip = ref from in
+  Array.iter
+    (fun s ->
+      if !skip >= s.sg_len then skip := !skip - s.sg_len
+      else begin
+        let off = !skip in
+        skip := 0;
+        out :=
+          {
+            sg_bytes = s.sg_bytes;
+            sg_off = s.sg_off + off;
+            sg_len = s.sg_len - off;
+            sg_lease = s.sg_lease;
+            sg_owned = false;
+          }
+          :: !out
+      end)
+    t.f_segs;
+  make (Array.of_list (List.rev !out))
+
+let release pool t =
+  Array.iter
+    (fun s ->
+      if s.sg_owned then
+        match s.sg_lease with Some l -> Pool.release pool l | None -> ())
+    t.f_segs

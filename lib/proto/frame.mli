@@ -1,0 +1,60 @@
+(** Scatter-gather frames: iovec-style segment sequences over pooled
+    chunks and borrowed cached fragments.
+
+    The pooled codec writer emits one of these instead of a contiguous
+    string: the wire bytes are the in-order concatenation of the
+    segments. Hot paths read {!total} and fixed-offset header bytes via
+    {!get}; only cold paths and tests materialize with {!to_string}.
+
+    Segments backed by a pool lease are revalidated on every read, so
+    touching a frame whose backing chunks were released raises
+    {!Pool.Lease_error} instead of reading recycled bytes. *)
+
+type seg = {
+  sg_bytes : Bytes.t;
+  sg_off : int;
+  sg_len : int;
+  sg_lease : Pool.lease option;
+      (** validity witness; [None] for plain borrowed strings *)
+  sg_owned : bool;  (** [release] frees the lease iff owned *)
+}
+
+type t
+
+val make : seg array -> t
+
+val total : t -> int
+(** Byte length (sum of segment lengths) — no validity check, no copy. *)
+
+val seg_count : t -> int
+
+val segs : t -> seg array
+(** The underlying segments, in order. Read-only: for splicing borrowed
+    views into another writer and for scatter-gather sinks (WAL). *)
+
+val get : t -> int -> char
+(** Byte at a logical offset (for fixed-offset header peeks).
+    @raise Pool.Lease_error if the containing segment's backing was
+    released. *)
+
+val blit : t -> Bytes.t -> int -> unit
+(** Copy all segments into a destination buffer (scatter-gather write). *)
+
+val to_string : t -> string
+(** Materialize. @raise Pool.Lease_error on released backing. *)
+
+val of_string : string -> t
+(** One borrowed segment over the (immutable) string. *)
+
+val borrow : t -> from:int -> t
+(** Non-owning suffix view starting at byte [from]: shares the backing
+    storage, keeps leases only as validity witnesses. Releasing the view
+    never releases the source's chunks; reading it after the source was
+    released is a checked error. *)
+
+val release : Pool.t -> t -> unit
+(** Release every owned segment's lease back to [pool]. Borrowed
+    segments are untouched. *)
+
+val check_valid : t -> unit
+(** @raise Pool.Lease_error if any segment's backing was released. *)

@@ -121,6 +121,8 @@ type t = {
   conn_of_member : (T.member_id, Net.Tcp.conn) Hashtbl.t;
   mutable client_conns : Net.Tcp.conn list;
   relay_hub : Corona.Relay_hub.t;
+  pool : Proto.Pool.t; (* hot-path frame buffers, leased per fan-out *)
+  fan_batch : Net.Tcp.batch; (* fan-out fill buffer, refilled per fan-out *)
   (* request correlation *)
   pending_create :
     (T.group_id, Net.Tcp.conn * bool * (T.object_id * string) list) Hashtbl.t;
@@ -307,35 +309,28 @@ and fail_client t conn group reason =
    members proxied through the relay tier collapse to one [Relay_fanout]
    frame per relay (the sharded [Shard_deliver] path rides this too). *)
 and fan_local t rg ?exclude resp =
-  let conns =
-    List.rev
-      (List.fold_left
-         (fun acc (m : Corona.Membership.entry) ->
-           let excluded =
-             match exclude with Some skip -> skip = m.member | None -> false
-           in
-           if excluded then acc
-           else
-             match Hashtbl.find_opt t.conn_of_member m.member with
-             | Some conn when Net.Tcp.is_open conn -> conn :: acc
-             | Some _ | None -> acc)
-         []
-         (Corona.Membership.entries rg.rg_local))
-  in
-  match conns with
-  | [] -> ()
-  | conns ->
-      let d =
-        Corona.Relay_hub.deliver t.relay_hub ~group:rg.rg_id ?exclude
-          ~inner:resp conns
+  Net.Tcp.batch_clear t.fan_batch;
+  List.iter
+    (fun (m : Corona.Membership.entry) ->
+      let excluded =
+        match exclude with Some skip -> skip = m.member | None -> false
       in
-      t.st <-
-        {
-          t.st with
-          deliveries_sent = t.st.deliveries_sent + d.Corona.Relay_hub.d_direct;
-          relay_frames_sent =
-            t.st.relay_frames_sent + d.Corona.Relay_hub.d_frames;
-        }
+      if not excluded then
+        match Hashtbl.find_opt t.conn_of_member m.member with
+        | Some conn when Net.Tcp.is_open conn ->
+            Net.Tcp.batch_add t.fan_batch conn
+        | Some _ | None -> ())
+    (Corona.Membership.entries rg.rg_local);
+  let d =
+    Corona.Relay_hub.deliver t.relay_hub ~pool:t.pool ~group:rg.rg_id ?exclude
+      ~inner:resp t.fan_batch
+  in
+  t.st <-
+    {
+      t.st with
+      deliveries_sent = t.st.deliveries_sent + d.Corona.Relay_hub.d_direct;
+      relay_frames_sent = t.st.relay_frames_sent + d.Corona.Relay_hub.d_frames;
+    }
 [@@corona.hot]
 
 and notify_local_membership t rg change members =
@@ -441,7 +436,7 @@ and complete_join t rg key (pj : pending_join) =
               (* Join-storm path: splice the snapshot encoding shared by
                  every concurrent joiner at this state version. *)
               M.pre_encode_join_accepted ~group:rg.rg_id ~at_seqno:p.p_at
-                ~state:p.p_state ~state_enc ~members ~multicast:false
+                ~state:p.p_state ~state_enc ~members ~multicast:false ()
           | None ->
               M.pre_encode
                 (M.Response
@@ -2218,6 +2213,8 @@ let create fabric node_host ?(config = default_config) ~storage ~server_list
       conn_of_member = Hashtbl.create 64;
       client_conns = [];
       relay_hub = Corona.Relay_hub.create ();
+      pool = Proto.Pool.create ();
+      fan_batch = Net.Tcp.batch_create ();
       pending_create = Hashtbl.create 8;
       pending_delete = Hashtbl.create 8;
       pending_join = Hashtbl.create 16;

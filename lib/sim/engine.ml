@@ -10,20 +10,41 @@ type time = float
    cannot corrupt [pending]. *)
 type state = Pending | Cancelled | Fired
 
+(* Two flavors share the record and the heap:
+
+   - classic events ([pooled = false]) carry a [unit -> unit] closure and
+     double as their own cancellation handle, exactly as before;
+   - pooled events ([pooled = true]) carry an [int -> unit] callback plus
+     an integer argument, are not cancellable, and their records are
+     recycled through a freelist after firing — the steady-state fan-out
+     loop schedules millions of them without allocating one record.
+
+   Recycling is safe precisely because pooled events have no identity:
+   [schedule_pooled] returns unit, so no [event_id] to a recycled record
+   can escape and alias its next incarnation. The [at] field stays a
+   boxed-float pointer — reusing a record stores the caller's already-
+   boxed float, so reuse allocates nothing. *)
 type event = {
-  at : time;
-  seq : int; (* tie-break: schedule order *)
-  run : unit -> unit;
+  mutable at : time;
+  mutable seq : int; (* tie-break: schedule order *)
+  mutable run : unit -> unit;
+  mutable run_i : int -> unit; (* pooled events only *)
+  mutable arg : int;
   mutable st : state;
+  pooled : bool;
 }
 
 type event_id = event
+
+let ignore_i (_ : int) = ()
 
 (* Array-based binary min-heap on (at, seq). *)
 module Heap = struct
   type t = { mutable a : event array; mutable len : int }
 
-  let dummy = { at = 0.0; seq = 0; run = ignore; st = Fired }
+  let dummy =
+    { at = 0.0; seq = 0; run = ignore; run_i = ignore_i; arg = 0; st = Fired;
+      pooled = false }
 
   let create () = { a = Array.make 64 dummy; len = 0 }
 
@@ -34,47 +55,52 @@ module Heap = struct
     Array.blit h.a 0 a 0 h.len;
     h.a <- a
 
+  (* The sifts are tail-recursive on int indices: no [ref] cells, so a
+     push/pop pair on the hot loop allocates nothing. *)
+  let rec sift_up a i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before a.(i) a.(parent) then begin
+        let tmp = a.(parent) in
+        a.(parent) <- a.(i);
+        a.(i) <- tmp;
+        sift_up a parent
+      end
+    end
+
   let push h e =
     if h.len = Array.length h.a then grow h;
-    let i = ref h.len in
+    h.a.(h.len) <- e;
     h.len <- h.len + 1;
-    h.a.(!i) <- e;
-    let continue = ref true in
-    while !continue && !i > 0 do
-      let parent = (!i - 1) / 2 in
-      if before h.a.(!i) h.a.(parent) then begin
-        let tmp = h.a.(parent) in
-        h.a.(parent) <- h.a.(!i);
-        h.a.(!i) <- tmp;
-        i := parent
-      end else continue := false
-    done
+    sift_up h.a (h.len - 1)
 
-  let peek h = if h.len = 0 then None else Some h.a.(0)
+  let is_empty h = h.len = 0
 
-  let pop h =
-    if h.len = 0 then None
-    else begin
-      let top = h.a.(0) in
-      h.len <- h.len - 1;
-      h.a.(0) <- h.a.(h.len);
-      h.a.(h.len) <- dummy;
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && before h.a.(l) h.a.(!smallest) then smallest := l;
-        if r < h.len && before h.a.(r) h.a.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.a.(!smallest) in
-          h.a.(!smallest) <- h.a.(!i);
-          h.a.(!i) <- tmp;
-          i := !smallest
-        end else continue := false
-      done;
-      Some top
+  (* Precondition: [not (is_empty h)]. *)
+  let top h = h.a.(0)
+
+  let rec sift_down a len i =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let r = l + 1 in
+      let s = if before a.(l) a.(i) then l else i in
+      let s = if r < len && before a.(r) a.(s) then r else s in
+      if s <> i then begin
+        let tmp = a.(s) in
+        a.(s) <- a.(i);
+        a.(i) <- tmp;
+        sift_down a len s
+      end
     end
+
+  (* Precondition: [not (is_empty h)]. *)
+  let pop_top h =
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    h.a.(h.len) <- dummy;
+    sift_down h.a h.len 0;
+    top
 end
 
 type t = {
@@ -83,6 +109,10 @@ type t = {
   mutable next_seq : int;
   mutable live : int; (* scheduled and not cancelled *)
   mutable fired : int; (* events executed since creation *)
+  (* Freelist of fired pooled-event records, an array-stack: push and pop
+     are two field stores, no list cells. *)
+  mutable free : event array;
+  mutable nfree : int;
   root_rng : Rng.t;
 }
 
@@ -93,6 +123,8 @@ let create ?(seed = 1L) () =
     next_seq = 0;
     live = 0;
     fired = 0;
+    free = Array.make 64 Heap.dummy;
+    nfree = 0;
     root_rng = Rng.create seed;
   }
 
@@ -104,10 +136,43 @@ let schedule_at t at run =
   let at = if at < t.clock then t.clock else at in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let e = { at; seq; run; st = Pending } in
+  let e =
+    { at; seq; run; run_i = ignore_i; arg = 0; st = Pending; pooled = false }
+  in
   Heap.push t.heap e;
   t.live <- t.live + 1;
   e
+
+let schedule_pooled t ~at run_i arg =
+  let at = if at < t.clock then t.clock else at in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e =
+    if t.nfree > 0 then begin
+      t.nfree <- t.nfree - 1;
+      let e = t.free.(t.nfree) in
+      t.free.(t.nfree) <- Heap.dummy;
+      e.at <- at;
+      e.seq <- seq;
+      e.run_i <- run_i;
+      e.arg <- arg;
+      e.st <- Pending;
+      e
+    end
+    else { at; seq; run = ignore; run_i; arg; st = Pending; pooled = true }
+  in
+  Heap.push t.heap e;
+  t.live <- t.live + 1
+
+let recycle t e =
+  let cap = Array.length t.free in
+  if t.nfree = cap then begin
+    let bigger = Array.make (2 * cap) Heap.dummy in
+    Array.blit t.free 0 bigger 0 cap;
+    t.free <- bigger
+  end;
+  t.free.(t.nfree) <- e;
+  t.nfree <- t.nfree + 1
 
 let schedule t ~delay run =
   let delay = if delay < 0.0 then 0.0 else delay in
@@ -126,9 +191,10 @@ let periodic t ~every f =
   ignore (schedule t ~delay:every tick)
 
 let rec step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some e -> (
+  if Heap.is_empty t.heap then false
+  else
+    let e = Heap.pop_top t.heap in
+    (
       match e.st with
       | Cancelled -> step t
       | Fired -> step t (* unreachable: a fired event is never re-pushed *)
@@ -137,7 +203,17 @@ let rec step t =
           t.live <- t.live - 1;
           t.fired <- t.fired + 1;
           t.clock <- e.at;
-          e.run ();
+          if e.pooled then begin
+            (* Read out the callback, recycle the record, then fire: the
+               callback itself may schedule the next pooled event into
+               this very record. *)
+            let f = e.run_i in
+            let a = e.arg in
+            e.run_i <- ignore_i;
+            recycle t e;
+            f a
+          end
+          else e.run ();
           true)
 
 let run ?until t =
@@ -146,12 +222,18 @@ let run ?until t =
   | Some limit ->
       let continue = ref true in
       while !continue do
-        match Heap.peek t.heap with
-        | Some e when e.st <> Pending -> ignore (Heap.pop t.heap)
-        | Some e when e.at <= limit -> ignore (step t)
-        | Some _ | None ->
+        if Heap.is_empty t.heap then begin
+          continue := false;
+          if t.clock < limit then t.clock <- limit
+        end
+        else
+          let e = Heap.top t.heap in
+          if e.st <> Pending then ignore (Heap.pop_top t.heap)
+          else if e.at <= limit then ignore (step t)
+          else begin
             continue := false;
             if t.clock < limit then t.clock <- limit
+          end
       done
 
 let pending t = t.live

@@ -31,6 +31,15 @@ val schedule : t -> delay:time -> (unit -> unit) -> event_id
 val schedule_at : t -> time -> (unit -> unit) -> event_id
 (** [schedule_at t at f] runs [f] at absolute time [at] (clamped to [now]). *)
 
+val schedule_pooled : t -> at:time -> (int -> unit) -> int -> unit
+(** [schedule_pooled t ~at f i] runs [f i] at absolute time [at] (clamped
+    to [now]), using a recycled event record from the engine's freelist:
+    the steady-state fan-out loop schedules without allocating. Pooled
+    events are not cancellable (no handle escapes, which is exactly what
+    makes recycling safe); callers needing revocation keep a guard of
+    their own (e.g. a host-epoch check) and use [f]'s argument to index
+    it. Ordering is identical to {!schedule_at} at equal timestamps. *)
+
 val cancel : t -> event_id -> unit
 (** Cancel a pending event in O(1). Cancelling an event that already fired,
     or cancelling the same event twice, is a no-op — in particular it never

@@ -80,6 +80,9 @@ type storm_result = {
   st_misses : int;
   st_span : float;  (** virtual seconds, first join issued -> last accepted *)
   st_bytes : int;  (** join-state bytes served during the storm *)
+  st_minor_words_per_join : float;
+      (** minor-heap words allocated per completed join, whole world *)
+  st_pool : Proto.Pool.stats;  (** server buffer pool, cumulative at quiescence *)
 }
 
 let join_storm ?(seed = 29L) ~members () =
@@ -123,6 +126,7 @@ let join_storm ?(seed = 29L) ~members () =
   let bytes0 =
     (Corona.Server.stats tb.Testbed.s_server).Corona.Server.state_transfer_bytes
   in
+  let minor0 = Gc.minor_words () in
   let started = Sim.Engine.now engine in
   let joined = ref 0 in
   let finished_at = ref started in
@@ -150,6 +154,7 @@ let join_storm ?(seed = 29L) ~members () =
              ~data:(String.make 200 'w') ()))
   done;
   Testbed.run_until engine (fun () -> !joined = members);
+  let minor_words = Gc.minor_words () -. minor0 in
   let hits, misses = Corona.Server.transfer_cache_stats tb.Testbed.s_server in
   {
     st_members = members;
@@ -159,6 +164,8 @@ let join_storm ?(seed = 29L) ~members () =
     st_bytes =
       (Corona.Server.stats tb.Testbed.s_server).Corona.Server.state_transfer_bytes
       - bytes0;
+    st_minor_words_per_join = minor_words /. float_of_int members;
+    st_pool = Corona.Server.pool_stats tb.Testbed.s_server;
   }
 
 (* --- durable-multicast throughput (WAL group commit) --------------------- *)
@@ -176,6 +183,9 @@ type durable_result = {
   du_physical_writes : int;
   du_records_committed : int;
   du_max_batch : int;
+  du_minor_words_per_bcast : float;
+      (** minor-heap words per durable broadcast, whole world *)
+  du_pool : Proto.Pool.stats;  (** server buffer pool, cumulative at quiescence *)
 }
 
 let durable_multicast ?(seed = 31L) ~size ~records ~batching () =
@@ -208,6 +218,7 @@ let durable_multicast ?(seed = 31L) ~size ~records ~batching () =
      on the platter — the durability horizon a durable multicast gates on. *)
   let wal = Corona.Server_storage.wal_for tb.Testbed.s_storage group in
   let durable_goal = Storage.Wal.next_index wal + records in
+  let minor0 = Gc.minor_words () in
   let started = Sim.Engine.now engine in
   for i = 0 to records - 1 do
     Corona.Client.bcast_update senders.(i mod n_senders) ~group
@@ -215,6 +226,7 @@ let durable_multicast ?(seed = 31L) ~size ~records ~batching () =
       ~data:(String.make size 'r') ~mode:T.Sender_exclusive ()
   done;
   Testbed.run_until engine (fun () -> Storage.Wal.durable_upto wal >= durable_goal);
+  let minor_words = Gc.minor_words () -. minor0 in
   let span = Sim.Engine.now engine -. started in
   let cs = Storage.Wal.commit_stats wal in
   {
@@ -223,4 +235,6 @@ let durable_multicast ?(seed = 31L) ~size ~records ~batching () =
     du_physical_writes = cs.Storage.Wal.physical_writes;
     du_records_committed = cs.Storage.Wal.records_committed;
     du_max_batch = cs.Storage.Wal.max_batch_records;
+    du_minor_words_per_bcast = minor_words /. float_of_int records;
+    du_pool = Corona.Server.pool_stats tb.Testbed.s_server;
   }

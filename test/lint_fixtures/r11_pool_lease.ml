@@ -1,0 +1,39 @@
+(* Seeded R11 violations: pooled buffer leases held across exception edges
+   in hot-reachable functions, so the release back to the shelf is skipped
+   and the pool reports a leak at drain. *)
+
+(* Hot root: the raise fires while the lease is held. *)
+let encode_into pool msg =
+  let l = Pool.lease pool 1024 in
+  if msg = "" then failwith "empty message";
+  Pool.release pool l
+  [@@corona.hot]
+
+(* Hot root: Hashtbl.find can raise Not_found while the lease is held. *)
+let encode_for pool conns member =
+  let l = Pool.lease pool 1024 in
+  let conn = Hashtbl.find conns member in
+  ignore conn;
+  Pool.release pool l
+  [@@corona.hot]
+
+(* Not a violation: acquire-and-return is ownership transfer — the caller
+   owes the release (the Message.encoded discipline). *)
+let lease_frame pool size =
+  let l = Pool.lease pool size in
+  Frame.of_lease l
+  [@@corona.hot]
+
+(* Not a violation: not reachable from any hot root, so R11 stays quiet
+   (cold paths may trade lease hygiene for simplicity). *)
+let cold_scratch pool =
+  let l = Pool.lease pool 64 in
+  if Sys.word_size = 32 then failwith "unsupported";
+  Pool.release pool l
+
+(* Silenced: drain-time diagnostics deliberately abandon the lease. *)
+let dump_and_abandon pool =
+  let l = Pool.lease pool 64 in
+  (failwith "diagnostic dump" [@corona.allow "R11"]);
+  Pool.release pool l
+  [@@corona.hot]
